@@ -1,0 +1,259 @@
+//! Criterion micro-benchmarks: wall-clock performance of the hot data
+//! structures and code paths (the simulation kernel itself must be fast for
+//! the figure harnesses to finish in seconds).
+//!
+//! Includes the ablations DESIGN.md calls out: sync-spin vs async access
+//! and staged vs dynamic registration, measured end-to-end through the
+//! cluster stack (the virtual-time deltas are asserted in tests; here we
+//! track the real cost of simulating them).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use remem::{AccessMode, Cluster, RFileConfig, RegistrationMode};
+use remem_engine::btree::BTree;
+use remem_engine::bufferpool::BufferPool;
+use remem_engine::exec::{int_row, ExecCtx};
+use remem_engine::page::{Page, PAGE_SIZE};
+use remem_engine::pagestore::{FileId, PagedFile};
+use remem_engine::row::{Row, Value};
+use remem_engine::tempdb::TempDb;
+use remem_engine::{CpuCosts, DbConfig};
+use remem_sim::rng::SimRng;
+use remem_sim::{Clock, CpuPool, FifoResource, SimDuration, SimTime};
+use remem_storage::RamDisk;
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("fifo_acquire", |b| {
+        let r = FifoResource::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            r.acquire(SimTime(t), SimDuration::from_nanos(500))
+        });
+    });
+    g.bench_function("cpu_pool_acquire_20c", |b| {
+        let p = CpuPool::new(20);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            p.execute(SimTime(t), SimDuration::from_micros(50))
+        });
+    });
+    g.finish();
+}
+
+fn bench_row_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_page");
+    let row = Row::new(vec![
+        Value::Int(42),
+        Value::Str("Customer#000000042".into()),
+        Value::Float(1234.56),
+        Value::Str("x".repeat(190)),
+    ]);
+    g.bench_function("row_encode", |b| {
+        let mut buf = Vec::with_capacity(256);
+        b.iter(|| {
+            buf.clear();
+            row.encode(&mut buf);
+        });
+    });
+    let bytes = row.to_bytes();
+    g.bench_function("row_decode", |b| b.iter(|| Row::decode(&bytes)));
+    g.bench_function("page_fill", |b| {
+        b.iter_batched(
+            Page::new,
+            |mut p| {
+                while p.insert(&bytes).is_some() {}
+                p
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn engine_parts(pool_pages: u64) -> (BufferPool, Arc<PagedFile>, Clock) {
+    let bp = BufferPool::new(pool_pages * PAGE_SIZE as u64);
+    let file = Arc::new(PagedFile::new(FileId(0), Arc::new(RamDisk::new(512 << 20))));
+    bp.register_file(Arc::clone(&file));
+    (bp, file, Clock::new())
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_ascending", |b| {
+        b.iter_batched(
+            || engine_parts(4096),
+            |(bp, file, mut clock)| {
+                let t = BTree::create(&mut clock, &bp, file).unwrap();
+                for k in 0..1_000i64 {
+                    t.insert(&mut clock, &bp, k, &[0u8; 100]).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let (bp, file, mut clock) = engine_parts(8192);
+    let tree = BTree::create(&mut clock, &bp, file).unwrap();
+    for k in 0..50_000i64 {
+        tree.insert(&mut clock, &bp, k, &[0u8; 100]).unwrap();
+    }
+    let mut rng = SimRng::seeded(1);
+    g.bench_function("get_random_50k", |b| {
+        b.iter(|| {
+            let k = rng.uniform(0, 50_000) as i64;
+            tree.get(&mut clock, &bp, k).unwrap()
+        });
+    });
+    g.bench_function("range_100", |b| {
+        b.iter(|| {
+            let lo = rng.uniform(0, 49_900) as i64;
+            let mut n = 0;
+            tree.range(&mut clock, &bp, lo, lo + 100, |_, _| {
+                n += 1;
+                true
+            })
+            .unwrap();
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(20);
+    let rows: Vec<Row> = {
+        let mut rng = SimRng::seeded(2);
+        let mut keys: Vec<i64> = (0..50_000).collect();
+        rng.shuffle(&mut keys);
+        keys.into_iter().map(|k| int_row(&[k, k % 97])).collect()
+    };
+    g.bench_function("external_sort_50k_in_memory", |b| {
+        let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(256 << 20)))));
+        let cpu = CpuPool::new(8);
+        let costs = CpuCosts::default();
+        b.iter_batched(
+            || rows.clone(),
+            |rows| {
+                let mut clock = Clock::new();
+                let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+                remem_engine::sort::external_sort(&mut ctx, &tempdb, rows, |r| r.int(0) as f64, 1 << 30, None)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("hash_join_20k_x_50k", |b| {
+        let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(256 << 20)))));
+        let cpu = CpuPool::new(8);
+        let costs = CpuCosts::default();
+        let build: Vec<Row> = (0..20_000i64).map(|k| int_row(&[k % 97, k])).collect();
+        b.iter_batched(
+            || (build.clone(), rows.clone()),
+            |(build, probe)| {
+                let mut clock = Clock::new();
+                let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+                remem_engine::hashjoin::hash_join(
+                    &mut ctx,
+                    &tempdb,
+                    build,
+                    probe,
+                    |r| r.int(0),
+                    |r| r.int(1),
+                    1 << 30,
+                    |a, b| Row::new(vec![a.0[1].clone(), b.0[0].clone()]),
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_rfile_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rfile");
+    g.sample_size(30);
+    // ablation: cost of simulating one remote 8K read per Table 1 choice
+    for (name, cfg) in [
+        ("read_8k_sync_staged", RFileConfig::custom()),
+        (
+            "read_8k_async_staged",
+            RFileConfig { access: AccessMode::Async, ..RFileConfig::custom() },
+        ),
+        (
+            "read_8k_sync_dynamic",
+            RFileConfig { registration: RegistrationMode::Dynamic, ..RFileConfig::custom() },
+        ),
+    ] {
+        let cluster = Cluster::builder().memory_servers(1).memory_per_server(64 << 20).build();
+        let mut setup = Clock::new();
+        let file = cluster.remote_file(&mut setup, cluster.db_server, 32 << 20, cfg).unwrap();
+        let mut clock = setup;
+        let mut rng = SimRng::seeded(3);
+        let mut buf = vec![0u8; 8192];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let p = rng.uniform(0, 4000);
+                file.read(&mut clock, p * 8192, &mut buf).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_database(c: &mut Criterion) {
+    let mut g = c.benchmark_group("database");
+    g.sample_size(20);
+    let db = remem_engine::Database::standalone(
+        DbConfig::with_pool(64 << 20),
+        8,
+        remem_engine::DeviceSet {
+            data: Arc::new(RamDisk::new(256 << 20)),
+            log: Arc::new(RamDisk::new(64 << 20)),
+            tempdb: Arc::new(RamDisk::new(64 << 20)),
+            bpext: None,
+        },
+    );
+    let mut clock = Clock::new();
+    let t = db
+        .create_table(
+            &mut clock,
+            "t",
+            remem_engine::Schema::new(vec![
+                ("k", remem_engine::row::ColType::Int),
+                ("v", remem_engine::row::ColType::Int),
+            ]),
+            0,
+        )
+        .unwrap();
+    let mut next = 0i64;
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            db.insert(&mut clock, t, int_row(&[next, next * 2])).unwrap();
+            next += 1;
+        });
+    });
+    let mut rng = SimRng::seeded(4);
+    g.bench_function("point_get", |b| {
+        b.iter(|| {
+            let k = rng.uniform(0, next.max(1) as u64) as i64;
+            db.get(&mut clock, t, k).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_kernel,
+    bench_row_page,
+    bench_btree,
+    bench_operators,
+    bench_rfile_stack,
+    bench_database
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 25: end-to-end RangeScan with 1-8 database servers all keeping
+//! their BPExt in ONE memory server's RAM.
+//!
+//! Paper: aggregate throughput scales near-linearly with database servers
+//! until the donor's NIC saturates, then latency climbs.
+
+use remem::{Cluster, DbOptions, Design};
+use remem_bench::{header, print_table};
+use remem_sim::rng::SimRng;
+use remem_sim::{Clock, Histogram, SimDuration, SimTime};
+use remem_workloads::rangescan::{load_customer, one_query};
+
+const ROWS: u64 = 12_500; // "125 million rows" scaled /10,000 to fit one donor
+const WORKERS_PER_DB: usize = 40;
+const WINDOW: SimDuration = SimDuration::from_millis(300);
+
+fn main() {
+    header("Fig 25", "N database servers with their BPExt on one memory server");
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let cluster = Cluster::builder().memory_servers(1).memory_per_server(512 << 20).build();
+        let opts = DbOptions {
+            pool_bytes: 1 << 20, // ~7 GB scaled: small local memory
+            bpext_bytes: 30 << 20,
+            tempdb_bytes: 4 << 20,
+            data_bytes: 128 << 20,
+            spindles: 20,
+            oltp: true,
+            workspace_bytes: None,
+        };
+        let mut clock = Clock::new();
+        let mut dbs = Vec::new();
+        for i in 0..n {
+            let server = if i == 0 {
+                cluster.db_server
+            } else {
+                cluster.add_db_server(format!("DB{}", i + 1), 20)
+            };
+            let db = Design::Custom.build_for(&cluster, &mut clock, server, &opts).expect("db");
+            let t = load_customer(&db, &mut clock, ROWS);
+            dbs.push((db, t));
+        }
+        let start = clock.now();
+        let horizon = SimTime(start.as_nanos() + WINDOW.as_nanos());
+        let mut driver =
+            remem_sim::ClosedLoopDriver::new(n * WORKERS_PER_DB, horizon).starting_at(start);
+        let lat = Histogram::new();
+        let mut rng = SimRng::seeded(11);
+        let ops = driver.run(&lat, |w, c| {
+            let (db, t) = &dbs[w / WORKERS_PER_DB];
+            let startk = rng.uniform(0, ROWS - 100) as i64;
+            one_query(db, c, *t, startk, 100, false);
+        });
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", ops as f64 / WINDOW.as_secs_f64()),
+            format!("{:.2}", lat.mean().as_micros_f64() / 1000.0),
+        ]);
+    }
+    print_table(&["DB servers", "aggregate queries/s", "mean latency ms"], &rows);
+    println!("\nshape checks vs paper Fig 25: near-linear aggregate scaling until");
+    println!("the donor NIC saturates, then flat throughput with rising latency.");
+}

@@ -1,0 +1,28 @@
+//! Figure 27 (Appendix C): parallel data loading using idle remote servers'
+//! CPU and memory — load splits into remote in-memory files, then pull them
+//! to the destination over RDMA.
+//!
+//! Paper: 160 GB / 80 splits; 1 server takes 6,919 s, 8 servers 894 s
+//! (~7.7× speedup) with the copy time negligible throughout.
+
+use remem_bench::{header, print_table};
+use remem_workloads::loading::{run_parallel_load, LoadingParams};
+
+fn main() {
+    header("Fig 27", "parallel loading: 160 (scaled) GB over 1-8 loader servers");
+    let p = LoadingParams::default();
+    let base = run_parallel_load(&p, 1).total();
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let r = run_parallel_load(&p, n);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", r.load.as_secs_f64()),
+            format!("{:.3}", r.copy.as_secs_f64()),
+            format!("{:.1}x", base.as_nanos() as f64 / r.total().as_nanos() as f64),
+        ]);
+    }
+    print_table(&["loader servers", "load s", "copy s", "speedup"], &rows);
+    println!("\nshape checks vs paper Fig 27: near-linear speedup (paper: 7.7x at 8");
+    println!("servers) with copy time negligible next to the parse+convert work.");
+}

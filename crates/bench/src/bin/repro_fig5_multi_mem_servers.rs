@@ -1,0 +1,61 @@
+//! Figure 5: one database server accessing remote memory pooled from 1-8
+//! memory servers (constant total remote memory).
+//!
+//! Paper: throughput and latency are flat in the number of donors — the
+//! DB server's NIC is the bottleneck either way.
+
+use remem::{PlacementPolicy, RFileConfig};
+use remem_bench::{header, print_table};
+use remem_sim::{ClosedLoopDriver, Clock, Histogram, SimTime};
+
+const TOTAL_REMOTE: u64 = 96 << 20;
+const WINDOW: u64 = 100_000_000; // 100 ms
+
+fn main() {
+    header("Fig 5", "1 DB server <- N memory servers, constant total memory");
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let cluster = remem::Cluster::builder()
+            .memory_servers(n)
+            .memory_per_server(TOTAL_REMOTE / n as u64)
+            .placement(PlacementPolicy::Spread)
+            .build();
+        let mut clock = Clock::new();
+        let file = cluster
+            .remote_file(&mut clock, cluster.db_server, TOTAL_REMOTE / 2, RFileConfig::custom())
+            .expect("file");
+        assert_eq!(file.donors().len(), n, "file must stripe across all donors");
+        let mut results = Vec::new();
+        for (threads, block) in [(20usize, 8 * 1024u64), (5, 512 * 1024)] {
+            let start = clock.now();
+            let horizon = SimTime(start.as_nanos() + WINDOW);
+            let mut driver = ClosedLoopDriver::new(threads, horizon).starting_at(start);
+            let lat = Histogram::new();
+            let mut rng = remem_sim::rng::SimRng::seeded(n as u64);
+            let blocks = file.size() / block;
+            let mut buf = vec![0u8; block as usize];
+            let ops = driver.run(&lat, |_, c| {
+                let b = rng.uniform(0, blocks);
+                file.read(c, b * block, &mut buf).expect("read");
+            });
+            results.push((
+                ops as f64 * block as f64 / (WINDOW as f64 / 1e9) / 1e9,
+                lat.mean().as_micros_f64(),
+            ));
+            clock.advance(remem_sim::SimDuration::from_millis(200)); // drain between runs
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", results[0].0),
+            format!("{:.0}", results[0].1),
+            format!("{:.2}", results[1].0),
+            format!("{:.0}", results[1].1),
+        ]);
+    }
+    print_table(
+        &["mem servers", "8K-rand GB/s", "8K-rand us", "512K-seq GB/s", "512K-seq us"],
+        &rows,
+    );
+    println!("\nshape check vs paper: flat throughput and latency across donor counts");
+    println!("(the DB server NIC saturates even with one donor).");
+}

@@ -1,0 +1,47 @@
+//! Figures 9 & 10: read-only RangeScan — throughput and latency per design
+//! at 4 / 8 / 20 spindles.
+//!
+//! Paper: without updates the transaction log is idle, so the HDD designs
+//! improve with spindle count (data reads) while everything cached in
+//! (local or remote) memory is flat across spindle counts.
+
+use remem::{Cluster, Design};
+use remem_bench::{header, print_table, rangescan_opts};
+use remem_sim::{Clock, SimDuration};
+use remem_workloads::rangescan::{load_customer, run_rangescan, RangeScanParams};
+
+const ROWS: u64 = 60_000;
+
+fn main() {
+    header("Fig 9/10", "RangeScan (read-only): throughput & latency x design x spindles");
+    let mut tput_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+    for design in Design::ALL {
+        let mut tput = vec![design.label().to_string()];
+        let mut lat = vec![design.label().to_string()];
+        for spindles in [4usize, 8, 20] {
+            let cluster = Cluster::builder().memory_servers(2).memory_per_server(96 << 20).build();
+            let mut clock = Clock::new();
+            let db = design
+                .build(&cluster, &mut clock, &rangescan_opts(spindles))
+                .expect("build design");
+            let t = load_customer(&db, &mut clock, ROWS);
+            let p = RangeScanParams {
+                workers: 80,
+                duration: SimDuration::from_millis(400),
+                ..Default::default()
+            };
+            let s = run_rangescan(&db, t, &p, clock.now());
+            tput.push(format!("{:.0}", s.throughput_per_sec));
+            lat.push(format!("{:.1}", s.mean_latency_us / 1000.0));
+        }
+        tput_rows.push(tput);
+        lat_rows.push(lat);
+    }
+    println!("\nThroughput (queries/sec) — Fig 9:");
+    print_table(&["design", "4 spindles", "8 spindles", "20 spindles"], &tput_rows);
+    println!("\nMean latency (ms) — Fig 10:");
+    print_table(&["design", "4 spindles", "8 spindles", "20 spindles"], &lat_rows);
+    println!("\nshape checks vs paper: memory-backed designs flat across spindles;");
+    println!("HDD improves with spindles; Custom ~= Local Memory.");
+}

@@ -1,0 +1,75 @@
+//! Table 1 ablations: quantify each design choice the paper locks in —
+//! synchronous vs asynchronous vs adaptive completions (§4.1.3),
+//! pre-registered staging buffers vs dynamic registration (§4.1.4), and the
+//! one-off cost of pre-registration itself.
+//!
+//! Also exercises the paper's proposed *adaptive* strategy (spin a budget,
+//! then yield): small transfers behave like sync, large ones like async.
+
+use remem::{AccessMode, Cluster, RFileConfig, RegistrationMode};
+use remem_bench::{header, print_table};
+use remem_sim::{Clock, SimDuration};
+
+fn one_config(access: AccessMode, registration: RegistrationMode, bytes: u64) -> SimDuration {
+    let cluster = Cluster::builder().memory_servers(1).memory_per_server(128 << 20).build();
+    let mut clock = Clock::new();
+    let cfg = RFileConfig { access, registration, ..RFileConfig::custom() };
+    let file = cluster.remote_file(&mut clock, cluster.db_server, 64 << 20, cfg).unwrap();
+    let data = vec![0u8; bytes as usize];
+    let ops = 64u64;
+    let t0 = clock.now();
+    for i in 0..ops {
+        file.write(&mut clock, (i * bytes) % (32 << 20), &data).unwrap();
+    }
+    clock.now().since(t0) / ops
+}
+
+fn main() {
+    header("Table 1", "ablations of the paper's design choices");
+
+    println!("\nper-operation latency by access mode and transfer size:");
+    let mut rows = Vec::new();
+    for (label, access) in [
+        ("sync-spin (paper)", AccessMode::SyncSpin),
+        ("async I/O", AccessMode::Async),
+        ("adaptive (30us budget)", AccessMode::adaptive()),
+    ] {
+        let small = one_config(access, RegistrationMode::Staged, 8 << 10);
+        let large = one_config(access, RegistrationMode::Staged, 1 << 20);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", small.as_micros_f64()),
+            format!("{:.1}", large.as_micros_f64()),
+        ]);
+    }
+    print_table(&["access mode", "8K op us", "1M op us"], &rows);
+    println!("checks: adaptive == sync for 8K pages (completes inside the spin");
+    println!("budget) and == async for 1M transfers (yields instead of burning CPU).");
+
+    println!("\nper-operation latency by registration mode (8K pages):");
+    let mut rows = Vec::new();
+    for (label, reg) in [
+        ("pre-registered staging (paper)", RegistrationMode::Staged),
+        ("dynamic registration", RegistrationMode::Dynamic),
+    ] {
+        let lat = one_config(AccessMode::SyncSpin, reg, 8 << 10);
+        rows.push(vec![label.to_string(), format!("{:.1}", lat.as_micros_f64())]);
+    }
+    print_table(&["registration mode", "8K op us"], &rows);
+    println!("checks: dynamic pays the ~50us registration on every transfer; the");
+    println!("staging memcpy costs ~2us (Table 1's rationale).");
+
+    println!("\none-off pre-registration cost at open (8 schedulers x 1 MiB):");
+    let cluster = Cluster::builder().memory_servers(1).memory_per_server(64 << 20).build();
+    let mut clock = Clock::new();
+    let t0 = clock.now();
+    let _f = cluster
+        .remote_file(&mut clock, cluster.db_server, 16 << 20, RFileConfig::custom())
+        .unwrap();
+    println!(
+        "  create+open (lease RPC, QP connect, staging registration): {}",
+        clock.now().since(t0)
+    );
+    println!("\n(amortized over every subsequent transfer — the fixed-initialization");
+    println!("trade-off Table 1 records for pre-registration)");
+}

@@ -1,0 +1,488 @@
+//! The broker front-end: lease grant / renew / release / revoke.
+
+use remem_net::{Fabric, MrHandle, ServerId};
+use remem_sim::{Clock, SimDuration, SimTime};
+
+use crate::lease::{Lease, LeaseId, LeaseState};
+use crate::meta::MetaStore;
+
+/// How the broker places a multi-MR lease across donor servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Fill one donor before moving to the next (fewest connections).
+    Pack,
+    /// Round-robin MRs across all donors with availability (pools memory
+    /// from many servers — the Fig. 5 / Fig. 12b configuration).
+    Spread,
+}
+
+/// Broker tunables.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Lease validity window; holders must renew before it elapses.
+    pub lease_duration: SimDuration,
+    /// Virtual time for a broker round trip (lease RPCs go through the
+    /// metadata store, not the RDMA fast path).
+    pub rpc_time: SimDuration,
+    pub placement: PlacementPolicy,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            lease_duration: SimDuration::from_secs(10),
+            rpc_time: SimDuration::from_micros(200),
+            placement: PlacementPolicy::Pack,
+        }
+    }
+}
+
+/// Errors from broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// Not enough unleased memory in the cluster to satisfy the request.
+    InsufficientMemory { requested: u64, available: u64 },
+    /// The lease does not exist or is no longer active.
+    LeaseNotActive(LeaseId, LeaseState),
+    UnknownLease(LeaseId),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::InsufficientMemory { requested, available } => {
+                write!(f, "requested {requested} B but only {available} B available")
+            }
+            BrokerError::LeaseNotActive(id, st) => write!(f, "lease {id:?} is {st:?}"),
+            BrokerError::UnknownLease(id) => write!(f, "unknown lease {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A broker front-end over shared [`MetaStore`] state.
+///
+/// Cheap to construct: electing a replacement broker after a crash is
+/// `MemoryBroker::new(cfg, store.clone())`.
+pub struct MemoryBroker {
+    cfg: BrokerConfig,
+    store: MetaStore,
+}
+
+impl MemoryBroker {
+    pub fn new(cfg: BrokerConfig, store: MetaStore) -> MemoryBroker {
+        MemoryBroker { cfg, store }
+    }
+
+    pub fn config(&self) -> &BrokerConfig {
+        &self.cfg
+    }
+
+    pub fn store(&self) -> &MetaStore {
+        &self.store
+    }
+
+    /// Called by a proxy: make MRs available for leasing.
+    pub(crate) fn offer(&self, server: ServerId, mrs: Vec<MrHandle>) {
+        let mut st = self.store.state.lock();
+        st.available.entry(server).or_default().extend(mrs);
+    }
+
+    /// Grant a lease of at least `bytes`, placed per policy. The clock pays
+    /// one broker RPC. Returns the lease with its MR mapping.
+    pub fn request_lease(
+        &self,
+        clock: &mut Clock,
+        holder: ServerId,
+        bytes: u64,
+    ) -> Result<Lease, BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
+        if available < bytes {
+            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+        }
+        let mut picked: Vec<MrHandle> = Vec::new();
+        let mut got = 0u64;
+        // Donors with availability, in stable id order for determinism.
+        let mut donors: Vec<ServerId> = st
+            .available
+            .iter()
+            .filter(|(s, v)| **s != holder && !v.is_empty())
+            .map(|(s, _)| *s)
+            .collect();
+        donors.sort_unstable();
+        // Never lease a server its own memory; if only the holder has spare
+        // memory the request fails (it should just use it locally).
+        if donors.is_empty() {
+            let avail_other: u64 = st
+                .available
+                .iter()
+                .filter(|(s, _)| **s != holder)
+                .flat_map(|(_, v)| v)
+                .map(|m| m.len)
+                .sum();
+            return Err(BrokerError::InsufficientMemory { requested: bytes, available: avail_other });
+        }
+        match self.cfg.placement {
+            PlacementPolicy::Pack => {
+                'outer: for donor in donors {
+                    let pool = st.available.get_mut(&donor).expect("donor exists");
+                    while got < bytes {
+                        match pool.pop() {
+                            Some(mr) => {
+                                got += mr.len;
+                                picked.push(mr);
+                            }
+                            None => continue 'outer,
+                        }
+                    }
+                    break;
+                }
+            }
+            PlacementPolicy::Spread => {
+                let mut i = 0;
+                while got < bytes {
+                    let mut progressed = false;
+                    for _ in 0..donors.len() {
+                        let donor = donors[i % donors.len()];
+                        i += 1;
+                        let pool = st.available.get_mut(&donor).expect("donor exists");
+                        if let Some(mr) = pool.pop() {
+                            got += mr.len;
+                            picked.push(mr);
+                            progressed = true;
+                            break;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
+        }
+        if got < bytes {
+            // put them back — all-or-nothing grant
+            for mr in picked {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
+            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+        }
+        let id = LeaseId(st.next_lease);
+        st.next_lease += 1;
+        let lease = Lease {
+            id,
+            holder,
+            mrs: picked,
+            expires_at: clock.now() + self.cfg.lease_duration,
+        };
+        st.leases.insert(id, (lease.clone(), LeaseState::Active));
+        Ok(lease)
+    }
+
+    /// Renew an active lease for another full duration from `clock.now()`.
+    pub fn renew(&self, clock: &mut Clock, id: LeaseId) -> Result<SimTime, BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        if clock.now() >= lease.expires_at {
+            // too late: renewal after expiry fails and the MRs go back
+            let mrs = lease.mrs.clone();
+            *state = LeaseState::Expired;
+            for mr in mrs {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            return Err(BrokerError::LeaseNotActive(id, LeaseState::Expired));
+        }
+        lease.expires_at = clock.now() + self.cfg.lease_duration;
+        Ok(lease.expires_at)
+    }
+
+    /// Voluntarily release a lease (Delete in Table 2).
+    pub fn release(&self, clock: &mut Clock, id: LeaseId) -> Result<(), BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        let mrs = lease.mrs.clone();
+        *state = LeaseState::Released;
+        for mr in mrs {
+            st.available.entry(mr.server).or_default().push(mr);
+        }
+        Ok(())
+    }
+
+    /// Register a background renewal daemon for the lease (§4.2: the DB
+    /// server renews before expiry as long as it is alive). Auto-renewed
+    /// leases never lapse by timeout — only revocation (donor pressure or
+    /// failure) or voluntary release ends them.
+    pub fn enable_auto_renew(&self, id: LeaseId) {
+        self.store.state.lock().auto_renewed.insert(id);
+    }
+
+    /// Is the lease active and unexpired at `now`? Lazily expires it if its
+    /// window has passed (unless a renewal daemon keeps it alive).
+    pub fn is_valid(&self, id: LeaseId, now: SimTime) -> bool {
+        let mut st = self.store.state.lock();
+        let auto = st.auto_renewed.contains(&id);
+        let Some((lease, state)) = st.leases.get_mut(&id) else {
+            return false;
+        };
+        if *state != LeaseState::Active {
+            return false;
+        }
+        if auto {
+            return true;
+        }
+        if now >= lease.expires_at {
+            let mrs = lease.mrs.clone();
+            *state = LeaseState::Expired;
+            for mr in mrs {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            return false;
+        }
+        true
+    }
+
+    pub fn lease_state(&self, id: LeaseId) -> Option<LeaseState> {
+        self.store.state.lock().leases.get(&id).map(|(_, s)| *s)
+    }
+
+    /// Memory pressure on `server` (the proxy's
+    /// `QueryMemoryResourceNotification` path): reclaim up to `bytes`,
+    /// preferring unleased MRs, force-revoking active leases only if needed.
+    /// Reclaimed MRs are deregistered from the donor NIC and freed to its OS.
+    /// Returns the bytes reclaimed.
+    pub fn reclaim(&self, fabric: &Fabric, server: ServerId, bytes: u64) -> u64 {
+        let mut st = self.store.state.lock();
+        let mut reclaimed = 0u64;
+        // 1. unleased MRs on that server
+        if let Some(pool) = st.available.get_mut(&server) {
+            while reclaimed < bytes {
+                match pool.pop() {
+                    Some(mr) => {
+                        reclaimed += mr.len;
+                        let _ = fabric.deregister_mr(mr);
+                    }
+                    None => break,
+                }
+            }
+        }
+        // 2. revoke active leases that include MRs on that server
+        if reclaimed < bytes {
+            let victims: Vec<LeaseId> = st
+                .leases
+                .iter()
+                .filter(|(_, (l, s))| {
+                    *s == LeaseState::Active && l.mrs.iter().any(|m| m.server == server)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in victims {
+                if reclaimed >= bytes {
+                    break;
+                }
+                let (lease, state) = st.leases.get_mut(&id).expect("victim exists");
+                let mrs = lease.mrs.clone();
+                *state = LeaseState::Revoked;
+                for mr in mrs {
+                    if mr.server == server {
+                        reclaimed += mr.len;
+                        let _ = fabric.deregister_mr(mr);
+                    } else {
+                        // MRs on other donors go back to the pool
+                        st.available.entry(mr.server).or_default().push(mr);
+                    }
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// A donor server died: revoke every lease touching it and drop its pool.
+    pub fn server_failed(&self, server: ServerId) {
+        let mut st = self.store.state.lock();
+        st.available.remove(&server);
+        let victims: Vec<LeaseId> = st
+            .leases
+            .iter()
+            .filter(|(_, (l, s))| *s == LeaseState::Active && l.mrs.iter().any(|m| m.server == server))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in victims {
+            let (lease, state) = st.leases.get_mut(&id).expect("victim exists");
+            let mrs = lease.mrs.clone();
+            *state = LeaseState::Revoked;
+            for mr in mrs {
+                if mr.server != server {
+                    st.available.entry(mr.server).or_default().push(mr);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::MemoryProxy;
+    use remem_net::NetConfig;
+
+    const MR: u64 = 1 << 20; // 1 MiB regions in tests
+
+    fn cluster(donors: usize, mrs_each: usize) -> (Fabric, MemoryBroker, ServerId) {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        for i in 0..donors {
+            let m = fabric.add_server(format!("M{i}"), 20);
+            let mut proxy_clock = Clock::new();
+            let proxy = MemoryProxy::new(m, MR);
+            proxy.donate(&mut proxy_clock, &fabric, &broker, mrs_each as u64 * MR).unwrap();
+        }
+        (fabric, broker, db)
+    }
+
+    #[test]
+    fn grant_renew_release_cycle() {
+        let (_fabric, broker, db) = cluster(1, 4);
+        let mut clock = Clock::new();
+        assert_eq!(broker.store().available_bytes(), 4 * MR);
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        assert_eq!(lease.bytes(), 2 * MR);
+        assert_eq!(broker.store().available_bytes(), 2 * MR);
+        assert!(broker.is_valid(lease.id, clock.now()));
+        let new_expiry = broker.renew(&mut clock, lease.id).unwrap();
+        assert!(new_expiry > lease.expires_at || new_expiry == lease.expires_at);
+        broker.release(&mut clock, lease.id).unwrap();
+        assert_eq!(broker.store().available_bytes(), 4 * MR);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Released));
+        // operations on a released lease fail
+        assert!(matches!(broker.renew(&mut clock, lease.id), Err(BrokerError::LeaseNotActive(..))));
+    }
+
+    #[test]
+    fn insufficient_memory_is_all_or_nothing() {
+        let (_fabric, broker, db) = cluster(1, 2);
+        let mut clock = Clock::new();
+        let err = broker.request_lease(&mut clock, db, 3 * MR).unwrap_err();
+        assert!(matches!(err, BrokerError::InsufficientMemory { .. }));
+        // nothing was consumed by the failed request
+        assert_eq!(broker.store().available_bytes(), 2 * MR);
+    }
+
+    #[test]
+    fn expiry_invalidates_and_recycles() {
+        let (_fabric, broker, db) = cluster(1, 1);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, MR).unwrap();
+        let past_expiry = lease.expires_at + SimDuration::from_micros(1);
+        assert!(!broker.is_valid(lease.id, past_expiry));
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Expired));
+        assert_eq!(broker.store().available_bytes(), MR);
+        // a new lease can be granted on the recycled MR
+        let mut c2 = Clock::starting_at(past_expiry);
+        assert!(broker.request_lease(&mut c2, db, MR).is_ok());
+    }
+
+    #[test]
+    fn late_renewal_fails() {
+        let (_fabric, broker, db) = cluster(1, 1);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, MR).unwrap();
+        clock.advance_to(lease.expires_at + SimDuration::from_secs(1));
+        assert!(matches!(
+            broker.renew(&mut clock, lease.id),
+            Err(BrokerError::LeaseNotActive(_, LeaseState::Expired))
+        ));
+    }
+
+    #[test]
+    fn spread_policy_uses_all_donors() {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let broker = MemoryBroker::new(cfg, MetaStore::new());
+        for i in 0..4 {
+            let m = fabric.add_server(format!("M{i}"), 20);
+            let mut pc = Clock::new();
+            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        }
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 4 * MR).unwrap();
+        assert_eq!(lease.servers().len(), 4, "spread should touch all 4 donors");
+    }
+
+    #[test]
+    fn pack_policy_prefers_one_donor() {
+        let (_fabric, broker2, db2) = cluster(3, 4);
+        let mut clock = Clock::new();
+        let lease = broker2.request_lease(&mut clock, db2, 3 * MR).unwrap();
+        assert_eq!(lease.servers().len(), 1, "pack should stay on one donor");
+    }
+
+    #[test]
+    fn reclaim_prefers_unleased_then_revokes() {
+        let (fabric, broker, db) = cluster(1, 4);
+        let donor = ServerId(1);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        // 2 MR unleased: pressure for 1 MR touches no lease
+        let got = broker.reclaim(&fabric, donor, MR);
+        assert_eq!(got, MR);
+        assert!(broker.is_valid(lease.id, clock.now()));
+        // pressure for 2 more MR: 1 unleased + revoke the lease
+        let got = broker.reclaim(&fabric, donor, 2 * MR);
+        assert!(got >= 2 * MR);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Revoked));
+    }
+
+    #[test]
+    fn donor_failure_revokes_leases() {
+        let (_fabric, broker, db) = cluster(2, 2);
+        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let broker = MemoryBroker::new(cfg, broker.store().clone());
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 4 * MR).unwrap();
+        assert_eq!(lease.servers().len(), 2);
+        broker.server_failed(ServerId(1));
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Revoked));
+        // the surviving donor's MRs returned to the pool
+        assert_eq!(broker.store().available_bytes_on(ServerId(2)), 2 * MR);
+        assert_eq!(broker.store().available_bytes_on(ServerId(1)), 0);
+    }
+
+    #[test]
+    fn broker_failover_preserves_leases() {
+        let (_fabric, broker, db) = cluster(1, 2);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, MR).unwrap();
+        // the broker process dies; a new one is elected over the same store
+        let store = broker.store().clone();
+        drop(broker);
+        let broker2 = MemoryBroker::new(BrokerConfig::default(), store);
+        assert!(broker2.is_valid(lease.id, clock.now()));
+        assert!(broker2.renew(&mut clock, lease.id).is_ok());
+        assert_eq!(broker2.store().available_bytes(), MR);
+    }
+
+    #[test]
+    fn never_leases_own_memory_back() {
+        let fabric = Fabric::new(NetConfig::default());
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        let only = fabric.add_server("S", 20);
+        let mut pc = Clock::new();
+        MemoryProxy::new(only, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        let mut clock = Clock::new();
+        let err = broker.request_lease(&mut clock, only, MR).unwrap_err();
+        assert!(matches!(err, BrokerError::InsufficientMemory { .. }));
+    }
+}

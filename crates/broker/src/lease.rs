@@ -1,0 +1,69 @@
+//! Lease types: exclusive, timed grants of remote MRs.
+
+use remem_net::{MrHandle, ServerId};
+use remem_sim::SimTime;
+
+/// Identifier of a lease in the broker's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeaseId(pub u64);
+
+/// Lifecycle of a lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Held and unexpired — holder has exclusive read/write access.
+    Active,
+    /// Holder failed to renew in time; MRs returned to the pool.
+    Expired,
+    /// Broker revoked it (memory pressure on the donor, or donor failure).
+    Revoked,
+    /// Holder voluntarily released it.
+    Released,
+}
+
+/// An exclusive timed grant of one or more remote memory regions.
+///
+/// The lease carries the MR mapping (which region on which server) that the
+/// file shim stripes over; the broker is not involved in any transfer.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    pub id: LeaseId,
+    pub holder: ServerId,
+    pub mrs: Vec<MrHandle>,
+    pub expires_at: SimTime,
+}
+
+impl Lease {
+    /// Total leased bytes across all MRs.
+    pub fn bytes(&self) -> u64 {
+        self.mrs.iter().map(|m| m.len).sum()
+    }
+
+    /// Distinct donor servers backing this lease.
+    pub fn servers(&self) -> Vec<ServerId> {
+        let mut s: Vec<ServerId> = self.mrs.iter().map(|m| m.server).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_servers_aggregate() {
+        let lease = Lease {
+            id: LeaseId(1),
+            holder: ServerId(0),
+            mrs: vec![
+                MrHandle { server: ServerId(1), mr: 1, len: 100 },
+                MrHandle { server: ServerId(2), mr: 2, len: 50 },
+                MrHandle { server: ServerId(1), mr: 3, len: 25 },
+            ],
+            expires_at: SimTime(1000),
+        };
+        assert_eq!(lease.bytes(), 175);
+        assert_eq!(lease.servers(), vec![ServerId(1), ServerId(2)]);
+    }
+}

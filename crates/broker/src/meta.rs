@@ -1,0 +1,77 @@
+//! The broker's replicated metadata store (the Zookeeper stand-in).
+//!
+//! The paper stores all broker state — the MR availability pool and the
+//! lease lookup table — in Zookeeper so that a broker failure is survived by
+//! electing a new broker over the same metadata. We model that as shared,
+//! internally-synchronized state: any number of broker front-ends can be
+//! constructed over one `MetaStore`, and killing one loses nothing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use remem_net::{MrHandle, ServerId};
+
+use crate::lease::{Lease, LeaseId, LeaseState};
+
+#[derive(Debug, Default)]
+pub(crate) struct MetaState {
+    /// MRs registered by proxies and not currently leased, per donor server.
+    pub available: HashMap<ServerId, Vec<MrHandle>>,
+    /// All leases ever granted, with their current state.
+    pub leases: HashMap<LeaseId, (Lease, LeaseState)>,
+    /// Leases whose holder runs a background renewal daemon: they never
+    /// lapse by timeout, only by revocation or release.
+    pub auto_renewed: std::collections::HashSet<LeaseId>,
+    pub next_lease: u64,
+}
+
+/// Fault-tolerant shared broker metadata.
+#[derive(Debug, Clone, Default)]
+pub struct MetaStore {
+    pub(crate) state: Arc<Mutex<MetaState>>,
+}
+
+impl MetaStore {
+    pub fn new() -> MetaStore {
+        MetaStore::default()
+    }
+
+    /// Bytes currently available (unleased) cluster-wide.
+    pub fn available_bytes(&self) -> u64 {
+        self.state.lock().available.values().flatten().map(|m| m.len).sum()
+    }
+
+    /// Bytes currently available on one donor.
+    pub fn available_bytes_on(&self, server: ServerId) -> u64 {
+        self.state
+            .lock()
+            .available
+            .get(&server)
+            .map(|v| v.iter().map(|m| m.len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of active leases.
+    pub fn active_leases(&self) -> usize {
+        self.state.lock().leases.values().filter(|(_, s)| *s == LeaseState::Active).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = MetaStore::new();
+        let b = a.clone();
+        a.state.lock().available.insert(
+            ServerId(3),
+            vec![MrHandle { server: ServerId(3), mr: 1, len: 4096 }],
+        );
+        assert_eq!(b.available_bytes(), 4096);
+        assert_eq!(b.available_bytes_on(ServerId(3)), 4096);
+        assert_eq!(b.available_bytes_on(ServerId(9)), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Cluster assembly: fabric + broker + donor proxies in one call.
+
+use std::sync::Arc;
+
+use remem_broker::{BrokerConfig, MemoryBroker, MemoryProxy, MetaStore, PlacementPolicy};
+use remem_net::{Fabric, NetConfig, ServerId};
+use remem_rfile::{RFileConfig, RemoteFile};
+use remem_sim::Clock;
+use remem_storage::StorageError;
+
+/// The simulated cluster of Figure 1: one fabric, one (fault-tolerant)
+/// broker, a primary database server, and `n` memory-donor servers whose
+/// proxies have pinned, registered and offered their spare memory.
+pub struct Cluster {
+    pub fabric: Arc<Fabric>,
+    pub broker: Arc<MemoryBroker>,
+    /// The first database server (more can be added).
+    pub db_server: ServerId,
+    pub memory_servers: Vec<ServerId>,
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    net: NetConfig,
+    broker: BrokerConfig,
+    memory_servers: usize,
+    memory_per_server: u64,
+    mr_bytes: u64,
+    cores: usize,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> ClusterBuilder {
+        ClusterBuilder {
+            net: NetConfig::default(),
+            broker: BrokerConfig::default(),
+            memory_servers: 1,
+            memory_per_server: 64 << 20,
+            mr_bytes: 1 << 20,
+            cores: 20,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    pub fn net_config(mut self, cfg: NetConfig) -> Self {
+        self.net = cfg;
+        self
+    }
+
+    pub fn broker_config(mut self, cfg: BrokerConfig) -> Self {
+        self.broker = cfg;
+        self
+    }
+
+    /// Spread leases across donors instead of packing one donor first.
+    pub fn placement(mut self, p: PlacementPolicy) -> Self {
+        self.broker.placement = p;
+        self
+    }
+
+    pub fn memory_servers(mut self, n: usize) -> Self {
+        self.memory_servers = n;
+        self
+    }
+
+    pub fn memory_per_server(mut self, bytes: u64) -> Self {
+        self.memory_per_server = bytes;
+        self
+    }
+
+    /// Fixed MR size donors divide their memory into (§4.2).
+    pub fn mr_bytes(mut self, bytes: u64) -> Self {
+        self.mr_bytes = bytes;
+        self
+    }
+
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    pub fn build(self) -> Cluster {
+        let fabric = Arc::new(Fabric::new(self.net));
+        let broker = Arc::new(MemoryBroker::new(self.broker, MetaStore::new()));
+        let db_server = fabric.add_server("DB1", self.cores);
+        let mut memory_servers = Vec::with_capacity(self.memory_servers);
+        for i in 0..self.memory_servers {
+            let m = fabric.add_server(format!("M{}", i + 1), self.cores);
+            let proxy = MemoryProxy::new(m, self.mr_bytes);
+            let mut proxy_clock = Clock::new();
+            proxy
+                .donate(&mut proxy_clock, &fabric, &broker, self.memory_per_server)
+                .expect("donate memory");
+            memory_servers.push(m);
+        }
+        Cluster { fabric, broker, db_server, memory_servers }
+    }
+}
+
+impl Cluster {
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Add another database server (multi-DB experiments, Figs. 6 and 25).
+    pub fn add_db_server(&self, name: impl Into<String>, cores: usize) -> ServerId {
+        self.fabric.add_server(name, cores)
+    }
+
+    /// Create and open a remote file of `size` bytes for `local`, leased
+    /// from the cluster's donors.
+    pub fn remote_file(
+        &self,
+        clock: &mut Clock,
+        local: ServerId,
+        size: u64,
+        cfg: RFileConfig,
+    ) -> Result<Arc<RemoteFile>, StorageError> {
+        Ok(Arc::new(RemoteFile::create_open(
+            clock,
+            Arc::clone(&self.fabric),
+            Arc::clone(&self.broker),
+            local,
+            size,
+            cfg,
+        )?))
+    }
+
+    /// Unleased memory available across all donors.
+    pub fn available_remote_bytes(&self) -> u64 {
+        self.broker.store().available_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_provisions_donors() {
+        let c = Cluster::builder()
+            .memory_servers(3)
+            .memory_per_server(8 << 20)
+            .mr_bytes(1 << 20)
+            .build();
+        assert_eq!(c.memory_servers.len(), 3);
+        assert_eq!(c.available_remote_bytes(), 24 << 20);
+        assert_eq!(c.fabric.server_count(), 4);
+    }
+
+    #[test]
+    fn remote_file_round_trip_through_cluster() {
+        let c = Cluster::builder().memory_servers(2).memory_per_server(8 << 20).build();
+        let mut clock = Clock::new();
+        let f = c.remote_file(&mut clock, c.db_server, 4 << 20, RFileConfig::custom()).unwrap();
+        f.write(&mut clock, 1000, b"cluster-bytes").unwrap();
+        let mut out = vec![0u8; 13];
+        f.read(&mut clock, 1000, &mut out).unwrap();
+        assert_eq!(&out, b"cluster-bytes");
+        assert_eq!(c.available_remote_bytes(), 12 << 20);
+    }
+}

@@ -1,0 +1,251 @@
+//! The design alternatives of Table 5, as buildable configurations.
+
+use std::sync::Arc;
+
+use remem_engine::{Database, DbConfig, DeviceSet};
+use remem_net::ServerId;
+use remem_rfile::RFileConfig;
+use remem_sim::Clock;
+use remem_storage::{Device, HddArray, HddConfig, Ssd, SsdConfig, StorageError};
+
+use crate::cluster::Cluster;
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// Data, log and TempDB on the RAID-0 HDD array; no BPExt.
+    Hdd,
+    /// TempDB (and, for OLTP, BPExt) on the local SSD.
+    HddSsd,
+    /// TempDB + BPExt in remote memory over SMB/TCP to a RamDrive.
+    SmbRamDrive,
+    /// TempDB + BPExt in remote memory over SMB Direct to a RamDrive.
+    SmbDirectRamDrive,
+    /// The paper's implementation: lightweight file API over NDSPI RDMA.
+    Custom,
+    /// Upper bound: the remote-memory budget is available locally instead.
+    LocalMemory,
+}
+
+impl Design {
+    /// All six alternatives, in Table 5 order.
+    pub const ALL: [Design; 6] = [
+        Design::Hdd,
+        Design::HddSsd,
+        Design::SmbRamDrive,
+        Design::SmbDirectRamDrive,
+        Design::Custom,
+        Design::LocalMemory,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Hdd => "HDD",
+            Design::HddSsd => "HDD+SSD",
+            Design::SmbRamDrive => "SMB+RamDrive",
+            Design::SmbDirectRamDrive => "SMBDirect+RamDrive",
+            Design::Custom => "Custom",
+            Design::LocalMemory => "Local Memory",
+        }
+    }
+
+    /// Does this design lease remote memory?
+    pub fn uses_remote_memory(self) -> bool {
+        matches!(self, Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom)
+    }
+
+    fn rfile_config(self) -> RFileConfig {
+        match self {
+            Design::SmbRamDrive => RFileConfig::smb_tcp(),
+            Design::SmbDirectRamDrive => RFileConfig::smb_direct(),
+            _ => RFileConfig::custom(),
+        }
+    }
+}
+
+/// Sizing knobs shared by all designs (the Table 4 columns).
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Local buffer pool ("Local Mem").
+    pub pool_bytes: u64,
+    /// BPExt size when the design has one.
+    pub bpext_bytes: u64,
+    /// TempDB size.
+    pub tempdb_bytes: u64,
+    /// HDD spindles in the RAID-0 array (4 / 8 / 20 in the paper).
+    pub spindles: usize,
+    /// Data-file device capacity.
+    pub data_bytes: u64,
+    /// OLTP workload: store BPExt on SSD in the HDD+SSD design (Table 5's
+    /// discussion — analytics workloads disable it).
+    pub oltp: bool,
+    /// Query workspace (None → the engine default of 60 % of the pool).
+    pub workspace_bytes: Option<u64>,
+}
+
+impl DbOptions {
+    /// A small configuration suitable for tests and examples.
+    pub fn small() -> DbOptions {
+        DbOptions {
+            pool_bytes: 8 << 20,
+            bpext_bytes: 32 << 20,
+            tempdb_bytes: 32 << 20,
+            spindles: 20,
+            data_bytes: 256 << 20,
+            oltp: true,
+            workspace_bytes: None,
+        }
+    }
+
+    /// The scaled RangeScan row of Table 4 (32 GB local / 128 GB BPExt /
+    /// 8 GB TempDB → MB at 1/1000).
+    pub fn rangescan() -> DbOptions {
+        DbOptions {
+            pool_bytes: 32 << 20,
+            bpext_bytes: 128 << 20,
+            tempdb_bytes: 8 << 20,
+            spindles: 20,
+            data_bytes: 512 << 20,
+            oltp: true,
+            workspace_bytes: None,
+        }
+    }
+}
+
+impl Design {
+    /// Build a database on `cluster.db_server` with this design's device
+    /// wiring. Remote-memory designs lease MRs from the cluster's donors.
+    pub fn build(
+        self,
+        cluster: &Cluster,
+        clock: &mut Clock,
+        opts: &DbOptions,
+    ) -> Result<Arc<Database>, StorageError> {
+        self.build_for(cluster, clock, cluster.db_server, opts)
+    }
+
+    /// Build on a specific database server (multi-DB experiments).
+    pub fn build_for(
+        self,
+        cluster: &Cluster,
+        clock: &mut Clock,
+        server: ServerId,
+        opts: &DbOptions,
+    ) -> Result<Arc<Database>, StorageError> {
+        let hdd = |capacity: u64| -> Arc<dyn Device> {
+            Arc::new(HddArray::new(HddConfig::with_spindles(opts.spindles, capacity)))
+        };
+        let ssd = |capacity: u64| -> Arc<dyn Device> {
+            Arc::new(Ssd::new(SsdConfig::with_capacity(capacity)))
+        };
+        let data = hdd(opts.data_bytes);
+        // the log is a dedicated sequential stream on its own array, sized
+        // like the data (it is append-only and never reclaimed here)
+        let log = hdd(opts.data_bytes.max(256 << 20));
+        let (tempdb, bpext): (Arc<dyn Device>, Option<Arc<dyn Device>>) = match self {
+            Design::Hdd => (hdd(opts.tempdb_bytes), None),
+            Design::HddSsd => (
+                ssd(opts.tempdb_bytes),
+                if opts.oltp { Some(ssd(opts.bpext_bytes)) } else { None },
+            ),
+            Design::LocalMemory => (ssd(opts.tempdb_bytes), None),
+            Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom => {
+                let cfg = self.rfile_config();
+                let tempdb =
+                    cluster.remote_file(clock, server, opts.tempdb_bytes, cfg.clone())?;
+                let bpext = cluster.remote_file(clock, server, opts.bpext_bytes, cfg)?;
+                (tempdb as Arc<dyn Device>, Some(bpext as Arc<dyn Device>))
+            }
+        };
+        // Local Memory gets the remote-memory budget added to its pool
+        let pool = match self {
+            Design::LocalMemory => opts.pool_bytes + opts.bpext_bytes,
+            _ => opts.pool_bytes,
+        };
+        let mut cfg = DbConfig::with_pool(pool);
+        if let Some(ws) = opts.workspace_bytes {
+            cfg.workspace_bytes = ws;
+        }
+        let cpu = cluster.fabric.server(server).expect("server exists").cpu_handle();
+        Ok(Arc::new(Database::new(cfg, cpu, DeviceSet { data, log, tempdb, bpext })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remem_engine::exec::int_row;
+    use remem_engine::Schema;
+    use remem_engine::row::ColType;
+
+    fn cluster() -> Cluster {
+        Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build()
+    }
+
+    #[test]
+    fn all_designs_build_and_answer_queries() {
+        for design in Design::ALL {
+            let c = cluster(); // fresh donors per design
+            let mut clock = Clock::new();
+            let db = design.build(&c, &mut clock, &DbOptions::small()).unwrap();
+            let t = db
+                .create_table(
+                    &mut clock,
+                    "t",
+                    Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)]),
+                    0,
+                )
+                .unwrap();
+            for k in 0..100 {
+                db.insert(&mut clock, t, int_row(&[k, k * 7])).unwrap();
+            }
+            assert_eq!(
+                db.get(&mut clock, t, 50).unwrap().unwrap().int(1),
+                350,
+                "design {}",
+                design.label()
+            );
+            // remote designs consumed leases; local ones did not
+            if design.uses_remote_memory() {
+                db.checkpoint(&mut clock).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn remote_designs_lease_memory_local_ones_do_not() {
+        for design in Design::ALL {
+            let c = cluster();
+            let before = c.available_remote_bytes();
+            let mut clock = Clock::new();
+            let _db = design.build(&c, &mut clock, &DbOptions::small()).unwrap();
+            let after = c.available_remote_bytes();
+            if design.uses_remote_memory() {
+                assert!(after < before, "{} should lease", design.label());
+            } else {
+                assert_eq!(after, before, "{} must not lease", design.label());
+            }
+        }
+    }
+
+    #[test]
+    fn local_memory_design_enlarges_the_pool() {
+        let c = cluster();
+        let mut clock = Clock::new();
+        let opts = DbOptions::small();
+        let local = Design::LocalMemory.build(&c, &mut clock, &opts).unwrap();
+        let custom = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+        assert!(
+            local.buffer_pool().frame_count() > custom.buffer_pool().frame_count(),
+            "Local Memory should hold the BPExt budget in its pool"
+        );
+    }
+
+    #[test]
+    fn insufficient_donor_memory_fails_cleanly() {
+        let c = Cluster::builder().memory_servers(1).memory_per_server(1 << 20).build();
+        let mut clock = Clock::new();
+        let err = Design::Custom.build(&c, &mut clock, &DbOptions::small());
+        assert!(err.is_err());
+    }
+}

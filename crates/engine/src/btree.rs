@@ -1,0 +1,549 @@
+//! A paged B+tree over the buffer pool.
+//!
+//! Every index in the engine — clustered (rows stored in the leaves, like a
+//! SQL Server clustered index), non-clustered, and the semantic cache's
+//! redundant indexes — is one of these. Nodes are 8 KiB pages accessed
+//! through the [`BufferPool`], so index traffic naturally flows through the
+//! buffer-pool-extension tier and, when the index file is a remote-memory
+//! device, over RDMA.
+//!
+//! Keys are `i64`; values are byte strings (encoded rows or RIDs). Inserts
+//! use a rightmost-split heuristic so ascending bulk loads pack pages nearly
+//! full and leaf order matches key order — giving clustered scans the
+//! sequential I/O pattern the HDD array rewards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use remem_sim::Clock;
+use remem_storage::StorageError;
+
+use crate::bufferpool::BufferPool;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pagestore::{PageNo, PagedFile};
+
+const NO_NEXT: u64 = u64::MAX;
+/// Largest value the tree accepts — must leave room for two entries per page.
+pub const MAX_VALUE_BYTES: usize = 2048;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { next: Option<PageNo>, entries: Vec<(i64, Vec<u8>)> },
+    Internal { keys: Vec<i64>, children: Vec<PageNo> },
+}
+
+impl Node {
+    fn decode(page: &Page) -> Node {
+        let header = page.get(0);
+        match header[0] {
+            1 => {
+                let next = u64::from_le_bytes(header[1..9].try_into().unwrap());
+                let entries = (1..page.len())
+                    .map(|i| {
+                        let rec = page.get(i);
+                        let key = i64::from_le_bytes(rec[..8].try_into().unwrap());
+                        (key, rec[8..].to_vec())
+                    })
+                    .collect();
+                Node::Leaf { next: (next != NO_NEXT).then_some(next), entries }
+            }
+            0 => {
+                let child0 = u64::from_le_bytes(page.get(1).try_into().unwrap());
+                let mut keys = Vec::with_capacity(page.len() - 2);
+                let mut children = vec![child0];
+                for i in 2..page.len() {
+                    let rec = page.get(i);
+                    keys.push(i64::from_le_bytes(rec[..8].try_into().unwrap()));
+                    children.push(u64::from_le_bytes(rec[8..16].try_into().unwrap()));
+                }
+                Node::Internal { keys, children }
+            }
+            t => panic!("corrupt B+tree node tag {t}"),
+        }
+    }
+
+    fn encode(&self) -> Page {
+        let mut p = Page::new();
+        match self {
+            Node::Leaf { next, entries } => {
+                let mut header = [0u8; 9];
+                header[0] = 1;
+                header[1..9].copy_from_slice(&next.unwrap_or(NO_NEXT).to_le_bytes());
+                p.insert(&header).expect("header fits");
+                let mut rec = Vec::with_capacity(64);
+                for (key, val) in entries {
+                    rec.clear();
+                    rec.extend_from_slice(&key.to_le_bytes());
+                    rec.extend_from_slice(val);
+                    p.insert(&rec).expect("caller verified fit");
+                }
+            }
+            Node::Internal { keys, children } => {
+                p.insert(&[0u8]).expect("header fits");
+                p.insert(&children[0].to_le_bytes()).expect("child0 fits");
+                let mut rec = [0u8; 16];
+                for (k, c) in keys.iter().zip(&children[1..]) {
+                    rec[..8].copy_from_slice(&k.to_le_bytes());
+                    rec[8..].copy_from_slice(&c.to_le_bytes());
+                    p.insert(&rec).expect("caller verified fit");
+                }
+            }
+        }
+        p
+    }
+
+    /// Encoded size in page bytes (records + slot directory).
+    fn encoded_bytes(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                (9 + 4) + entries.iter().map(|(_, v)| 8 + v.len() + 4).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => (1 + 4) + (8 + 4) + keys.len() * (16 + 4),
+        }
+    }
+
+    fn fits(&self) -> bool {
+        // 4 bytes page header
+        self.encoded_bytes() + 4 <= PAGE_SIZE
+    }
+}
+
+/// Outcome of a recursive insert: a split produces a separator and new page.
+enum InsertResult {
+    Done { replaced: bool },
+    Split { sep: i64, right: PageNo, replaced: bool },
+}
+
+/// A paged B+tree.
+pub struct BTree {
+    file: Arc<PagedFile>,
+    root: AtomicU64,
+    entries: AtomicU64,
+    height: AtomicU64,
+}
+
+impl BTree {
+    /// Create an empty tree in `file` (allocates the root leaf).
+    pub fn create(clock: &mut Clock, bp: &BufferPool, file: Arc<PagedFile>) -> Result<BTree, StorageError> {
+        let root = file.allocate()?;
+        bp.new_page(clock, file.id(), root)?;
+        let node = Node::Leaf { next: None, entries: Vec::new() };
+        bp.with_page_mut(clock, file.id(), root, |p| *p = node.encode())?;
+        Ok(BTree {
+            file,
+            root: AtomicU64::new(root),
+            entries: AtomicU64::new(0),
+            height: AtomicU64::new(1),
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Levels from root to leaf (1 = root is a leaf). The optimizer prices
+    /// seeks as `height` page accesses.
+    pub fn height(&self) -> u64 {
+        self.height.load(Ordering::Relaxed)
+    }
+
+    pub fn file(&self) -> &Arc<PagedFile> {
+        &self.file
+    }
+
+    fn read_node(&self, clock: &mut Clock, bp: &BufferPool, pno: PageNo) -> Result<Node, StorageError> {
+        bp.with_page(clock, self.file.id(), pno, Node::decode)
+    }
+
+    fn write_node(&self, clock: &mut Clock, bp: &BufferPool, pno: PageNo, node: &Node) -> Result<(), StorageError> {
+        debug_assert!(node.fits());
+        bp.with_page_mut(clock, self.file.id(), pno, |p| *p = node.encode())
+    }
+
+    /// Insert or replace. Returns `true` if an existing key was replaced.
+    pub fn insert(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        key: i64,
+        value: &[u8],
+    ) -> Result<bool, StorageError> {
+        assert!(value.len() <= MAX_VALUE_BYTES, "value of {} bytes too large", value.len());
+        let root = self.root.load(Ordering::Acquire);
+        match self.insert_rec(clock, bp, root, key, value)? {
+            InsertResult::Done { replaced } => {
+                if !replaced {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(replaced)
+            }
+            InsertResult::Split { sep, right, replaced } => {
+                // grow a new root
+                let new_root = self.file.allocate()?;
+                bp.new_page(clock, self.file.id(), new_root)?;
+                let node = Node::Internal { keys: vec![sep], children: vec![root, right] };
+                self.write_node(clock, bp, new_root, &node)?;
+                self.root.store(new_root, Ordering::Release);
+                self.height.fetch_add(1, Ordering::Relaxed);
+                if !replaced {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(replaced)
+            }
+        }
+    }
+
+    fn insert_rec(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        pno: PageNo,
+        key: i64,
+        value: &[u8],
+    ) -> Result<InsertResult, StorageError> {
+        let node = self.read_node(clock, bp, pno)?;
+        match node {
+            Node::Leaf { next, mut entries } => {
+                let (pos, replaced) = match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(i) => {
+                        entries[i].1 = value.to_vec();
+                        (i, true)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value.to_vec()));
+                        (i, false)
+                    }
+                };
+                let candidate = Node::Leaf { next, entries };
+                if candidate.fits() {
+                    self.write_node(clock, bp, pno, &candidate)?;
+                    return Ok(InsertResult::Done { replaced });
+                }
+                let Node::Leaf { next, mut entries } = candidate else { unreachable!() };
+                // split: rightmost-insert heuristic keeps bulk loads dense
+                let split_at = if pos == entries.len() - 1 {
+                    entries.len() - 1
+                } else {
+                    entries.len() / 2
+                };
+                let right_entries = entries.split_off(split_at);
+                let sep = right_entries[0].0;
+                let right_pno = self.file.allocate()?;
+                bp.new_page(clock, self.file.id(), right_pno)?;
+                let right = Node::Leaf { next, entries: right_entries };
+                let left = Node::Leaf { next: Some(right_pno), entries };
+                self.write_node(clock, bp, right_pno, &right)?;
+                self.write_node(clock, bp, pno, &left)?;
+                Ok(InsertResult::Split { sep, right: right_pno, replaced })
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let child = children[idx];
+                match self.insert_rec(clock, bp, child, key, value)? {
+                    InsertResult::Done { replaced } => Ok(InsertResult::Done { replaced }),
+                    InsertResult::Split { sep, right, replaced } => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        let candidate = Node::Internal { keys, children };
+                        if candidate.fits() {
+                            self.write_node(clock, bp, pno, &candidate)?;
+                            return Ok(InsertResult::Done { replaced });
+                        }
+                        let Node::Internal { mut keys, mut children } = candidate else {
+                            unreachable!()
+                        };
+                        let mid = keys.len() / 2;
+                        let promote = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // the promoted key moves up
+                        let right_children = children.split_off(mid + 1);
+                        let right_pno = self.file.allocate()?;
+                        bp.new_page(clock, self.file.id(), right_pno)?;
+                        let rnode = Node::Internal { keys: right_keys, children: right_children };
+                        let lnode = Node::Internal { keys, children };
+                        self.write_node(clock, bp, right_pno, &rnode)?;
+                        self.write_node(clock, bp, pno, &lnode)?;
+                        Ok(InsertResult::Split { sep: promote, right: right_pno, replaced })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, clock: &mut Clock, bp: &BufferPool, key: i64) -> Result<Option<Vec<u8>>, StorageError> {
+        let mut pno = self.root.load(Ordering::Acquire);
+        loop {
+            match self.read_node(clock, bp, pno)? {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by_key(&key, |(k, _)| *k)
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+                Node::Internal { keys, children } => {
+                    pno = children[keys.partition_point(|k| *k <= key)];
+                }
+            }
+        }
+    }
+
+    /// Visit entries with `lo <= key < hi` in key order. `visit` returns
+    /// `false` to stop early (Top-N, LIMIT).
+    pub fn range(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        lo: i64,
+        hi: i64,
+        mut visit: impl FnMut(i64, &[u8]) -> bool,
+    ) -> Result<(), StorageError> {
+        if lo >= hi {
+            return Ok(());
+        }
+        // descend to the leaf containing lo
+        let mut pno = self.root.load(Ordering::Acquire);
+        let mut leaf = loop {
+            match self.read_node(clock, bp, pno)? {
+                Node::Internal { keys, children } => {
+                    pno = children[keys.partition_point(|k| *k <= lo)];
+                }
+                leaf @ Node::Leaf { .. } => break leaf,
+            }
+        };
+        loop {
+            let Node::Leaf { next, entries } = leaf else { unreachable!() };
+            for (k, v) in &entries {
+                if *k < lo {
+                    continue;
+                }
+                if *k >= hi {
+                    return Ok(());
+                }
+                if !visit(*k, v) {
+                    return Ok(());
+                }
+            }
+            match next {
+                Some(n) => leaf = self.read_node(clock, bp, n)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Collect a range into a vector (convenience over [`BTree::range`]).
+    pub fn range_vec(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        lo: i64,
+        hi: i64,
+    ) -> Result<Vec<(i64, Vec<u8>)>, StorageError> {
+        let mut out = Vec::new();
+        self.range(clock, bp, lo, hi, |k, v| {
+            out.push((k, v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Full scan in key order.
+    pub fn scan(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        visit: impl FnMut(i64, &[u8]) -> bool,
+    ) -> Result<(), StorageError> {
+        self.range(clock, bp, i64::MIN, i64::MAX, visit)
+    }
+
+    /// Remove a key. Leaves may become underfull (no rebalancing — deletes
+    /// are rare in the modelled workloads, as in the paper's).
+    pub fn delete(&self, clock: &mut Clock, bp: &BufferPool, key: i64) -> Result<bool, StorageError> {
+        let mut pno = self.root.load(Ordering::Acquire);
+        loop {
+            match self.read_node(clock, bp, pno)? {
+                Node::Internal { keys, children } => {
+                    pno = children[keys.partition_point(|k| *k <= key)];
+                }
+                Node::Leaf { next, mut entries } => {
+                    match entries.binary_search_by_key(&key, |(k, _)| *k) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            self.write_node(clock, bp, pno, &Node::Leaf { next, entries })?;
+                            self.entries.fetch_sub(1, Ordering::Relaxed);
+                            return Ok(true);
+                        }
+                        Err(_) => return Ok(false),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagestore::FileId;
+    use remem_storage::RamDisk;
+
+    fn setup(pages: u64) -> (BufferPool, Arc<PagedFile>, Clock) {
+        let bp = BufferPool::new(64 * PAGE_SIZE as u64);
+        let file = Arc::new(PagedFile::new(
+            FileId(0),
+            Arc::new(RamDisk::new(pages * PAGE_SIZE as u64)),
+        ));
+        bp.register_file(Arc::clone(&file));
+        (bp, file, Clock::new())
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (bp, file, mut clock) = setup(64);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        assert!(t.is_empty());
+        for k in [5i64, 1, 9, -3, 7] {
+            assert!(!t.insert(&mut clock, &bp, k, format!("v{k}").as_bytes()).unwrap());
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(&mut clock, &bp, 9).unwrap().unwrap(), b"v9");
+        assert_eq!(t.get(&mut clock, &bp, -3).unwrap().unwrap(), b"v-3");
+        assert!(t.get(&mut clock, &bp, 100).unwrap().is_none());
+    }
+
+    #[test]
+    fn replace_existing_key() {
+        let (bp, file, mut clock) = setup(64);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        t.insert(&mut clock, &bp, 1, b"old").unwrap();
+        assert!(t.insert(&mut clock, &bp, 1, b"new").unwrap());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&mut clock, &bp, 1).unwrap().unwrap(), b"new");
+    }
+
+    #[test]
+    fn grows_through_splits_ascending() {
+        let (bp, file, mut clock) = setup(4096);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        let val = vec![7u8; 200]; // ~36 rows per leaf
+        let n = 5000i64;
+        for k in 0..n {
+            t.insert(&mut clock, &bp, k, &val).unwrap();
+        }
+        assert_eq!(t.len(), n as u64);
+        assert!(t.height() >= 2, "tree must have split");
+        for k in [0i64, 1, n / 2, n - 1] {
+            assert_eq!(t.get(&mut clock, &bp, k).unwrap().unwrap(), val);
+        }
+        // ascending load should pack densely: ~n/36 leaves + internals
+        let pages = t.file().allocated_pages();
+        assert!(
+            pages < (n as u64 / 30) * 2,
+            "rightmost-split heuristic should pack pages: {pages} pages for {n} rows"
+        );
+    }
+
+    #[test]
+    fn grows_through_splits_random_order() {
+        let (bp, file, mut clock) = setup(4096);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        let mut rng = remem_sim::rng::SimRng::seeded(77);
+        let mut keys: Vec<i64> = (0..4000).collect();
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(&mut clock, &bp, k, &k.to_le_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), 4000);
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(
+                t.get(&mut clock, &bp, k).unwrap().unwrap(),
+                k.to_le_bytes().to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn range_scan_in_order_with_early_stop() {
+        let (bp, file, mut clock) = setup(2048);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        for k in (0..1000i64).rev() {
+            t.insert(&mut clock, &bp, k * 2, &[0u8; 100]).unwrap();
+        }
+        let got = t.range_vec(&mut clock, &bp, 100, 120).unwrap();
+        let keys: Vec<i64> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118]);
+        // early stop
+        let mut seen = 0;
+        t.range(&mut clock, &bp, 0, i64::MAX, |_, _| {
+            seen += 1;
+            seen < 5
+        })
+        .unwrap();
+        assert_eq!(seen, 5);
+        // empty range
+        assert!(t.range_vec(&mut clock, &bp, 50, 50).unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_scan_returns_sorted_keys() {
+        let (bp, file, mut clock) = setup(2048);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        let mut rng = remem_sim::rng::SimRng::seeded(3);
+        let mut keys: Vec<i64> = (0..2000).map(|i| i * 3).collect();
+        rng.shuffle(&mut keys);
+        for &k in &keys {
+            t.insert(&mut clock, &bp, k, b"x").unwrap();
+        }
+        let mut scanned = Vec::new();
+        t.scan(&mut clock, &bp, |k, _| {
+            scanned.push(k);
+            true
+        })
+        .unwrap();
+        keys.sort_unstable();
+        assert_eq!(scanned, keys);
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let (bp, file, mut clock) = setup(256);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        for k in 0..100i64 {
+            t.insert(&mut clock, &bp, k, b"v").unwrap();
+        }
+        assert!(t.delete(&mut clock, &bp, 50).unwrap());
+        assert!(!t.delete(&mut clock, &bp, 50).unwrap());
+        assert!(t.get(&mut clock, &bp, 50).unwrap().is_none());
+        assert_eq!(t.len(), 99);
+        // neighbours unaffected
+        assert!(t.get(&mut clock, &bp, 49).unwrap().is_some());
+        assert!(t.get(&mut clock, &bp, 51).unwrap().is_some());
+    }
+
+    #[test]
+    fn seek_costs_height_page_accesses() {
+        let (bp, file, mut clock) = setup(4096);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        for k in 0..5000i64 {
+            t.insert(&mut clock, &bp, k, &[0u8; 200]).unwrap();
+        }
+        bp.reset_stats();
+        t.get(&mut clock, &bp, 2500).unwrap();
+        let s = bp.stats();
+        assert_eq!(s.hits + s.misses, t.height(), "one page access per level");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_value_rejected() {
+        let (bp, file, mut clock) = setup(64);
+        let t = BTree::create(&mut clock, &bp, file).unwrap();
+        let huge = vec![0u8; MAX_VALUE_BYTES + 1];
+        let _ = t.insert(&mut clock, &bp, 1, &huge);
+    }
+}

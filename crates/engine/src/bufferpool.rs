@@ -1,0 +1,722 @@
+//! The buffer pool and its extension tier (scenario §3.1).
+//!
+//! A clock-sweep buffer pool over 8 KiB frames. When a page is evicted it is
+//! (after flushing if dirty) copied into the **buffer-pool extension** — a
+//! page cache on any [`Device`]: the local SSD in the `HDD+SSD` baseline, or
+//! a remote-memory file in the paper's designs. A later miss probes the
+//! extension before falling back to the data file.
+//!
+//! The extension is an optimization, never a correctness dependency: if its
+//! device becomes unavailable (remote server failure, lease revocation), the
+//! pool transparently stops using it and serves misses from the base device —
+//! the best-effort contract of Table 1.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use remem_sim::{Clock, SimDuration};
+use remem_storage::{Device, StorageError};
+
+use crate::page::{Page, PAGE_SIZE};
+use crate::pagestore::{FileId, PageNo, PagedFile};
+
+type Key = (FileId, PageNo);
+
+/// Buffer pool statistics, used by the figure harnesses.
+#[derive(Debug, Default, Clone)]
+pub struct BpStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub ext_hits: u64,
+    pub ext_writes: u64,
+    pub base_reads: u64,
+    pub dirty_flushes: u64,
+    pub evictions: u64,
+}
+
+struct Frame {
+    key: Option<Key>,
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// The extension tier: a page cache on an arbitrary device.
+pub struct BpExt {
+    device: Arc<dyn Device>,
+    map: HashMap<Key, u64>,
+    free: Vec<u64>,
+    fifo: VecDeque<Key>,
+    failed: bool,
+}
+
+impl BpExt {
+    pub fn new(device: Arc<dyn Device>) -> BpExt {
+        let slots = device.capacity() / PAGE_SIZE as u64;
+        assert!(slots > 0, "extension device smaller than one page");
+        BpExt {
+            device,
+            map: HashMap::new(),
+            free: (0..slots).rev().collect(),
+            fifo: VecDeque::new(),
+            failed: false,
+        }
+    }
+
+    pub fn capacity_pages(&self) -> u64 {
+        self.map.len() as u64 + self.free.len() as u64
+    }
+
+    pub fn cached_pages(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    pub fn label(&self) -> String {
+        self.device.label()
+    }
+
+    fn put(&mut self, clock: &mut Clock, key: Key, page: &Page) -> bool {
+        if self.failed {
+            return false;
+        }
+        // a key still mapped here is up to date: any modification in the
+        // pool invalidated the entry, so clean re-evictions skip the write
+        if self.map.contains_key(&key) {
+            return true;
+        }
+        let slot = match self.map.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = match self.free.pop() {
+                    Some(s) => s,
+                    None => {
+                        // FIFO-evict the oldest extension entry
+                        loop {
+                            match self.fifo.pop_front() {
+                                Some(old) => {
+                                    if let Some(s) = self.map.remove(&old) {
+                                        break s;
+                                    }
+                                }
+                                None => return false,
+                            }
+                        }
+                    }
+                };
+                self.map.insert(key, s);
+                self.fifo.push_back(key);
+                s
+            }
+        };
+        match self.device.write(clock, slot * PAGE_SIZE as u64, page.as_bytes()) {
+            Ok(()) => true,
+            Err(_) => {
+                // best-effort: a failing extension is abandoned, not retried
+                self.failed = true;
+                self.map.clear();
+                false
+            }
+        }
+    }
+
+    fn get(&mut self, clock: &mut Clock, key: Key) -> Option<Page> {
+        if self.failed {
+            return None;
+        }
+        let slot = *self.map.get(&key)?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        match self.device.read(clock, slot * PAGE_SIZE as u64, &mut buf) {
+            Ok(()) => Some(Page::from_bytes(&buf)),
+            Err(_) => {
+                self.failed = true;
+                self.map.clear();
+                None
+            }
+        }
+    }
+
+    fn invalidate(&mut self, key: Key) {
+        if let Some(slot) = self.map.remove(&key) {
+            self.free.push(slot);
+        }
+    }
+
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+struct Inner {
+    frames: Vec<Frame>,
+    map: HashMap<Key, usize>,
+    hand: usize,
+    ext: Option<BpExt>,
+    files: HashMap<FileId, Arc<PagedFile>>,
+    /// Recent miss streams per file as `(position, run_length)` — a miss
+    /// continuing a stream extends it, and readahead only kicks in once the
+    /// run is long enough to be a real scan (short range reads must not
+    /// trigger it). A small history so several concurrent scan streams are
+    /// each detected, like per-stream readahead in a real engine.
+    last_base_miss: HashMap<FileId, VecDeque<(PageNo, u32)>>,
+    stats: BpStats,
+}
+
+/// Pages fetched per readahead I/O once a sequential miss pattern is seen
+/// (SQL Server's scan readahead issues large reads the same way).
+const READAHEAD_PAGES: u64 = 16;
+/// Sequential misses required before readahead engages — a B-tree range
+/// read of a few leaves stays un-prefetched.
+const READAHEAD_MIN_RUN: u32 = 8;
+
+/// The buffer pool.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    /// Cost of serving a page already resident in local memory.
+    hit_cost: SimDuration,
+}
+
+impl BufferPool {
+    /// A pool of `bytes / 8 KiB` frames.
+    pub fn new(bytes: u64) -> BufferPool {
+        let nframes = (bytes / PAGE_SIZE as u64).max(2) as usize;
+        let frames = (0..nframes)
+            .map(|_| Frame { key: None, page: Page::new(), dirty: false, referenced: false })
+            .collect();
+        BufferPool {
+            inner: Mutex::new(Inner {
+                frames,
+                map: HashMap::new(),
+                hand: 0,
+                ext: None,
+                files: HashMap::new(),
+                last_base_miss: HashMap::new(),
+                stats: BpStats::default(),
+            }),
+            hit_cost: SimDuration::from_nanos(100),
+        }
+    }
+
+    pub fn frame_count(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Attach an extension tier (replaces any existing one).
+    pub fn set_extension(&self, ext: Option<BpExt>) {
+        self.inner.lock().ext = ext;
+    }
+
+    pub fn has_extension(&self) -> bool {
+        self.inner.lock().ext.is_some()
+    }
+
+    pub fn extension_failed(&self) -> bool {
+        self.inner.lock().ext.as_ref().map(BpExt::has_failed).unwrap_or(false)
+    }
+
+    /// Register a paged file so evictions can flush to it.
+    pub fn register_file(&self, file: Arc<PagedFile>) {
+        self.inner.lock().files.insert(file.id(), file);
+    }
+
+    pub fn stats(&self) -> BpStats {
+        self.inner.lock().stats.clone()
+    }
+
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = BpStats::default();
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    fn evict_one(inner: &mut Inner, clock: &mut Clock) -> Result<usize, StorageError> {
+        // clock sweep: skip referenced frames once, clearing their bit
+        loop {
+            let idx = inner.hand;
+            inner.hand = (inner.hand + 1) % inner.frames.len();
+            let frame = &mut inner.frames[idx];
+            match frame.key {
+                None => return Ok(idx),
+                Some(key) => {
+                    if frame.referenced {
+                        frame.referenced = false;
+                        continue;
+                    }
+                    // flush if dirty — via the lazy writer: the device time
+                    // is consumed (a background clock reserves it) but the
+                    // evicting query is not stalled, as in a real engine's
+                    // write-behind path
+                    if frame.dirty {
+                        let file = inner
+                            .files
+                            .get(&key.0)
+                            .unwrap_or_else(|| panic!("file {:?} not registered", key.0))
+                            .clone();
+                        let mut lazy_writer = Clock::starting_at(clock.now());
+                        file.write_page(&mut lazy_writer, key.1, &frame.page)?;
+                        inner.stats.dirty_flushes += 1;
+                    }
+                    // the (now clean) page goes to the extension tier
+                    let page = frame.page.clone();
+                    if let Some(ext) = inner.ext.as_mut() {
+                        if ext.put(clock, key, &page) {
+                            inner.stats.ext_writes += 1;
+                        }
+                    }
+                    inner.map.remove(&key);
+                    inner.frames[idx].key = None;
+                    inner.stats.evictions += 1;
+                    return Ok(idx);
+                }
+            }
+        }
+    }
+
+    fn load(
+        &self,
+        inner: &mut Inner,
+        clock: &mut Clock,
+        file: FileId,
+        page_no: PageNo,
+    ) -> Result<usize, StorageError> {
+        let key = (file, page_no);
+        if let Some(&idx) = inner.map.get(&key) {
+            inner.stats.hits += 1;
+            inner.frames[idx].referenced = true;
+            clock.advance(self.hit_cost);
+            return Ok(idx);
+        }
+        inner.stats.misses += 1;
+        // sequential-stream detection is shared by both tiers: a miss
+        // continuing a sufficiently long recent stream reads ahead
+        let history = inner.last_base_miss.entry(file).or_default();
+        // near-sequential counts: interleaved allocations leave small gaps
+        // in a table's leaf chain, which real readahead also tolerates
+        let sequential = match history
+            .iter()
+            .position(|&(p, _)| p < page_no && page_no - p <= 4)
+        {
+            Some(i) => {
+                let run = history[i].1 + 1;
+                history[i] = (page_no, run);
+                run >= READAHEAD_MIN_RUN
+            }
+            None => {
+                if history.len() >= 8 {
+                    history.pop_front();
+                }
+                history.push_back((page_no, 1));
+                false
+            }
+        };
+        // probe the extension tier first
+        let from_ext = inner.ext.as_mut().and_then(|ext| ext.get(clock, key));
+        let page = match from_ext {
+            Some(p) => {
+                inner.stats.ext_hits += 1;
+                // readahead within the extension: stage the following pages
+                // of the stream so a scan doesn't pay per-page latency
+                if sequential {
+                    let mut ext = inner.ext.take().expect("ext present");
+                    let limit = READAHEAD_PAGES.min(inner.frames.len() as u64 / 2);
+                    for i in 1..limit {
+                        let k = (file, page_no + i);
+                        if inner.map.contains_key(&k) {
+                            continue;
+                        }
+                        let Some(pg) = ext.get(clock, k) else { break };
+                        inner.stats.ext_hits += 1;
+                        let idx = Self::evict_one(inner, clock)?;
+                        inner.frames[idx] =
+                            Frame { key: Some(k), page: pg, dirty: false, referenced: true };
+                        inner.map.insert(k, idx);
+                    }
+                    if let Some(h) = inner.last_base_miss.get_mut(&file) {
+                        if let Some(j) = h.iter().position(|&(p, _)| p == page_no) {
+                            h[j].0 = page_no + limit - 1;
+                        }
+                    }
+                    inner.ext = Some(ext);
+                }
+                p
+            }
+            None => {
+                let f = inner
+                    .files
+                    .get(&file)
+                    .unwrap_or_else(|| panic!("file {file:?} not registered"))
+                    .clone();
+                inner.stats.base_reads += 1;
+                let batch = if sequential {
+                    READAHEAD_PAGES
+                        .min(f.allocated_pages().saturating_sub(page_no))
+                        .min(inner.frames.len() as u64 / 2)
+                        .max(1)
+                } else {
+                    1
+                };
+                if batch > 1 {
+                    // snapshot residency BEFORE the batch read: a page that
+                    // is resident (possibly dirty) now may be evicted while
+                    // we stage earlier batch pages, and the batch buffer
+                    // holds its pre-flush (stale) image — never install it
+                    let resident_at_read: Vec<bool> = (0..batch)
+                        .map(|i| inner.map.contains_key(&(file, page_no + i)))
+                        .collect();
+                    let mut buf = vec![0u8; (batch * PAGE_SIZE as u64) as usize];
+                    f.device().read(clock, page_no * PAGE_SIZE as u64, &mut buf)?;
+                    if let Some(history) = inner.last_base_miss.get_mut(&file) {
+                        if let Some(i) = history.iter().position(|&(p, _)| p == page_no) {
+                            history[i].0 = page_no + batch - 1;
+                        }
+                    }
+                    // stage the extra pages; the requested one is returned
+                    for i in 1..batch {
+                        let k = (file, page_no + i);
+                        if resident_at_read[i as usize] || inner.map.contains_key(&k) {
+                            continue;
+                        }
+                        let pg = Page::from_bytes(
+                            &buf[(i * PAGE_SIZE as u64) as usize..((i + 1) * PAGE_SIZE as u64) as usize],
+                        );
+                        let idx = Self::evict_one(inner, clock)?;
+                        inner.frames[idx] =
+                            Frame { key: Some(k), page: pg, dirty: false, referenced: true };
+                        inner.map.insert(k, idx);
+                    }
+                    Page::from_bytes(&buf[..PAGE_SIZE])
+                } else {
+                    f.read_page(clock, page_no)?
+                }
+            }
+        };
+        let idx = Self::evict_one(inner, clock)?;
+        inner.frames[idx] = Frame { key: Some(key), page, dirty: false, referenced: true };
+        inner.map.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Run `f` over the (read-only) contents of a page, faulting it in if
+    /// needed.
+    pub fn with_page<R>(
+        &self,
+        clock: &mut Clock,
+        file: FileId,
+        page_no: PageNo,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<R, StorageError> {
+        let mut inner = self.inner.lock();
+        let idx = self.load(&mut inner, clock, file, page_no)?;
+        Ok(f(&inner.frames[idx].page))
+    }
+
+    /// Run `f` over the mutable contents of a page; marks it dirty and
+    /// invalidates any stale extension copy.
+    pub fn with_page_mut<R>(
+        &self,
+        clock: &mut Clock,
+        file: FileId,
+        page_no: PageNo,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R, StorageError> {
+        let mut inner = self.inner.lock();
+        let idx = self.load(&mut inner, clock, file, page_no)?;
+        inner.frames[idx].dirty = true;
+        let key = (file, page_no);
+        if let Some(ext) = inner.ext.as_mut() {
+            ext.invalidate(key);
+        }
+        Ok(f(&mut inner.frames[idx].page))
+    }
+
+    /// Materialize a freshly-allocated page in the pool without reading the
+    /// device (it has no prior contents).
+    pub fn new_page(
+        &self,
+        clock: &mut Clock,
+        file: FileId,
+        page_no: PageNo,
+    ) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let key = (file, page_no);
+        assert!(!inner.map.contains_key(&key), "page {key:?} already resident");
+        let idx = Self::evict_one(&mut inner, clock)?;
+        inner.frames[idx] = Frame { key: Some(key), page: Page::new(), dirty: true, referenced: true };
+        inner.map.insert(key, idx);
+        clock.advance(self.hit_cost);
+        Ok(())
+    }
+
+    /// Flush every dirty page to its base file (checkpoint).
+    pub fn flush_all(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let dirty: Vec<usize> = inner
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, fr)| fr.key.is_some() && fr.dirty)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in dirty {
+            let key = inner.frames[idx].key.expect("checked above");
+            let file = inner.files.get(&key.0).expect("file registered").clone();
+            let page = inner.frames[idx].page.clone();
+            file.write_page(clock, key.1, &page)?;
+            inner.frames[idx].dirty = false;
+            inner.stats.dirty_flushes += 1;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of resident pages — the source side of buffer-pool priming
+    /// (§3.4). Returns `(key, page)` pairs in no particular order.
+    pub fn warm_pages(&self) -> Vec<((FileId, PageNo), Page)> {
+        let inner = self.inner.lock();
+        inner
+            .frames
+            .iter()
+            .filter_map(|fr| fr.key.map(|k| (k, fr.page.clone())))
+            .collect()
+    }
+
+    /// Preload pages into the pool (the destination side of priming).
+    /// Does not touch any device; the caller already paid transfer costs.
+    pub fn prime(&self, clock: &mut Clock, pages: Vec<((FileId, PageNo), Page)>) {
+        let mut inner = self.inner.lock();
+        for (key, page) in pages {
+            if inner.map.contains_key(&key) {
+                continue;
+            }
+            let Ok(idx) = Self::evict_one(&mut inner, clock) else {
+                break;
+            };
+            inner.frames[idx] = Frame { key: Some(key), page, dirty: false, referenced: true };
+            inner.map.insert(key, idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remem_storage::RamDisk;
+
+    fn setup(pool_pages: u64, file_pages: u64) -> (BufferPool, Arc<PagedFile>, Clock) {
+        let bp = BufferPool::new(pool_pages * PAGE_SIZE as u64);
+        let file = Arc::new(PagedFile::new(
+            FileId(0),
+            Arc::new(RamDisk::new(file_pages * PAGE_SIZE as u64)),
+        ));
+        bp.register_file(Arc::clone(&file));
+        (bp, file, Clock::new())
+    }
+
+    fn write_marker(bp: &BufferPool, clock: &mut Clock, file: &PagedFile, n: u64) {
+        let p = file.allocate().unwrap();
+        assert_eq!(p, n);
+        bp.new_page(clock, file.id(), p).unwrap();
+        bp.with_page_mut(clock, file.id(), p, |pg| {
+            pg.insert(&n.to_le_bytes()).unwrap();
+        })
+        .unwrap();
+    }
+
+    fn read_marker(bp: &BufferPool, clock: &mut Clock, file: FileId, n: u64) -> u64 {
+        bp.with_page(clock, file, n, |pg| u64::from_le_bytes(pg.get(0).try_into().unwrap()))
+            .unwrap()
+    }
+
+    #[test]
+    fn hits_after_first_access() {
+        let (bp, file, mut clock) = setup(8, 8);
+        write_marker(&bp, &mut clock, &file, 0);
+        assert_eq!(read_marker(&bp, &mut clock, file.id(), 0), 0);
+        let s = bp.stats();
+        assert!(s.hits >= 1);
+        assert_eq!(s.misses, 0, "new_page + reads should never miss here");
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_pages_and_data_survives() {
+        let (bp, file, mut clock) = setup(4, 32);
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        // pool holds 4 frames; early pages were evicted and flushed
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        let s = bp.stats();
+        assert!(s.evictions > 0);
+        assert!(s.dirty_flushes >= 28);
+        assert!(s.misses > 0);
+    }
+
+    #[test]
+    fn extension_serves_evicted_pages() {
+        let (bp, file, mut clock) = setup(4, 64);
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)))));
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        bp.reset_stats();
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        let s = bp.stats();
+        assert!(s.ext_hits > 0, "extension should serve most misses: {s:?}");
+        assert!(
+            s.ext_hits + s.hits >= 28,
+            "almost all accesses should avoid the base device: {s:?}"
+        );
+    }
+
+    #[test]
+    fn extension_copy_is_invalidated_on_write() {
+        let (bp, file, mut clock) = setup(2, 16);
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(16 * PAGE_SIZE as u64)))));
+        write_marker(&bp, &mut clock, &file, 0);
+        write_marker(&bp, &mut clock, &file, 1);
+        write_marker(&bp, &mut clock, &file, 2); // page 0 evicted to ext
+        // mutate page 0: must invalidate the ext copy
+        bp.with_page_mut(&mut clock, file.id(), 0, |pg| {
+            pg.insert(b"v2").unwrap();
+        })
+        .unwrap();
+        // churn so page 0 is evicted again (flushed to base with v2)
+        write_marker(&bp, &mut clock, &file, 3);
+        write_marker(&bp, &mut clock, &file, 4);
+        let v = bp
+            .with_page(&mut clock, file.id(), 0, |pg| (pg.len(), pg.get(1).to_vec()))
+            .unwrap();
+        assert_eq!(v, (2, b"v2".to_vec()), "stale extension copy must never be served");
+    }
+
+    #[test]
+    fn failed_extension_degrades_gracefully() {
+        let (bp, file, mut clock) = setup(4, 64);
+        let ext_disk = Arc::new(RamDisk::new(64 * PAGE_SIZE as u64));
+        bp.set_extension(Some(BpExt::new(Arc::clone(&ext_disk) as Arc<dyn Device>)));
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        // the remote memory behind the extension disappears
+        ext_disk.fail();
+        // correctness unaffected: everything still readable from base
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        assert!(bp.extension_failed());
+    }
+
+    #[test]
+    fn extension_capacity_is_fifo_bounded() {
+        let (bp, file, mut clock) = setup(2, 64);
+        // tiny extension: 4 pages
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(4 * PAGE_SIZE as u64)))));
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        // no panic, and reads still correct
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+    }
+
+    #[test]
+    fn flush_all_checkpoints_dirty_pages() {
+        let (bp, file, mut clock) = setup(8, 8);
+        for n in 0..4 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        bp.flush_all(&mut clock).unwrap();
+        // read pages directly from the device: contents must be there
+        for n in 0..4 {
+            let pg = file.read_page(&mut clock, n).unwrap();
+            assert_eq!(pg.get(0), &n.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn warm_pages_and_prime_round_trip() {
+        let (bp, file, mut clock) = setup(8, 8);
+        for n in 0..4 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        bp.flush_all(&mut clock).unwrap();
+        let warm = bp.warm_pages();
+        assert_eq!(warm.len(), 4);
+
+        let (bp2, file2, mut clock2) = setup(8, 8);
+        let _ = file2;
+        bp2.prime(&mut clock2, warm);
+        assert_eq!(bp2.resident_pages(), 4);
+        bp2.reset_stats();
+        // primed pages are hits, never device reads
+        for n in 0..4 {
+            assert_eq!(read_marker(&bp2, &mut clock2, FileId(0), n), n);
+        }
+        assert_eq!(bp2.stats().misses, 0);
+    }
+
+    #[test]
+    fn sequential_scans_use_readahead_batches() {
+        // 64 sequential pages on an SSD-backed file: after the run-length
+        // threshold, misses coalesce into few large device reads
+        let bp = BufferPool::new(128 * PAGE_SIZE as u64);
+        let file = Arc::new(PagedFile::new(
+            FileId(3),
+            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(
+                256 * PAGE_SIZE as u64,
+            ))),
+        ));
+        bp.register_file(Arc::clone(&file));
+        let mut clock = Clock::new();
+        for _ in 0..64 {
+            file.allocate().unwrap();
+        }
+        for n in 0..64 {
+            bp.with_page(&mut clock, FileId(3), n, |_| {}).unwrap();
+        }
+        let s = bp.stats();
+        assert_eq!(s.hits + s.misses, 64, "every page accessed once");
+        assert!(
+            s.misses < 20 && s.base_reads < 20,
+            "readahead should stage most pages ahead of their access: {s:?}"
+        );
+        // and random access does NOT trigger readahead over-fetch
+        bp.reset_stats();
+        let bp2 = BufferPool::new(128 * PAGE_SIZE as u64);
+        bp2.register_file(Arc::clone(&file));
+        for n in [5u64, 50, 17, 33, 8, 60, 2, 44] {
+            bp2.with_page(&mut clock, FileId(3), n, |_| {}).unwrap();
+        }
+        let s2 = bp2.stats();
+        assert_eq!(s2.base_reads, 8, "random misses must read exactly one page each");
+    }
+
+    #[test]
+    fn hit_is_far_cheaper_than_miss() {
+        let (bp, file, mut clock) = setup(2, 16);
+        // use an SSD so misses have real cost
+        let ssd_file = Arc::new(PagedFile::new(
+            FileId(7),
+            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(
+                16 * PAGE_SIZE as u64,
+            ))),
+        ));
+        bp.register_file(Arc::clone(&ssd_file));
+        let _ = file;
+        let p = ssd_file.allocate().unwrap();
+        let t0 = clock.now();
+        bp.with_page(&mut clock, FileId(7), p, |_| {}).unwrap();
+        let miss_cost = clock.now().since(t0);
+        let t1 = clock.now();
+        bp.with_page(&mut clock, FileId(7), p, |_| {}).unwrap();
+        let hit_cost = clock.now().since(t1);
+        assert!(miss_cost.as_nanos() > 100 * hit_cost.as_nanos());
+    }
+}

@@ -1,0 +1,93 @@
+//! Memory-grant admission control.
+//!
+//! SQL Server never gives one statement all of the query workspace: a
+//! long-running query is capped at a fraction of workspace memory so that
+//! later queries can still be admitted. This is why TPC-H Q10/Q18 spill to
+//! TempDB *even in the Local Memory design* (Appendix B.1) — and therefore
+//! why `Custom` (TempDB in remote memory) can beat Local Memory on those
+//! queries. The grant manager reproduces exactly that behaviour.
+
+use parking_lot::Mutex;
+
+/// Tracks outstanding memory grants against the workspace budget.
+pub struct GrantManager {
+    workspace_bytes: u64,
+    max_grant_fraction: f64,
+    outstanding: Mutex<u64>,
+}
+
+/// A granted amount of operator memory; returned to the workspace on drop.
+pub struct Grant<'a> {
+    mgr: &'a GrantManager,
+    pub bytes: u64,
+}
+
+impl GrantManager {
+    pub fn new(workspace_bytes: u64, max_grant_fraction: f64) -> GrantManager {
+        assert!((0.0..=1.0).contains(&max_grant_fraction));
+        GrantManager { workspace_bytes, max_grant_fraction, outstanding: Mutex::new(0) }
+    }
+
+    pub fn workspace_bytes(&self) -> u64 {
+        self.workspace_bytes
+    }
+
+    /// Request `wanted` bytes of operator memory. The grant is capped at the
+    /// per-statement fraction and at what is currently free; it is never
+    /// zero (a minimum working buffer is always admitted).
+    pub fn request(&self, wanted: u64) -> Grant<'_> {
+        let cap = (self.workspace_bytes as f64 * self.max_grant_fraction) as u64;
+        let mut outstanding = self.outstanding.lock();
+        let free = self.workspace_bytes.saturating_sub(*outstanding);
+        let min_grant = 256 * 1024; // one working buffer
+        let granted = wanted.min(cap).min(free).max(min_grant);
+        *outstanding += granted;
+        Grant { mgr: self, bytes: granted }
+    }
+
+    pub fn outstanding(&self) -> u64 {
+        *self.outstanding.lock()
+    }
+}
+
+impl Drop for Grant<'_> {
+    fn drop(&mut self) {
+        let mut outstanding = self.mgr.outstanding.lock();
+        *outstanding = outstanding.saturating_sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_capped_per_statement() {
+        let m = GrantManager::new(100 << 20, 0.25);
+        let g = m.request(u64::MAX);
+        assert_eq!(g.bytes, 25 << 20, "capped at 25% of workspace");
+        drop(g);
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn grants_shrink_under_concurrency() {
+        let m = GrantManager::new(1 << 20, 1.0);
+        let g1 = m.request(1 << 20);
+        assert_eq!(g1.bytes, 1 << 20);
+        // workspace exhausted: the second query gets the minimum, not zero
+        let g2 = m.request(1 << 20);
+        assert_eq!(g2.bytes, 256 * 1024);
+        drop(g1);
+        drop(g2);
+        let g3 = m.request(1 << 20);
+        assert_eq!(g3.bytes, 1 << 20, "memory returned after drops");
+    }
+
+    #[test]
+    fn small_requests_get_what_they_ask() {
+        let m = GrantManager::new(100 << 20, 0.25);
+        let g = m.request(1 << 20);
+        assert_eq!(g.bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,200 @@
+//! Cost-based plan choice, re-calibrated for remote memory (Fig. 15b).
+//!
+//! The optimizer prices an index-nested-loop join (random seeks into the
+//! inner index) against a hash join (sequential scan of the inner) using a
+//! per-tier [`DeviceProfile`]. Because a seek into remote memory costs tens
+//! of microseconds instead of an SSD's hundreds, the INLJ/HJ crossover moves
+//! to much lower selectivity when the index is pinned in remote memory —
+//! which is exactly what §3.3 argues the cost model must be re-calibrated
+//! for.
+
+use remem_sim::SimDuration;
+
+use crate::config::CpuCosts;
+
+/// Where an access path's pages live, priced per 8 KiB page.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProfile {
+    pub label: &'static str,
+    /// Cost of one random page access.
+    pub random_page: SimDuration,
+    /// Cost of one page within a sequential scan.
+    pub seq_page: SimDuration,
+}
+
+impl DeviceProfile {
+    /// Local DRAM (buffer-pool hit).
+    pub fn local_memory() -> DeviceProfile {
+        DeviceProfile {
+            label: "LocalMemory",
+            random_page: SimDuration::from_nanos(100),
+            seq_page: SimDuration::from_nanos(100),
+        }
+    }
+
+    /// Remote memory over RDMA (Custom): ~10 µs random, wire-speed scans.
+    pub fn remote_memory() -> DeviceProfile {
+        DeviceProfile {
+            label: "RemoteMemory",
+            random_page: SimDuration::from_micros(10),
+            seq_page: SimDuration::from_nanos(1_600),
+        }
+    }
+
+    /// The SAS SSD of Table 3: ~250 µs random service, ~21 µs/page at its
+    /// 0.39 GB/s sequential ceiling.
+    pub fn ssd() -> DeviceProfile {
+        DeviceProfile {
+            label: "SSD",
+            random_page: SimDuration::from_micros(250),
+            seq_page: SimDuration::from_micros(21),
+        }
+    }
+
+    /// The RAID-0 HDD array with `spindles` members: seeks cost ~6 ms, but
+    /// aggregate sequential bandwidth is `spindles × 90 MB/s`.
+    pub fn hdd(spindles: u64) -> DeviceProfile {
+        DeviceProfile {
+            label: "HDD",
+            random_page: SimDuration::from_micros(6_000),
+            seq_page: SimDuration::for_transfer(8192, 90_000_000 * spindles.max(1)),
+        }
+    }
+}
+
+/// The two join strategies the optimizer chooses between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPlan {
+    IndexNestedLoop,
+    HashJoin,
+}
+
+/// Inputs to the join-costing decision.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinEstimate {
+    /// Rows surviving the outer predicate (selectivity × outer cardinality).
+    pub outer_rows: u64,
+    /// Inner table cardinality.
+    pub inner_rows: u64,
+    /// Pages in the inner access path (index leaf pages for a scan).
+    pub inner_pages: u64,
+    /// Levels in the inner index (pages touched per seek).
+    pub index_height: u64,
+}
+
+/// The priced alternatives and the chosen plan.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanChoice {
+    pub plan: JoinPlan,
+    pub inlj_cost: SimDuration,
+    pub hash_cost: SimDuration,
+}
+
+/// Price INLJ vs. hash join given where the inner index lives.
+pub fn choose_join(est: JoinEstimate, index_tier: DeviceProfile, costs: &CpuCosts) -> PlanChoice {
+    // INLJ: each outer row descends the index — `height` page accesses, of
+    // which the upper levels are usually cached; charge one uncached random
+    // access plus CPU for the cached descent.
+    let seek_cpu = SimDuration::from_nanos(
+        costs.compare.as_nanos() * 9 * est.index_height + costs.page_fix.as_nanos() * est.index_height,
+    );
+    let per_seek = index_tier.random_page + seek_cpu;
+    let inlj_cost = SimDuration::from_nanos(per_seek.as_nanos() * est.outer_rows)
+        + SimDuration::from_nanos(costs.row_output.as_nanos() * est.outer_rows);
+
+    // Hash join: sequentially scan the inner, hash both sides.
+    let scan = SimDuration::from_nanos(index_tier.seq_page.as_nanos() * est.inner_pages);
+    let build = SimDuration::from_nanos(costs.row_hash.as_nanos() * est.inner_rows);
+    let probe = SimDuration::from_nanos(costs.row_hash.as_nanos() * est.outer_rows);
+    let hash_cost = scan + build + probe;
+
+    let plan = if inlj_cost <= hash_cost { JoinPlan::IndexNestedLoop } else { JoinPlan::HashJoin };
+    PlanChoice { plan, inlj_cost, hash_cost }
+}
+
+/// The outer-row count at which the plans cost the same (the crossover the
+/// Fig. 15b experiment sweeps across). Found by binary search over the
+/// monotone cost difference.
+pub fn crossover_outer_rows(
+    inner_rows: u64,
+    inner_pages: u64,
+    index_height: u64,
+    index_tier: DeviceProfile,
+    costs: &CpuCosts,
+) -> u64 {
+    let mut lo = 0u64;
+    let mut hi = inner_rows.max(2) * 4;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let est = JoinEstimate { outer_rows: mid, inner_rows, inner_pages, index_height };
+        match choose_join(est, index_tier, costs).plan {
+            JoinPlan::IndexNestedLoop => lo = mid + 1,
+            JoinPlan::HashJoin => hi = mid,
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(outer: u64) -> JoinEstimate {
+        JoinEstimate {
+            outer_rows: outer,
+            inner_rows: 1_000_000,
+            inner_pages: 40_000,
+            index_height: 3,
+        }
+    }
+
+    #[test]
+    fn tiny_outer_prefers_inlj_everywhere() {
+        let costs = CpuCosts::default();
+        for tier in [DeviceProfile::ssd(), DeviceProfile::remote_memory(), DeviceProfile::local_memory()] {
+            let c = choose_join(est(10), tier, &costs);
+            assert_eq!(c.plan, JoinPlan::IndexNestedLoop, "tier {}", tier.label);
+        }
+    }
+
+    #[test]
+    fn huge_outer_prefers_hash_everywhere() {
+        let costs = CpuCosts::default();
+        for tier in [DeviceProfile::ssd(), DeviceProfile::remote_memory(), DeviceProfile::hdd(20)] {
+            let c = choose_join(est(4_000_000), tier, &costs);
+            assert_eq!(c.plan, JoinPlan::HashJoin, "tier {}", tier.label);
+        }
+    }
+
+    /// The Fig. 15b claim: pinning the index in remote memory moves the
+    /// INLJ→HJ crossover to much higher selectivity than on SSD.
+    #[test]
+    fn crossover_moves_with_the_tier() {
+        let costs = CpuCosts::default();
+        let ssd = crossover_outer_rows(1_000_000, 40_000, 3, DeviceProfile::ssd(), &costs);
+        let remote =
+            crossover_outer_rows(1_000_000, 40_000, 3, DeviceProfile::remote_memory(), &costs);
+        let local =
+            crossover_outer_rows(1_000_000, 40_000, 3, DeviceProfile::local_memory(), &costs);
+        assert!(
+            remote > ssd * 5,
+            "remote-memory crossover ({remote}) should dwarf SSD's ({ssd})"
+        );
+        assert!(local >= remote, "local memory is at least as seek-friendly");
+    }
+
+    #[test]
+    fn hdd_crossover_is_lowest() {
+        let costs = CpuCosts::default();
+        let hdd = crossover_outer_rows(1_000_000, 40_000, 3, DeviceProfile::hdd(20), &costs);
+        let ssd = crossover_outer_rows(1_000_000, 40_000, 3, DeviceProfile::ssd(), &costs);
+        assert!(hdd < ssd, "seek-hostile HDD should abandon INLJ soonest");
+    }
+
+    #[test]
+    fn costs_are_reported_for_both_plans() {
+        let c = choose_join(est(1000), DeviceProfile::ssd(), &CpuCosts::default());
+        assert!(c.inlj_cost > SimDuration::ZERO);
+        assert!(c.hash_cost > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,147 @@
+//! Buffer-pool priming for planned primary-secondary swaps (scenario §3.4).
+//!
+//! For physically-replicated databases, the pages are identical on the old
+//! primary `S1` and the new primary `S2`, so `S1` can serialize its warm
+//! buffer pool into an in-memory file and `S2` can pull the contents at
+//! RDMA wire speed, starting with a hot cache instead of warming up from
+//! disk over tens of minutes (Fig. 16).
+
+use remem_sim::Clock;
+use remem_storage::{Device, StorageError};
+
+use crate::bufferpool::BufferPool;
+use crate::exec::ExecCtx;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pagestore::{FileId, PageNo};
+
+/// Bytes per serialized pool entry: file id, page number, page image.
+const ENTRY_BYTES: usize = 4 + 8 + PAGE_SIZE;
+
+/// Serialize the warm buffer-pool contents of `bp` ("scan & serialize" in
+/// Fig. 16a). Charges one page-serialize of CPU per page.
+pub fn serialize_pool(ctx: &mut ExecCtx<'_>, bp: &BufferPool) -> Vec<u8> {
+    let warm = bp.warm_pages();
+    let mut out = Vec::with_capacity(warm.len() * ENTRY_BYTES);
+    for ((file, page_no), page) in warm {
+        ctx.charge(ctx.costs.page_serialize);
+        out.extend_from_slice(&file.0.to_le_bytes());
+        out.extend_from_slice(&page_no.to_le_bytes());
+        out.extend_from_slice(page.as_bytes());
+    }
+    ctx.flush_cpu();
+    out
+}
+
+/// Load serialized pool contents into `bp` (the final step at `S2`).
+pub fn deserialize_into_pool(ctx: &mut ExecCtx<'_>, bp: &BufferPool, bytes: &[u8]) -> usize {
+    assert!(bytes.len().is_multiple_of(ENTRY_BYTES), "corrupt priming image");
+    let mut pages = Vec::with_capacity(bytes.len() / ENTRY_BYTES);
+    for chunk in bytes.chunks_exact(ENTRY_BYTES) {
+        ctx.charge(ctx.costs.page_serialize);
+        let file = FileId(u32::from_le_bytes(chunk[..4].try_into().unwrap()));
+        let page_no = PageNo::from_le_bytes(chunk[4..12].try_into().unwrap());
+        let page = Page::from_bytes(&chunk[12..]);
+        pages.push(((file, page_no), page));
+    }
+    ctx.flush_cpu();
+    let n = pages.len();
+    bp.prime(ctx.clock, pages);
+    n
+}
+
+/// Push a priming image through an intermediate device (the in-memory file
+/// of §4.2): `S1` writes it on `src_clock`, `S2` reads it on `dst_clock`
+/// (which first synchronizes to the write completion — the pull cannot
+/// start before the image exists).
+pub fn transfer_image(
+    src_clock: &mut Clock,
+    dst_clock: &mut Clock,
+    device: &dyn Device,
+    image: &[u8],
+) -> Result<Vec<u8>, StorageError> {
+    device.write(src_clock, 0, image)?;
+    dst_clock.advance_to(src_clock.now());
+    let mut buf = vec![0u8; image.len()];
+    device.read(dst_clock, 0, &mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuCosts;
+    use crate::pagestore::PagedFile;
+    use remem_sim::CpuPool;
+    use remem_storage::RamDisk;
+    use std::sync::Arc;
+
+    fn warm_pool(n: u64) -> (BufferPool, Arc<PagedFile>, Clock) {
+        let bp = BufferPool::new(64 * PAGE_SIZE as u64);
+        let file = Arc::new(PagedFile::new(FileId(0), Arc::new(RamDisk::new(64 * PAGE_SIZE as u64))));
+        bp.register_file(Arc::clone(&file));
+        let mut clock = Clock::new();
+        for i in 0..n {
+            let p = file.allocate().unwrap();
+            bp.new_page(&mut clock, file.id(), p).unwrap();
+            bp.with_page_mut(&mut clock, file.id(), p, |pg| {
+                pg.insert(&i.to_le_bytes()).unwrap();
+            })
+            .unwrap();
+        }
+        bp.flush_all(&mut clock).unwrap();
+        (bp, file, clock)
+    }
+
+    #[test]
+    fn image_round_trip_restores_every_page() {
+        let (src_bp, src_file, mut src_clock) = warm_pool(20);
+        let cpu = CpuPool::new(4);
+        let costs = CpuCosts::default();
+        let image = {
+            let mut ctx = ExecCtx::new(&mut src_clock, &cpu, &costs);
+            serialize_pool(&mut ctx, &src_bp)
+        };
+        assert_eq!(image.len(), 20 * ENTRY_BYTES);
+
+        let dst_bp = BufferPool::new(64 * PAGE_SIZE as u64);
+        dst_bp.register_file(Arc::clone(&src_file)); // physically identical replica
+        let mut dst_clock = Clock::new();
+        let n = {
+            let mut ctx = ExecCtx::new(&mut dst_clock, &cpu, &costs);
+            deserialize_into_pool(&mut ctx, &dst_bp, &image)
+        };
+        assert_eq!(n, 20);
+        dst_bp.reset_stats();
+        for i in 0..20u64 {
+            let v = dst_bp
+                .with_page(&mut dst_clock, FileId(0), i, |pg| {
+                    u64::from_le_bytes(pg.get(0).try_into().unwrap())
+                })
+                .unwrap();
+            assert_eq!(v, i);
+        }
+        assert_eq!(dst_bp.stats().misses, 0, "a primed pool never touches the device");
+    }
+
+    #[test]
+    fn transfer_gates_the_reader_on_the_writer() {
+        let device = RamDisk::new(1 << 20);
+        let mut src = Clock::new();
+        let mut dst = Clock::new();
+        let image = vec![7u8; 64 * 1024];
+        let back = transfer_image(&mut src, &mut dst, &device, &image).unwrap();
+        assert_eq!(back, image);
+        assert!(dst.now() >= src.now(), "reader completes after the writer");
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt priming image")]
+    fn truncated_image_is_rejected() {
+        let bp = BufferPool::new(16 * PAGE_SIZE as u64);
+        let cpu = CpuPool::new(1);
+        let costs = CpuCosts::default();
+        let mut clock = Clock::new();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        deserialize_into_pool(&mut ctx, &bp, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The procedure (plan) cache, extensible to remote memory (§3.1).
+//!
+//! SQL Server caches compiled plans; under memory pressure, evicted plans
+//! are recompiled on next use — which costs orders of magnitude more than a
+//! remote-memory fetch. Like the buffer pool, the cache here has a local
+//! in-memory tier and an optional extension tier on any [`Device`]: evicted
+//! plans spill to the extension and are revived from it instead of being
+//! recompiled. Best-effort as always: a failed extension only costs
+//! recompilations.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use remem_sim::{Clock, SimDuration};
+use remem_storage::Device;
+
+/// A fingerprint of a (normalized) statement.
+pub type PlanFingerprint = u64;
+
+/// Where a plan lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// In-memory tier (~local memory access).
+    Memory,
+    /// Extension tier (device read — remote memory or SSD).
+    Extension,
+    /// Not cached anywhere: the caller compiled it.
+    Compiled,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct ProcCacheStats {
+    pub memory_hits: u64,
+    pub ext_hits: u64,
+    pub compilations: u64,
+}
+
+struct ExtTier {
+    device: Arc<dyn Device>,
+    /// fingerprint → (offset, len) in the device.
+    map: HashMap<PlanFingerprint, (u64, u32)>,
+    /// Bump allocator over the device; entries are immutable once written,
+    /// and the whole tier resets when the device wraps (plans are cheap to
+    /// lose — the best-effort contract).
+    next: u64,
+    fifo: VecDeque<PlanFingerprint>,
+    failed: bool,
+}
+
+struct Inner {
+    /// In-memory tier: fingerprint → plan blob, FIFO-evicted by bytes.
+    memory: HashMap<PlanFingerprint, Vec<u8>>,
+    order: VecDeque<PlanFingerprint>,
+    memory_bytes: u64,
+    capacity_bytes: u64,
+    ext: Option<ExtTier>,
+    stats: ProcCacheStats,
+}
+
+/// A two-tier plan cache.
+pub struct ProcedureCache {
+    inner: Mutex<Inner>,
+    /// In-memory hit cost (hash probe + plan pointer copy).
+    hit_cost: SimDuration,
+}
+
+impl ProcedureCache {
+    pub fn new(capacity_bytes: u64) -> ProcedureCache {
+        ProcedureCache {
+            inner: Mutex::new(Inner {
+                memory: HashMap::new(),
+                order: VecDeque::new(),
+                memory_bytes: 0,
+                capacity_bytes,
+                ext: None,
+                stats: ProcCacheStats::default(),
+            }),
+            hit_cost: SimDuration::from_nanos(200),
+        }
+    }
+
+    /// Attach an extension tier (remote memory in the paper's scenario).
+    pub fn set_extension(&self, device: Option<Arc<dyn Device>>) {
+        self.inner.lock().ext = device.map(|device| ExtTier {
+            device,
+            map: HashMap::new(),
+            next: 0,
+            fifo: VecDeque::new(),
+            failed: false,
+        });
+    }
+
+    pub fn stats(&self) -> ProcCacheStats {
+        self.inner.lock().stats.clone()
+    }
+
+    pub fn cached_plans(&self) -> usize {
+        self.inner.lock().memory.len()
+    }
+
+    /// Fetch the plan for `fp`, or compile it with `compile` (whose cost the
+    /// caller charges). Returns the plan blob and where it came from.
+    pub fn get_or_compile(
+        &self,
+        clock: &mut Clock,
+        fp: PlanFingerprint,
+        compile: impl FnOnce(&mut Clock) -> Vec<u8>,
+    ) -> (Vec<u8>, PlanSource) {
+        let mut inner = self.inner.lock();
+        if let Some(plan) = inner.memory.get(&fp).cloned() {
+            inner.stats.memory_hits += 1;
+            clock.advance(self.hit_cost);
+            return (plan, PlanSource::Memory);
+        }
+        // probe the extension
+        if let Some(ext) = inner.ext.as_mut() {
+            if !ext.failed {
+                if let Some(&(off, len)) = ext.map.get(&fp) {
+                    let mut buf = vec![0u8; len as usize];
+                    match ext.device.read(clock, off, &mut buf) {
+                        Ok(()) => {
+                            inner.stats.ext_hits += 1;
+                            Self::insert_memory(&mut inner, clock, fp, buf.clone());
+                            return (buf, PlanSource::Extension);
+                        }
+                        Err(_) => {
+                            ext.failed = true;
+                            ext.map.clear();
+                        }
+                    }
+                }
+            }
+        }
+        drop(inner);
+        let plan = compile(clock);
+        let mut inner = self.inner.lock();
+        inner.stats.compilations += 1;
+        Self::insert_memory(&mut inner, clock, fp, plan.clone());
+        (plan, PlanSource::Compiled)
+    }
+
+    fn insert_memory(inner: &mut Inner, clock: &mut Clock, fp: PlanFingerprint, plan: Vec<u8>) {
+        let bytes = plan.len() as u64;
+        if let Some(old) = inner.memory.insert(fp, plan) {
+            inner.memory_bytes -= old.len() as u64;
+        } else {
+            inner.order.push_back(fp);
+        }
+        inner.memory_bytes += bytes;
+        // evict FIFO to the extension until we fit
+        while inner.memory_bytes > inner.capacity_bytes {
+            let Some(victim) = inner.order.pop_front() else { break };
+            if victim == fp {
+                inner.order.push_back(victim);
+                if inner.order.len() == 1 {
+                    break; // the new plan alone exceeds capacity: keep it
+                }
+                continue;
+            }
+            let Some(blob) = inner.memory.remove(&victim) else { continue };
+            inner.memory_bytes -= blob.len() as u64;
+            if let Some(ext) = inner.ext.as_mut() {
+                Self::spill_to_ext(ext, clock, victim, &blob);
+            }
+        }
+    }
+
+    fn spill_to_ext(ext: &mut ExtTier, clock: &mut Clock, fp: PlanFingerprint, blob: &[u8]) {
+        if ext.failed || blob.len() as u64 > ext.device.capacity() {
+            return;
+        }
+        if ext.next + blob.len() as u64 > ext.device.capacity() {
+            // wrap: drop the whole tier (plans are redundant structures)
+            ext.map.clear();
+            ext.fifo.clear();
+            ext.next = 0;
+        }
+        match ext.device.write(clock, ext.next, blob) {
+            Ok(()) => {
+                ext.map.insert(fp, (ext.next, blob.len() as u32));
+                ext.fifo.push_back(fp);
+                ext.next += blob.len() as u64;
+            }
+            Err(_) => {
+                ext.failed = true;
+                ext.map.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remem_storage::RamDisk;
+
+    fn plan(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n]
+    }
+
+    #[test]
+    fn compile_once_then_memory_hits() {
+        let pc = ProcedureCache::new(1 << 20);
+        let mut clock = Clock::new();
+        let mut compiled = 0;
+        for i in 0..5 {
+            let (p, src) = pc.get_or_compile(&mut clock, 42, |c| {
+                compiled += 1;
+                c.advance(SimDuration::from_millis(5)); // compilation is expensive
+                plan(100, 7)
+            });
+            assert_eq!(p, plan(100, 7));
+            assert_eq!(src, if i == 0 { PlanSource::Compiled } else { PlanSource::Memory });
+        }
+        assert_eq!(compiled, 1);
+        let s = pc.stats();
+        assert_eq!(s.compilations, 1);
+        assert_eq!(s.memory_hits, 4);
+    }
+
+    #[test]
+    fn eviction_spills_to_extension_and_revives() {
+        let pc = ProcedureCache::new(300); // tiny memory tier
+        pc.set_extension(Some(Arc::new(RamDisk::new(1 << 20))));
+        let mut clock = Clock::new();
+        // plans of 200B each: the second evicts the first to the extension
+        pc.get_or_compile(&mut clock, 1, |_| plan(200, 1));
+        pc.get_or_compile(&mut clock, 2, |_| plan(200, 2));
+        // fp=1 must come back from the extension, NOT a recompilation
+        let (p, src) = pc.get_or_compile(&mut clock, 1, |_| panic!("must not recompile"));
+        assert_eq!(p, plan(200, 1));
+        assert_eq!(src, PlanSource::Extension);
+        assert_eq!(pc.stats().ext_hits, 1);
+    }
+
+    #[test]
+    fn without_extension_eviction_means_recompilation() {
+        let pc = ProcedureCache::new(300);
+        let mut clock = Clock::new();
+        pc.get_or_compile(&mut clock, 1, |_| plan(200, 1));
+        pc.get_or_compile(&mut clock, 2, |_| plan(200, 2));
+        let (_, src) = pc.get_or_compile(&mut clock, 1, |_| plan(200, 1));
+        assert_eq!(src, PlanSource::Compiled);
+        assert_eq!(pc.stats().compilations, 3);
+    }
+
+    #[test]
+    fn extension_failure_degrades_to_recompilation() {
+        let pc = ProcedureCache::new(300);
+        let disk = Arc::new(RamDisk::new(1 << 20));
+        pc.set_extension(Some(Arc::clone(&disk) as Arc<dyn Device>));
+        let mut clock = Clock::new();
+        pc.get_or_compile(&mut clock, 1, |_| plan(200, 1));
+        pc.get_or_compile(&mut clock, 2, |_| plan(200, 2));
+        disk.fail();
+        let (_, src) = pc.get_or_compile(&mut clock, 1, |_| plan(200, 1));
+        assert_eq!(src, PlanSource::Compiled, "failed extension must not serve");
+    }
+
+    #[test]
+    fn extension_wraps_when_full() {
+        let pc = ProcedureCache::new(150);
+        pc.set_extension(Some(Arc::new(RamDisk::new(450))));
+        let mut clock = Clock::new();
+        for fp in 0..10u64 {
+            pc.get_or_compile(&mut clock, fp, |_| plan(100, fp as u8));
+        }
+        // the most recently evicted plans are still revivable
+        let (p, src) = pc.get_or_compile(&mut clock, 8, |_| panic!("should be in ext"));
+        assert_eq!(src, PlanSource::Extension);
+        assert_eq!(p, plan(100, 8));
+    }
+
+    #[test]
+    fn oversized_plan_is_kept_in_memory() {
+        let pc = ProcedureCache::new(100);
+        let mut clock = Clock::new();
+        pc.get_or_compile(&mut clock, 1, |_| plan(500, 1));
+        let (_, src) = pc.get_or_compile(&mut clock, 1, |_| panic!("must not recompile"));
+        assert_eq!(src, PlanSource::Memory);
+    }
+
+    #[test]
+    fn remote_fetch_is_far_cheaper_than_recompilation() {
+        let pc = ProcedureCache::new(300);
+        pc.set_extension(Some(Arc::new(RamDisk::new(1 << 20))));
+        let mut clock = Clock::new();
+        let compile_cost = SimDuration::from_millis(5);
+        pc.get_or_compile(&mut clock, 1, |c| {
+            c.advance(compile_cost);
+            plan(200, 1)
+        });
+        pc.get_or_compile(&mut clock, 2, |c| {
+            c.advance(compile_cost);
+            plan(200, 2)
+        });
+        let t0 = clock.now();
+        pc.get_or_compile(&mut clock, 1, |_| unreachable!());
+        let revive = clock.now().since(t0);
+        assert!(
+            revive.as_nanos() * 100 < compile_cost.as_nanos(),
+            "extension revive {revive} should be orders cheaper than {compile_cost}"
+        );
+    }
+}

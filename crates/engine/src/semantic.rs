@@ -1,0 +1,294 @@
+//! The in-engine semantic cache (scenario §3.3).
+//!
+//! Materialized views are redundant, lazily-built result sets pinned in
+//! remote memory (or any device), **separate from the buffer pool** so they
+//! never contend for local memory. Queries that match a valid MV are served
+//! from it; base-table updates are handled per the application-specified
+//! policy: invalidate, keep as a snapshot, or mark for asynchronous refresh.
+//! (Structures needing exact synchronous maintenance — the redundant
+//! non-clustered indexes — are maintained by the engine's DML path itself
+//! and recovered from the WAL after a donor failure; see
+//! [`crate::db::Database::rebuild_nc_index_from_log`] and Fig. 26.)
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use remem_storage::{Device, StorageError};
+
+use crate::db::TableId;
+use crate::exec::ExecCtx;
+use crate::page::Page;
+use crate::pagestore::{FileId, PagedFile};
+use crate::row::Row;
+
+/// What happens to an MV when a base table changes (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvPolicy {
+    /// Drop the MV on any base update.
+    Invalidate,
+    /// Keep serving the stale snapshot.
+    Snapshot,
+    /// Keep serving, but flag for background refresh.
+    AsyncRefresh,
+}
+
+struct MvEntry {
+    sources: Vec<TableId>,
+    policy: MvPolicy,
+    valid: bool,
+    stale: bool,
+    file: Arc<PagedFile>,
+    pages: Vec<u64>,
+    rows: u64,
+}
+
+/// The semantic-cache broker: named materialized results on pinned devices.
+pub struct SemanticCache {
+    mvs: RwLock<HashMap<String, MvEntry>>,
+    next_file: AtomicU32,
+}
+
+impl Default for SemanticCache {
+    fn default() -> Self {
+        SemanticCache::new()
+    }
+}
+
+impl SemanticCache {
+    pub fn new() -> SemanticCache {
+        SemanticCache { mvs: RwLock::new(HashMap::new()), next_file: AtomicU32::new(60_000) }
+    }
+
+    /// Materialize `rows` as the view `name` on `device`. The device is the
+    /// remote-memory file in the paper's headline configuration, or local
+    /// HDD/SSD for the baseline of Fig. 15(a).
+    pub fn create_mv(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        name: impl Into<String>,
+        sources: Vec<TableId>,
+        policy: MvPolicy,
+        rows: &[Row],
+        device: Arc<dyn Device>,
+    ) -> Result<(), StorageError> {
+        let file = Arc::new(PagedFile::new(
+            FileId(self.next_file.fetch_add(1, Ordering::Relaxed)),
+            device,
+        ));
+        let mut pages = Vec::new();
+        let mut page = Page::new();
+        let mut flush = |ctx: &mut ExecCtx<'_>, page: &mut Page| -> Result<(), StorageError> {
+            if page.is_empty() {
+                return Ok(());
+            }
+            let pno = file.allocate()?;
+            ctx.charge(ctx.costs.page_serialize);
+            ctx.flush_cpu();
+            file.write_page(ctx.clock, pno, page)?;
+            pages.push(pno);
+            *page = Page::new();
+            Ok(())
+        };
+        for r in rows {
+            let bytes = r.to_bytes();
+            if page.insert(&bytes).is_none() {
+                flush(ctx, &mut page)?;
+                page.insert(&bytes).expect("fresh page holds one row");
+            }
+        }
+        flush(ctx, &mut page)?;
+        self.mvs.write().insert(
+            name.into(),
+            MvEntry { sources, policy, valid: true, stale: false, file, pages, rows: rows.len() as u64 },
+        );
+        Ok(())
+    }
+
+    /// Serve a query from the view, if it is valid. Reads the pinned pages
+    /// from the view's device (RDMA reads when it lives in remote memory).
+    pub fn get_mv(&self, ctx: &mut ExecCtx<'_>, name: &str) -> Result<Option<Vec<Row>>, StorageError> {
+        let mvs = self.mvs.read();
+        let Some(entry) = mvs.get(name) else {
+            return Ok(None);
+        };
+        if !entry.valid {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(entry.rows as usize);
+        for &pno in &entry.pages {
+            ctx.charge(ctx.costs.page_serialize);
+            ctx.flush_cpu();
+            let page = match entry.file.read_page(ctx.clock, pno) {
+                Ok(p) => p,
+                // best-effort: a lost remote MV is a miss, not an error
+                Err(StorageError::Unavailable(_)) => return Ok(None),
+                Err(e) => return Err(e),
+            };
+            for rec in page.iter() {
+                out.push(Row::decode(rec).0);
+            }
+        }
+        ctx.charge_n(ctx.costs.row_scan, out.len() as u64);
+        Ok(Some(out))
+    }
+
+    /// A base table changed: apply each dependent view's policy.
+    pub fn notify_update(&self, table: TableId) {
+        let mut mvs = self.mvs.write();
+        for entry in mvs.values_mut() {
+            if entry.sources.contains(&table) {
+                match entry.policy {
+                    MvPolicy::Invalidate => entry.valid = false,
+                    MvPolicy::Snapshot => {}
+                    MvPolicy::AsyncRefresh => entry.stale = true,
+                }
+            }
+        }
+    }
+
+    /// Replace the contents of an existing view (async refresh completing).
+    pub fn refresh_mv(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        name: &str,
+        rows: &[Row],
+    ) -> Result<bool, StorageError> {
+        let (sources, policy, device) = {
+            let mvs = self.mvs.read();
+            let Some(e) = mvs.get(name) else {
+                return Ok(false);
+            };
+            (e.sources.clone(), e.policy, Arc::clone(e.file.device()))
+        };
+        self.create_mv(ctx, name, sources, policy, rows, device)?;
+        Ok(true)
+    }
+
+    pub fn is_valid(&self, name: &str) -> bool {
+        self.mvs.read().get(name).map(|e| e.valid).unwrap_or(false)
+    }
+
+    pub fn is_stale(&self, name: &str) -> bool {
+        self.mvs.read().get(name).map(|e| e.stale).unwrap_or(false)
+    }
+
+    pub fn mv_count(&self) -> usize {
+        self.mvs.read().len()
+    }
+
+    /// Drop a view entirely.
+    pub fn drop_mv(&self, name: &str) -> bool {
+        self.mvs.write().remove(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuCosts;
+    use crate::exec::int_row;
+    use remem_sim::{Clock, CpuPool};
+    use remem_storage::RamDisk;
+
+    fn parts() -> (SemanticCache, Clock, CpuPool, CpuCosts) {
+        (SemanticCache::new(), Clock::new(), CpuPool::new(4), CpuCosts::default())
+    }
+
+    #[test]
+    fn mv_round_trip() {
+        let (sc, mut clock, cpu, costs) = parts();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        let rows: Vec<Row> = (0..5000).map(|i| int_row(&[i, i * 2])).collect();
+        sc.create_mv(
+            &mut ctx,
+            "q1_agg",
+            vec![TableId(0)],
+            MvPolicy::Invalidate,
+            &rows,
+            Arc::new(RamDisk::new(32 << 20)),
+        )
+        .unwrap();
+        let back = sc.get_mv(&mut ctx, "q1_agg").unwrap().unwrap();
+        assert_eq!(back, rows);
+        assert!(sc.get_mv(&mut ctx, "missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn policies_react_to_updates() {
+        let (sc, mut clock, cpu, costs) = parts();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        let rows = vec![int_row(&[1])];
+        let disk = || -> Arc<dyn Device> { Arc::new(RamDisk::new(1 << 20)) };
+        sc.create_mv(&mut ctx, "inv", vec![TableId(0)], MvPolicy::Invalidate, &rows, disk()).unwrap();
+        sc.create_mv(&mut ctx, "snap", vec![TableId(0)], MvPolicy::Snapshot, &rows, disk()).unwrap();
+        sc.create_mv(&mut ctx, "async", vec![TableId(0)], MvPolicy::AsyncRefresh, &rows, disk()).unwrap();
+        sc.create_mv(&mut ctx, "other", vec![TableId(9)], MvPolicy::Invalidate, &rows, disk()).unwrap();
+        sc.notify_update(TableId(0));
+        assert!(!sc.is_valid("inv"));
+        assert!(sc.is_valid("snap"));
+        assert!(sc.is_valid("async") && sc.is_stale("async"));
+        assert!(sc.is_valid("other"), "unrelated views unaffected");
+        // invalidated view no longer served
+        assert!(sc.get_mv(&mut ctx, "inv").unwrap().is_none());
+    }
+
+    #[test]
+    fn refresh_restores_async_view() {
+        let (sc, mut clock, cpu, costs) = parts();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        sc.create_mv(
+            &mut ctx,
+            "v",
+            vec![TableId(0)],
+            MvPolicy::AsyncRefresh,
+            &[int_row(&[1])],
+            Arc::new(RamDisk::new(1 << 20)),
+        )
+        .unwrap();
+        sc.notify_update(TableId(0));
+        assert!(sc.is_stale("v"));
+        sc.refresh_mv(&mut ctx, "v", &[int_row(&[1]), int_row(&[2])]).unwrap();
+        assert!(!sc.is_stale("v"));
+        assert_eq!(sc.get_mv(&mut ctx, "v").unwrap().unwrap().len(), 2);
+        assert!(!sc.refresh_mv(&mut ctx, "nonexistent", &[]).unwrap());
+    }
+
+    #[test]
+    fn remote_failure_is_a_miss_not_an_error() {
+        let (sc, mut clock, cpu, costs) = parts();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        let disk = Arc::new(RamDisk::new(1 << 20));
+        sc.create_mv(
+            &mut ctx,
+            "v",
+            vec![TableId(0)],
+            MvPolicy::Snapshot,
+            &[int_row(&[1])],
+            Arc::clone(&disk) as Arc<dyn Device>,
+        )
+        .unwrap();
+        disk.fail();
+        assert!(sc.get_mv(&mut ctx, "v").unwrap().is_none(), "failure degrades to a miss");
+    }
+
+    #[test]
+    fn drop_mv() {
+        let (sc, mut clock, cpu, costs) = parts();
+        let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+        sc.create_mv(
+            &mut ctx,
+            "v",
+            vec![],
+            MvPolicy::Snapshot,
+            &[int_row(&[1])],
+            Arc::new(RamDisk::new(1 << 20)),
+        )
+        .unwrap();
+        assert_eq!(sc.mv_count(), 1);
+        assert!(sc.drop_mv("v"));
+        assert!(!sc.drop_mv("v"));
+        assert_eq!(sc.mv_count(), 0);
+    }
+}

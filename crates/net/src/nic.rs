@@ -1,0 +1,138 @@
+//! The NIC model: one bandwidth pipe, MR registration bookkeeping.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use remem_sim::{FifoResource, SimDuration, SimTime};
+
+use crate::config::NetConfig;
+use crate::error::NetError;
+use crate::mr::{MemoryRegion, MrId};
+
+/// A ConnectX-3-like NIC.
+///
+/// The data path is a single bandwidth pipe ([`FifoResource`] at
+/// `nic_bandwidth`): serialization time occupies the pipe, propagation is
+/// added to completion without occupying it. Registration bookkeeping
+/// enforces the hardware limits from Appendix A (2 GB per MR, ~130 K MRs).
+#[derive(Debug)]
+pub struct Nic {
+    pipe: FifoResource,
+    mrs: Mutex<HashMap<MrId, MemoryRegion>>,
+    next_mr: Mutex<MrId>,
+    max_mr_size: u64,
+    max_mr_count: usize,
+}
+
+impl Nic {
+    pub fn new(cfg: &NetConfig) -> Nic {
+        Nic {
+            pipe: FifoResource::new(),
+            mrs: Mutex::new(HashMap::new()),
+            next_mr: Mutex::new(1),
+            max_mr_size: cfg.max_mr_size,
+            max_mr_count: cfg.max_mr_count,
+        }
+    }
+
+    /// Register `len` bytes of fresh pinned memory. Returns the MR id.
+    /// The *time* cost ([`NetConfig::registration_cost`]) is charged by the
+    /// caller, because who pays depends on the scenario (memory-server proxy
+    /// at startup vs. database server registering a staging buffer).
+    pub fn register_mr(&self, len: u64) -> Result<MrId, NetError> {
+        if len > self.max_mr_size {
+            return Err(NetError::MrLimitExceeded("MR larger than 2 GB"));
+        }
+        let mut mrs = self.mrs.lock();
+        if mrs.len() >= self.max_mr_count {
+            return Err(NetError::MrLimitExceeded("too many registered MRs"));
+        }
+        let mut next = self.next_mr.lock();
+        let id = *next;
+        *next += 1;
+        mrs.insert(id, MemoryRegion::new(id, len));
+        Ok(id)
+    }
+
+    /// Deregister (unpin) an MR, freeing its memory back to the OS.
+    pub fn deregister_mr(&self, id: MrId) -> bool {
+        self.mrs.lock().remove(&id).is_some()
+    }
+
+    pub fn mr(&self, id: MrId) -> Option<MemoryRegion> {
+        self.mrs.lock().get(&id).cloned()
+    }
+
+    pub fn mr_count(&self) -> usize {
+        self.mrs.lock().len()
+    }
+
+    /// Reserve pipe time for a transfer of `bytes` plus `op_overhead`,
+    /// starting no earlier than `now`. Returns when the pipe finishes
+    /// serializing (propagation is added by the fabric).
+    pub(crate) fn reserve(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        bandwidth: u64,
+        op_overhead: SimDuration,
+    ) -> remem_sim::resource::Grant {
+        let service = op_overhead + SimDuration::for_transfer(bytes, bandwidth);
+        self.pipe.acquire(now, service)
+    }
+
+    /// Fraction of `[0, horizon]` the NIC pipe was busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.pipe.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_respects_limits() {
+        let cfg = NetConfig { max_mr_count: 2, ..NetConfig::default() };
+        let nic = Nic::new(&cfg);
+        assert!(nic.register_mr(1024).is_ok());
+        assert!(nic.register_mr(1024).is_ok());
+        assert_eq!(
+            nic.register_mr(1024),
+            Err(NetError::MrLimitExceeded("too many registered MRs"))
+        );
+        assert_eq!(
+            nic.register_mr(cfg.max_mr_size + 1),
+            Err(NetError::MrLimitExceeded("MR larger than 2 GB"))
+        );
+    }
+
+    #[test]
+    fn deregister_frees_slots() {
+        let cfg = NetConfig { max_mr_count: 1, ..NetConfig::default() };
+        let nic = Nic::new(&cfg);
+        let id = nic.register_mr(64).unwrap();
+        assert_eq!(nic.mr_count(), 1);
+        assert!(nic.deregister_mr(id));
+        assert!(!nic.deregister_mr(id), "double deregister must fail");
+        assert!(nic.register_mr(64).is_ok());
+    }
+
+    #[test]
+    fn mr_ids_are_never_reused() {
+        let nic = Nic::new(&NetConfig::default());
+        let a = nic.register_mr(8).unwrap();
+        nic.deregister_mr(a);
+        let b = nic.register_mr(8).unwrap();
+        assert_ne!(a, b, "stale handles must not alias new regions");
+    }
+
+    #[test]
+    fn pipe_serializes_transfers() {
+        let cfg = NetConfig::default();
+        let nic = Nic::new(&cfg);
+        let g1 = nic.reserve(SimTime::ZERO, 8192, cfg.nic_bandwidth, cfg.rdma_op_overhead);
+        let g2 = nic.reserve(SimTime::ZERO, 8192, cfg.nic_bandwidth, cfg.rdma_op_overhead);
+        assert!(g2.start >= g1.end);
+    }
+}

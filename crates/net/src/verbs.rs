@@ -1,0 +1,245 @@
+//! Queue-pair verbs: the Appendix A machinery underneath [`crate::Fabric`].
+//!
+//! RDMA communication is based on queues (Appendix A): a **send queue** and
+//! **receive queue** — together a *queue pair* (QP) — carry work requests,
+//! and a **completion queue** (CQ) notifies the application when a transfer
+//! finishes. The NIC implements the protocol, flow control and reliability
+//! in hardware; network failures surface as terminated connections.
+//!
+//! [`crate::Fabric::read`]/[`write`](crate::Fabric::write) are convenience
+//! wrappers that post a work request and synchronously drain the CQ; this
+//! module exposes the underlying queue discipline for callers that want to
+//! keep multiple requests in flight explicitly (the staging-buffer design of
+//! §4.2 sustains up to 128 pending transfers per scheduler this way).
+
+use std::collections::VecDeque;
+
+use remem_sim::{Clock, SimTime};
+
+use crate::error::NetError;
+use crate::fabric::{Fabric, Protocol};
+use crate::mr::MrHandle;
+use crate::server::ServerId;
+
+/// Identifier of a posted work request, unique within its queue pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkRequestId(pub u64);
+
+/// The verb a work request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// One-sided read from remote memory into a local buffer.
+    Read,
+    /// One-sided write of a local buffer into remote memory.
+    Write,
+}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    pub wr_id: WorkRequestId,
+    pub verb: Verb,
+    /// Virtual instant the transfer finished on the wire.
+    pub completed_at: SimTime,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Failure, if the connection terminated mid-request.
+    pub error: Option<NetError>,
+}
+
+impl Completion {
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A reliable connected queue pair between two servers.
+///
+/// Work requests execute eagerly in virtual time when posted (the NIC DMA
+/// engine model inside the fabric serializes them); completions accumulate
+/// in the CQ until polled, so callers can pipeline any number of requests
+/// and process completions in order — the send-queue/completion-queue
+/// discipline of Appendix A.
+pub struct QueuePair<'a> {
+    fabric: &'a Fabric,
+    protocol: Protocol,
+    local: ServerId,
+    remote: ServerId,
+    next_wr: u64,
+    cq: VecDeque<Completion>,
+}
+
+impl<'a> QueuePair<'a> {
+    /// Connect a queue pair (charges the QP setup handshake).
+    pub fn connect(
+        fabric: &'a Fabric,
+        clock: &mut Clock,
+        protocol: Protocol,
+        local: ServerId,
+        remote: ServerId,
+    ) -> Result<QueuePair<'a>, NetError> {
+        fabric.connect(clock, local, remote)?;
+        Ok(QueuePair { fabric, protocol, local, remote, next_wr: 1, cq: VecDeque::new() })
+    }
+
+    pub fn remote(&self) -> ServerId {
+        self.remote
+    }
+
+    /// Post an RDMA read: remote `[offset, offset+buf.len())` → `buf`.
+    /// Returns the work-request id; the completion lands in the CQ.
+    pub fn post_read(
+        &mut self,
+        clock: &mut Clock,
+        mr: MrHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> WorkRequestId {
+        let wr_id = self.alloc_wr();
+        let t0 = clock.now();
+        let result = self.fabric.read(clock, self.protocol, self.local, mr, offset, buf);
+        self.complete(wr_id, Verb::Read, clock.now().max(t0), buf.len() as u64, result);
+        wr_id
+    }
+
+    /// Post an RDMA write: `data` → remote `[offset, offset+data.len())`.
+    pub fn post_write(
+        &mut self,
+        clock: &mut Clock,
+        mr: MrHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> WorkRequestId {
+        let wr_id = self.alloc_wr();
+        let t0 = clock.now();
+        let result = self.fabric.write(clock, self.protocol, self.local, mr, offset, data);
+        self.complete(wr_id, Verb::Write, clock.now().max(t0), data.len() as u64, result);
+        wr_id
+    }
+
+    fn alloc_wr(&mut self) -> WorkRequestId {
+        let id = WorkRequestId(self.next_wr);
+        self.next_wr += 1;
+        id
+    }
+
+    fn complete(
+        &mut self,
+        wr_id: WorkRequestId,
+        verb: Verb,
+        at: SimTime,
+        bytes: u64,
+        result: Result<(), NetError>,
+    ) {
+        self.cq.push_back(Completion {
+            wr_id,
+            verb,
+            completed_at: at,
+            bytes,
+            error: result.err(),
+        });
+    }
+
+    /// Poll one completion, if any (non-blocking, like `ibv_poll_cq`).
+    pub fn poll_cq(&mut self) -> Option<Completion> {
+        self.cq.pop_front()
+    }
+
+    /// Completions pending in the CQ.
+    pub fn cq_depth(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Drain the CQ, spinning the clock forward to the latest completion —
+    /// the synchronous completion model of §4.1.3.
+    pub fn drain_cq(&mut self, clock: &mut Clock) -> Vec<Completion> {
+        let mut out: Vec<Completion> = Vec::with_capacity(self.cq.len());
+        while let Some(c) = self.cq.pop_front() {
+            clock.advance_to(c.completed_at);
+            out.push(c);
+        }
+        out
+    }
+
+    /// Tear the connection down ("Close" in Table 2). Pending completions
+    /// are dropped, as on a real QP transition to error state.
+    pub fn disconnect(mut self) {
+        self.cq.clear();
+        self.fabric.disconnect(self.local, self.remote);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use remem_sim::Clock;
+
+    fn setup() -> (Fabric, ServerId, ServerId, MrHandle) {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB", 8);
+        let mem = fabric.add_server("M", 8);
+        let mut pc = Clock::new();
+        let mr = fabric.register_mr(&mut pc, mem, 1 << 20).unwrap();
+        (fabric, db, mem, mr)
+    }
+
+    #[test]
+    fn pipelined_requests_complete_in_order() {
+        let (fabric, db, mem, mr) = setup();
+        let mut clock = Clock::new();
+        let mut qp = QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).unwrap();
+        let w1 = qp.post_write(&mut clock, mr, 0, b"first");
+        let w2 = qp.post_write(&mut clock, mr, 100, b"second");
+        let mut buf = vec![0u8; 5];
+        let r1 = qp.post_read(&mut clock, mr, 0, &mut buf);
+        assert_eq!(&buf, b"first");
+        assert_eq!(qp.cq_depth(), 3);
+        let completions = qp.drain_cq(&mut clock);
+        assert_eq!(
+            completions.iter().map(|c| c.wr_id).collect::<Vec<_>>(),
+            vec![w1, w2, r1]
+        );
+        assert!(completions.iter().all(Completion::is_ok));
+        assert!(completions.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        assert_eq!(qp.cq_depth(), 0);
+    }
+
+    #[test]
+    fn failures_surface_as_errored_completions() {
+        let (fabric, db, mem, mr) = setup();
+        let mut clock = Clock::new();
+        let mut qp = QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).unwrap();
+        fabric.server(mem).unwrap().fail();
+        let mut buf = vec![0u8; 8];
+        qp.post_read(&mut clock, mr, 0, &mut buf);
+        let c = qp.poll_cq().unwrap();
+        assert!(!c.is_ok());
+        assert_eq!(c.error, Some(NetError::ServerDown(mem)));
+    }
+
+    #[test]
+    fn disconnect_tears_down_the_connection() {
+        let (fabric, db, mem, _mr) = setup();
+        let mut clock = Clock::new();
+        let qp = QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).unwrap();
+        assert!(fabric.is_connected(db, mem));
+        qp.disconnect();
+        assert!(!fabric.is_connected(db, mem));
+    }
+
+    #[test]
+    fn wr_ids_are_monotone_and_unique() {
+        let (fabric, db, mem, mr) = setup();
+        let mut clock = Clock::new();
+        let mut qp = QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).unwrap();
+        let ids: Vec<u64> = (0..10)
+            .map(|i| qp.post_write(&mut clock, mr, i * 8, &[0u8; 8]).0)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

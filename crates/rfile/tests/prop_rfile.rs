@@ -1,0 +1,90 @@
+//! Property-based tests: the remote file behaves exactly like a local byte
+//! array, whatever the MR layout, placement, and operation sequence.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use remem_broker::{BrokerConfig, MemoryBroker, MemoryProxy, MetaStore, PlacementPolicy};
+use remem_net::{Fabric, NetConfig};
+use remem_rfile::{RFileConfig, RemoteFile};
+use remem_sim::Clock;
+
+fn make_file(
+    mr_kib: u64,
+    donors: usize,
+    size: u64,
+    placement: PlacementPolicy,
+) -> (RemoteFile, Clock) {
+    let fabric = Arc::new(Fabric::new(NetConfig::default()));
+    let db = fabric.add_server("DB", 8);
+    let broker = Arc::new(MemoryBroker::new(
+        BrokerConfig { placement, ..Default::default() },
+        MetaStore::new(),
+    ));
+    let per_donor = size.div_ceil(donors as u64).div_ceil(mr_kib << 10) * (mr_kib << 10) + (mr_kib << 10);
+    for i in 0..donors {
+        let m = fabric.add_server(format!("M{i}"), 8);
+        let mut pc = Clock::new();
+        MemoryProxy::new(m, mr_kib << 10).donate(&mut pc, &fabric, &broker, per_donor).unwrap();
+    }
+    let mut clock = Clock::new();
+    let f = RemoteFile::create_open(&mut clock, fabric, broker, db, size, RFileConfig::custom())
+        .unwrap();
+    (f, clock)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary write/read sequences over arbitrary MR sizes and donor
+    /// counts match a plain Vec<u8> reference model — offset translation
+    /// across MR boundaries is exact.
+    #[test]
+    fn remote_file_equals_byte_array(
+        mr_kib in prop_oneof![Just(16u64), Just(64), Just(256)],
+        donors in 1usize..4,
+        spread in any::<bool>(),
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u64..200_000, 1usize..5_000, any::<u8>()), 1..40),
+    ) {
+        let size: u64 = 256 << 10;
+        let placement =
+            if spread { PlacementPolicy::Spread } else { PlacementPolicy::Pack };
+        let (file, mut clock) = make_file(mr_kib, donors, size, placement);
+        let mut model = vec![0u8; size as usize];
+        for (is_write, offset, len, fill) in ops {
+            let offset = offset % size;
+            let len = len.min((size - offset) as usize).max(1);
+            if is_write {
+                let data = vec![fill; len];
+                file.write(&mut clock, offset, &data).unwrap();
+                model[offset as usize..offset as usize + len].copy_from_slice(&data);
+            } else {
+                let mut buf = vec![0u8; len];
+                file.read(&mut clock, offset, &mut buf).unwrap();
+                prop_assert_eq!(&buf, &model[offset as usize..offset as usize + len]);
+            }
+        }
+        // final full-file comparison
+        let mut all = vec![0u8; size as usize];
+        file.read(&mut clock, 0, &mut all).unwrap();
+        prop_assert_eq!(all, model);
+    }
+
+    /// Virtual time is strictly monotumented by every operation and larger
+    /// transfers never complete faster than smaller ones issued at the same
+    /// instant on a fresh file.
+    #[test]
+    fn transfer_time_is_monotone_in_size(len_a in 1usize..100_000, len_b in 1usize..100_000) {
+        let (small, big) = (len_a.min(len_b), len_a.max(len_b));
+        let mut times = Vec::new();
+        for len in [small, big] {
+            let (file, mut clock) = make_file(256, 1, 256 << 10, PlacementPolicy::Pack);
+            let data = vec![7u8; len.min(256 << 10)];
+            let t0 = clock.now();
+            file.write(&mut clock, 0, &data).unwrap();
+            times.push(clock.now().since(t0));
+        }
+        prop_assert!(times[1] >= times[0], "bigger write {:?} faster than smaller {:?}", times[1], times[0]);
+    }
+}

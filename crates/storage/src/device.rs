@@ -1,0 +1,63 @@
+//! The device abstraction every storage tier implements.
+
+use remem_sim::Clock;
+
+use crate::error::StorageError;
+
+/// A block device with virtual-time costs and real byte storage.
+///
+/// Implemented by [`crate::HddArray`], [`crate::Ssd`], [`crate::RamDisk`]
+/// and — the paper's contribution — the remote-memory file shim in
+/// `remem-rfile`. The database engine is written against this trait, so
+/// swapping local disks for remote memory is a configuration change, which
+/// mirrors how little of SQL Server the authors had to touch.
+pub trait Device: Send + Sync {
+    /// Read `buf.len()` bytes at `offset`, charging the device time to
+    /// `clock`.
+    fn read(&self, clock: &mut Clock, offset: u64, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// Write `data` at `offset`, charging the device time to `clock`.
+    fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Human-readable label for benchmark tables ("HDD(20)", "SSD", ...).
+    fn label(&self) -> String;
+
+    /// Bounds-check helper shared by implementations.
+    fn check_bounds(&self, offset: u64, len: u64) -> Result<(), StorageError> {
+        if offset + len > self.capacity() {
+            Err(StorageError::OutOfBounds { offset, len, capacity: self.capacity() })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Shared backing store: a real byte array behind a lock.
+///
+/// Kept as a plain `Vec<u8>`; workloads in this reproduction are scaled to
+/// hundreds of megabytes, for which eager allocation is simplest and fast.
+#[derive(Debug)]
+pub(crate) struct Backing {
+    data: parking_lot::RwLock<Vec<u8>>,
+}
+
+impl Backing {
+    pub fn new(capacity: u64) -> Backing {
+        Backing { data: parking_lot::RwLock::new(vec![0u8; capacity as usize]) }
+    }
+
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let d = self.data.read();
+        let o = offset as usize;
+        buf.copy_from_slice(&d[o..o + buf.len()]);
+    }
+
+    pub fn write(&self, offset: u64, data: &[u8]) {
+        let mut d = self.data.write();
+        let o = offset as usize;
+        d[o..o + data.len()].copy_from_slice(data);
+    }
+}

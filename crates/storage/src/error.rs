@@ -1,0 +1,27 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Device`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Access beyond device capacity.
+    OutOfBounds { offset: u64, len: u64, capacity: u64 },
+    /// The device (or the remote memory behind it) is unavailable.
+    /// For remote-memory-backed devices this is the best-effort failure the
+    /// paper's scenarios must tolerate without losing correctness.
+    Unavailable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfBounds { offset, len, capacity } => {
+                write!(f, "access [{offset}, {}) exceeds capacity {capacity}", offset + len)
+            }
+            StorageError::Unavailable(why) => write!(f, "device unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,29 @@
+//! # remem-workloads — the paper's workloads, scaled for simulation
+//!
+//! Generators and closed-loop drivers for every workload in Table 4:
+//!
+//! | Paper workload | Module | Purpose |
+//! |---|---|---|
+//! | SQLIO micro-benchmark | [`sqlio`] | raw device/remote-memory I/O (Figs. 3-6) |
+//! | RangeScan | [`rangescan`] | BPExt stress + priming (Figs. 7-12, 16, 24, 25) |
+//! | Hash+Sort | [`hashsort`] | TempDB stress (Fig. 14) |
+//! | TPC-H (SF 200) | [`tpch`] | decision support end-to-end (Figs. 18-19, 15) |
+//! | TPC-DS (SF 300) | [`tpcds`] | diverse decision support (Figs. 20-21) |
+//! | TPC-C (800 WH) | [`tpcc`] | OLTP mixes (Figs. 22-23) |
+//! | Parallel loading | [`loading`] | CPU-offloaded bulk load (Fig. 27) |
+//!
+//! All datasets are scaled down ~1000× (GB → MB) with device constants
+//! unchanged: since every paper result is a *ratio between designs*, the
+//! shapes survive scaling (each harness prints its scale). Generators are
+//! seeded and deterministic.
+
+pub mod hashsort;
+pub mod loading;
+pub mod rangescan;
+pub mod sqlio;
+pub mod tpcc;
+pub mod tpcds;
+pub mod tpch;
+
+/// The uniform down-scaling applied to the paper's data sizes.
+pub const SCALE_DENOMINATOR: u64 = 1000;

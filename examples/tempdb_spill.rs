@@ -1,0 +1,61 @@
+//! TempDB spilling scenario (§3.2 / §6.3): the Hash+Sort query, whose hash
+//! join and Top-N sort both exceed their memory grants and spill.
+//!
+//! Run with: `cargo run --release -p remem --example tempdb_spill`
+
+use remem::{Cluster, DbOptions, Design};
+use remem_sim::Clock;
+use remem_workloads::hashsort::{load_tables, run_hash_sort, HashSortParams};
+
+fn main() {
+    let opts = DbOptions {
+        pool_bytes: 64 << 20, // scans fit in memory: TempDB is the bottleneck
+        bpext_bytes: 16 << 20,
+        tempdb_bytes: 96 << 20,
+        data_bytes: 256 << 20,
+        spindles: 20,
+        oltp: false, // analytics: HDD+SSD keeps BPExt off (Table 5)
+        workspace_bytes: Some(2 << 20), // small grants force the spill
+    };
+    let params = HashSortParams { orders: 12_000, lineitems_per_order: 4, top_n: 1_000, seed: 7 };
+
+    println!("Hash+Sort: {} orders x {} lineitems, Top-{}", params.orders,
+        params.lineitems_per_order, params.top_n);
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>12}",
+        "design", "total s", "build s", "probe+sort s", "spill MiB"
+    );
+    let mut reference: Option<(usize, f64)> = None;
+    for design in Design::ALL {
+        let cluster = Cluster::builder()
+            .memory_servers(2)
+            .memory_per_server(64 << 20)
+            .build();
+        let mut clock = Clock::new();
+        let db = design.build(&cluster, &mut clock, &opts).expect("build design");
+        let tables = load_tables(&db, &mut clock, &params);
+        let r = run_hash_sort(&db, &mut clock, tables, params.top_n);
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>14.3} {:>12.1}",
+            design.label(),
+            r.total.as_secs_f64(),
+            r.build_phase.as_secs_f64(),
+            r.probe_sort_phase.as_secs_f64(),
+            r.tempdb_bytes as f64 / (1 << 20) as f64,
+        );
+        // every design must compute the same answer
+        match &reference {
+            None => reference = Some((r.result_rows, r.min_price)),
+            Some(expect) => assert_eq!(
+                (r.result_rows, r.min_price),
+                *expect,
+                "answers must not depend on where TempDB lives"
+            ),
+        }
+    }
+    println!("\n(the paper's Fig. 14a shape: disks ≫ remote memory; SMBDirect ≈ Custom");
+    println!(" because large sequential transfers amortize its per-op overheads.");
+    println!(" At this example's small scale SSD beats HDD — runs are too short to");
+    println!(" amortize seeks; the paper-scale HDD<HDD+SSD inversion is reproduced");
+    println!(" by `cargo run --release -p remem-bench --bin repro_fig14_hash_sort`)");
+}

@@ -1,0 +1,173 @@
+//! Integration: failure injection. The paper's contract is *best-effort*:
+//! losing remote memory degrades performance but never correctness.
+
+use remem::{Cluster, ColType, DbOptions, Design, Schema};
+use remem_engine::exec::int_row;
+#[allow(unused_imports)]
+use remem_engine::Row;
+use remem_engine::semantic::MvPolicy;
+use remem_engine::Value;
+use remem_sim::Clock;
+use std::sync::Arc;
+
+fn cluster() -> Cluster {
+    Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build()
+}
+
+/// Donor crash mid-workload: the BPExt disappears, the engine keeps
+/// answering every query correctly from the base device.
+#[test]
+fn donor_crash_degrades_but_never_corrupts() {
+    let c = cluster();
+    let mut clock = Clock::new();
+    let opts = DbOptions { pool_bytes: 1 << 20, ..DbOptions::small() };
+    let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+    let t = db
+        .create_table(
+            &mut clock,
+            "t",
+            Schema::new(vec![("k", ColType::Int), ("v", ColType::Int), ("pad", ColType::Str)]),
+            0,
+        )
+        .unwrap();
+    for k in 0..10_000i64 {
+        db.insert(
+            &mut clock,
+            t,
+            remem_engine::Row::new(vec![
+                Value::Int(k),
+                Value::Int(k * 3),
+                Value::Str("p".repeat(180)),
+            ]),
+        )
+        .unwrap();
+    }
+    // churn so the extension is heavily used
+    let mut rng = remem_sim::rng::SimRng::seeded(4);
+    for _ in 0..500 {
+        let k = rng.uniform(0, 10_000) as i64;
+        assert_eq!(db.get(&mut clock, t, k).unwrap().unwrap().int(1), k * 3);
+    }
+    assert!(db.bp_stats().ext_hits > 0 || db.bp_stats().ext_writes > 0);
+
+    // both donors die
+    for &m in &c.memory_servers {
+        c.fabric.server(m).unwrap().fail();
+        c.broker.server_failed(m);
+    }
+    // every row still readable, correctly, from the HDD data files
+    for _ in 0..500 {
+        let k = rng.uniform(0, 10_000) as i64;
+        assert_eq!(
+            db.get(&mut clock, t, k).unwrap().unwrap().int(1),
+            k * 3,
+            "correctness must survive donor failure"
+        );
+    }
+    assert!(db.buffer_pool().extension_failed(), "extension should be abandoned");
+}
+
+/// Lease expiry without renewal behaves exactly like a crash: degraded,
+/// correct.
+#[test]
+fn lease_expiry_mid_scan_falls_back() {
+    let c = cluster();
+    let mut clock = Clock::new();
+    let opts = DbOptions { pool_bytes: 1 << 20, ..DbOptions::small() };
+    let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+    let t = db
+        .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int)]), 0)
+        .unwrap();
+    for k in 0..5_000i64 {
+        db.insert(&mut clock, t, int_row(&[k])).unwrap();
+    }
+    // jump virtual time past every lease (files auto-renew only when they
+    // are accessed; a long idle period lets the leases lapse)
+    clock.advance(c.broker.config().lease_duration * 3);
+    let rows = db.range(&mut clock, t, 0, 5_000).unwrap();
+    assert_eq!(rows.len(), 5_000, "scan after lease loss must still be complete");
+}
+
+/// The semantic cache after donor failure: invalid (miss), then rebuilt
+/// from the WAL with contents equal to a fresh rebuild.
+#[test]
+fn semantic_cache_recovery_equals_rebuild() {
+    let c = cluster();
+    let mut clock = Clock::new();
+    let db = Design::Custom.build(&c, &mut clock, &DbOptions::small()).unwrap();
+    let t = db
+        .create_table(&mut clock, "orders", Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)]), 0)
+        .unwrap();
+    let checkpoint = db.wal().current_lsn();
+    for k in 0..1_000i64 {
+        db.insert(&mut clock, t, int_row(&[k, k % 97])).unwrap();
+    }
+    // NC index on column 1 lives in remote memory
+    let remote_dev = c
+        .remote_file(&mut clock, c.db_server, 16 << 20, remem::RFileConfig::custom())
+        .unwrap();
+    let idx = db
+        .create_nc_index(&mut clock, t, 1, remote_dev as Arc<dyn remem::Device>)
+        .unwrap();
+    let before: usize = db.nc_lookup(&mut clock, t, idx, 13).unwrap().len();
+    assert!(before > 0);
+
+    // donor dies; rebuild the index from the log onto a new device
+    let applied = db
+        .rebuild_nc_index_from_log(
+            &mut clock,
+            t,
+            idx,
+            Arc::new(remem::RamDisk::new(32 << 20)),
+            checkpoint,
+        )
+        .unwrap();
+    assert_eq!(applied, 1_000);
+    let after = db.nc_lookup(&mut clock, t, idx, 13).unwrap();
+    assert_eq!(after.len(), before, "recovered index must equal the original");
+    assert!(after.iter().all(|r| r.int(1) == 13));
+}
+
+/// MV invalidation policy under failure + updates: an invalidated MV is a
+/// miss; the base tables still answer.
+#[test]
+fn mv_failure_and_invalidation_are_misses() {
+    let c = cluster();
+    let mut clock = Clock::new();
+    let db = Design::Custom.build(&c, &mut clock, &DbOptions::small()).unwrap();
+    let t = db
+        .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int), ("v", ColType::Float)]), 0)
+        .unwrap();
+    for k in 0..100i64 {
+        db.insert(
+            &mut clock,
+            t,
+            remem_engine::Row::new(vec![Value::Int(k), Value::Float(k as f64)]),
+        )
+        .unwrap();
+    }
+    let mv_dev = c
+        .remote_file(&mut clock, c.db_server, 4 << 20, remem::RFileConfig::custom())
+        .unwrap();
+    {
+        let mut ctx = db.exec_ctx(&mut clock);
+        db.semantic()
+            .create_mv(&mut ctx, "sum_v", vec![t], MvPolicy::Invalidate, &[int_row(&[4950])],
+                mv_dev as Arc<dyn remem::Device>)
+            .unwrap();
+    }
+    {
+        let mut ctx = db.exec_ctx(&mut clock);
+        assert!(db.semantic().get_mv(&mut ctx, "sum_v").unwrap().is_some());
+    }
+    // a base update invalidates it
+    db.update(&mut clock, t, 0, |r| r.0[1] = Value::Float(100.0)).unwrap();
+    {
+        let mut ctx = db.exec_ctx(&mut clock);
+        assert!(db.semantic().get_mv(&mut ctx, "sum_v").unwrap().is_none());
+    }
+    // base plan still computes the (new) truth
+    let rows = db.scan(&mut clock, t).unwrap();
+    let sum: f64 = rows.iter().map(|r| r.float(1)).sum();
+    assert_eq!(sum, 4950.0 - 0.0 + 100.0);
+}
