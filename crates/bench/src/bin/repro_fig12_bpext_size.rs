@@ -28,6 +28,7 @@ fn run(ext_mb: u64, spread: bool) -> (f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let mut clock = Clock::new();
     let db = Design::Custom.build(&cluster, &mut clock, &opts).expect("build");

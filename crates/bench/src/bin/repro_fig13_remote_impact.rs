@@ -35,6 +35,7 @@ fn run_config(proto: Option<Protocol>) -> (f64, f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let sb_db = Design::LocalMemory.build_for(&cluster, &mut clock, sb, &sb_opts).expect("SB");
     let sb_table = load_customer(&sb_db, &mut clock, 40_000);

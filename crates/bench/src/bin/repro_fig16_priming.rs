@@ -29,6 +29,7 @@ fn opts(pool_mb: u64) -> DbOptions {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     }
 }
 

@@ -21,6 +21,7 @@ fn run(design: Design, pool_mb: u64) -> (f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let mut clock = Clock::new();
     let db = design.build(&cluster, &mut clock, &opts).expect("build");

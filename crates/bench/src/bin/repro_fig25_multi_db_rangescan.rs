@@ -27,6 +27,7 @@ fn main() {
             spindles: 20,
             oltp: true,
             workspace_bytes: None,
+            fault_log: None,
         };
         let mut clock = Clock::new();
         let mut dbs = Vec::new();

@@ -68,6 +68,12 @@ impl Device for InstrumentedDevice {
     fn label(&self) -> String {
         self.inner.label()
     }
+
+    fn drain_lost_ranges(&self) -> Vec<(u64, u64)> {
+        // must forward: swallowing these would let a cache above serve
+        // pages whose backing stripes a self-heal replaced with zeros
+        self.inner.drain_lost_ranges()
+    }
 }
 
 /// Windowed utilization of a cumulative-utilization resource: the busy
@@ -155,6 +161,7 @@ pub fn rangescan_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     }
 }
 
@@ -169,6 +176,7 @@ pub fn hashsort_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: false,
         workspace_bytes: Some(1 << 20),
+        fault_log: None,
     }
 }
 
@@ -182,6 +190,7 @@ pub fn dss_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: false,
         workspace_bytes: Some(2 << 20),
+        fault_log: None,
     }
 }
 
@@ -195,6 +204,7 @@ pub fn tpcc_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     }
 }
 

@@ -25,6 +25,10 @@ pub struct BrokerConfig {
     /// metadata store, not the RDMA fast path).
     pub rpc_time: SimDuration,
     pub placement: PlacementPolicy,
+    /// Two-phase reclaim window: a lessee notified of donor memory pressure
+    /// has this long to flush/migrate/surrender before the broker revokes
+    /// the lease unilaterally.
+    pub grace_period: SimDuration,
 }
 
 impl Default for BrokerConfig {
@@ -33,6 +37,7 @@ impl Default for BrokerConfig {
             lease_duration: SimDuration::from_secs(10),
             rpc_time: SimDuration::from_micros(200),
             placement: PlacementPolicy::Pack,
+            grace_period: SimDuration::from_millis(50),
         }
     }
 }
@@ -106,10 +111,13 @@ impl MemoryBroker {
         let mut picked: Vec<MrHandle> = Vec::new();
         let mut got = 0u64;
         // Donors with availability, in stable id order for determinism.
+        // Failed servers keep no pool, but guard anyway in case a recovered
+        // server's pool is re-donated before `server_recovered` is called.
+        let failed = st.failed_servers.clone();
         let mut donors: Vec<ServerId> = st
             .available
             .iter()
-            .filter(|(s, v)| **s != holder && !v.is_empty())
+            .filter(|(s, v)| **s != holder && !v.is_empty() && !failed.contains(s))
             .map(|(s, _)| *s)
             .collect();
         donors.sort_unstable();
@@ -307,26 +315,266 @@ impl MemoryBroker {
         reclaimed
     }
 
-    /// A donor server died: revoke every lease touching it and drop its pool.
+    /// A donor server died: drop its pool and walk every Active lease
+    /// touching it. Auto-renewed leases (long-lived files whose holder runs
+    /// a renewal daemon and can self-heal) are *degraded*: the dead donor's
+    /// MRs move to `lost_mrs` and the lease stays Active so the holder can
+    /// keep using the surviving stripes and later call [`Self::repair_lease`].
+    /// Leases without a renewal daemon are revoked outright, as before.
     pub fn server_failed(&self, server: ServerId) {
         let mut st = self.store.state.lock();
         st.available.remove(&server);
-        let victims: Vec<LeaseId> = st
+        st.failed_servers.insert(server);
+        st.pending_revocations.retain(|_, (s, _)| *s != server);
+        let mut victims: Vec<LeaseId> = st
             .leases
             .iter()
             .filter(|(_, (l, s))| *s == LeaseState::Active && l.mrs.iter().any(|m| m.server == server))
             .map(|(id, _)| *id)
             .collect();
+        // stable order so the pool's MR order is replay-deterministic
+        victims.sort_unstable();
         for id in victims {
+            let auto = st.auto_renewed.contains(&id);
             let (lease, state) = st.leases.get_mut(&id).expect("victim exists");
+            if auto {
+                let lost: Vec<MrHandle> =
+                    lease.mrs.iter().filter(|m| m.server == server).copied().collect();
+                lease.mrs.retain(|m| m.server != server);
+                st.lost_mrs.entry(id).or_default().extend(lost);
+            } else {
+                let mrs = lease.mrs.clone();
+                *state = LeaseState::Revoked;
+                for mr in mrs {
+                    if mr.server != server {
+                        st.available.entry(mr.server).or_default().push(mr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A crashed donor came back (its proxy will re-donate fresh MRs).
+    pub fn server_recovered(&self, server: ServerId) {
+        self.store.state.lock().failed_servers.remove(&server);
+    }
+
+    /// Two-phase memory pressure on `server`: reclaim unleased MRs
+    /// immediately, then — if short — *notify* the Active leases touching
+    /// the server instead of revoking them, giving their holders
+    /// `grace_period` to flush, migrate or surrender. Past the deadline,
+    /// [`Self::finalize_revocations`] collects what remains.
+    ///
+    /// Returns `(bytes reclaimed now, leases put on notice)`.
+    pub fn request_reclaim(
+        &self,
+        now: SimTime,
+        fabric: &Fabric,
+        server: ServerId,
+        bytes: u64,
+    ) -> (u64, Vec<LeaseId>) {
+        let mut st = self.store.state.lock();
+        let mut reclaimed = 0u64;
+        if let Some(pool) = st.available.get_mut(&server) {
+            while reclaimed < bytes {
+                match pool.pop() {
+                    Some(mr) => {
+                        reclaimed += mr.len;
+                        let _ = fabric.deregister_mr(mr);
+                    }
+                    None => break,
+                }
+            }
+        }
+        let mut notified = Vec::new();
+        if reclaimed < bytes {
+            let deadline = now + self.cfg.grace_period;
+            let mut victims: Vec<LeaseId> = st
+                .leases
+                .iter()
+                .filter(|(id, (l, s))| {
+                    *s == LeaseState::Active
+                        && l.mrs.iter().any(|m| m.server == server)
+                        && !st.pending_revocations.contains_key(id)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            victims.sort_unstable();
+            for id in victims {
+                st.pending_revocations.insert(id, (server, deadline));
+                notified.push(id);
+            }
+        }
+        (reclaimed, notified)
+    }
+
+    /// Has this lease been put on notice by [`Self::request_reclaim`]?
+    /// Returns the pressured server and the revocation deadline.
+    pub fn revocation_notice(&self, id: LeaseId) -> Option<(ServerId, SimTime)> {
+        self.store.state.lock().pending_revocations.get(&id).copied()
+    }
+
+    /// Collect pending revocations whose grace window has passed: leases
+    /// still holding MRs on the pressured server are revoked, the pressured
+    /// MRs deregistered, the rest returned to the pool. Returns the bytes
+    /// reclaimed for the pressured donors.
+    pub fn finalize_revocations(&self, fabric: &Fabric, now: SimTime) -> u64 {
+        let mut st = self.store.state.lock();
+        let mut due: Vec<(LeaseId, ServerId)> = st
+            .pending_revocations
+            .iter()
+            .filter(|(_, (_, deadline))| now >= *deadline)
+            .map(|(id, (server, _))| (*id, *server))
+            .collect();
+        // stable order so the pool's MR order is replay-deterministic
+        due.sort_unstable();
+        let mut reclaimed = 0u64;
+        for (id, server) in due {
+            st.pending_revocations.remove(&id);
+            let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
+            if *state != LeaseState::Active {
+                continue;
+            }
             let mrs = lease.mrs.clone();
             *state = LeaseState::Revoked;
             for mr in mrs {
-                if mr.server != server {
+                if mr.server == server {
+                    reclaimed += mr.len;
+                    let _ = fabric.deregister_mr(mr);
+                } else {
                     st.available.entry(mr.server).or_default().push(mr);
                 }
             }
         }
+        reclaimed
+    }
+
+    /// Grant extra MRs to an Active lease — the migration path: a holder on
+    /// notice asks for replacement capacity *while its old MRs are still
+    /// readable*, copies the data over, then surrenders the old MRs.
+    /// `avoid` (typically the pressured or failing donor) is excluded.
+    pub fn request_extra(
+        &self,
+        clock: &mut Clock,
+        id: LeaseId,
+        bytes: u64,
+        avoid: ServerId,
+    ) -> Result<Vec<MrHandle>, BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        let holder = lease.holder;
+        let picked = Self::pick_from_pool(&mut st, bytes, &[holder, avoid])?;
+        let (lease, _) = st.leases.get_mut(&id).expect("checked above");
+        lease.mrs.extend(picked.iter().copied());
+        Ok(picked)
+    }
+
+    /// Remove and deregister a lease's MRs on `server` (the tail end of a
+    /// migration, or a voluntary partial give-back under pressure). Clears
+    /// any pending revocation notice for the lease. The lease stays Active.
+    /// Returns the bytes surrendered.
+    pub fn surrender_mrs(
+        &self,
+        clock: &mut Clock,
+        id: LeaseId,
+        server: ServerId,
+        fabric: &Fabric,
+    ) -> Result<u64, BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        let gone: Vec<MrHandle> = lease.mrs.iter().filter(|m| m.server == server).copied().collect();
+        lease.mrs.retain(|m| m.server != server);
+        st.pending_revocations.remove(&id);
+        let mut freed = 0;
+        for mr in gone {
+            freed += mr.len;
+            let _ = fabric.deregister_mr(mr);
+        }
+        Ok(freed)
+    }
+
+    /// Re-lease replacement capacity for the MRs a degraded lease lost to a
+    /// donor crash. All-or-nothing: on success the replacements (fresh,
+    /// zero-content pool MRs) are appended to the lease and the lost set is
+    /// cleared; on insufficient memory nothing changes and the caller may
+    /// retry later. Returns `(lost, replacements)` so the holder can map
+    /// dead stripes onto the new MRs.
+    pub fn repair_lease(
+        &self,
+        clock: &mut Clock,
+        id: LeaseId,
+    ) -> Result<(Vec<MrHandle>, Vec<MrHandle>), BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        let holder = lease.holder;
+        let lost = st.lost_mrs.remove(&id).unwrap_or_default();
+        if lost.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let need: u64 = lost.iter().map(|m| m.len).sum();
+        let picked = match Self::pick_from_pool(&mut st, need, &[holder]) {
+            Ok(p) => p,
+            Err(e) => {
+                st.lost_mrs.insert(id, lost);
+                return Err(e);
+            }
+        };
+        let (lease, _) = st.leases.get_mut(&id).expect("checked above");
+        lease.mrs.extend(picked.iter().copied());
+        Ok((lost, picked))
+    }
+
+    /// Pop MRs totalling at least `bytes` from the pool, skipping `exclude`
+    /// and failed servers, in stable donor order. All-or-nothing.
+    fn pick_from_pool(
+        st: &mut crate::meta::MetaState,
+        bytes: u64,
+        exclude: &[ServerId],
+    ) -> Result<Vec<MrHandle>, BrokerError> {
+        let mut donors: Vec<ServerId> = st
+            .available
+            .iter()
+            .filter(|(s, v)| {
+                !exclude.contains(s) && !v.is_empty() && !st.failed_servers.contains(s)
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        donors.sort_unstable();
+        let mut picked = Vec::new();
+        let mut got = 0u64;
+        'outer: for donor in donors {
+            let pool = st.available.get_mut(&donor).expect("donor exists");
+            while got < bytes {
+                match pool.pop() {
+                    Some(mr) => {
+                        got += mr.len;
+                        picked.push(mr);
+                    }
+                    None => continue 'outer,
+                }
+            }
+            break;
+        }
+        if got < bytes {
+            let available = got;
+            for mr in picked {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+        }
+        Ok(picked)
     }
 }
 
@@ -361,7 +609,7 @@ mod tests {
         assert_eq!(broker.store().available_bytes(), 2 * MR);
         assert!(broker.is_valid(lease.id, clock.now()));
         let new_expiry = broker.renew(&mut clock, lease.id).unwrap();
-        assert!(new_expiry > lease.expires_at || new_expiry == lease.expires_at);
+        assert!(new_expiry >= lease.expires_at);
         broker.release(&mut clock, lease.id).unwrap();
         assert_eq!(broker.store().available_bytes(), 4 * MR);
         assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Released));
@@ -472,6 +720,127 @@ mod tests {
         assert!(broker2.is_valid(lease.id, clock.now()));
         assert!(broker2.renew(&mut clock, lease.id).is_ok());
         assert_eq!(broker2.store().available_bytes(), MR);
+    }
+
+    #[test]
+    fn graceful_reclaim_spares_a_lease_that_surrenders_in_time() {
+        let (fabric, broker, db) = cluster(1, 4);
+        let donor = ServerId(1);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        // pressure for all 4 MR: 2 unleased reclaimed now, lease put on notice
+        let (got, notified) = broker.request_reclaim(clock.now(), &fabric, donor, 4 * MR);
+        assert_eq!(got, 2 * MR);
+        assert_eq!(notified, vec![lease.id]);
+        let (srv, deadline) = broker.revocation_notice(lease.id).unwrap();
+        assert_eq!(srv, donor);
+        assert!(deadline > clock.now());
+        // holder gives the memory back inside the window
+        let freed = broker.surrender_mrs(&mut clock, lease.id, donor, &fabric).unwrap();
+        assert_eq!(freed, 2 * MR);
+        assert!(broker.revocation_notice(lease.id).is_none());
+        // the deadline passes: nothing left to take, lease still Active
+        clock.advance_to(deadline + SimDuration::from_micros(1));
+        assert_eq!(broker.finalize_revocations(&fabric, clock.now()), 0);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+    }
+
+    #[test]
+    fn missed_grace_window_forces_revocation() {
+        let (fabric, broker, db) = cluster(1, 2);
+        let donor = ServerId(1);
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        let (got, notified) = broker.request_reclaim(clock.now(), &fabric, donor, 2 * MR);
+        assert_eq!(got, 0);
+        assert_eq!(notified, vec![lease.id]);
+        let (_, deadline) = broker.revocation_notice(lease.id).unwrap();
+        // before the deadline nothing happens
+        assert_eq!(broker.finalize_revocations(&fabric, clock.now()), 0);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+        // the holder ignores the notice; past the deadline the broker takes it
+        assert_eq!(broker.finalize_revocations(&fabric, deadline), 2 * MR);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Revoked));
+    }
+
+    #[test]
+    fn request_extra_enables_migration_off_a_pressured_donor() {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        for i in 0..2 {
+            let m = fabric.add_server(format!("M{i}"), 20);
+            let mut pc = Clock::new();
+            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        }
+        let mut clock = Clock::new();
+        // Pack fills M0 (ServerId(1)) first
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        let pressured = lease.mrs[0].server;
+        let extra = broker.request_extra(&mut clock, lease.id, 2 * MR, pressured).unwrap();
+        assert!(extra.iter().all(|m| m.server != pressured && m.server != db));
+        broker.surrender_mrs(&mut clock, lease.id, pressured, &fabric).unwrap();
+        let st = broker.store().state.lock().leases[&lease.id].0.clone();
+        assert_eq!(st.bytes(), 2 * MR);
+        assert!(st.mrs.iter().all(|m| m.server != pressured));
+    }
+
+    #[test]
+    fn donor_failure_degrades_auto_renewed_leases_and_repair_restores() {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let broker = MemoryBroker::new(cfg, MetaStore::new());
+        for i in 0..3 {
+            let m = fabric.add_server(format!("M{i}"), 20);
+            let mut pc = Clock::new();
+            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        }
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 3 * MR).unwrap();
+        broker.enable_auto_renew(lease.id);
+        let dead = lease.mrs[0].server;
+        let lost_bytes: u64 =
+            lease.mrs.iter().filter(|m| m.server == dead).map(|m| m.len).sum();
+        broker.server_failed(dead);
+        // degraded, not revoked
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+        let (lost, replacements) = broker.repair_lease(&mut clock, lease.id).unwrap();
+        assert_eq!(lost.iter().map(|m| m.len).sum::<u64>(), lost_bytes);
+        assert_eq!(replacements.iter().map(|m| m.len).sum::<u64>(), lost_bytes);
+        assert!(replacements.iter().all(|m| m.server != dead && m.server != db));
+        // second repair is a no-op
+        assert_eq!(broker.repair_lease(&mut clock, lease.id).unwrap(), (vec![], vec![]));
+    }
+
+    #[test]
+    fn repair_waits_for_capacity_and_recovered_donors_serve_again() {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        let m = fabric.add_server("M0", 20);
+        let mut pc = Clock::new();
+        MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        broker.enable_auto_renew(lease.id);
+        broker.server_failed(m);
+        // only donor is gone: repair must fail without corrupting state
+        assert!(matches!(
+            broker.repair_lease(&mut clock, lease.id),
+            Err(BrokerError::InsufficientMemory { .. })
+        ));
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+        // and fresh leases can't be placed anywhere either
+        assert!(broker.request_lease(&mut clock, db, MR).is_err());
+        // donor restarts and re-donates
+        fabric.server(m).unwrap().restart();
+        broker.server_recovered(m);
+        MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        let (lost, replacements) = broker.repair_lease(&mut clock, lease.id).unwrap();
+        assert_eq!(lost.len(), 2);
+        assert_eq!(replacements.len(), 2);
+        assert!(broker.request_lease(&mut clock, db, MR).is_err(), "pool fully re-leased");
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! internally-synchronized state: any number of broker front-ends can be
 //! constructed over one `MetaStore`, and killing one loses nothing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use remem_net::{MrHandle, ServerId};
+use remem_sim::SimTime;
 
 use crate::lease::{Lease, LeaseId, LeaseState};
 
@@ -23,6 +24,15 @@ pub(crate) struct MetaState {
     /// Leases whose holder runs a background renewal daemon: they never
     /// lapse by timeout, only by revocation or release.
     pub auto_renewed: std::collections::HashSet<LeaseId>,
+    /// Donors known to be down; excluded from grants until
+    /// `server_recovered`.
+    pub failed_servers: HashSet<ServerId>,
+    /// MRs an auto-renewed lease lost to a donor crash, awaiting
+    /// `repair_lease`. The lease itself stays Active (degraded).
+    pub lost_mrs: HashMap<LeaseId, Vec<MrHandle>>,
+    /// Two-phase reclaim: leases notified of memory pressure on a donor,
+    /// with the deadline after which the broker revokes unilaterally.
+    pub pending_revocations: HashMap<LeaseId, (ServerId, SimTime)>,
     pub next_lease: u64,
 }
 

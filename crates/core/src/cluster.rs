@@ -17,6 +17,10 @@ pub struct Cluster {
     /// The first database server (more can be added).
     pub db_server: ServerId,
     pub memory_servers: Vec<ServerId>,
+    /// Donation parameters, kept so a restarted donor re-donates the same
+    /// amount it originally offered.
+    mr_bytes: u64,
+    memory_per_server: u64,
 }
 
 /// Builder for [`Cluster`].
@@ -94,7 +98,14 @@ impl ClusterBuilder {
                 .expect("donate memory");
             memory_servers.push(m);
         }
-        Cluster { fabric, broker, db_server, memory_servers }
+        Cluster {
+            fabric,
+            broker,
+            db_server,
+            memory_servers,
+            mr_bytes: self.mr_bytes,
+            memory_per_server: self.memory_per_server,
+        }
     }
 }
 
@@ -130,6 +141,29 @@ impl Cluster {
     /// Unleased memory available across all donors.
     pub fn available_remote_bytes(&self) -> u64 {
         self.broker.store().available_bytes()
+    }
+
+    /// Crash a memory server: the fabric starts refusing its traffic, its
+    /// NIC forgets every registered MR (their contents are gone — stale
+    /// handles must not read resurrected bytes after a restart), and the
+    /// broker is told so it can degrade or revoke the affected leases.
+    pub fn crash_memory_server(&self, server: ServerId) {
+        let s = self.fabric.server(server).expect("known server");
+        s.fail();
+        s.nic().deregister_all();
+        self.broker.server_failed(server);
+    }
+
+    /// Restart a crashed memory server end-to-end: bring it back on the
+    /// fabric, tell the broker it may be used as a donor again, and re-run
+    /// its proxy's pin-register-donate sequence (its memory comes back
+    /// empty, like a rebooted machine's).
+    pub fn restart_memory_server(&self, clock: &mut Clock, server: ServerId) {
+        self.fabric.server(server).expect("known server").restart();
+        self.broker.server_recovered(server);
+        MemoryProxy::new(server, self.mr_bytes)
+            .donate(clock, &self.fabric, &self.broker, self.memory_per_server)
+            .expect("re-donate after restart");
     }
 }
 

@@ -81,6 +81,9 @@ pub struct DbOptions {
     pub oltp: bool,
     /// Query workspace (None → the engine default of 60 % of the pool).
     pub workspace_bytes: Option<u64>,
+    /// Chaos-audit log the remote files record retries, repairs and
+    /// migrations into (shared with the fault injector by the harnesses).
+    pub fault_log: Option<Arc<remem_sim::FaultLog>>,
 }
 
 impl DbOptions {
@@ -94,6 +97,7 @@ impl DbOptions {
             data_bytes: 256 << 20,
             oltp: true,
             workspace_bytes: None,
+            fault_log: None,
         }
     }
 
@@ -108,6 +112,7 @@ impl DbOptions {
             data_bytes: 512 << 20,
             oltp: true,
             workspace_bytes: None,
+            fault_log: None,
         }
     }
 }
@@ -150,10 +155,21 @@ impl Design {
             ),
             Design::LocalMemory => (ssd(opts.tempdb_bytes), None),
             Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom => {
-                let cfg = self.rfile_config();
+                let mut cfg = self.rfile_config();
+                cfg.fault_log = opts.fault_log.clone();
+                // TempDB holds spill data that exists nowhere else, so it
+                // must NOT self-heal: a zero-filled replacement stripe would
+                // silently corrupt results. The BPExt is a cache of pages
+                // whose truth lives in the data file, so it re-leases lost
+                // stripes and migrates off pressured donors freely.
                 let tempdb =
                     cluster.remote_file(clock, server, opts.tempdb_bytes, cfg.clone())?;
-                let bpext = cluster.remote_file(clock, server, opts.bpext_bytes, cfg)?;
+                let bpext = cluster.remote_file(
+                    clock,
+                    server,
+                    opts.bpext_bytes,
+                    RFileConfig { self_heal: true, ..cfg },
+                )?;
                 (tempdb as Arc<dyn Device>, Some(bpext as Arc<dyn Device>))
             }
         };
@@ -167,7 +183,9 @@ impl Design {
             cfg.workspace_bytes = ws;
         }
         let cpu = cluster.fabric.server(server).expect("server exists").cpu_handle();
-        Ok(Arc::new(Database::new(cfg, cpu, DeviceSet { data, log, tempdb, bpext })))
+        let db = Arc::new(Database::new(cfg, cpu, DeviceSet { data, log, tempdb, bpext }));
+        db.set_fault_log(opts.fault_log.clone());
+        Ok(db)
     }
 }
 

@@ -57,7 +57,7 @@ pub use design::{DbOptions, Design};
 pub use remem_broker::{BrokerConfig, Lease, MemoryBroker, PlacementPolicy};
 pub use remem_engine::row::ColType;
 pub use remem_engine::{Database, DbConfig, Row, Schema, TableId, Value};
-pub use remem_net::{Fabric, NetConfig, Protocol, ServerId};
+pub use remem_net::{Fabric, FaultInjector, NetConfig, Protocol, ServerId};
 pub use remem_rfile::{AccessMode, RFileConfig, RegistrationMode, RemoteFile};
-pub use remem_sim::{Clock, SimDuration, SimTime};
+pub use remem_sim::{Clock, FaultLog, FaultOrigin, SimDuration, SimTime};
 pub use remem_storage::{Device, HddArray, HddConfig, RamDisk, Ssd, SsdConfig, StorageError};

@@ -15,7 +15,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use remem_sim::{Clock, SimDuration};
+use remem_sim::{Clock, FaultLog, FaultOrigin, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
 
 use crate::page::{Page, PAGE_SIZE};
@@ -33,6 +33,13 @@ pub struct BpStats {
     pub base_reads: u64,
     pub dirty_flushes: u64,
     pub evictions: u64,
+    /// Times the extension tier was suspended after a device failure.
+    pub ext_suspends: u64,
+    /// Times a probe found the extension device healthy again.
+    pub ext_reattaches: u64,
+    /// Cached pages discarded because the device reported their backing
+    /// bytes lost (self-healed stripe) or failed fatally.
+    pub ext_lost_pages: u64,
 }
 
 struct Frame {
@@ -42,13 +49,36 @@ struct Frame {
     referenced: bool,
 }
 
+/// Backoff state while the extension device is unhealthy.
+struct Suspend {
+    /// The next device operation at or after this instant *is* the probe.
+    probe_at: SimTime,
+    backoff: SimDuration,
+}
+
+/// First probe delay after a failure; doubles per failed probe.
+const EXT_PROBE_BASE: SimDuration = SimDuration::from_millis(10);
+const EXT_PROBE_CAP: SimDuration = SimDuration::from_secs(5);
+
 /// The extension tier: a page cache on an arbitrary device.
+///
+/// Failure handling is *suspension*, not abandonment: a device error parks
+/// the tier behind an exponential probe backoff, and once the backoff
+/// elapses the next put/get doubles as a health probe — if it succeeds the
+/// tier re-attaches and serves hits again (the device below may have
+/// self-healed, e.g. a remote file that re-leased its stripes after the
+/// donor came back). Fatal errors discard the cached mapping (the backing
+/// bytes are gone); transient errors keep it.
 pub struct BpExt {
     device: Arc<dyn Device>,
     map: HashMap<Key, u64>,
     free: Vec<u64>,
     fifo: VecDeque<Key>,
-    failed: bool,
+    suspended: Option<Suspend>,
+    fault_log: Option<Arc<FaultLog>>,
+    suspends: u64,
+    reattaches: u64,
+    lost_pages: u64,
 }
 
 impl BpExt {
@@ -60,8 +90,16 @@ impl BpExt {
             map: HashMap::new(),
             free: (0..slots).rev().collect(),
             fifo: VecDeque::new(),
-            failed: false,
+            suspended: None,
+            fault_log: None,
+            suspends: 0,
+            reattaches: 0,
+            lost_pages: 0,
         }
+    }
+
+    pub fn set_fault_log(&mut self, log: Option<Arc<FaultLog>>) {
+        self.fault_log = log;
     }
 
     pub fn capacity_pages(&self) -> u64 {
@@ -76,61 +114,148 @@ impl BpExt {
         self.device.label()
     }
 
+    fn note(&self, at: SimTime, origin: FaultOrigin, kind: &'static str, detail: String) {
+        if let Some(log) = &self.fault_log {
+            log.record(at, origin, kind, detail);
+        }
+    }
+
+    /// May the tier touch its device right now? While suspended, only an
+    /// operation at/after `probe_at` goes through — that operation is the
+    /// health probe. Evictions call [`BpExt::put`] even for clean pages, so
+    /// probes fire under read-only workloads too.
+    fn gate(&self, now: SimTime) -> bool {
+        match &self.suspended {
+            None => true,
+            Some(s) => now >= s.probe_at,
+        }
+    }
+
+    /// Discard cached pages whose backing bytes the device reports lost
+    /// (a self-healed remote file re-leased those stripes zeroed).
+    fn sync_lost(&mut self) {
+        let ranges = self.device.drain_lost_ranges();
+        if ranges.is_empty() {
+            return;
+        }
+        let overlaps = |slot: u64| {
+            let lo = slot * PAGE_SIZE as u64;
+            let hi = lo + PAGE_SIZE as u64;
+            ranges.iter().any(|&(s, l)| lo < s + l && s < hi)
+        };
+        // sort victims so slot recycling order is replay-deterministic
+        // (HashMap iteration order is per-instance random)
+        let mut victims: Vec<(u64, Key)> = self
+            .map
+            .iter()
+            .filter(|(_, &slot)| overlaps(slot))
+            .map(|(k, &slot)| (slot, *k))
+            .collect();
+        victims.sort_unstable_by_key(|&(slot, _)| slot);
+        for (_, key) in victims {
+            if let Some(slot) = self.map.remove(&key) {
+                self.free.push(slot);
+                self.lost_pages += 1;
+            }
+        }
+    }
+
+    fn note_success(&mut self, now: SimTime) {
+        if self.suspended.take().is_some() {
+            self.reattaches += 1;
+            self.note(now, FaultOrigin::Recovery, "bpext.reattach", "probe succeeded".into());
+        }
+    }
+
+    fn note_failure(&mut self, now: SimTime, fatal: bool, why: &StorageError) {
+        if fatal {
+            // backing bytes are gone: forget the mapping but keep the slots
+            // (sorted, so slot recycling order is replay-deterministic)
+            self.lost_pages += self.map.len() as u64;
+            let mut slots: Vec<u64> = self.map.drain().map(|(_, s)| s).collect();
+            slots.sort_unstable();
+            self.free.extend(slots);
+            self.fifo.clear();
+        }
+        let backoff = match &self.suspended {
+            Some(s) => (s.backoff * 2).min(EXT_PROBE_CAP),
+            None => EXT_PROBE_BASE,
+        };
+        self.suspended = Some(Suspend { probe_at: now + backoff, backoff });
+        self.suspends += 1;
+        self.note(
+            now,
+            FaultOrigin::Observed,
+            "bpext.suspend",
+            format!("{}: {why}", if fatal { "fatal" } else { "transient" }),
+        );
+    }
+
     fn put(&mut self, clock: &mut Clock, key: Key, page: &Page) -> bool {
-        if self.failed {
+        if !self.gate(clock.now()) {
             return false;
         }
+        self.sync_lost();
         // a key still mapped here is up to date: any modification in the
         // pool invalidated the entry, so clean re-evictions skip the write
         if self.map.contains_key(&key) {
             return true;
         }
-        let slot = match self.map.get(&key) {
-            Some(&s) => s,
+        let slot = match self.free.pop() {
+            Some(s) => s,
             None => {
-                let s = match self.free.pop() {
-                    Some(s) => s,
-                    None => {
-                        // FIFO-evict the oldest extension entry
-                        loop {
-                            match self.fifo.pop_front() {
-                                Some(old) => {
-                                    if let Some(s) = self.map.remove(&old) {
-                                        break s;
-                                    }
-                                }
-                                None => return false,
+                // FIFO-evict the oldest extension entry
+                loop {
+                    match self.fifo.pop_front() {
+                        Some(old) => {
+                            if let Some(s) = self.map.remove(&old) {
+                                break s;
                             }
                         }
+                        None => return false,
                     }
-                };
-                self.map.insert(key, s);
-                self.fifo.push_back(key);
-                s
+                }
             }
         };
+        self.map.insert(key, slot);
+        self.fifo.push_back(key);
         match self.device.write(clock, slot * PAGE_SIZE as u64, page.as_bytes()) {
-            Ok(()) => true,
-            Err(_) => {
-                // best-effort: a failing extension is abandoned, not retried
-                self.failed = true;
-                self.map.clear();
+            Ok(()) => {
+                self.note_success(clock.now());
+                true
+            }
+            Err(e) => {
+                // undo the mapping we just created
+                if let Some(s) = self.map.remove(&key) {
+                    self.free.push(s);
+                }
+                self.note_failure(clock.now(), !e.is_transient(), &e);
                 false
             }
         }
     }
 
     fn get(&mut self, clock: &mut Clock, key: Key) -> Option<Page> {
-        if self.failed {
+        if !self.gate(clock.now()) {
             return None;
         }
+        self.sync_lost();
         let slot = *self.map.get(&key)?;
         let mut buf = vec![0u8; PAGE_SIZE];
         match self.device.read(clock, slot * PAGE_SIZE as u64, &mut buf) {
-            Ok(()) => Some(Page::from_bytes(&buf)),
-            Err(_) => {
-                self.failed = true;
-                self.map.clear();
+            Ok(()) => {
+                self.note_success(clock.now());
+                // the read itself may have triggered a self-heal repair under
+                // this very slot, in which case the bytes just returned are
+                // the replacement stripe's zeros, not the cached page
+                self.sync_lost();
+                if !self.map.contains_key(&key) {
+                    return None;
+                }
+                Some(Page::from_bytes(&buf))
+            }
+            Err(e) => {
+                self.note_failure(clock.now(), !e.is_transient(), &e);
                 None
             }
         }
@@ -142,8 +267,11 @@ impl BpExt {
         }
     }
 
+    /// Is the tier currently suspended (device unhealthy, probe pending)?
+    /// Unlike the old permanent-abandonment semantics this can return to
+    /// `false` once a probe finds the device serving again.
     pub fn has_failed(&self) -> bool {
-        self.failed
+        self.suspended.is_some()
     }
 }
 
@@ -160,6 +288,7 @@ struct Inner {
     /// each detected, like per-stream readahead in a real engine.
     last_base_miss: HashMap<FileId, VecDeque<(PageNo, u32)>>,
     stats: BpStats,
+    fault_log: Option<Arc<FaultLog>>,
 }
 
 /// Pages fetched per readahead I/O once a sequential miss pattern is seen
@@ -192,6 +321,7 @@ impl BufferPool {
                 files: HashMap::new(),
                 last_base_miss: HashMap::new(),
                 stats: BpStats::default(),
+                fault_log: None,
             }),
             hit_cost: SimDuration::from_nanos(100),
         }
@@ -203,7 +333,21 @@ impl BufferPool {
 
     /// Attach an extension tier (replaces any existing one).
     pub fn set_extension(&self, ext: Option<BpExt>) {
-        self.inner.lock().ext = ext;
+        let mut inner = self.inner.lock();
+        inner.ext = ext;
+        let log = inner.fault_log.clone();
+        if let Some(e) = inner.ext.as_mut() {
+            e.set_fault_log(log);
+        }
+    }
+
+    /// Record extension suspend/re-attach events into a chaos-audit log.
+    pub fn set_fault_log(&self, log: Option<Arc<FaultLog>>) {
+        let mut inner = self.inner.lock();
+        inner.fault_log = log.clone();
+        if let Some(e) = inner.ext.as_mut() {
+            e.set_fault_log(log);
+        }
     }
 
     pub fn has_extension(&self) -> bool {
@@ -220,7 +364,14 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> BpStats {
-        self.inner.lock().stats.clone()
+        let inner = self.inner.lock();
+        let mut s = inner.stats.clone();
+        if let Some(ext) = inner.ext.as_ref() {
+            s.ext_suspends = ext.suspends;
+            s.ext_reattaches = ext.reattaches;
+            s.ext_lost_pages = ext.lost_pages;
+        }
+        s
     }
 
     pub fn reset_stats(&self) {
@@ -696,6 +847,155 @@ mod tests {
         }
         let s2 = bp2.stats();
         assert_eq!(s2.base_reads, 8, "random misses must read exactly one page each");
+    }
+
+    /// A RamDisk whose failures can be healed again, with controllable
+    /// transient-vs-fatal flavor and reportable lost ranges — the test
+    /// stand-in for a self-healing remote file.
+    struct HealableDisk {
+        inner: RamDisk,
+        failing: parking_lot::Mutex<Option<bool>>, // Some(fatal?)
+        lost: parking_lot::Mutex<Vec<(u64, u64)>>,
+    }
+
+    impl HealableDisk {
+        fn new(bytes: u64) -> HealableDisk {
+            HealableDisk {
+                inner: RamDisk::new(bytes),
+                failing: parking_lot::Mutex::new(None),
+                lost: parking_lot::Mutex::new(Vec::new()),
+            }
+        }
+
+        fn fail(&self, fatal: bool) {
+            *self.failing.lock() = Some(fatal);
+        }
+
+        fn heal(&self) {
+            *self.failing.lock() = None;
+        }
+
+        fn lose_range(&self, start: u64, len: u64) {
+            self.lost.lock().push((start, len));
+        }
+
+        fn check(&self) -> Result<(), StorageError> {
+            match *self.failing.lock() {
+                None => Ok(()),
+                Some(true) => Err(StorageError::Unavailable("disk gone".into())),
+                Some(false) => Err(StorageError::Transient("disk flapping".into())),
+            }
+        }
+    }
+
+    impl Device for HealableDisk {
+        fn read(&self, clock: &mut Clock, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+            self.check()?;
+            self.inner.read(clock, offset, buf)
+        }
+        fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+            self.check()?;
+            self.inner.write(clock, offset, data)
+        }
+        fn capacity(&self) -> u64 {
+            self.inner.capacity()
+        }
+        fn label(&self) -> String {
+            "healable".into()
+        }
+        fn drain_lost_ranges(&self) -> Vec<(u64, u64)> {
+            std::mem::take(&mut *self.lost.lock())
+        }
+    }
+
+    #[test]
+    fn suspended_extension_reattaches_after_device_recovers() {
+        let (bp, file, mut clock) = setup(4, 64);
+        let disk = Arc::new(HealableDisk::new(64 * PAGE_SIZE as u64));
+        bp.set_extension(Some(BpExt::new(Arc::clone(&disk) as Arc<dyn Device>)));
+        let log = Arc::new(FaultLog::new());
+        bp.set_fault_log(Some(Arc::clone(&log)));
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        // fatal outage: tier suspends, reads fall back to base, stay correct
+        disk.fail(true);
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        assert!(bp.extension_failed(), "tier must be suspended during the outage");
+        let s = bp.stats();
+        assert!(s.ext_suspends >= 1, "{s:?}");
+        assert!(s.ext_lost_pages > 0, "fatal failure discards the cached mapping: {s:?}");
+
+        // device heals; once the probe backoff elapses the next eviction
+        // probes, re-attaches, and the tier serves hits again
+        disk.heal();
+        clock.advance(SimDuration::from_secs(10));
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        assert!(!bp.extension_failed(), "tier must re-attach after recovery");
+        bp.reset_stats();
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        let s = bp.stats();
+        assert!(s.ext_hits > 0, "re-attached extension should serve hits: {s:?}");
+        assert!(s.ext_reattaches >= 1, "{s:?}");
+        assert!(log.count("bpext.suspend", FaultOrigin::Observed) >= 1);
+        assert!(log.count("bpext.reattach", FaultOrigin::Recovery) >= 1);
+    }
+
+    #[test]
+    fn transient_failure_keeps_mapping_and_probes_hold_until_backoff() {
+        let (bp, file, mut clock) = setup(4, 64);
+        let disk = Arc::new(HealableDisk::new(64 * PAGE_SIZE as u64));
+        bp.set_extension(Some(BpExt::new(Arc::clone(&disk) as Arc<dyn Device>)));
+        for n in 0..16 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        disk.fail(false); // transient
+        assert_eq!(read_marker(&bp, &mut clock, file.id(), 0), 0);
+        assert!(bp.extension_failed());
+        let suspends = bp.stats().ext_suspends;
+        // within the backoff window no further device traffic happens, so
+        // the suspend count cannot grow
+        assert_eq!(read_marker(&bp, &mut clock, file.id(), 1), 1);
+        assert_eq!(bp.stats().ext_suspends, suspends);
+        assert_eq!(bp.stats().ext_lost_pages, 0, "transient failure keeps the mapping");
+        // heal before the probe: cached pages survive the blip
+        disk.heal();
+        clock.advance(SimDuration::from_secs(1));
+        bp.reset_stats();
+        for n in 0..16 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        let s = bp.stats();
+        assert!(!bp.extension_failed());
+        assert!(s.ext_hits > 0, "mapping kept across a transient blip: {s:?}");
+    }
+
+    #[test]
+    fn lost_ranges_invalidate_only_the_overlapping_pages() {
+        let (bp, file, mut clock) = setup(2, 16);
+        let disk = Arc::new(HealableDisk::new(16 * PAGE_SIZE as u64));
+        bp.set_extension(Some(BpExt::new(Arc::clone(&disk) as Arc<dyn Device>)));
+        for n in 0..8 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        // the device self-healed a stripe: its bytes are zeroed, and cached
+        // pages over it must be dropped rather than served
+        disk.lose_range(0, 2 * PAGE_SIZE as u64);
+        for n in 0..8 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n, "page {n} corrupted");
+        }
+        let s = bp.stats();
+        assert!(
+            s.ext_lost_pages >= 1 && s.ext_lost_pages <= 2,
+            "exactly the overlapping slots are dropped: {s:?}"
+        );
+        assert!(!bp.extension_failed(), "losing a stripe is not a tier failure");
     }
 
     #[test]

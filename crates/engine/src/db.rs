@@ -166,6 +166,12 @@ impl Database {
         self.bp.stats()
     }
 
+    /// Record buffer-pool-extension suspend/re-attach events into a
+    /// chaos-audit log (correlated with injected faults by the harness).
+    pub fn set_fault_log(&self, log: Option<std::sync::Arc<remem_sim::FaultLog>>) {
+        self.bp.set_fault_log(log);
+    }
+
     pub fn tempdb(&self) -> &TempDb {
         &self.tempdb
     }

@@ -21,6 +21,10 @@ pub enum NetError {
     MrLimitExceeded(&'static str),
     /// No queue pair has been connected between the two servers.
     NotConnected { from: ServerId, to: ServerId },
+    /// A transient verb failure (flaky link, brief partition): the access is
+    /// expected to succeed if retried after a short backoff. Injected by the
+    /// fault framework; callers should retry rather than fail over.
+    Transient { server: ServerId, reason: &'static str },
 }
 
 impl fmt::Display for NetError {
@@ -37,6 +41,9 @@ impl fmt::Display for NetError {
             NetError::MrLimitExceeded(which) => write!(f, "NIC MR limit exceeded: {which}"),
             NetError::NotConnected { from, to } => {
                 write!(f, "no queue pair connected {from:?} -> {to:?}")
+            }
+            NetError::Transient { server, reason } => {
+                write!(f, "transient failure reaching {server:?}: {reason}")
             }
         }
     }

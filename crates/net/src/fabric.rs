@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use crate::config::NetConfig;
 use crate::error::NetError;
+use crate::fault::FaultInjector;
 use crate::mr::MrHandle;
 use crate::server::{Server, ServerId};
 
@@ -56,11 +57,27 @@ pub struct Fabric {
     cfg: NetConfig,
     servers: RwLock<Vec<Arc<Server>>>,
     connections: Mutex<HashSet<(ServerId, ServerId)>>,
+    injector: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl Fabric {
     pub fn new(cfg: NetConfig) -> Fabric {
-        Fabric { cfg, servers: RwLock::new(Vec::new()), connections: Mutex::new(HashSet::new()) }
+        Fabric {
+            cfg,
+            servers: RwLock::new(Vec::new()),
+            connections: Mutex::new(HashSet::new()),
+            injector: RwLock::new(None),
+        }
+    }
+
+    /// Attach (or detach, with `None`) a fault schedule. Every subsequent
+    /// verb consults it.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.injector.write() = injector;
+    }
+
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector.read().clone()
     }
 
     pub fn config(&self) -> &NetConfig {
@@ -220,6 +237,30 @@ impl Fabric {
         Ok(())
     }
 
+    /// Consult the attached fault schedule (if any) for one verb. An injected
+    /// failure still costs the protocol's fixed latency (the time to detect
+    /// the lost completion); injected slowness is charged after the normal
+    /// transfer cost by the caller.
+    fn consult_injector(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        remote: ServerId,
+        offset: u64,
+    ) -> Result<SimDuration, NetError> {
+        let Some(inj) = self.injector.read().clone() else {
+            return Ok(SimDuration::ZERO);
+        };
+        match inj.inject(clock.now(), local, remote, offset) {
+            Ok(extra) => Ok(extra),
+            Err(e) => {
+                clock.advance(self.costs(proto).fixed_latency);
+                Err(e)
+            }
+        }
+    }
+
     /// Read `buf.len()` bytes from `handle` at `offset` into `buf`
     /// (an RDMA read / SMB read depending on `proto`).
     pub fn read(
@@ -232,7 +273,9 @@ impl Fabric {
         buf: &mut [u8],
     ) -> Result<(), NetError> {
         let (remote, mr) = self.validate(local, handle, offset, buf.len() as u64)?;
+        let extra = self.consult_injector(clock, proto, local, handle.server, offset)?;
         self.charge(clock, proto, local, &remote, buf.len() as u64)?;
+        clock.advance(extra);
         mr.read_into(offset, buf);
         Ok(())
     }
@@ -248,7 +291,9 @@ impl Fabric {
         data: &[u8],
     ) -> Result<(), NetError> {
         let (remote, mr) = self.validate(local, handle, offset, data.len() as u64)?;
+        let extra = self.consult_injector(clock, proto, local, handle.server, offset)?;
         self.charge(clock, proto, local, &remote, data.len() as u64)?;
+        clock.advance(extra);
         mr.write_from(offset, data);
         Ok(())
     }
@@ -421,6 +466,48 @@ mod tests {
         let mut buf = [0u8; 64];
         let err = fabric.read(&mut clock, Protocol::Custom, db, handle, handle.len - 32, &mut buf);
         assert!(matches!(err, Err(NetError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn injected_blackout_fails_verbs_then_clears() {
+        let (fabric, db, mem, handle) = two_server_fabric();
+        let inj = Arc::new(
+            FaultInjector::new(3).blackout(mem, SimTime(0), SimTime(1_000_000)),
+        );
+        fabric.set_fault_injector(Some(inj.clone()));
+        let mut clock = Clock::new();
+        let mut buf = vec![0u8; 64];
+        assert_eq!(
+            fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf),
+            Err(NetError::ServerDown(mem))
+        );
+        assert!(clock.now() > SimTime::ZERO, "failure detection must cost time");
+        // past the window the same verb succeeds
+        clock.advance_to(SimTime(1_000_000));
+        assert!(fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).is_ok());
+        assert!(inj.log().count("net.blackout", remem_sim::FaultOrigin::Observed) >= 1);
+    }
+
+    #[test]
+    fn injected_slowness_adds_latency() {
+        let (fabric, db, mem, handle) = two_server_fabric();
+        let mut clock = Clock::new();
+        let mut buf = vec![0u8; 8192];
+        fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).unwrap();
+        let baseline = clock.now();
+
+        let (fabric2, db2, mem2, handle2) = two_server_fabric();
+        let _ = mem;
+        let extra = SimDuration::from_micros(250);
+        fabric2.set_fault_injector(Some(Arc::new(FaultInjector::new(3).slow_window(
+            mem2,
+            SimTime::ZERO,
+            SimTime(1 << 40),
+            extra,
+        ))));
+        let mut clock2 = Clock::new();
+        fabric2.read(&mut clock2, Protocol::Custom, db2, handle2, 0, &mut buf).unwrap();
+        assert_eq!(clock2.now(), baseline + extra);
     }
 
     #[test]

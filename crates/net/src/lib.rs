@@ -23,6 +23,7 @@
 pub mod config;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod mr;
 pub mod nic;
 pub mod server;
@@ -31,6 +32,7 @@ pub mod verbs;
 pub use config::NetConfig;
 pub use error::NetError;
 pub use fabric::{Fabric, Protocol};
+pub use fault::FaultInjector;
 pub use mr::{MemoryRegion, MrHandle, MrId};
 pub use nic::Nic;
 pub use server::{Server, ServerId};

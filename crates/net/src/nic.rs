@@ -59,6 +59,17 @@ impl Nic {
         self.mrs.lock().remove(&id).is_some()
     }
 
+    /// Drop every MR at once — what a crash does to a donor's registered
+    /// memory. Stale handles held by lessees then fail with `NoSuchMr`
+    /// instead of silently reading stale (or resurrected) bytes. Returns how
+    /// many MRs were wiped.
+    pub fn deregister_all(&self) -> usize {
+        let mut mrs = self.mrs.lock();
+        let n = mrs.len();
+        mrs.clear();
+        n
+    }
+
     pub fn mr(&self, id: MrId) -> Option<MemoryRegion> {
         self.mrs.lock().get(&id).cloned()
     }

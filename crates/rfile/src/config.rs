@@ -1,6 +1,9 @@
 //! Remote-file configuration: the design choices of Table 1 as data.
 
+use std::sync::Arc;
+
 use remem_net::Protocol;
+use remem_sim::{FaultLog, SimDuration};
 
 /// How remote accesses complete (§4.1.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +60,20 @@ pub struct RFileConfig {
     /// Renew the lease automatically when an access finds it inside the
     /// final half of its validity window.
     pub auto_renew: bool,
+    /// How many times a chunk transfer hitting a *transient* network fault
+    /// is retried (with exponential backoff charged to virtual time) before
+    /// the access fails with [`remem_storage::StorageError::Transient`].
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub retry_backoff: SimDuration,
+    /// Self-heal on *fatal* faults: re-lease lost stripes from surviving
+    /// donors (contents lost, reported via `Device::drain_lost_ranges`) and
+    /// migrate off donors that signal memory pressure. Safe only for caches
+    /// whose contents can be re-fetched elsewhere — keep it off for spill
+    /// files, where a silently zeroed stripe would corrupt results.
+    pub self_heal: bool,
+    /// Chaos-audit log retries/repairs/migrations are recorded into.
+    pub fault_log: Option<Arc<FaultLog>>,
 }
 
 impl Default for RFileConfig {
@@ -68,6 +85,10 @@ impl Default for RFileConfig {
             staging_bytes: 1 << 20,
             schedulers: 8,
             auto_renew: true,
+            max_retries: 4,
+            retry_backoff: SimDuration::from_micros(50),
+            self_heal: false,
+            fault_log: None,
         }
     }
 }

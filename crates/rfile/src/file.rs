@@ -4,14 +4,54 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use remem_broker::{Lease, MemoryBroker};
+use remem_broker::{BrokerError, Lease, MemoryBroker};
 use remem_net::{Fabric, MrHandle, NetError, Protocol, ServerId};
 use remem_sim::metrics::Counter;
-use remem_sim::{Clock, SimDuration};
+use remem_sim::{Clock, FaultOrigin, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
 
 use crate::config::{AccessMode, RFileConfig, RegistrationMode};
 use crate::staging::StagingBuffers;
+
+/// Base backoff between self-heal (re-lease) attempts; doubles per failed
+/// attempt up to [`REPAIR_BACKOFF_CAP`] so a dead cluster isn't hammered
+/// with broker RPCs on every access.
+const REPAIR_BACKOFF_BASE: SimDuration = SimDuration::from_millis(1);
+const REPAIR_BACKOFF_CAP: SimDuration = SimDuration::from_secs(5);
+/// Safety valve: fatal-fault heal attempts per I/O call before giving up.
+const MAX_HEALS_PER_IO: u32 = 4;
+/// Attempts to zero a freshly re-leased stripe before giving up (the range
+/// is reported lost either way, so caches above discard it).
+const ZERO_ATTEMPTS: u32 = 16;
+
+/// One contiguous run of file bytes and the MR region backing it.
+///
+/// `(start, len)` boundaries are fixed for the life of the file; repair
+/// swaps `mr`/`mr_off` (or splits the run into several sub-extents covering
+/// the same range) when a stripe is re-leased from a different donor.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    /// File offset this extent starts at.
+    start: u64,
+    /// Bytes of file space it covers.
+    len: u64,
+    mr: MrHandle,
+    /// Offset within `mr` where this extent's bytes begin.
+    mr_off: u64,
+}
+
+/// Mutable file state behind one lock: the extent map and lease evolve
+/// together during repair, so they share a guard.
+struct FileState {
+    extents: Vec<Extent>,
+    lease: Lease,
+    /// Byte ranges whose contents were lost and replaced with zeroed
+    /// storage, awaiting collection via `Device::drain_lost_ranges`.
+    lost_ranges: Vec<(u64, u64)>,
+    /// Earliest virtual time the next self-heal attempt is allowed.
+    next_repair: SimTime,
+    repair_backoff: SimDuration,
+}
 
 /// A file whose bytes live in remote memory, accessed via RDMA.
 ///
@@ -25,19 +65,32 @@ use crate::staging::StagingBuffers;
 ///
 /// Offsets are translated to `(MR, offset-within-MR)` through a prefix
 /// table; operations spanning MR boundaries are split transparently.
+///
+/// # Failure semantics
+///
+/// Transient verb failures (flaky links, brief partitions) are retried with
+/// exponential backoff charged to virtual time; exhausted retries surface as
+/// [`StorageError::Transient`]. Fatal failures (donor crash, lease loss)
+/// surface as [`StorageError::Unavailable`] — unless `cfg.self_heal` is on,
+/// in which case the file *repairs itself*: dead stripes are re-leased from
+/// surviving donors (their contents lost, reported through
+/// [`Device::drain_lost_ranges`]), donors signalling memory pressure are
+/// migrated off during the revocation grace window (no data loss), and a
+/// fully lost lease is re-acquired from scratch.
 pub struct RemoteFile {
     fabric: Arc<Fabric>,
     broker: Arc<MemoryBroker>,
     local: ServerId,
     cfg: RFileConfig,
     size: u64,
-    /// `(file_start_offset, handle)` per MR, ordered by start offset.
-    extents: Vec<(u64, MrHandle)>,
-    lease: Mutex<Lease>,
+    state: Mutex<FileState>,
     staging: StagingBuffers,
     is_open: AtomicBool,
     bytes_read: Counter,
     bytes_written: Counter,
+    retries: Counter,
+    repairs: Counter,
+    migrations: Counter,
 }
 
 impl RemoteFile {
@@ -60,26 +113,39 @@ impl RemoteFile {
             // accesses (idle files must not lapse mid-workload)
             broker.enable_auto_renew(lease.id);
         }
-        let mut extents = Vec::with_capacity(lease.mrs.len());
-        let mut off = 0u64;
-        for mr in &lease.mrs {
-            extents.push((off, *mr));
-            off += mr.len;
-        }
+        let extents = Self::extents_from(&lease.mrs);
         let staging = StagingBuffers::new(cfg.schedulers, cfg.staging_bytes, 8192);
         Ok(RemoteFile {
             fabric,
             broker,
             local,
             size,
-            extents,
-            lease: Mutex::new(lease),
+            state: Mutex::new(FileState {
+                extents,
+                lease,
+                lost_ranges: Vec::new(),
+                next_repair: SimTime::ZERO,
+                repair_backoff: REPAIR_BACKOFF_BASE,
+            }),
             staging,
             is_open: AtomicBool::new(false),
             bytes_read: Counter::new(),
             bytes_written: Counter::new(),
+            retries: Counter::new(),
+            repairs: Counter::new(),
+            migrations: Counter::new(),
             cfg,
         })
+    }
+
+    fn extents_from(mrs: &[MrHandle]) -> Vec<Extent> {
+        let mut extents = Vec::with_capacity(mrs.len());
+        let mut off = 0u64;
+        for mr in mrs {
+            extents.push(Extent { start: off, len: mr.len, mr: *mr, mr_off: 0 });
+            off += mr.len;
+        }
+        extents
     }
 
     /// **Open**: connect a queue pair to every donor server and register the
@@ -88,7 +154,7 @@ impl RemoteFile {
         if self.is_open.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
-        let servers = self.lease.lock().servers();
+        let servers = self.state.lock().lease.servers();
         for server in servers {
             self.fabric
                 .connect(clock, self.local, server)
@@ -118,7 +184,7 @@ impl RemoteFile {
     /// **Close**: tear down queue pairs. The lease remains held.
     pub fn close(&self, _clock: &mut Clock) {
         if self.is_open.swap(false, Ordering::AcqRel) {
-            for server in self.lease.lock().servers() {
+            for server in self.state.lock().lease.servers() {
                 self.fabric.disconnect(self.local, server);
             }
         }
@@ -128,7 +194,7 @@ impl RemoteFile {
     /// cluster pool.
     pub fn delete(&self, clock: &mut Clock) -> Result<(), StorageError> {
         self.close(clock);
-        let id = self.lease.lock().id;
+        let id = self.state.lock().lease.id;
         self.broker.release(clock, id).map_err(|e| StorageError::Unavailable(e.to_string()))
     }
 
@@ -148,29 +214,328 @@ impl RemoteFile {
         self.bytes_written.get()
     }
 
+    /// Transient-fault retries performed (successful or not).
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Stripe re-leases + full lease re-acquisitions performed.
+    pub fn repairs(&self) -> u64 {
+        self.repairs.get()
+    }
+
+    /// Grace-window migrations off pressured donors performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.get()
+    }
+
     /// Donor servers currently backing this file.
     pub fn donors(&self) -> Vec<ServerId> {
-        self.lease.lock().servers()
+        self.state.lock().lease.servers()
+    }
+
+    fn note(&self, at: SimTime, origin: FaultOrigin, kind: &'static str, detail: String) {
+        if let Some(log) = &self.cfg.fault_log {
+            log.record(at, origin, kind, detail);
+        }
     }
 
     /// Check lease validity. With `auto_renew` the holder's background
     /// daemon (registered at create time) keeps the lease alive, so only
     /// revocation or release can invalidate it; without it, timeout expiry
-    /// applies.
+    /// applies. Self-healing files additionally answer revocation notices
+    /// here (migrating off the pressured donor inside the grace window) and
+    /// re-acquire a lost lease from scratch.
     fn ensure_lease(&self, clock: &mut Clock) -> Result<(), StorageError> {
-        let lease = self.lease.lock();
-        if !self.broker.is_valid(lease.id, clock.now()) {
+        let id = self.state.lock().lease.id;
+        if self.cfg.self_heal {
+            if let Some((server, deadline)) = self.broker.revocation_notice(id) {
+                if clock.now() < deadline {
+                    // best effort: if migration fails the broker revokes at
+                    // the deadline and the full re-lease path takes over
+                    let _ = self.migrate_off(clock, server);
+                }
+            }
+        }
+        if !self.broker.is_valid(id, clock.now()) {
+            if self.cfg.self_heal {
+                return self.try_repair(clock);
+            }
             return Err(StorageError::Unavailable("remote memory lease lost".into()));
         }
         Ok(())
     }
 
-    /// Translate `offset` to the extent index containing it.
-    fn extent_for(&self, offset: u64) -> usize {
-        match self.extents.binary_search_by(|(start, _)| start.cmp(&offset)) {
+    /// Move this file's stripes off `server` while the lease is still alive
+    /// (two-phase reclaim grace window): lease replacement MRs elsewhere,
+    /// copy the still-readable bytes over, then surrender the old MRs. No
+    /// data is lost and no `lost_ranges` are recorded.
+    fn migrate_off(&self, clock: &mut Clock, server: ServerId) -> Result<(), StorageError> {
+        let (id, old_mrs, needs) = {
+            let st = self.state.lock();
+            let old_mrs: Vec<MrHandle> =
+                st.lease.mrs.iter().filter(|m| m.server == server).copied().collect();
+            let needs: Vec<Extent> =
+                st.extents.iter().filter(|e| e.mr.server == server).copied().collect();
+            (st.lease.id, old_mrs, needs)
+        };
+        if old_mrs.is_empty() {
+            return Ok(());
+        }
+        let bytes: u64 = old_mrs.iter().map(|m| m.len).sum();
+        let replacements = self
+            .broker
+            .request_extra(clock, id, bytes, server)
+            .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        for mr in &replacements {
+            self.fabric
+                .connect(clock, self.local, mr.server)
+                .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        }
+        let fresh = Self::carve(&replacements, &needs);
+        // copy old → new; the old MRs stay readable until surrendered
+        for (old, new) in needs.iter().zip(Self::split_like(&needs, &fresh).iter()) {
+            debug_assert_eq!(old.start, new[0].start);
+            let mut buf = vec![0u8; old.len as usize];
+            self.fabric
+                .read(clock, self.cfg.protocol, self.local, old.mr, old.mr_off, &mut buf)
+                .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+            for part in new {
+                let lo = (part.start - old.start) as usize;
+                let hi = lo + part.len as usize;
+                self.fabric
+                    .write(clock, self.cfg.protocol, self.local, part.mr, part.mr_off, &buf[lo..hi])
+                    .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+            }
+        }
+        {
+            let mut st = self.state.lock();
+            st.extents.retain(|e| e.mr.server != server);
+            st.extents.extend(fresh.iter().copied());
+            st.extents.sort_by_key(|e| e.start);
+            st.lease.mrs.retain(|m| m.server != server);
+            st.lease.mrs.extend(replacements.iter().copied());
+        }
+        self.broker
+            .surrender_mrs(clock, id, server, &self.fabric)
+            .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        self.migrations.add(1);
+        self.note(
+            clock.now(),
+            FaultOrigin::Recovery,
+            "rfile.migrate",
+            format!("{bytes} B migrated off {server:?}"),
+        );
+        Ok(())
+    }
+
+    /// Re-back the file ranges in `needs` with the `replacements` MRs,
+    /// splitting ranges across MR boundaries as needed. The caller
+    /// guarantees the replacements hold at least as many bytes as the needs.
+    fn carve(replacements: &[MrHandle], needs: &[Extent]) -> Vec<Extent> {
+        let mut out = Vec::new();
+        let mut ri = 0usize;
+        let mut roff = 0u64;
+        for need in needs {
+            let mut start = need.start;
+            let mut rem = need.len;
+            while rem > 0 {
+                let mr = replacements[ri];
+                let take = rem.min(mr.len - roff);
+                out.push(Extent { start, len: take, mr, mr_off: roff });
+                start += take;
+                rem -= take;
+                roff += take;
+                if roff == mr.len {
+                    ri += 1;
+                    roff = 0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Group `carved` back by the need each run came from, in order.
+    fn split_like(needs: &[Extent], carved: &[Extent]) -> Vec<Vec<Extent>> {
+        let mut out = Vec::with_capacity(needs.len());
+        let mut it = carved.iter().copied().peekable();
+        for need in needs {
+            let mut parts = Vec::new();
+            let mut covered = 0u64;
+            while covered < need.len {
+                let part = it.next().expect("carve covers every need");
+                covered += part.len;
+                parts.push(part);
+            }
+            out.push(parts);
+        }
+        out
+    }
+
+    /// Self-heal after a fatal fault, gated by exponential backoff:
+    /// re-lease dead stripes (donor crash) or re-acquire the whole lease
+    /// (revocation/expiry). Repaired ranges come back zeroed and are
+    /// reported through [`Device::drain_lost_ranges`].
+    fn try_repair(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        {
+            let st = self.state.lock();
+            if clock.now() < st.next_repair {
+                return Err(StorageError::Unavailable("remote file awaiting repair".into()));
+            }
+        }
+        let id = self.state.lock().lease.id;
+        let outcome = if self.broker.is_valid(id, clock.now()) {
+            self.repair_stripes(clock, id)
+        } else {
+            self.relearn_lease(clock)
+        };
+        let mut st = self.state.lock();
+        match outcome {
+            Ok(()) => {
+                st.repair_backoff = REPAIR_BACKOFF_BASE;
+                st.next_repair = clock.now();
+                Ok(())
+            }
+            Err(e) => {
+                st.next_repair = clock.now() + st.repair_backoff;
+                st.repair_backoff = (st.repair_backoff * 2).min(REPAIR_BACKOFF_CAP);
+                Err(e)
+            }
+        }
+    }
+
+    /// Replace the stripes the broker recorded as lost (donor crash) with
+    /// fresh MRs from surviving donors, zeroing them and recording the file
+    /// ranges as lost.
+    fn repair_stripes(&self, clock: &mut Clock, id: remem_broker::LeaseId) -> Result<(), StorageError> {
+        let (lost, replacements) = self.broker.repair_lease(clock, id).map_err(|e| match e {
+            BrokerError::InsufficientMemory { .. } => {
+                StorageError::Unavailable(format!("stripe repair short of memory: {e}"))
+            }
+            other => StorageError::Unavailable(other.to_string()),
+        })?;
+        if lost.is_empty() {
+            return Ok(());
+        }
+        for mr in &replacements {
+            self.fabric
+                .connect(clock, self.local, mr.server)
+                .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        }
+        let (needs, fresh) = {
+            let mut st = self.state.lock();
+            let dead = |m: &MrHandle| lost.iter().any(|l| l.server == m.server && l.mr == m.mr);
+            let needs: Vec<Extent> = st.extents.iter().filter(|e| dead(&e.mr)).copied().collect();
+            let fresh = Self::carve(&replacements, &needs);
+            st.extents.retain(|e| !dead(&e.mr));
+            st.extents.extend(fresh.iter().copied());
+            st.extents.sort_by_key(|e| e.start);
+            st.lease.mrs.retain(|m| !dead(m));
+            st.lease.mrs.extend(replacements.iter().copied());
+            for need in &needs {
+                let end = (need.start + need.len).min(self.size);
+                if need.start < end {
+                    st.lost_ranges.push((need.start, end - need.start));
+                }
+            }
+            (needs, fresh)
+        };
+        // Pool MRs carry whatever bytes the previous lessee left; zero them
+        // so unwritten space still reads as zero after repair.
+        self.zero_extents(clock, &fresh);
+        let bytes: u64 = needs.iter().map(|e| e.len).sum();
+        self.repairs.add(1);
+        self.note(
+            clock.now(),
+            FaultOrigin::Recovery,
+            "rfile.repair",
+            format!("{bytes} B re-leased across {} stripes", needs.len()),
+        );
+        Ok(())
+    }
+
+    /// The lease itself is gone (revoked or expired): acquire a fresh one
+    /// covering the whole file. All contents are lost.
+    fn relearn_lease(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        let lease = self
+            .broker
+            .request_lease(clock, self.local, self.size)
+            .map_err(|e| StorageError::Unavailable(format!("re-lease failed: {e}")))?;
+        if self.cfg.auto_renew {
+            self.broker.enable_auto_renew(lease.id);
+        }
+        for server in lease.servers() {
+            self.fabric
+                .connect(clock, self.local, server)
+                .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        }
+        let extents = Self::extents_from(&lease.mrs);
+        {
+            let mut st = self.state.lock();
+            st.extents = extents.clone();
+            st.lease = lease;
+            st.lost_ranges.clear();
+            st.lost_ranges.push((0, self.size));
+        }
+        self.zero_extents(clock, &extents);
+        self.repairs.add(1);
+        self.note(
+            clock.now(),
+            FaultOrigin::Recovery,
+            "rfile.repair",
+            format!("full re-lease of {} B", self.size),
+        );
+        Ok(())
+    }
+
+    /// Zero freshly (re-)leased extents, retrying through transient faults.
+    /// Persistent failure is recorded but not fatal: the covering ranges are
+    /// already in `lost_ranges`, so caches above discard them regardless.
+    fn zero_extents(&self, clock: &mut Clock, extents: &[Extent]) {
+        for e in extents {
+            let zeros = vec![0u8; e.len as usize];
+            let mut ok = false;
+            for attempt in 0..ZERO_ATTEMPTS {
+                match self.fabric.write(
+                    clock,
+                    self.cfg.protocol,
+                    self.local,
+                    e.mr,
+                    e.mr_off,
+                    &zeros,
+                ) {
+                    Ok(()) => {
+                        ok = true;
+                        break;
+                    }
+                    Err(NetError::Transient { .. }) => {
+                        clock.advance(self.cfg.retry_backoff * (1 << attempt.min(6)));
+                    }
+                    Err(_) => break,
+                }
+            }
+            if !ok {
+                self.note(
+                    clock.now(),
+                    FaultOrigin::Observed,
+                    "rfile.zero_failed",
+                    format!("stripe at {} ({} B) left unzeroed", e.start, e.len),
+                );
+            }
+        }
+    }
+
+    /// Translate `offset` to `(backing MR, offset within it, bytes this
+    /// extent can serve)` under the state lock.
+    fn locate(&self, offset: u64, want: u64) -> (MrHandle, u64, u64) {
+        let st = self.state.lock();
+        let idx = match st.extents.binary_search_by(|e| e.start.cmp(&offset)) {
             Ok(i) => i,
             Err(i) => i - 1,
-        }
+        };
+        let e = &st.extents[idx];
+        let within = offset - e.start;
+        (e.mr, e.mr_off + within, (e.len - within).min(want))
     }
 
     /// Per-chunk local preparation cost and staging-slot gating.
@@ -228,22 +593,65 @@ impl RemoteFile {
         self.ensure_lease(clock)?;
         let mut cur = offset;
         let mut done = 0u64;
+        let mut transient_tries = 0u32;
+        let mut heals = 0u32;
         while done < len {
-            let idx = self.extent_for(cur);
-            let (start, handle) = self.extents[idx];
-            let within = cur - start;
-            let chunk = (handle.len - within).min(len - done);
+            // re-locate every attempt: a repair may have swapped the backing
+            let (mr, mr_off, chunk) = self.locate(cur, len - done);
             self.prepare_transfer(clock, chunk);
             let issued = clock.now();
-            chunk_op(clock, handle, within, done, chunk).map_err(|e| match e {
-                NetError::ServerDown(_) | NetError::NotConnected { .. } | NetError::NoSuchMr { .. } => {
-                    StorageError::Unavailable(e.to_string())
+            match chunk_op(clock, mr, mr_off, done, chunk) {
+                Ok(()) => {
+                    if transient_tries > 0 {
+                        self.note(
+                            clock.now(),
+                            FaultOrigin::Recovery,
+                            "rfile.retry",
+                            format!("chunk at {cur} ok after {transient_tries} retries"),
+                        );
+                        transient_tries = 0;
+                    }
+                    self.access_mode_penalty(clock, clock.now().since(issued));
+                    cur += chunk;
+                    done += chunk;
                 }
-                other => StorageError::Unavailable(other.to_string()),
-            })?;
-            self.access_mode_penalty(clock, clock.now().since(issued));
-            cur += chunk;
-            done += chunk;
+                Err(NetError::Transient { server, reason }) => {
+                    transient_tries += 1;
+                    if transient_tries > self.cfg.max_retries {
+                        self.note(
+                            clock.now(),
+                            FaultOrigin::Observed,
+                            "rfile.retry",
+                            format!("chunk at {cur} gave up after {} retries", self.cfg.max_retries),
+                        );
+                        return Err(StorageError::Transient(format!(
+                            "{} retries exhausted reaching {server:?}: {reason}",
+                            self.cfg.max_retries
+                        )));
+                    }
+                    self.retries.add(1);
+                    clock.advance(self.cfg.retry_backoff * (1 << (transient_tries - 1)));
+                }
+                Err(fatal) => {
+                    if !self.cfg.self_heal {
+                        return Err(StorageError::Unavailable(fatal.to_string()));
+                    }
+                    heals += 1;
+                    if heals > MAX_HEALS_PER_IO {
+                        return Err(StorageError::Unavailable(format!(
+                            "giving up after {MAX_HEALS_PER_IO} repair attempts: {fatal}"
+                        )));
+                    }
+                    self.note(
+                        clock.now(),
+                        FaultOrigin::Observed,
+                        "rfile.fatal",
+                        fatal.to_string(),
+                    );
+                    self.ensure_lease(clock)?;
+                    self.try_repair(clock)?;
+                }
+            }
         }
         Ok(())
     }
@@ -297,13 +705,17 @@ impl Device for RemoteFile {
     fn label(&self) -> String {
         format!("RemoteMemory[{}]", self.cfg.protocol.label())
     }
+
+    fn drain_lost_ranges(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.state.lock().lost_ranges)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use remem_broker::{BrokerConfig, MetaStore, PlacementPolicy};
-    use remem_net::NetConfig;
+    use remem_net::{FaultInjector, NetConfig};
 
     const MR: u64 = 64 * 1024;
 
@@ -528,5 +940,151 @@ mod tests {
         assert_eq!(&out, b"via-trait");
         assert_eq!(dev.capacity(), MR);
         assert!(dev.label().contains("Custom"));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_through() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { max_retries: 8, ..RFileConfig::custom() };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        f.write(&mut clock, 0, b"survives flakiness").unwrap();
+        // a flaky window: ~40% of verbs to the donor fail; retries (each at
+        // a later virtual instant) must push every access through
+        c.fabric.set_fault_injector(Some(Arc::new(FaultInjector::new(11).flaky_window(
+            c.donors[0],
+            SimTime::ZERO,
+            SimTime(1 << 40),
+            0.4,
+        ))));
+        let mut buf = vec![0u8; 18];
+        for _ in 0..50 {
+            f.read(&mut clock, 0, &mut buf).unwrap();
+            assert_eq!(&buf, b"survives flakiness");
+        }
+        assert!(f.retries() > 0, "a p=0.4 window over 50 reads must trigger retries");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_transient_not_unavailable() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { retry_backoff: SimDuration::ZERO, ..RFileConfig::custom() };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        // p=1.0: every attempt fails, retries can't save it. Zero backoff
+        // keeps the clock inside the window for all attempts.
+        c.fabric.set_fault_injector(Some(Arc::new(FaultInjector::new(5).flaky_window(
+            c.donors[0],
+            SimTime::ZERO,
+            SimTime(1 << 40),
+            1.0,
+        ))));
+        let mut buf = [0u8; 8];
+        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Transient(_))));
+    }
+
+    #[test]
+    fn self_heal_releases_dead_stripes_and_reports_lost_ranges() {
+        let c = cluster(3, 2, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        // 4 MR file across 3 donors (spread), 2 MR spare capacity
+        let f = mk_file(&c, 4 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(4 * MR) as usize).map(|i| (i % 253) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        // one donor crashes: its memory is wiped and the broker degrades
+        let dead = c.donors[0];
+        c.fabric.server(dead).unwrap().fail();
+        c.fabric.server(dead).unwrap().nic().deregister_all();
+        c.broker.server_failed(dead);
+        c.fabric.server(dead).unwrap().restart();
+        // reads succeed again via per-stripe repair; lost stripes read zero,
+        // surviving stripes keep their bytes
+        let mut out = vec![0u8; (4 * MR) as usize];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert!(f.repairs() >= 1, "expected a stripe repair");
+        let lost = f.drain_lost_ranges();
+        assert!(!lost.is_empty(), "repair must report the zeroed ranges");
+        assert!(f.drain_lost_ranges().is_empty(), "drain clears");
+        let in_lost = |off: u64| lost.iter().any(|&(s, l)| off >= s && off < s + l);
+        for (i, &b) in out.iter().enumerate() {
+            let expect = if in_lost(i as u64) { 0 } else { data[i] };
+            assert_eq!(b, expect, "byte {i} wrong after repair");
+        }
+        // and the file keeps working for writes over the repaired stripes
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut again = vec![0u8; (4 * MR) as usize];
+        f.read(&mut clock, 0, &mut again).unwrap();
+        assert_eq!(again, data);
+    }
+
+    #[test]
+    fn self_heal_migrates_off_a_pressured_donor_without_data_loss() {
+        let c = cluster(2, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 241) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        let donor = f.donors()[0];
+        // two-phase reclaim: the donor asks for its memory back
+        let (_, notified) = c.broker.request_reclaim(clock.now(), &c.fabric, donor, 2 * MR);
+        assert_eq!(notified.len(), 1);
+        // next access migrates to the other donor inside the grace window
+        let mut out = vec![0u8; (2 * MR) as usize];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data, "migration must not lose bytes");
+        assert_eq!(f.migrations(), 1);
+        assert!(!f.donors().contains(&donor));
+        assert!(f.drain_lost_ranges().is_empty(), "migration loses nothing");
+        // the grace deadline passes: nothing left for the broker to take
+        clock.advance(c.broker.config().grace_period * 2);
+        assert_eq!(c.broker.finalize_revocations(&c.fabric, clock.now()), 0);
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn self_heal_reacquires_a_revoked_lease() {
+        let c = cluster(2, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        f.write(&mut clock, 0, b"gone after revoke").unwrap();
+        // hard revocation (legacy immediate reclaim — no grace window)
+        c.broker.reclaim(&c.fabric, f.donors()[0], 2 * MR);
+        let mut buf = vec![1u8; 17];
+        f.read(&mut clock, 0, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 17], "re-leased file starts zeroed");
+        let lost = f.drain_lost_ranges();
+        assert_eq!(lost, vec![(0, 2 * MR)], "whole file reported lost");
+        assert!(f.repairs() >= 1);
+    }
+
+    #[test]
+    fn repair_backs_off_while_capacity_is_short() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        // the only donor dies: repair has nowhere to go
+        let dead = c.donors[0];
+        c.fabric.server(dead).unwrap().fail();
+        c.fabric.server(dead).unwrap().nic().deregister_all();
+        c.broker.server_failed(dead);
+        let mut buf = [0u8; 8];
+        assert!(f.read(&mut clock, 0, &mut buf).is_err());
+        // immediately after, the gate holds (no broker hammering)
+        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        // donor comes back with fresh memory
+        c.fabric.server(dead).unwrap().restart();
+        c.broker.server_recovered(dead);
+        let mut pc = Clock::new();
+        remem_broker::MemoryProxy::new(dead, MR).donate(&mut pc, &c.fabric, &c.broker, 2 * MR).unwrap();
+        // past the backoff, the next access repairs and succeeds
+        clock.advance(SimDuration::from_secs(6));
+        f.read(&mut clock, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        assert!(f.repairs() >= 1);
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod clock;
 pub mod driver;
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
@@ -30,6 +31,7 @@ pub mod time;
 
 pub use clock::Clock;
 pub use driver::ClosedLoopDriver;
+pub use fault::{FaultEvent, FaultLog, FaultOrigin};
 pub use metrics::{Counter, Histogram, TimeSeries};
 pub use resource::{CpuPool, FifoResource, LinkResource, PoolResource};
 pub use time::{SimDuration, SimTime};

@@ -156,7 +156,7 @@ impl TimeSeries {
 }
 
 /// Aggregate outcome of a benchmark run, ready for table printing.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     pub label: String,
     pub ops: u64,

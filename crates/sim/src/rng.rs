@@ -5,33 +5,59 @@
 //! generators here are deterministic given a seed, so every benchmark run
 //! reproduces exactly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic RNG wrapper with the distributions workloads need.
+/// A deterministic RNG with the distributions workloads need.
+///
+/// Implemented as xoshiro256++ seeded through SplitMix64 (no external
+/// crates, so offline builds work); every stream is fully determined by its
+/// seed, which is what replayable chaos schedules and workloads rely on.
 pub struct SimRng {
-    rng: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     pub fn seeded(seed: u64) -> SimRng {
-        SimRng { rng: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into the xoshiro state, per
+        // Blackman & Vigna's reference initialisation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SimRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The raw xoshiro256++ step: uniform over all of `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty uniform range");
-        self.rng.gen_range(lo..hi)
+        // widening-multiply range reduction; the bias over 64-bit output is
+        // far below anything a workload distribution could observe
+        lo + ((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Hotspot distribution over `[0, n)`: with probability `hot_prob` draw
@@ -75,7 +101,7 @@ impl SimRng {
             return;
         }
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.uniform(0, i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }

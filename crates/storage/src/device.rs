@@ -25,6 +25,15 @@ pub trait Device: Send + Sync {
     /// Human-readable label for benchmark tables ("HDD(20)", "SSD", ...).
     fn label(&self) -> String;
 
+    /// Take-and-clear the byte ranges this device lost and then repaired
+    /// with zeroed storage (a self-healed remote file re-leasing a dead
+    /// stripe). Callers holding caches over this device must treat the
+    /// returned ranges as invalid. Devices that never lose data keep the
+    /// default empty answer.
+    fn drain_lost_ranges(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+
     /// Bounds-check helper shared by implementations.
     fn check_bounds(&self, offset: u64, len: u64) -> Result<(), StorageError> {
         if offset + len > self.capacity() {

@@ -11,6 +11,17 @@ pub enum StorageError {
     /// For remote-memory-backed devices this is the best-effort failure the
     /// paper's scenarios must tolerate without losing correctness.
     Unavailable(String),
+    /// A short-lived failure (flaky link, congested donor) that already
+    /// exhausted the device's internal retries. The device itself is still
+    /// healthy: callers may keep cached state and try again later, unlike
+    /// [`StorageError::Unavailable`] where the backing bytes may be gone.
+    Transient(String),
+}
+
+impl StorageError {
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient(_))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -20,6 +31,7 @@ impl fmt::Display for StorageError {
                 write!(f, "access [{offset}, {}) exceeds capacity {capacity}", offset + len)
             }
             StorageError::Unavailable(why) => write!(f, "device unavailable: {why}"),
+            StorageError::Transient(why) => write!(f, "device transiently failing: {why}"),
         }
     }
 }

@@ -19,6 +19,7 @@ fn main() {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let rows = 60_000; // ~15 MiB of 245-byte customer rows
     let params = RangeScanParams {

@@ -19,6 +19,7 @@ fn main() {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let rows = 40_000u64;
     let hotspot = KeyDistribution::Hotspot { frac: 0.2, prob: 0.99 };

@@ -23,6 +23,7 @@ fn main() {
         spindles: 20,
         oltp: false,
         workspace_bytes: None,
+        fault_log: None,
     };
     let db = Design::Custom.build(&cluster, &mut clock, &opts).expect("build");
     let t = tpch::load(&db, &mut clock, &TpchParams::default());

@@ -16,6 +16,7 @@ fn main() {
         spindles: 20,
         oltp: false, // analytics: HDD+SSD keeps BPExt off (Table 5)
         workspace_bytes: Some(2 << 20), // small grants force the spill
+        fault_log: None,
     };
     let params = HashSortParams { orders: 12_000, lineitems_per_order: 4, top_n: 1_000, seed: 7 };
 

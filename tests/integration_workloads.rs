@@ -23,6 +23,7 @@ fn rangescan_design_ordering() {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        fault_log: None,
     };
     let params = RangeScanParams {
         workers: 20,
@@ -61,6 +62,7 @@ fn hashsort_design_ordering() {
         spindles: 20,
         oltp: false,
         workspace_bytes: Some(1 << 20),
+        fault_log: None,
     };
     let params = HashSortParams { orders: 8_000, lineitems_per_order: 4, top_n: 500, seed: 9 };
     let mut latency = std::collections::HashMap::new();
