@@ -1,0 +1,347 @@
+//! A minimal, dependency-free Rust source scanner for the audit lint.
+//!
+//! This is deliberately *not* a full lexer. It does three things the rule
+//! engine needs and nothing more:
+//!
+//! 1. **Strip** comments and string/char literals, replacing their contents
+//!    with spaces (length- and newline-preserving, so byte offsets and line
+//!    numbers keep lining up with the original source). Rule matching never
+//!    fires on text inside a literal or a comment.
+//! 2. **Extract pragmas** of the form `// audit: allow(<rule>, <reason>)`
+//!    from line comments, recording the line they sit on.
+//! 3. **Tokenize** the stripped text into identifier/punctuation tokens with
+//!    line numbers, merging `::` into a single token for convenient matching.
+//!
+//! Handled literal forms: `// …`, nested `/* … */`, `"…"` with escapes,
+//! raw strings `r"…"` / `r#"…"#` (any hash depth, plus `br…` byte forms),
+//! char literals `'x'` / `'\n'` / `'\''`, and lifetimes (`'a`, left as-is).
+
+/// One `// audit: allow(rule, reason)` escape hatch found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// The stripped source plus the pragmas that were mined out of its comments.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Same length as the input; comments and literal contents blanked.
+    pub code: String,
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Parse `audit: allow(rule, reason)` out of a line-comment body.
+fn parse_pragma(comment: &str, line: usize) -> Option<Pragma> {
+    let idx = comment.find("audit:")?;
+    let rest = comment[idx + "audit:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return None;
+    }
+    Some(Pragma { line, rule: rule.to_string(), reason: reason.to_string() })
+}
+
+/// Blank out comments and literals; collect pragmas from line comments.
+pub fn strip(src: &str) -> Stripped {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut pragmas = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a blanked byte: newlines survive (line accounting), everything
+    // else becomes a space. Multi-byte UTF-8 tails blank to spaces too.
+    fn blank(out: &mut Vec<u8>, b: u8, line: &mut usize) {
+        if b == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // ── line comment ────────────────────────────────────────────────
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            let body = std::str::from_utf8(&bytes[start..i]).unwrap_or("");
+            // only plain `//` comments can waive rules — doc comments
+            // (`///`, `//!`) merely *describe* the pragma syntax
+            let is_doc = body.starts_with("///") || body.starts_with("//!");
+            if !is_doc {
+                if let Some(p) = parse_pragma(body, line) {
+                    pragmas.push(p);
+                }
+            }
+            out.resize(out.len() + (i - start), b' ');
+            continue;
+        }
+        // ── block comment (nested) ──────────────────────────────────────
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1usize;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    blank(&mut out, bytes[i], &mut line);
+                    blank(&mut out, bytes[i + 1], &mut line);
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    blank(&mut out, bytes[i], &mut line);
+                    blank(&mut out, bytes[i + 1], &mut line);
+                    i += 2;
+                } else {
+                    blank(&mut out, bytes[i], &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // ── raw string: r"…", r#"…"#, br#"…"# ───────────────────────────
+        let raw_start = if b == b'r' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r')
+        {
+            let prefix_is_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+            if prefix_is_ident {
+                None
+            } else {
+                let mut j = i + if b == b'b' { 2 } else { 1 };
+                let mut hashes = 0usize;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'"' {
+                    Some((j, hashes))
+                } else {
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if let Some((quote, hashes)) = raw_start {
+            // keep the prefix chars as spaces so `r` doesn't merge tokens
+            out.resize(out.len() + (quote - i + 1), b' ');
+            i = quote + 1;
+            'raw: while i < bytes.len() {
+                if bytes[i] == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if i + 1 + h >= bytes.len() || bytes[i + 1 + h] != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.resize(out.len() + hashes + 1, b' ');
+                        i += 1 + hashes;
+                        break 'raw;
+                    }
+                }
+                blank(&mut out, bytes[i], &mut line);
+                i += 1;
+            }
+            continue;
+        }
+        // ── plain string (and byte string via its `"`): "…" ─────────────
+        if b == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    blank(&mut out, bytes[i], &mut line);
+                    blank(&mut out, bytes[i + 1], &mut line);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                }
+                blank(&mut out, bytes[i], &mut line);
+                i += 1;
+            }
+            continue;
+        }
+        // ── char literal vs lifetime ────────────────────────────────────
+        if b == b'\'' {
+            let is_char = if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                true // '\n', '\'', '\u{…}'
+            } else {
+                // 'x' is a char; 'a (no closing quote right after) is a
+                // lifetime. Multi-byte chars ('é') also hit the char arm
+                // eventually via the quote scan below; treat any quote
+                // within the next 4 bytes as a char literal.
+                (1..=4).any(|k| i + 1 + k < bytes.len() + 1 && bytes.get(i + 1 + k) == Some(&b'\''))
+                    && bytes.get(i + 1) != Some(&b'\'')
+            };
+            if is_char {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        blank(&mut out, bytes[i], &mut line);
+                        blank(&mut out, bytes[i + 1], &mut line);
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    blank(&mut out, bytes[i], &mut line);
+                    i += 1;
+                }
+            } else {
+                // lifetime tick: keep it, it's harmless to the rules
+                out.push(b'\'');
+                i += 1;
+            }
+            continue;
+        }
+        // ── ordinary byte ───────────────────────────────────────────────
+        if b == b'\n' {
+            out.push(b'\n');
+            line += 1;
+        } else {
+            out.push(b);
+        }
+        i += 1;
+    }
+
+    Stripped { code: String::from_utf8_lossy(&out).into_owned(), pragmas }
+}
+
+/// A token from the stripped source: an identifier/number run or a single
+/// punctuation char (with `::` merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Tokenize stripped code into ident and punct tokens.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok { text: String::from_utf8_lossy(&bytes[start..i]).into_owned(), line });
+            continue;
+        }
+        if b == b':' && i + 1 < bytes.len() && bytes[i + 1] == b':' {
+            toks.push(Tok { text: "::".to_string(), line });
+            i += 2;
+            continue;
+        }
+        if b.is_ascii() {
+            toks.push(Tok { text: (b as char).to_string(), line });
+        }
+        // non-ASCII punctuation (shouldn't appear outside literals) is skipped
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* Instant */";
+        let s = strip(src);
+        assert!(!s.code.contains("HashMap"));
+        assert!(!s.code.contains("Instant"));
+        assert_eq!(s.code.len(), src.len());
+        assert!(s.code.contains("let x ="));
+        assert!(s.code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn preserves_newlines_in_block_comments() {
+        let s = strip("a /* x\ny\nz */ b");
+        assert_eq!(s.code.matches('\n').count(), 2);
+        assert!(s.code.contains('a') && s.code.contains('b'));
+    }
+
+    #[test]
+    fn extracts_pragma_with_reason() {
+        let s = strip("foo(); // audit: allow(hash-iter, order never escapes)\n");
+        assert_eq!(s.pragmas.len(), 1);
+        let p = &s.pragmas[0];
+        assert_eq!(p.line, 1);
+        assert_eq!(p.rule, "hash-iter");
+        assert_eq!(p.reason, "order never escapes");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip("let q = r#\"SystemTime::now()\"#;");
+        assert!(!s.code.contains("SystemTime"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = strip("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(s.code.contains("'a"), "lifetimes survive: {}", s.code);
+        assert!(!s.code.contains('x') || s.code.contains("x:"), "char blanked");
+    }
+
+    #[test]
+    fn tokenizer_merges_path_sep() {
+        let toks = tokenize("std::time::Instant::now()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "time", "::", "Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn tokenizer_tracks_lines() {
+        let toks = tokenize("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

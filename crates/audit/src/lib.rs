@@ -1,0 +1,21 @@
+//! `remem-audit`: the workspace's determinism lint and runtime invariant
+//! auditor.
+//!
+//! Replay determinism (seeded chaos schedules reproduce byte-identical
+//! checksums and `FaultLog` fingerprints) is this repo's core guarantee,
+//! and exact lease/MR/grant accounting is what makes the paper's remote
+//! memory results trustworthy. Neither survives on discipline alone, so
+//! this crate enforces both:
+//!
+//! * [`rules`] + [`lexer`] — a dependency-free static-analysis pass over
+//!   `crates/**/*.rs`, run as `cargo run -p remem-audit -- lint`. See the
+//!   module docs and DESIGN.md "Determinism rules" for the rule list.
+//! * [`invariants`] — the [`Auditor`] that broker, NIC, and buffer pool
+//!   feed after every mutation to cross-check conservation invariants.
+
+pub mod invariants;
+pub mod lexer;
+pub mod rules;
+
+pub use invariants::{AuditViolation, Auditor, Field};
+pub use rules::{lint_source, lint_tree, LintStats, Violation};

@@ -1,0 +1,71 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! cargo run -p remem-audit -- lint [--root <path>]
+//! ```
+//!
+//! Exits non-zero if any rule fires or the justified-pragma budget (10)
+//! is exceeded. Run it from anywhere inside the workspace; the root is
+//! located relative to this crate's manifest unless `--root` overrides it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Hard ceiling on `// audit: allow` pragmas across the tree: the escape
+/// hatch must stay an exception, not a lifestyle.
+const PRAGMA_BUDGET: usize = 10;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: remem-audit lint [--root <workspace-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    if cmd != "lint" {
+        return usage();
+    }
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let (violations, stats) = match remem_audit::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("remem-audit: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    let budget_blown = stats.pragmas_used > PRAGMA_BUDGET;
+    if budget_blown {
+        println!(
+            "remem-audit: pragma budget exceeded: {} used > {} allowed",
+            stats.pragmas_used, PRAGMA_BUDGET
+        );
+    }
+    println!(
+        "remem-audit: {} files, {} violations, {}/{} pragmas",
+        stats.files,
+        violations.len(),
+        stats.pragmas_used,
+        PRAGMA_BUDGET
+    );
+    if violations.is_empty() && !budget_blown {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,10 +1,14 @@
 //! The broker front-end: lease grant / renew / release / revoke.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use remem_audit::Auditor;
 use remem_net::{Fabric, MrHandle, ServerId};
 use remem_sim::{Clock, SimDuration, SimTime};
 
 use crate::lease::{Lease, LeaseId, LeaseState};
-use crate::meta::MetaStore;
+use crate::meta::{MetaState, MetaStore};
 
 /// How the broker places a multi-MR lease across donor servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +54,10 @@ pub enum BrokerError {
     /// The lease does not exist or is no longer active.
     LeaseNotActive(LeaseId, LeaseState),
     UnknownLease(LeaseId),
+    /// Broker metadata lost an entry mid-operation. Indicates a broker bug,
+    /// surfaced as a typed error instead of a panic so a simulated cluster
+    /// keeps running (and the auditor can flag the drift).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for BrokerError {
@@ -60,6 +68,7 @@ impl std::fmt::Display for BrokerError {
             }
             BrokerError::LeaseNotActive(id, st) => write!(f, "lease {id:?} is {st:?}"),
             BrokerError::UnknownLease(id) => write!(f, "unknown lease {id:?}"),
+            BrokerError::Internal(what) => write!(f, "broker metadata inconsistent: {what}"),
         }
     }
 }
@@ -73,11 +82,12 @@ impl std::error::Error for BrokerError {}
 pub struct MemoryBroker {
     cfg: BrokerConfig,
     store: MetaStore,
+    auditor: Mutex<Option<Arc<Auditor>>>,
 }
 
 impl MemoryBroker {
     pub fn new(cfg: BrokerConfig, store: MetaStore) -> MemoryBroker {
-        MemoryBroker { cfg, store }
+        MemoryBroker { cfg, store, auditor: Mutex::new(None) }
     }
 
     pub fn config(&self) -> &BrokerConfig {
@@ -88,10 +98,80 @@ impl MemoryBroker {
         &self.store
     }
 
+    /// Attach (or detach) a runtime invariant auditor. When attached, every
+    /// mutation re-checks MR conservation and aux-state hygiene.
+    pub fn set_auditor(&self, auditor: Option<Arc<Auditor>>) {
+        *self.auditor.lock() = auditor;
+    }
+
+    /// Cross-check broker accounting against the conservation laws.
+    /// `at` is `None` when the mutating call site has no clock in scope
+    /// (e.g. `offer`), in which case monotonicity is not observed.
+    fn verify(&self, st: &MetaState, at: Option<SimTime>) {
+        let guard = self.auditor.lock();
+        let Some(a) = guard.as_ref() else { return };
+        let when = at.unwrap_or(SimTime::ZERO);
+        let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
+        let leased: u64 = st
+            .leases
+            .values()
+            .filter(|(_, s)| *s == LeaseState::Active)
+            .map(|(l, _)| l.bytes())
+            .sum();
+        let lost: u64 = st.lost_mrs.values().flatten().map(|m| m.len).sum();
+        a.check_balance(
+            when,
+            "broker",
+            "mr-conservation",
+            ("donated", st.donated_bytes as i128),
+            &[
+                ("available", available as i128),
+                ("leased", leased as i128),
+                ("lost", lost as i128),
+                ("wiped", st.wiped_bytes as i128),
+            ],
+        );
+        // auxiliary per-lease maps may only reference Active leases;
+        // anything else is a leak from a missed terminal transition
+        let mut stale: Vec<String> = Vec::new();
+        let active =
+            |id: &LeaseId| matches!(st.leases.get(id), Some((_, LeaseState::Active)));
+        for id in &st.auto_renewed {
+            if !active(id) {
+                stale.push(format!("auto_renewed holds non-active {id:?}"));
+            }
+        }
+        for id in st.lost_mrs.keys() {
+            if !active(id) {
+                stale.push(format!("lost_mrs holds non-active {id:?}"));
+            }
+        }
+        for id in st.pending_revocations.keys() {
+            if !active(id) {
+                stale.push(format!("pending_revocations holds non-active {id:?}"));
+            }
+        }
+        a.check_that(when, "broker", "aux-state-active-only", stale.is_empty(), || {
+            stale.join("; ")
+        });
+        a.check_that(
+            when,
+            "broker",
+            "wiped-within-donated",
+            st.wiped_bytes <= st.donated_bytes,
+            || format!("wiped {} > donated {}", st.wiped_bytes, st.donated_bytes),
+        );
+        if let Some(t) = at {
+            a.observe_clock("broker", t);
+        }
+    }
+
     /// Called by a proxy: make MRs available for leasing.
     pub(crate) fn offer(&self, server: ServerId, mrs: Vec<MrHandle>) {
         let mut st = self.store.state.lock();
+        st.donated_bytes += mrs.iter().map(|m| m.len).sum::<u64>();
         st.available.entry(server).or_default().extend(mrs);
+        self.verify(&st, None);
     }
 
     /// Grant a lease of at least `bytes`, placed per policy. The clock pays
@@ -136,7 +216,7 @@ impl MemoryBroker {
         match self.cfg.placement {
             PlacementPolicy::Pack => {
                 'outer: for donor in donors {
-                    let pool = st.available.get_mut(&donor).expect("donor exists");
+                    let Some(pool) = st.available.get_mut(&donor) else { continue 'outer };
                     while got < bytes {
                         match pool.pop() {
                             Some(mr) => {
@@ -156,7 +236,7 @@ impl MemoryBroker {
                     for _ in 0..donors.len() {
                         let donor = donors[i % donors.len()];
                         i += 1;
-                        let pool = st.available.get_mut(&donor).expect("donor exists");
+                        let Some(pool) = st.available.get_mut(&donor) else { continue };
                         if let Some(mr) = pool.pop() {
                             got += mr.len;
                             picked.push(mr);
@@ -187,6 +267,7 @@ impl MemoryBroker {
             expires_at: clock.now() + self.cfg.lease_duration,
         };
         st.leases.insert(id, (lease.clone(), LeaseState::Active));
+        self.verify(&st, Some(clock.now()));
         Ok(lease)
     }
 
@@ -205,10 +286,14 @@ impl MemoryBroker {
             for mr in mrs {
                 st.available.entry(mr.server).or_default().push(mr);
             }
+            st.lease_terminal(id);
+            self.verify(&st, Some(clock.now()));
             return Err(BrokerError::LeaseNotActive(id, LeaseState::Expired));
         }
         lease.expires_at = clock.now() + self.cfg.lease_duration;
-        Ok(lease.expires_at)
+        let expires = lease.expires_at;
+        self.verify(&st, Some(clock.now()));
+        Ok(expires)
     }
 
     /// Voluntarily release a lease (Delete in Table 2).
@@ -224,6 +309,8 @@ impl MemoryBroker {
         for mr in mrs {
             st.available.entry(mr.server).or_default().push(mr);
         }
+        st.lease_terminal(id);
+        self.verify(&st, Some(clock.now()));
         Ok(())
     }
 
@@ -232,7 +319,12 @@ impl MemoryBroker {
     /// leases never lapse by timeout — only revocation (donor pressure or
     /// failure) or voluntary release ends them.
     pub fn enable_auto_renew(&self, id: LeaseId) {
-        self.store.state.lock().auto_renewed.insert(id);
+        let mut st = self.store.state.lock();
+        // only an Active lease can grow a renewal daemon; anything else
+        // would leak an aux-map entry for a lease that can never renew
+        if matches!(st.leases.get(&id), Some((_, LeaseState::Active))) {
+            st.auto_renewed.insert(id);
+        }
     }
 
     /// Is the lease active and unexpired at `now`? Lazily expires it if its
@@ -255,6 +347,8 @@ impl MemoryBroker {
             for mr in mrs {
                 st.available.entry(mr.server).or_default().push(mr);
             }
+            st.lease_terminal(id);
+            self.verify(&st, Some(now));
             return false;
         }
         true
@@ -284,6 +378,7 @@ impl MemoryBroker {
                 }
             }
         }
+        st.wiped_bytes += reclaimed;
         // 2. revoke active leases that include MRs on that server
         if reclaimed < bytes {
             let victims: Vec<LeaseId> = st
@@ -298,20 +393,23 @@ impl MemoryBroker {
                 if reclaimed >= bytes {
                     break;
                 }
-                let (lease, state) = st.leases.get_mut(&id).expect("victim exists");
+                let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
                 let mrs = lease.mrs.clone();
                 *state = LeaseState::Revoked;
                 for mr in mrs {
                     if mr.server == server {
                         reclaimed += mr.len;
+                        st.wiped_bytes += mr.len;
                         let _ = fabric.deregister_mr(mr);
                     } else {
                         // MRs on other donors go back to the pool
                         st.available.entry(mr.server).or_default().push(mr);
                     }
                 }
+                st.lease_terminal(id);
             }
         }
+        self.verify(&st, None);
         reclaimed
     }
 
@@ -323,7 +421,10 @@ impl MemoryBroker {
     /// Leases without a renewal daemon are revoked outright, as before.
     pub fn server_failed(&self, server: ServerId) {
         let mut st = self.store.state.lock();
-        st.available.remove(&server);
+        // the donor's unleased pool died with it
+        if let Some(pool) = st.available.remove(&server) {
+            st.wiped_bytes += pool.iter().map(|m| m.len).sum::<u64>();
+        }
         st.failed_servers.insert(server);
         st.pending_revocations.retain(|_, (s, _)| *s != server);
         let mut victims: Vec<LeaseId> = st
@@ -336,7 +437,7 @@ impl MemoryBroker {
         victims.sort_unstable();
         for id in victims {
             let auto = st.auto_renewed.contains(&id);
-            let (lease, state) = st.leases.get_mut(&id).expect("victim exists");
+            let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
             if auto {
                 let lost: Vec<MrHandle> =
                     lease.mrs.iter().filter(|m| m.server == server).copied().collect();
@@ -348,10 +449,15 @@ impl MemoryBroker {
                 for mr in mrs {
                     if mr.server != server {
                         st.available.entry(mr.server).or_default().push(mr);
+                    } else {
+                        // destroyed with the donor
+                        st.wiped_bytes += mr.len;
                     }
                 }
+                st.lease_terminal(id);
             }
         }
+        self.verify(&st, None);
     }
 
     /// A crashed donor came back (its proxy will re-donate fresh MRs).
@@ -386,6 +492,7 @@ impl MemoryBroker {
                 }
             }
         }
+        st.wiped_bytes += reclaimed;
         let mut notified = Vec::new();
         if reclaimed < bytes {
             let deadline = now + self.cfg.grace_period;
@@ -405,6 +512,7 @@ impl MemoryBroker {
                 notified.push(id);
             }
         }
+        self.verify(&st, Some(now));
         (reclaimed, notified)
     }
 
@@ -440,12 +548,15 @@ impl MemoryBroker {
             for mr in mrs {
                 if mr.server == server {
                     reclaimed += mr.len;
+                    st.wiped_bytes += mr.len;
                     let _ = fabric.deregister_mr(mr);
                 } else {
                     st.available.entry(mr.server).or_default().push(mr);
                 }
             }
+            st.lease_terminal(id);
         }
+        self.verify(&st, Some(now));
         reclaimed
     }
 
@@ -468,8 +579,16 @@ impl MemoryBroker {
         }
         let holder = lease.holder;
         let picked = Self::pick_from_pool(&mut st, bytes, &[holder, avoid])?;
-        let (lease, _) = st.leases.get_mut(&id).expect("checked above");
+        let Some((lease, _)) = st.leases.get_mut(&id) else {
+            // can't happen while we hold the lock; undo the pool pops and
+            // surface the inconsistency instead of panicking
+            for mr in picked {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            return Err(BrokerError::Internal("lease vanished during request_extra"));
+        };
         lease.mrs.extend(picked.iter().copied());
+        self.verify(&st, Some(clock.now()));
         Ok(picked)
     }
 
@@ -498,6 +617,8 @@ impl MemoryBroker {
             freed += mr.len;
             let _ = fabric.deregister_mr(mr);
         }
+        st.wiped_bytes += freed;
+        self.verify(&st, Some(clock.now()));
         Ok(freed)
     }
 
@@ -531,8 +652,20 @@ impl MemoryBroker {
                 return Err(e);
             }
         };
-        let (lease, _) = st.leases.get_mut(&id).expect("checked above");
+        let Some((lease, _)) = st.leases.get_mut(&id) else {
+            // can't happen while we hold the lock; restore both sides and
+            // surface the inconsistency instead of panicking
+            for mr in picked {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            st.lost_mrs.insert(id, lost);
+            return Err(BrokerError::Internal("lease vanished during repair_lease"));
+        };
         lease.mrs.extend(picked.iter().copied());
+        // the dead stripes' bytes leave the `lost` bucket: replacements are
+        // now leased, the originals died with their donor
+        st.wiped_bytes += lost.iter().map(|m| m.len).sum::<u64>();
+        self.verify(&st, Some(clock.now()));
         Ok((lost, picked))
     }
 
@@ -555,7 +688,7 @@ impl MemoryBroker {
         let mut picked = Vec::new();
         let mut got = 0u64;
         'outer: for donor in donors {
-            let pool = st.available.get_mut(&donor).expect("donor exists");
+            let Some(pool) = st.available.get_mut(&donor) else { continue 'outer };
             while got < bytes {
                 match pool.pop() {
                     Some(mr) => {

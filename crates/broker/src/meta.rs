@@ -5,8 +5,12 @@
 //! electing a new broker over the same metadata. We model that as shared,
 //! internally-synchronized state: any number of broker front-ends can be
 //! constructed over one `MetaStore`, and killing one loses nothing.
+//!
+//! All maps are ordered (`BTreeMap`/`BTreeSet`): broker decisions iterate
+//! this state, and hash-map iteration order would leak into lease placement
+//! and break seeded replay.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -18,22 +22,43 @@ use crate::lease::{Lease, LeaseId, LeaseState};
 #[derive(Debug, Default)]
 pub(crate) struct MetaState {
     /// MRs registered by proxies and not currently leased, per donor server.
-    pub available: HashMap<ServerId, Vec<MrHandle>>,
+    pub available: BTreeMap<ServerId, Vec<MrHandle>>,
     /// All leases ever granted, with their current state.
-    pub leases: HashMap<LeaseId, (Lease, LeaseState)>,
+    pub leases: BTreeMap<LeaseId, (Lease, LeaseState)>,
     /// Leases whose holder runs a background renewal daemon: they never
     /// lapse by timeout, only by revocation or release.
-    pub auto_renewed: std::collections::HashSet<LeaseId>,
+    pub auto_renewed: BTreeSet<LeaseId>,
     /// Donors known to be down; excluded from grants until
     /// `server_recovered`.
-    pub failed_servers: HashSet<ServerId>,
+    pub failed_servers: BTreeSet<ServerId>,
     /// MRs an auto-renewed lease lost to a donor crash, awaiting
     /// `repair_lease`. The lease itself stays Active (degraded).
-    pub lost_mrs: HashMap<LeaseId, Vec<MrHandle>>,
+    pub lost_mrs: BTreeMap<LeaseId, Vec<MrHandle>>,
     /// Two-phase reclaim: leases notified of memory pressure on a donor,
     /// with the deadline after which the broker revokes unilaterally.
-    pub pending_revocations: HashMap<LeaseId, (ServerId, SimTime)>,
+    pub pending_revocations: BTreeMap<LeaseId, (ServerId, SimTime)>,
     pub next_lease: u64,
+    /// Running total of bytes proxies have ever donated. Together with
+    /// `wiped_bytes` this closes the MR conservation equation the runtime
+    /// auditor checks: donated = available + active-leased + lost + wiped.
+    pub donated_bytes: u64,
+    /// Bytes permanently gone from broker management: deregistered under
+    /// reclaim/surrender, or destroyed with a crashed donor.
+    pub wiped_bytes: u64,
+}
+
+impl MetaState {
+    /// A lease just left `Active`: drop its auxiliary bookkeeping so the
+    /// maps never accumulate entries for dead leases. MRs still parked in
+    /// `lost_mrs` died with their donor and will never be repaired now, so
+    /// they count as wiped.
+    pub(crate) fn lease_terminal(&mut self, id: LeaseId) {
+        self.auto_renewed.remove(&id);
+        self.pending_revocations.remove(&id);
+        if let Some(lost) = self.lost_mrs.remove(&id) {
+            self.wiped_bytes += lost.iter().map(|m| m.len).sum::<u64>();
+        }
+    }
 }
 
 /// Fault-tolerant shared broker metadata.
@@ -83,5 +108,20 @@ mod tests {
         assert_eq!(b.available_bytes(), 4096);
         assert_eq!(b.available_bytes_on(ServerId(3)), 4096);
         assert_eq!(b.available_bytes_on(ServerId(9)), 0);
+    }
+
+    #[test]
+    fn lease_terminal_clears_aux_state_and_wipes_lost() {
+        let store = MetaStore::new();
+        let mut st = store.state.lock();
+        let id = LeaseId(7);
+        st.auto_renewed.insert(id);
+        st.pending_revocations.insert(id, (ServerId(1), SimTime(10)));
+        st.lost_mrs.insert(id, vec![MrHandle { server: ServerId(1), mr: 2, len: 4096 }]);
+        st.lease_terminal(id);
+        assert!(st.auto_renewed.is_empty());
+        assert!(st.pending_revocations.is_empty());
+        assert!(st.lost_mrs.is_empty());
+        assert_eq!(st.wiped_bytes, 4096);
     }
 }

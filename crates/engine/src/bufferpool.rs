@@ -11,10 +11,11 @@
 //! pool transparently stops using it and serves misses from the base device —
 //! the best-effort contract of Table 1.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use remem_audit::Auditor;
 use remem_sim::{Clock, FaultLog, FaultOrigin, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
 
@@ -71,14 +72,31 @@ const EXT_PROBE_CAP: SimDuration = SimDuration::from_secs(5);
 /// bytes are gone); transient errors keep it.
 pub struct BpExt {
     device: Arc<dyn Device>,
-    map: HashMap<Key, u64>,
+    // ordered map: `sync_lost` and fatal-failure teardown walk it, and hash
+    // order would leak into slot recycling and break replay
+    map: BTreeMap<Key, u64>,
     free: Vec<u64>,
     fifo: VecDeque<Key>,
+    /// Slot count the device was carved into at construction; the auditor's
+    /// conservation law is `map.len() + free.len() == total_slots`.
+    total_slots: u64,
     suspended: Option<Suspend>,
     fault_log: Option<Arc<FaultLog>>,
     suspends: u64,
     reattaches: u64,
     lost_pages: u64,
+}
+
+/// What [`BpExt::put`] did with the page — distinguishes a real device
+/// write from a skip, so `ext_writes` counts I/O, not call attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PutOutcome {
+    /// The page was written to the extension device.
+    Written,
+    /// An up-to-date copy was already cached; no device traffic.
+    AlreadyCached,
+    /// Suspended, out of slots, or the write failed.
+    Skipped,
 }
 
 impl BpExt {
@@ -87,9 +105,10 @@ impl BpExt {
         assert!(slots > 0, "extension device smaller than one page");
         BpExt {
             device,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             free: (0..slots).rev().collect(),
             fifo: VecDeque::new(),
+            total_slots: slots,
             suspended: None,
             fault_log: None,
             suspends: 0,
@@ -143,8 +162,8 @@ impl BpExt {
             let hi = lo + PAGE_SIZE as u64;
             ranges.iter().any(|&(s, l)| lo < s + l && s < hi)
         };
-        // sort victims so slot recycling order is replay-deterministic
-        // (HashMap iteration order is per-instance random)
+        // recycle slots in slot order (the map iterates in key order, which
+        // is deterministic too, but slot order matches the old behavior)
         let mut victims: Vec<(u64, Key)> = self
             .map
             .iter()
@@ -170,9 +189,10 @@ impl BpExt {
     fn note_failure(&mut self, now: SimTime, fatal: bool, why: &StorageError) {
         if fatal {
             // backing bytes are gone: forget the mapping but keep the slots
-            // (sorted, so slot recycling order is replay-deterministic)
+            // (sorted, so slot recycling order matches the old behavior)
             self.lost_pages += self.map.len() as u64;
-            let mut slots: Vec<u64> = self.map.drain().map(|(_, s)| s).collect();
+            let mut slots: Vec<u64> =
+                std::mem::take(&mut self.map).into_values().collect();
             slots.sort_unstable();
             self.free.extend(slots);
             self.fifo.clear();
@@ -191,15 +211,15 @@ impl BpExt {
         );
     }
 
-    fn put(&mut self, clock: &mut Clock, key: Key, page: &Page) -> bool {
+    fn put(&mut self, clock: &mut Clock, key: Key, page: &Page) -> PutOutcome {
         if !self.gate(clock.now()) {
-            return false;
+            return PutOutcome::Skipped;
         }
         self.sync_lost();
         // a key still mapped here is up to date: any modification in the
         // pool invalidated the entry, so clean re-evictions skip the write
         if self.map.contains_key(&key) {
-            return true;
+            return PutOutcome::AlreadyCached;
         }
         let slot = match self.free.pop() {
             Some(s) => s,
@@ -212,7 +232,7 @@ impl BpExt {
                                 break s;
                             }
                         }
-                        None => return false,
+                        None => return PutOutcome::Skipped,
                     }
                 }
             }
@@ -222,7 +242,7 @@ impl BpExt {
         match self.device.write(clock, slot * PAGE_SIZE as u64, page.as_bytes()) {
             Ok(()) => {
                 self.note_success(clock.now());
-                true
+                PutOutcome::Written
             }
             Err(e) => {
                 // undo the mapping we just created
@@ -230,7 +250,7 @@ impl BpExt {
                     self.free.push(s);
                 }
                 self.note_failure(clock.now(), !e.is_transient(), &e);
-                false
+                PutOutcome::Skipped
             }
         }
     }
@@ -277,18 +297,21 @@ impl BpExt {
 
 struct Inner {
     frames: Vec<Frame>,
-    map: HashMap<Key, usize>,
+    // ordered maps throughout: replay-critical paths iterate them and hash
+    // order would differ between otherwise identical runs
+    map: BTreeMap<Key, usize>,
     hand: usize,
     ext: Option<BpExt>,
-    files: HashMap<FileId, Arc<PagedFile>>,
+    files: BTreeMap<FileId, Arc<PagedFile>>,
     /// Recent miss streams per file as `(position, run_length)` — a miss
     /// continuing a stream extends it, and readahead only kicks in once the
     /// run is long enough to be a real scan (short range reads must not
     /// trigger it). A small history so several concurrent scan streams are
     /// each detected, like per-stream readahead in a real engine.
-    last_base_miss: HashMap<FileId, VecDeque<(PageNo, u32)>>,
+    last_base_miss: BTreeMap<FileId, VecDeque<(PageNo, u32)>>,
     stats: BpStats,
     fault_log: Option<Arc<FaultLog>>,
+    auditor: Option<Arc<Auditor>>,
 }
 
 /// Pages fetched per readahead I/O once a sequential miss pattern is seen
@@ -315,13 +338,14 @@ impl BufferPool {
         BufferPool {
             inner: Mutex::new(Inner {
                 frames,
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 hand: 0,
                 ext: None,
-                files: HashMap::new(),
-                last_base_miss: HashMap::new(),
+                files: BTreeMap::new(),
+                last_base_miss: BTreeMap::new(),
                 stats: BpStats::default(),
                 fault_log: None,
+                auditor: None,
             }),
             hit_cost: SimDuration::from_nanos(100),
         }
@@ -348,6 +372,44 @@ impl BufferPool {
         if let Some(e) = inner.ext.as_mut() {
             e.set_fault_log(log);
         }
+    }
+
+    /// Attach a runtime invariant auditor; every public mutation then
+    /// cross-checks frame/map agreement and extension slot conservation.
+    pub fn set_auditor(&self, auditor: Option<Arc<Auditor>>) {
+        self.inner.lock().auditor = auditor;
+    }
+
+    fn verify(inner: &Inner, at: SimTime) {
+        let Some(aud) = inner.auditor.as_ref() else { return };
+        let occupied = inner.frames.iter().filter(|fr| fr.key.is_some()).count();
+        aud.check_balance(
+            at,
+            "bufferpool",
+            "frame-map-agreement",
+            ("mapped_pages", inner.map.len() as i128),
+            &[("occupied_frames", occupied as i128)],
+        );
+        aud.check_that(
+            at,
+            "bufferpool",
+            "frame-map-agreement",
+            inner
+                .map
+                .iter()
+                .all(|(k, &i)| inner.frames.get(i).is_some_and(|fr| fr.key == Some(*k))),
+            || "a page-map entry points at a frame holding a different key".to_string(),
+        );
+        if let Some(ext) = inner.ext.as_ref() {
+            aud.check_balance(
+                at,
+                "bufferpool",
+                "ext-slot-conservation",
+                ("total_slots", ext.total_slots as i128),
+                &[("resident", ext.map.len() as i128), ("free", ext.free.len() as i128)],
+            );
+        }
+        aud.observe_clock("bufferpool", at);
     }
 
     pub fn has_extension(&self) -> bool {
@@ -410,10 +472,12 @@ impl BufferPool {
                         file.write_page(&mut lazy_writer, key.1, &frame.page)?;
                         inner.stats.dirty_flushes += 1;
                     }
-                    // the (now clean) page goes to the extension tier
+                    // the (now clean) page goes to the extension tier; only
+                    // an actual device write counts as one — an up-to-date
+                    // cached copy is a skip, not I/O
                     let page = frame.page.clone();
                     if let Some(ext) = inner.ext.as_mut() {
-                        if ext.put(clock, key, &page) {
+                        if ext.put(clock, key, &page) == PutOutcome::Written {
                             inner.stats.ext_writes += 1;
                         }
                     }
@@ -471,26 +535,43 @@ impl BufferPool {
                 // readahead within the extension: stage the following pages
                 // of the stream so a scan doesn't pay per-page latency
                 if sequential {
-                    let mut ext = inner.ext.take().expect("ext present");
                     let limit = READAHEAD_PAGES.min(inner.frames.len() as u64 / 2);
-                    for i in 1..limit {
-                        let k = (file, page_no + i);
-                        if inner.map.contains_key(&k) {
-                            continue;
+                    if let Some(mut ext) = inner.ext.take() {
+                        let mut staged = Ok(());
+                        for i in 1..limit {
+                            let k = (file, page_no + i);
+                            if inner.map.contains_key(&k) {
+                                continue;
+                            }
+                            let Some(pg) = ext.get(clock, k) else { break };
+                            inner.stats.ext_hits += 1;
+                            match Self::evict_one(inner, clock) {
+                                Ok(idx) => {
+                                    inner.frames[idx] = Frame {
+                                        key: Some(k),
+                                        page: pg,
+                                        dirty: false,
+                                        referenced: true,
+                                    };
+                                    inner.map.insert(k, idx);
+                                }
+                                Err(e) => {
+                                    staged = Err(e);
+                                    break;
+                                }
+                            }
                         }
-                        let Some(pg) = ext.get(clock, k) else { break };
-                        inner.stats.ext_hits += 1;
-                        let idx = Self::evict_one(inner, clock)?;
-                        inner.frames[idx] =
-                            Frame { key: Some(k), page: pg, dirty: false, referenced: true };
-                        inner.map.insert(k, idx);
+                        // re-attach BEFORE surfacing any staging error:
+                        // losing the whole extension tier to one failed
+                        // eviction flush was a real leak
+                        inner.ext = Some(ext);
+                        staged?;
                     }
                     if let Some(h) = inner.last_base_miss.get_mut(&file) {
                         if let Some(j) = h.iter().position(|&(p, _)| p == page_no) {
                             h[j].0 = page_no + limit - 1;
                         }
                     }
-                    inner.ext = Some(ext);
                 }
                 p
             }
@@ -561,6 +642,7 @@ impl BufferPool {
     ) -> Result<R, StorageError> {
         let mut inner = self.inner.lock();
         let idx = self.load(&mut inner, clock, file, page_no)?;
+        Self::verify(&inner, clock.now());
         Ok(f(&inner.frames[idx].page))
     }
 
@@ -580,6 +662,7 @@ impl BufferPool {
         if let Some(ext) = inner.ext.as_mut() {
             ext.invalidate(key);
         }
+        Self::verify(&inner, clock.now());
         Ok(f(&mut inner.frames[idx].page))
     }
 
@@ -598,6 +681,7 @@ impl BufferPool {
         inner.frames[idx] = Frame { key: Some(key), page: Page::new(), dirty: true, referenced: true };
         inner.map.insert(key, idx);
         clock.advance(self.hit_cost);
+        Self::verify(&inner, clock.now());
         Ok(())
     }
 
@@ -619,6 +703,7 @@ impl BufferPool {
             inner.frames[idx].dirty = false;
             inner.stats.dirty_flushes += 1;
         }
+        Self::verify(&inner, clock.now());
         Ok(())
     }
 
@@ -647,6 +732,7 @@ impl BufferPool {
             inner.frames[idx] = Frame { key: Some(key), page, dirty: false, referenced: true };
             inner.map.insert(key, idx);
         }
+        Self::verify(&inner, clock.now());
     }
 }
 
@@ -996,6 +1082,98 @@ mod tests {
             "exactly the overlapping slots are dropped: {s:?}"
         );
         assert!(!bp.extension_failed(), "losing a stripe is not a tier failure");
+    }
+
+    #[test]
+    fn ext_survives_readahead_eviction_failure() {
+        // Regression: the ext readahead loop used to `take()` the extension
+        // and only re-attach it on success, so a dirty-flush error inside
+        // the loop silently dropped the whole tier.
+        let bp = BufferPool::new(16 * PAGE_SIZE as u64);
+        let disk_a = Arc::new(HealableDisk::new(64 * PAGE_SIZE as u64));
+        let file_a =
+            Arc::new(PagedFile::new(FileId(0), Arc::clone(&disk_a) as Arc<dyn Device>));
+        bp.register_file(Arc::clone(&file_a));
+        let file_b =
+            Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(64 * PAGE_SIZE as u64))));
+        bp.register_file(Arc::clone(&file_b));
+        let mut clock = Clock::new();
+        // 8 dirty file-A frames that any later eviction must flush
+        for n in 0..8 {
+            write_marker(&bp, &mut clock, &file_a, n);
+        }
+        // extension pre-loaded with a sequential run of file-B pages
+        let mut ext = BpExt::new(Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)));
+        for n in 0..20 {
+            file_b.allocate().unwrap();
+            assert_eq!(ext.put(&mut clock, (FileId(9), n), &Page::new()), PutOutcome::Written);
+        }
+        bp.set_extension(Some(ext));
+        disk_a.fail(true);
+        // scanning B serves from the extension; once readahead engages, the
+        // staging evictions reach a dirty A frame whose flush now fails
+        let mut failed = false;
+        for n in 0..8 {
+            if bp.with_page(&mut clock, FileId(9), n, |_| {}).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a dirty flush against the failed base disk must surface");
+        assert!(
+            bp.has_extension(),
+            "an eviction error during ext readahead must not drop the extension tier"
+        );
+        // once the base device heals the tier keeps serving
+        disk_a.heal();
+        bp.with_page(&mut clock, FileId(9), 7, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn ext_writes_counts_only_real_device_writes() {
+        // Regression: `put`'s already-cached skip path used to report a
+        // write, inflating ext_writes on every clean re-eviction.
+        let (bp, file, mut clock) = setup(2, 16);
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(16 * PAGE_SIZE as u64)))));
+        for n in 0..3 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        bp.flush_all(&mut clock).unwrap();
+        // warm: thrash the 2-frame pool until every page has an up-to-date
+        // extension copy
+        for _ in 0..2 {
+            for n in 0..3 {
+                bp.with_page(&mut clock, file.id(), n, |_| {}).unwrap();
+            }
+        }
+        bp.reset_stats();
+        // steady state: every eviction is a clean page the extension already
+        // caches — zero device writes, only hits
+        for _ in 0..2 {
+            for n in 0..3 {
+                bp.with_page(&mut clock, file.id(), n, |_| {}).unwrap();
+            }
+        }
+        let s = bp.stats();
+        assert!(s.evictions > 0, "{s:?}");
+        assert!(s.ext_hits > 0, "{s:?}");
+        assert_eq!(s.ext_writes, 0, "clean re-evictions must not count as ext writes: {s:?}");
+    }
+
+    #[test]
+    fn auditor_sees_conserved_state_through_churn() {
+        let (bp, file, mut clock) = setup(4, 64);
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(8 * PAGE_SIZE as u64)))));
+        let aud = Arc::new(Auditor::new()); // panics on the first violation
+        bp.set_auditor(Some(Arc::clone(&aud)));
+        for n in 0..32 {
+            write_marker(&bp, &mut clock, &file, n);
+        }
+        for n in 0..32 {
+            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
+        }
+        bp.flush_all(&mut clock).unwrap();
+        assert!(aud.checks() > 100, "auditor must have been exercised: {}", aud.checks());
     }
 
     #[test]

@@ -110,18 +110,19 @@ pub fn aggregate<K, A>(
     fold: impl Fn(&mut A, &Row),
 ) -> Vec<(K, A)>
 where
-    K: std::hash::Hash + Eq + Clone + Ord,
+    K: Eq + Clone + Ord,
     A: Clone,
 {
     ctx.charge_n(ctx.costs.row_hash, rows.len() as u64);
-    let mut groups: std::collections::HashMap<K, A> = std::collections::HashMap::new();
+    // ordered map: group output order falls out sorted with no extra pass,
+    // and no hash order can leak into the result
+    let mut groups: std::collections::BTreeMap<K, A> = std::collections::BTreeMap::new();
     for r in rows {
         let k = key(r);
         let acc = groups.entry(k).or_insert_with(|| init.clone());
         fold(acc, r);
     }
-    let mut out: Vec<(K, A)> = groups.into_iter().collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output order
+    let out: Vec<(K, A)> = groups.into_iter().collect();
     ctx.charge_n(ctx.costs.row_output, out.len() as u64);
     out
 }

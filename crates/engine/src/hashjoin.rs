@@ -88,6 +88,7 @@ fn in_memory_join(
     emit: impl Fn(&Row, &Row) -> Row,
 ) -> Vec<Row> {
     ctx.charge_n(ctx.costs.row_hash, build.len() as u64);
+    // audit: allow(hash-iter, build table is probed by key only - never iterated - so hash order cannot reach the output)
     let mut table: HashMap<i64, Vec<usize>> = HashMap::with_capacity(build.len());
     for (i, r) in build.iter().enumerate() {
         table.entry(build_key(r)).or_default().push(i);

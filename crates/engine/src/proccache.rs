@@ -8,7 +8,7 @@
 //! recompiled. Best-effort as always: a failed extension only costs
 //! recompilations.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -38,8 +38,8 @@ pub struct ProcCacheStats {
 
 struct ExtTier {
     device: Arc<dyn Device>,
-    /// fingerprint → (offset, len) in the device.
-    map: HashMap<PlanFingerprint, (u64, u32)>,
+    /// fingerprint → (offset, len) in the device (ordered for replay).
+    map: BTreeMap<PlanFingerprint, (u64, u32)>,
     /// Bump allocator over the device; entries are immutable once written,
     /// and the whole tier resets when the device wraps (plans are cheap to
     /// lose — the best-effort contract).
@@ -50,7 +50,7 @@ struct ExtTier {
 
 struct Inner {
     /// In-memory tier: fingerprint → plan blob, FIFO-evicted by bytes.
-    memory: HashMap<PlanFingerprint, Vec<u8>>,
+    memory: BTreeMap<PlanFingerprint, Vec<u8>>,
     order: VecDeque<PlanFingerprint>,
     memory_bytes: u64,
     capacity_bytes: u64,
@@ -69,7 +69,7 @@ impl ProcedureCache {
     pub fn new(capacity_bytes: u64) -> ProcedureCache {
         ProcedureCache {
             inner: Mutex::new(Inner {
-                memory: HashMap::new(),
+                memory: BTreeMap::new(),
                 order: VecDeque::new(),
                 memory_bytes: 0,
                 capacity_bytes,
@@ -84,7 +84,7 @@ impl ProcedureCache {
     pub fn set_extension(&self, device: Option<Arc<dyn Device>>) {
         self.inner.lock().ext = device.map(|device| ExtTier {
             device,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             next: 0,
             fifo: VecDeque::new(),
             failed: false,

@@ -10,7 +10,7 @@
 //! and recovered from the WAL after a donor failure; see
 //! [`crate::db::Database::rebuild_nc_index_from_log`] and Fig. 26.)
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -46,7 +46,8 @@ struct MvEntry {
 
 /// The semantic-cache broker: named materialized results on pinned devices.
 pub struct SemanticCache {
-    mvs: RwLock<HashMap<String, MvEntry>>,
+    // ordered so invalidation sweeps visit views in name order (replayable)
+    mvs: RwLock<BTreeMap<String, MvEntry>>,
     next_file: AtomicU32,
 }
 
@@ -58,7 +59,7 @@ impl Default for SemanticCache {
 
 impl SemanticCache {
     pub fn new() -> SemanticCache {
-        SemanticCache { mvs: RwLock::new(HashMap::new()), next_file: AtomicU32::new(60_000) }
+        SemanticCache { mvs: RwLock::new(BTreeMap::new()), next_file: AtomicU32::new(60_000) }
     }
 
     /// Materialize `rows` as the view `name` on `device`. The device is the

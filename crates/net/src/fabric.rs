@@ -4,8 +4,9 @@
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use remem_audit::Auditor;
 use remem_sim::{Clock, SimDuration};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::config::NetConfig;
 use crate::error::NetError;
@@ -56,8 +57,11 @@ struct ProtocolCosts {
 pub struct Fabric {
     cfg: NetConfig,
     servers: RwLock<Vec<Arc<Server>>>,
-    connections: Mutex<HashSet<(ServerId, ServerId)>>,
+    // ordered set: connection teardown sweeps iterate it, and hash order
+    // would leak into replay
+    connections: Mutex<BTreeSet<(ServerId, ServerId)>>,
     injector: RwLock<Option<Arc<FaultInjector>>>,
+    auditor: RwLock<Option<Arc<Auditor>>>,
 }
 
 impl Fabric {
@@ -65,9 +69,19 @@ impl Fabric {
         Fabric {
             cfg,
             servers: RwLock::new(Vec::new()),
-            connections: Mutex::new(HashSet::new()),
+            connections: Mutex::new(BTreeSet::new()),
             injector: RwLock::new(None),
+            auditor: RwLock::new(None),
         }
+    }
+
+    /// Attach (or detach) a runtime invariant auditor to every NIC in the
+    /// fabric — including servers added later.
+    pub fn set_auditor(&self, auditor: Option<Arc<Auditor>>) {
+        for s in self.servers.read().iter() {
+            s.nic().set_auditor(auditor.clone());
+        }
+        *self.auditor.write() = auditor;
     }
 
     /// Attach (or detach, with `None`) a fault schedule. Every subsequent
@@ -88,7 +102,11 @@ impl Fabric {
     pub fn add_server(&self, name: impl Into<String>, cores: usize) -> ServerId {
         let mut servers = self.servers.write();
         let id = ServerId(servers.len());
-        servers.push(Arc::new(Server::new(id, name, cores, &self.cfg)));
+        let server = Arc::new(Server::new(id, name, cores, &self.cfg));
+        if let Some(a) = self.auditor.read().as_ref() {
+            server.nic().set_auditor(Some(Arc::clone(a)));
+        }
+        servers.push(server);
         id
     }
 

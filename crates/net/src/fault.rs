@@ -125,6 +125,7 @@ impl FaultInjector {
         horizon: SimTime,
         log: Arc<FaultLog>,
     ) -> FaultInjector {
+        // audit: allow(seeded-rng, this IS the seeded chaos entry point - the schedule stream derives from the caller's seed)
         let mut rng = SimRng::seeded(seed);
         let mut inj = FaultInjector::with_log(seed, log);
         let span = horizon.0.max(1);

@@ -1,8 +1,10 @@
 //! The NIC model: one bandwidth pipe, MR registration bookkeeping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
+use remem_audit::Auditor;
 use remem_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::config::NetConfig;
@@ -18,21 +20,73 @@ use crate::mr::{MemoryRegion, MrId};
 #[derive(Debug)]
 pub struct Nic {
     pipe: FifoResource,
-    mrs: Mutex<HashMap<MrId, MemoryRegion>>,
+    // ordered map: lessees and the auditor walk the registration table, and
+    // hash order would leak into replay
+    mrs: Mutex<BTreeMap<MrId, MemoryRegion>>,
     next_mr: Mutex<MrId>,
     max_mr_size: u64,
     max_mr_count: usize,
+    /// lifetime registration counters, for the auditor's conservation check
+    registered: Mutex<RegStats>,
+    auditor: Mutex<Option<Arc<Auditor>>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RegStats {
+    reg_count: u64,
+    reg_bytes: u64,
+    dereg_count: u64,
+    dereg_bytes: u64,
 }
 
 impl Nic {
     pub fn new(cfg: &NetConfig) -> Nic {
         Nic {
             pipe: FifoResource::new(),
-            mrs: Mutex::new(HashMap::new()),
+            mrs: Mutex::new(BTreeMap::new()),
             next_mr: Mutex::new(1),
             max_mr_size: cfg.max_mr_size,
             max_mr_count: cfg.max_mr_count,
+            registered: Mutex::new(RegStats::default()),
+            auditor: Mutex::new(None),
         }
+    }
+
+    /// Attach (or detach) a runtime invariant auditor.
+    pub fn set_auditor(&self, auditor: Option<Arc<Auditor>>) {
+        *self.auditor.lock() = auditor;
+    }
+
+    /// Registration conservation: the live table must equal lifetime
+    /// registrations minus deregistrations, in both count and bytes, and
+    /// respect the hardware limits. No clock flows through registration, so
+    /// violations are stamped `SimTime::ZERO`.
+    fn verify(&self, mrs: &BTreeMap<MrId, MemoryRegion>) {
+        let guard = self.auditor.lock();
+        let Some(a) = guard.as_ref() else { return };
+        let s = *self.registered.lock();
+        let live_bytes: u64 = mrs.values().map(|m| m.len()).sum();
+        a.check_balance(
+            SimTime::ZERO,
+            "nic",
+            "mr-registration-count",
+            ("registered", s.reg_count as i128),
+            &[("live", mrs.len() as i128), ("deregistered", s.dereg_count as i128)],
+        );
+        a.check_balance(
+            SimTime::ZERO,
+            "nic",
+            "mr-registration-bytes",
+            ("registered", s.reg_bytes as i128),
+            &[("live", live_bytes as i128), ("deregistered", s.dereg_bytes as i128)],
+        );
+        a.check_that(
+            SimTime::ZERO,
+            "nic",
+            "mr-limit",
+            mrs.len() <= self.max_mr_count,
+            || format!("{} live MRs > device limit {}", mrs.len(), self.max_mr_count),
+        );
     }
 
     /// Register `len` bytes of fresh pinned memory. Returns the MR id.
@@ -51,12 +105,26 @@ impl Nic {
         let id = *next;
         *next += 1;
         mrs.insert(id, MemoryRegion::new(id, len));
+        {
+            let mut s = self.registered.lock();
+            s.reg_count += 1;
+            s.reg_bytes += len;
+        }
+        self.verify(&mrs);
         Ok(id)
     }
 
     /// Deregister (unpin) an MR, freeing its memory back to the OS.
     pub fn deregister_mr(&self, id: MrId) -> bool {
-        self.mrs.lock().remove(&id).is_some()
+        let mut mrs = self.mrs.lock();
+        let Some(mr) = mrs.remove(&id) else { return false };
+        {
+            let mut s = self.registered.lock();
+            s.dereg_count += 1;
+            s.dereg_bytes += mr.len();
+        }
+        self.verify(&mrs);
+        true
     }
 
     /// Drop every MR at once — what a crash does to a donor's registered
@@ -66,7 +134,14 @@ impl Nic {
     pub fn deregister_all(&self) -> usize {
         let mut mrs = self.mrs.lock();
         let n = mrs.len();
+        let bytes: u64 = mrs.values().map(|m| m.len()).sum();
         mrs.clear();
+        {
+            let mut s = self.registered.lock();
+            s.dereg_count += n as u64;
+            s.dereg_bytes += bytes;
+        }
+        self.verify(&mrs);
         n
     }
 

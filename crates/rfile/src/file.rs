@@ -292,9 +292,10 @@ impl RemoteFile {
                 .connect(clock, self.local, mr.server)
                 .map_err(|e| StorageError::Unavailable(e.to_string()))?;
         }
-        let fresh = Self::carve(&replacements, &needs);
+        let groups = Self::carve(&replacements, &needs)?;
+        let fresh: Vec<Extent> = groups.iter().flatten().copied().collect();
         // copy old → new; the old MRs stay readable until surrendered
-        for (old, new) in needs.iter().zip(Self::split_like(&needs, &fresh).iter()) {
+        for (old, new) in needs.iter().zip(groups.iter()) {
             debug_assert_eq!(old.start, new[0].start);
             let mut buf = vec![0u8; old.len as usize];
             self.fabric
@@ -330,19 +331,27 @@ impl RemoteFile {
     }
 
     /// Re-back the file ranges in `needs` with the `replacements` MRs,
-    /// splitting ranges across MR boundaries as needed. The caller
-    /// guarantees the replacements hold at least as many bytes as the needs.
-    fn carve(replacements: &[MrHandle], needs: &[Extent]) -> Vec<Extent> {
-        let mut out = Vec::new();
+    /// splitting ranges across MR boundaries as needed. Returns the new
+    /// extents grouped per need, in order. The broker is supposed to hand
+    /// back at least as many bytes as were lost; if it short-changes us
+    /// that is a metadata bug this layer surfaces as an error rather than
+    /// a panic mid-repair.
+    fn carve(replacements: &[MrHandle], needs: &[Extent]) -> Result<Vec<Vec<Extent>>, StorageError> {
+        let mut out = Vec::with_capacity(needs.len());
         let mut ri = 0usize;
         let mut roff = 0u64;
         for need in needs {
+            let mut parts = Vec::new();
             let mut start = need.start;
             let mut rem = need.len;
             while rem > 0 {
-                let mr = replacements[ri];
+                let Some(&mr) = replacements.get(ri) else {
+                    return Err(StorageError::Unavailable(
+                        "replacement MRs cover fewer bytes than the lost ranges".into(),
+                    ));
+                };
                 let take = rem.min(mr.len - roff);
-                out.push(Extent { start, len: take, mr, mr_off: roff });
+                parts.push(Extent { start, len: take, mr, mr_off: roff });
                 start += take;
                 rem -= take;
                 roff += take;
@@ -351,25 +360,9 @@ impl RemoteFile {
                     roff = 0;
                 }
             }
-        }
-        out
-    }
-
-    /// Group `carved` back by the need each run came from, in order.
-    fn split_like(needs: &[Extent], carved: &[Extent]) -> Vec<Vec<Extent>> {
-        let mut out = Vec::with_capacity(needs.len());
-        let mut it = carved.iter().copied().peekable();
-        for need in needs {
-            let mut parts = Vec::new();
-            let mut covered = 0u64;
-            while covered < need.len {
-                let part = it.next().expect("carve covers every need");
-                covered += part.len;
-                parts.push(part);
-            }
             out.push(parts);
         }
-        out
+        Ok(out)
     }
 
     /// Self-heal after a fatal fault, gated by exponential backoff:
@@ -426,7 +419,8 @@ impl RemoteFile {
             let mut st = self.state.lock();
             let dead = |m: &MrHandle| lost.iter().any(|l| l.server == m.server && l.mr == m.mr);
             let needs: Vec<Extent> = st.extents.iter().filter(|e| dead(&e.mr)).copied().collect();
-            let fresh = Self::carve(&replacements, &needs);
+            let fresh: Vec<Extent> =
+                Self::carve(&replacements, &needs)?.into_iter().flatten().collect();
             st.extents.retain(|e| !dead(&e.mr));
             st.extents.extend(fresh.iter().copied());
             st.extents.sort_by_key(|e| e.start);

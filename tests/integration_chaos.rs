@@ -14,8 +14,8 @@
 use std::sync::Arc;
 
 use remem::{
-    Cluster, ColType, DbOptions, Design, FaultInjector, FaultLog, FaultOrigin, PlacementPolicy,
-    Schema, SimDuration, SimTime, Value,
+    Auditor, Cluster, ColType, DbOptions, Design, FaultInjector, FaultLog, FaultOrigin,
+    PlacementPolicy, Schema, SimDuration, SimTime, Value,
 };
 use remem_engine::Database;
 use remem_sim::rng::SimRng;
@@ -68,11 +68,20 @@ fn sweep(
 }
 
 fn chaos_run(seed: u64) -> Outcome {
+    chaos_run_with(seed, None)
+}
+
+/// The same chaos schedule, optionally with a runtime invariant [`Auditor`]
+/// attached to the broker, every NIC, and the buffer pool — conservation
+/// laws are then cross-checked after every mutation of the run.
+fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
     let c = Cluster::builder()
         .memory_servers(3)
         .memory_per_server(64 << 20)
         .placement(PlacementPolicy::Spread)
         .build();
+    c.broker.set_auditor(auditor.clone());
+    c.fabric.set_auditor(auditor.clone());
     let mut clock = Clock::new();
     let log = Arc::new(FaultLog::new());
     let opts = DbOptions {
@@ -81,6 +90,7 @@ fn chaos_run(seed: u64) -> Outcome {
         ..DbOptions::small()
     };
     let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+    db.buffer_pool().set_auditor(auditor);
     let t = db
         .create_table(
             &mut clock,
@@ -200,6 +210,20 @@ fn chaos_run(seed: u64) -> Outcome {
 #[test]
 fn chaos_schedule_never_corrupts_and_recovers() {
     chaos_run(0xC0FFEE);
+}
+
+#[test]
+fn chaos_run_under_auditor_is_clean_and_replays_identically() {
+    let base = chaos_run(11);
+    let aud = Arc::new(Auditor::recording());
+    let audited = chaos_run_with(11, Some(Arc::clone(&aud)));
+    assert_eq!(aud.violation_count(), 0, "{}", aud.report());
+    assert!(aud.checks() > 1_000, "auditor must actually be exercised: {}", aud.checks());
+    assert_eq!(audited.checksum, base.checksum, "auditing must not perturb query results");
+    assert_eq!(
+        audited.fingerprint, base.fingerprint,
+        "auditing must not perturb the fault schedule"
+    );
 }
 
 #[test]
