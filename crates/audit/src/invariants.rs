@@ -113,7 +113,10 @@ impl Auditor {
 
     /// Record violations instead of panicking (for asserting on them).
     pub fn recording() -> Auditor {
-        Auditor { panic_on_violation: false, ..Auditor::new() }
+        Auditor {
+            panic_on_violation: false,
+            ..Auditor::new()
+        }
     }
 
     /// Number of invariant checks performed so far.
@@ -166,8 +169,14 @@ impl Auditor {
                 at,
                 component,
                 invariant,
-                lhs: Field { name: lhs.0, value: lhs.1 },
-                rhs: rhs.iter().map(|&(n, v)| Field { name: n, value: v }).collect(),
+                lhs: Field {
+                    name: lhs.0,
+                    value: lhs.1,
+                },
+                rhs: rhs
+                    .iter()
+                    .map(|&(n, v)| Field { name: n, value: v })
+                    .collect(),
                 note: String::new(),
             });
         }
@@ -188,7 +197,10 @@ impl Auditor {
                 at,
                 component,
                 invariant,
-                lhs: Field { name: "predicate", value: 0 },
+                lhs: Field {
+                    name: "predicate",
+                    value: 0,
+                },
                 rhs: Vec::new(),
                 note: detail(),
             });
@@ -208,8 +220,14 @@ impl Auditor {
                         at,
                         component,
                         invariant: "clock-monotonic",
-                        lhs: Field { name: "now", value: at.0 as i128 },
-                        rhs: vec![Field { name: "previously-observed", value: prev.0 as i128 }],
+                        lhs: Field {
+                            name: "now",
+                            value: at.0 as i128,
+                        },
+                        rhs: vec![Field {
+                            name: "previously-observed",
+                            value: prev.0 as i128,
+                        }],
                         note: "virtual time ran backwards".to_string(),
                     });
                 } else {
@@ -228,12 +246,18 @@ mod tests {
     #[test]
     fn balance_passes_and_counts() {
         let a = Auditor::recording();
-        a.check_balance(SimTime(5), "broker", "mr-conservation", ("donated", 100), &[
-            ("available", 60),
-            ("leased", 30),
-            ("lost", 0),
-            ("wiped", 10),
-        ]);
+        a.check_balance(
+            SimTime(5),
+            "broker",
+            "mr-conservation",
+            ("donated", 100),
+            &[
+                ("available", 60),
+                ("leased", 30),
+                ("lost", 0),
+                ("wiped", 10),
+            ],
+        );
         assert_eq!(a.violation_count(), 0);
         assert_eq!(a.checks(), 1);
     }
@@ -241,10 +265,13 @@ mod tests {
     #[test]
     fn balance_violation_carries_structured_diff() {
         let a = Auditor::recording();
-        a.check_balance(SimTime(7), "broker", "mr-conservation", ("donated", 100), &[
-            ("available", 60),
-            ("leased", 30),
-        ]);
+        a.check_balance(
+            SimTime(7),
+            "broker",
+            "mr-conservation",
+            ("donated", 100),
+            &[("available", 60), ("leased", 30)],
+        );
         let v = a.violations();
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].delta(), 10);
@@ -277,7 +304,9 @@ mod tests {
     #[test]
     fn check_that_records_detail() {
         let a = Auditor::recording();
-        a.check_that(SimTime(3), "nic", "mr-limit", false, || "9 > 8 MRs".to_string());
+        a.check_that(SimTime(3), "nic", "mr-limit", false, || {
+            "9 > 8 MRs".to_string()
+        });
         assert!(a.report().contains("9 > 8 MRs"));
     }
 }

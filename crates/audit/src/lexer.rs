@@ -48,7 +48,11 @@ fn parse_pragma(comment: &str, line: usize) -> Option<Pragma> {
     if rule.is_empty() {
         return None;
     }
-    Some(Pragma { line, rule: rule.to_string(), reason: reason.to_string() })
+    Some(Pragma {
+        line,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
 }
 
 /// Blank out comments and literals; collect pragmas from line comments.
@@ -115,9 +119,9 @@ pub fn strip(src: &str) -> Stripped {
             continue;
         }
         // ── raw string: r"…", r#"…"#, br#"…"# ───────────────────────────
-        let raw_start = if b == b'r' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r')
-        {
-            let prefix_is_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let raw_start = if b == b'r' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r') {
+            let prefix_is_ident =
+                i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
             if prefix_is_ident {
                 None
             } else {
@@ -228,7 +232,10 @@ pub fn strip(src: &str) -> Stripped {
         i += 1;
     }
 
-    Stripped { code: String::from_utf8_lossy(&out).into_owned(), pragmas }
+    Stripped {
+        code: String::from_utf8_lossy(&out).into_owned(),
+        pragmas,
+    }
 }
 
 /// A token from the stripped source: an identifier/number run or a single
@@ -268,16 +275,25 @@ pub fn tokenize(code: &str) -> Vec<Tok> {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
-            toks.push(Tok { text: String::from_utf8_lossy(&bytes[start..i]).into_owned(), line });
+            toks.push(Tok {
+                text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                line,
+            });
             continue;
         }
         if b == b':' && i + 1 < bytes.len() && bytes[i + 1] == b':' {
-            toks.push(Tok { text: "::".to_string(), line });
+            toks.push(Tok {
+                text: "::".to_string(),
+                line,
+            });
             i += 2;
             continue;
         }
         if b.is_ascii() {
-            toks.push(Tok { text: (b as char).to_string(), line });
+            toks.push(Tok {
+                text: (b as char).to_string(),
+                line,
+            });
         }
         // non-ASCII punctuation (shouldn't appear outside literals) is skipped
         i += 1;
@@ -327,14 +343,20 @@ mod tests {
     fn char_literals_and_lifetimes() {
         let s = strip("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
         assert!(s.code.contains("'a"), "lifetimes survive: {}", s.code);
-        assert!(!s.code.contains('x') || s.code.contains("x:"), "char blanked");
+        assert!(
+            !s.code.contains('x') || s.code.contains("x:"),
+            "char blanked"
+        );
     }
 
     #[test]
     fn tokenizer_merges_path_sep() {
         let toks = tokenize("std::time::Instant::now()");
         let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
-        assert_eq!(texts, ["std", "::", "time", "::", "Instant", "::", "now", "(", ")"]);
+        assert_eq!(
+            texts,
+            ["std", "::", "time", "::", "Instant", "::", "now", "(", ")"]
+        );
     }
 
     #[test]

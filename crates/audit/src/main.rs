@@ -22,7 +22,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     if cmd != "lint" {
         return usage();
     }

@@ -16,6 +16,10 @@
 //!   `clock: &mut Clock` must charge it (call a non-`now` method) or forward
 //!   it to a callee; rename the param to `_clock` to document an
 //!   intentionally free operation.
+//! * `bench-report` — no bare `print!`/`println!`/`eprint!`/`eprintln!` in
+//!   `crates/bench/src/bin/`: repro binaries must route output through
+//!   `remem_bench::Report` so every figure lands in the machine-readable
+//!   JSON pipeline, not just on stdout.
 //!
 //! Any rule can be waived per line with `// audit: allow(<rule>, <reason>)`
 //! on the offending line or the line directly above. Unused or unknown
@@ -26,8 +30,14 @@ use std::path::Path;
 
 use crate::lexer::{strip, tokenize, Pragma, Tok};
 
-pub const RULES: &[&str] =
-    &["wall-clock", "hash-iter", "no-unwrap", "seeded-rng", "clock-charge"];
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "hash-iter",
+    "no-unwrap",
+    "seeded-rng",
+    "clock-charge",
+    "bench-report",
+];
 
 /// Crates whose data structures feed the replay fingerprint.
 const REPLAY_CRITICAL: &[&str] = &["broker", "net", "rfile", "engine"];
@@ -49,7 +59,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
     }
 }
 
@@ -85,9 +99,8 @@ fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
                     }
                     j += 1;
                 }
-                let is_cfg_test = attr.len() >= 3
-                    && attr[0] == "cfg"
-                    && attr.contains(&"test".to_string());
+                let is_cfg_test =
+                    attr.len() >= 3 && attr[0] == "cfg" && attr.contains(&"test".to_string());
                 let is_test_attr = attr.first().map(|s| s == "test") == Some(true)
                     || attr.windows(2).any(|w| w[0] == "::" && w[1] == "test");
                 if is_cfg_test || is_test_attr {
@@ -188,7 +201,12 @@ impl<'a> Ctx<'a> {
         if self.waived(rule, line) {
             return;
         }
-        self.out.push(Violation { file: self.path.to_string(), line, rule, msg });
+        self.out.push(Violation {
+            file: self.path.to_string(),
+            line,
+            rule,
+            msg,
+        });
     }
 }
 
@@ -230,6 +248,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     rule_no_unwrap(&mut ctx);
     rule_seeded_rng(&mut ctx);
     rule_clock_charge(&mut ctx);
+    rule_bench_report(&mut ctx);
 
     // pragma hygiene: unknown rule names and unused waivers are violations
     for k in 0..ctx.pragmas.len() {
@@ -265,7 +284,11 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
 
 /// Count of used (justified) pragmas in a file — for the budget report.
 pub fn count_pragmas(src: &str) -> usize {
-    strip(src).pragmas.iter().filter(|p| RULES.contains(&p.rule.as_str())).count()
+    strip(src)
+        .pragmas
+        .iter()
+        .filter(|p| RULES.contains(&p.rule.as_str()))
+        .count()
 }
 
 // ─── individual rules ────────────────────────────────────────────────────
@@ -280,9 +303,7 @@ fn rule_wall_clock(ctx: &mut Ctx) {
         .enumerate()
         .filter_map(|(i, t)| match t.text.as_str() {
             "Instant" | "SystemTime" => Some((t.line, format!("wall-clock API `{}`", t.text))),
-            "sleep"
-                if i >= 2 && ctx.toks[i - 1].is("::") && ctx.toks[i - 2].is("thread") =>
-            {
+            "sleep" if i >= 2 && ctx.toks[i - 1].is("::") && ctx.toks[i - 2].is("thread") => {
                 Some((t.line, "wall-clock API `thread::sleep`".to_string()))
             }
             _ => None,
@@ -390,7 +411,10 @@ fn rule_clock_charge(ctx: &mut Ctx) {
             continue;
         }
         let fn_idx = i;
-        let name = toks.get(fn_idx + 1).map(|t| t.text.clone()).unwrap_or_default();
+        let name = toks
+            .get(fn_idx + 1)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
         // find the param list ( … ) — skip over generics `<…>` first
         let mut j = fn_idx + 1;
         while j < toks.len() && !toks[j].is("(") && !toks[j].is("{") && !toks[j].is(";") {
@@ -462,7 +486,11 @@ fn rule_clock_charge(ctx: &mut Ctx) {
                 }
                 let next = toks.get(c + 1).map(|t| t.text.as_str());
                 let next2 = toks.get(c + 2).map(|t| t.text.as_str());
-                let prev = if c > 0 { Some(toks[c - 1].text.as_str()) } else { None };
+                let prev = if c > 0 {
+                    Some(toks[c - 1].text.as_str())
+                } else {
+                    None
+                };
                 match next {
                     // method call: anything but the read-only `now()`
                     Some(".") if next2 != Some("now") => {
@@ -499,12 +527,43 @@ fn rule_clock_charge(ctx: &mut Ctx) {
     }
 }
 
+/// For `bench-report`: repro binaries write their figures through the Report
+/// harness, never straight to stdout — a bare print bypasses the JSON
+/// pipeline and the CI regression gate silently loses that data.
+fn rule_bench_report(ctx: &mut Ctx) {
+    let norm = ctx.path.replace('\\', "/");
+    if !norm.contains("crates/bench/src/bin/") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if matches!(t.text.as_str(), "print" | "println" | "eprint" | "eprintln")
+            && ctx.toks.get(i + 1).map(|n| n.is("!")) == Some(true)
+            && !ctx.in_test(i)
+        {
+            hits.push((t.line, t.text.clone()));
+        }
+    }
+    for (line, mac) in hits {
+        ctx.push(
+            "bench-report",
+            line,
+            format!(
+                "bare `{mac}!` in a repro binary: route output through \
+                 `remem_bench::Report` (note/table/series) so it reaches the JSON pipeline"
+            ),
+        );
+    }
+}
+
 // ─── tree walker ─────────────────────────────────────────────────────────
 
 /// Recursively collect `*.rs` files under `root/crates`, skipping `target`.
 fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<_> =
-        std::fs::read_dir(dir)?.collect::<Result<Vec<_>, _>>()?.into_iter().collect();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .collect();
     entries.sort_by_key(|e| e.path());
     for e in entries {
         let p = e.path();
@@ -529,7 +588,11 @@ pub fn lint_tree(root: &Path) -> std::io::Result<(Vec<Violation>, LintStats)> {
     let mut stats = LintStats::default();
     for f in &files {
         let src = std::fs::read_to_string(f)?;
-        let rel = f.strip_prefix(root).unwrap_or(f).to_string_lossy().into_owned();
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .into_owned();
         stats.files += 1;
         stats.pragmas_used += count_pragmas(&src);
         all.extend(lint_source(&rel, &src));
@@ -550,7 +613,10 @@ mod tests {
         let src = "fn f() { let t = Instant::now(); thread::sleep(d); }\n";
         let got = rules_of("crates/net/src/a.rs", src);
         assert_eq!(got, vec!["wall-clock", "wall-clock"]);
-        assert!(rules_of("crates/sim/src/a.rs", src).is_empty(), "sim owns the clock");
+        assert!(
+            rules_of("crates/sim/src/a.rs", src).is_empty(),
+            "sim owns the clock"
+        );
         // a local fn named sleep is not thread::sleep
         assert!(rules_of("crates/net/src/a.rs", "fn g() { sleep(d); }\n").is_empty());
     }
@@ -558,20 +624,35 @@ mod tests {
     #[test]
     fn hash_iter_flagged_in_replay_critical_non_test_code() {
         let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
-        assert_eq!(rules_of("crates/broker/src/a.rs", src), vec!["hash-iter", "hash-iter"]);
-        assert!(rules_of("crates/workloads/src/a.rs", src).is_empty(), "not replay-critical");
+        assert_eq!(
+            rules_of("crates/broker/src/a.rs", src),
+            vec!["hash-iter", "hash-iter"]
+        );
+        assert!(
+            rules_of("crates/workloads/src/a.rs", src).is_empty(),
+            "not replay-critical"
+        );
         // `use` lines and test code are exempt
         assert!(rules_of("crates/broker/src/a.rs", "use std::collections::HashMap;\n").is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n  fn f() { let m = HashMap::new(); }\n}\n";
         assert!(rules_of("crates/broker/src/a.rs", test_src).is_empty());
-        assert!(rules_of("crates/broker/tests/a.rs", src).is_empty(), "test files exempt");
+        assert!(
+            rules_of("crates/broker/tests/a.rs", src).is_empty(),
+            "test files exempt"
+        );
     }
 
     #[test]
     fn no_unwrap_flagged_on_fallible_path_crates() {
         let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n";
-        assert_eq!(rules_of("crates/rfile/src/a.rs", src), vec!["no-unwrap", "no-unwrap"]);
-        assert!(rules_of("crates/engine/src/a.rs", src).is_empty(), "engine not in scope");
+        assert_eq!(
+            rules_of("crates/rfile/src/a.rs", src),
+            vec!["no-unwrap", "no-unwrap"]
+        );
+        assert!(
+            rules_of("crates/engine/src/a.rs", src).is_empty(),
+            "engine not in scope"
+        );
         let test_src = "#[test]\nfn t() { x.unwrap(); }\n";
         assert!(rules_of("crates/rfile/src/a.rs", test_src).is_empty());
         // `unwrap` as a field/name, not a call, is fine
@@ -582,16 +663,25 @@ mod tests {
     fn seeded_rng_flagged_outside_seed_owners() {
         let src = "fn f() { let r = SimRng::seeded(7); }\n";
         assert_eq!(rules_of("crates/net/src/a.rs", src), vec!["seeded-rng"]);
-        assert!(rules_of("crates/workloads/src/a.rs", src).is_empty(), "seed owner");
-        assert!(rules_of("crates/net/src/a.rs", "#[test]\nfn t() { SimRng::seeded(7); }\n")
-            .is_empty());
+        assert!(
+            rules_of("crates/workloads/src/a.rs", src).is_empty(),
+            "seed owner"
+        );
+        assert!(rules_of(
+            "crates/net/src/a.rs",
+            "#[test]\nfn t() { SimRng::seeded(7); }\n"
+        )
+        .is_empty());
     }
 
     #[test]
     fn clock_charge_requires_charge_or_forward() {
         // neither charges nor forwards → violation
         let bad = "fn read(&self, clock: &mut Clock, off: u64) -> u64 { off + 1 }\n";
-        assert_eq!(rules_of("crates/storage/src/a.rs", bad), vec!["clock-charge"]);
+        assert_eq!(
+            rules_of("crates/storage/src/a.rs", bad),
+            vec!["clock-charge"]
+        );
         // charging via a method is fine
         let charge = "fn read(&self, clock: &mut Clock) { clock.advance(d); }\n";
         assert!(rules_of("crates/storage/src/a.rs", charge).is_empty());
@@ -600,12 +690,21 @@ mod tests {
         assert!(rules_of("crates/storage/src/a.rs", fwd).is_empty());
         // `now()` alone does NOT count as charging
         let peek = "fn read(&self, clock: &mut Clock) -> SimTime { clock.now() }\n";
-        assert_eq!(rules_of("crates/storage/src/a.rs", peek), vec!["clock-charge"]);
+        assert_eq!(
+            rules_of("crates/storage/src/a.rs", peek),
+            vec!["clock-charge"]
+        );
         // `_clock` opts out; trait signatures (no body) are skipped
-        assert!(rules_of("crates/storage/src/a.rs", "fn cap(&self, _clock: &mut Clock) {}\n")
-            .is_empty());
-        assert!(rules_of("crates/storage/src/a.rs", "trait D { fn read(&self, clock: &mut Clock); }\n")
-            .is_empty());
+        assert!(rules_of(
+            "crates/storage/src/a.rs",
+            "fn cap(&self, _clock: &mut Clock) {}\n"
+        )
+        .is_empty());
+        assert!(rules_of(
+            "crates/storage/src/a.rs",
+            "trait D { fn read(&self, clock: &mut Clock); }\n"
+        )
+        .is_empty());
         // out-of-scope crates are not checked
         assert!(rules_of("crates/engine/src/a.rs", bad).is_empty());
     }
@@ -628,6 +727,27 @@ mod tests {
         // count_pragmas only counts known-rule pragmas
         assert_eq!(count_pragmas(waived), 1);
         assert_eq!(count_pragmas(unknown), 0);
+    }
+
+    #[test]
+    fn bench_report_flags_bare_prints_in_repro_binaries() {
+        let src = "fn main() { println!(\"x\"); eprint!(\"y\"); }\n";
+        assert_eq!(
+            rules_of("crates/bench/src/bin/repro_fig1.rs", src),
+            vec!["bench-report", "bench-report"]
+        );
+        // the harness library itself may print
+        assert!(rules_of("crates/bench/src/report.rs", src).is_empty());
+        assert!(rules_of("crates/engine/src/a.rs", src).is_empty());
+        // waivable like every other rule
+        let waived = "fn main() {\n// audit: allow(bench-report, debug aid)\nprintln!(\"x\");\n}\n";
+        assert!(rules_of("crates/bench/src/bin/repro_fig1.rs", waived).is_empty());
+        // a fn named println (no `!`) is not a macro call
+        assert!(rules_of(
+            "crates/bench/src/bin/repro_fig1.rs",
+            "fn main() { println(); }\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -132,7 +132,10 @@ fn bench_operators(c: &mut Criterion) {
         keys.into_iter().map(|k| int_row(&[k, k % 97])).collect()
     };
     g.bench_function("external_sort_50k_in_memory", |b| {
-        let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(256 << 20)))));
+        let tempdb = TempDb::new(Arc::new(PagedFile::new(
+            FileId(9),
+            Arc::new(RamDisk::new(256 << 20)),
+        )));
         let cpu = CpuPool::new(8);
         let costs = CpuCosts::default();
         b.iter_batched(
@@ -140,14 +143,24 @@ fn bench_operators(c: &mut Criterion) {
             |rows| {
                 let mut clock = Clock::new();
                 let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
-                remem_engine::sort::external_sort(&mut ctx, &tempdb, rows, |r| r.int(0) as f64, 1 << 30, None)
-                    .unwrap()
+                remem_engine::sort::external_sort(
+                    &mut ctx,
+                    &tempdb,
+                    rows,
+                    |r| r.int(0) as f64,
+                    1 << 30,
+                    None,
+                )
+                .unwrap()
             },
             BatchSize::SmallInput,
         );
     });
     g.bench_function("hash_join_20k_x_50k", |b| {
-        let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(256 << 20)))));
+        let tempdb = TempDb::new(Arc::new(PagedFile::new(
+            FileId(9),
+            Arc::new(RamDisk::new(256 << 20)),
+        )));
         let cpu = CpuPool::new(8);
         let costs = CpuCosts::default();
         let build: Vec<Row> = (0..20_000i64).map(|k| int_row(&[k % 97, k])).collect();
@@ -182,16 +195,27 @@ fn bench_rfile_stack(c: &mut Criterion) {
         ("read_8k_sync_staged", RFileConfig::custom()),
         (
             "read_8k_async_staged",
-            RFileConfig { access: AccessMode::Async, ..RFileConfig::custom() },
+            RFileConfig {
+                access: AccessMode::Async,
+                ..RFileConfig::custom()
+            },
         ),
         (
             "read_8k_sync_dynamic",
-            RFileConfig { registration: RegistrationMode::Dynamic, ..RFileConfig::custom() },
+            RFileConfig {
+                registration: RegistrationMode::Dynamic,
+                ..RFileConfig::custom()
+            },
         ),
     ] {
-        let cluster = Cluster::builder().memory_servers(1).memory_per_server(64 << 20).build();
+        let cluster = Cluster::builder()
+            .memory_servers(1)
+            .memory_per_server(64 << 20)
+            .build();
         let mut setup = Clock::new();
-        let file = cluster.remote_file(&mut setup, cluster.db_server, 32 << 20, cfg).unwrap();
+        let file = cluster
+            .remote_file(&mut setup, cluster.db_server, 32 << 20, cfg)
+            .unwrap();
         let mut clock = setup;
         let mut rng = SimRng::seeded(3);
         let mut buf = vec![0u8; 8192];
@@ -233,7 +257,8 @@ fn bench_database(c: &mut Criterion) {
     let mut next = 0i64;
     g.bench_function("insert", |b| {
         b.iter(|| {
-            db.insert(&mut clock, t, int_row(&[next, next * 2])).unwrap();
+            db.insert(&mut clock, t, int_row(&[next, next * 2]))
+                .unwrap();
             next += 1;
         });
     });

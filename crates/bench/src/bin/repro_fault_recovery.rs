@@ -15,7 +15,7 @@ use remem::{
     Cluster, ColType, DbOptions, Design, FaultInjector, FaultLog, PlacementPolicy, Schema,
     SimDuration, SimTime, Value,
 };
-use remem_bench::{header, print_table};
+use remem_bench::Report;
 use remem_engine::{Database, Row};
 use remem_sim::rng::SimRng;
 use remem_sim::Clock;
@@ -25,12 +25,7 @@ const SCANS_PER_WINDOW: u64 = 150;
 
 /// One measurement window: run the workload slice, return `(scans/s of
 /// virtual time, extension hit fraction)`.
-fn window(
-    db: &Database,
-    clock: &mut Clock,
-    t: remem::TableId,
-    rng: &mut SimRng,
-) -> (f64, f64) {
+fn window(db: &Database, clock: &mut Clock, t: remem::TableId, rng: &mut SimRng) -> (f64, f64) {
     let s0 = db.bp_stats();
     let t0 = clock.now();
     for _ in 0..SCANS_PER_WINDOW {
@@ -38,7 +33,8 @@ fn window(
         let rows = db.range(clock, t, lo, lo + 100).expect("scan");
         assert_eq!(rows.len(), 100);
         let k = rng.uniform(0, ROWS as u64) as i64;
-        db.update(clock, t, k, |r| r.0[1] = Value::Int(k)).expect("update");
+        db.update(clock, t, k, |r| r.0[1] = Value::Int(k))
+            .expect("update");
     }
     let elapsed = clock.now().since(t0).as_secs_f64();
     let s1 = db.bp_stats();
@@ -51,26 +47,45 @@ fn window(
     (SCANS_PER_WINDOW as f64 / elapsed, ext_frac)
 }
 
+struct Phase {
+    label: String,
+    tput: f64,
+    ext_frac: f64,
+    suspended: bool,
+}
+
 fn main() {
-    header("Fault recovery", "throughput timeline across fault injection and self-healing");
+    let mut report = Report::new(
+        "repro_fault_recovery",
+        "Fault recovery",
+        "throughput timeline across fault injection and self-healing",
+    );
     let cluster = Cluster::builder()
         .memory_servers(3)
         .memory_per_server(64 << 20)
         .placement(PlacementPolicy::Spread)
+        .metrics(report.registry())
         .build();
     let mut clock = Clock::new();
     let log = Arc::new(FaultLog::new());
     let opts = DbOptions {
         pool_bytes: 1 << 20,
         fault_log: Some(Arc::clone(&log)),
+        metrics: None,
         ..DbOptions::small()
     };
-    let db = Design::Custom.build(&cluster, &mut clock, &opts).expect("db");
+    let db = Design::Custom
+        .build(&cluster, &mut clock, &opts)
+        .expect("db");
     let t = db
         .create_table(
             &mut clock,
             "t",
-            Schema::new(vec![("k", ColType::Int), ("v", ColType::Int), ("pad", ColType::Str)]),
+            Schema::new(vec![
+                ("k", ColType::Int),
+                ("v", ColType::Int),
+                ("pad", ColType::Str),
+            ]),
             0,
         )
         .unwrap();
@@ -78,7 +93,11 @@ fn main() {
         db.insert(
             &mut clock,
             t,
-            Row::new(vec![Value::Int(k), Value::Int(k * 3), Value::Str("p".repeat(180))]),
+            Row::new(vec![
+                Value::Int(k),
+                Value::Int(k * 3),
+                Value::Str("p".repeat(180)),
+            ]),
         )
         .unwrap();
     }
@@ -87,15 +106,23 @@ fn main() {
     window(&db, &mut clock, t, &mut rng);
 
     let mut rows = Vec::new();
+    let mut phases: Vec<Phase> = Vec::new();
     let mut measure = |label: &str, db: &Database, clock: &mut Clock, rng: &mut SimRng| {
         let (tput, ext) = window(db, clock, t, rng);
+        let suspended = db.buffer_pool().extension_failed();
         rows.push(vec![
             label.to_string(),
             format!("{:.1}", clock.now().as_nanos() as f64 / 1e6),
             format!("{tput:.0}"),
             format!("{:.0}%", ext * 100.0),
-            if db.buffer_pool().extension_failed() { "suspended" } else { "attached" }.into(),
+            if suspended { "suspended" } else { "attached" }.into(),
         ]);
+        phases.push(Phase {
+            label: label.to_string(),
+            tput,
+            ext_frac: ext,
+            suspended,
+        });
     };
 
     measure("healthy", &db, &mut clock, &mut rng);
@@ -130,12 +157,70 @@ fn main() {
     measure("donors restarted", &db, &mut clock, &mut rng);
     measure("(re-attached)", &db, &mut clock, &mut rng);
 
-    print_table(&["phase", "t ms", "scans/s", "ext hit", "extension"], &rows);
+    report.table(
+        "timeline (each row is one measurement window):",
+        &["phase", "t ms", "scans/s", "ext hit", "extension"],
+        rows,
+    );
 
-    println!("\nfault log (injected vs observed vs recovered):");
-    println!("{}", log.summary());
-    println!("shape checks: flaky windows and a single donor loss dent throughput but the");
-    println!("extension stays attached (per-stripe re-lease); losing every donor drops to");
-    println!("the HDD floor with the extension suspended; after restarts the probe");
-    println!("re-attaches it and throughput returns to the healthy level.");
+    report.blank();
+    report.note("fault log (injected vs observed vs recovered):");
+    for line in log.summary().lines() {
+        report.note(line.to_string());
+    }
+
+    let tput_series: Vec<(String, f64)> =
+        phases.iter().map(|p| (p.label.clone(), p.tput)).collect();
+    let ext_series: Vec<(String, f64)> = phases
+        .iter()
+        .map(|p| (p.label.clone(), p.ext_frac * 100.0))
+        .collect();
+    report.series("tput_by_phase", &tput_series);
+    report.series("ext_hit_pct_by_phase", &ext_series);
+
+    let find = |label: &str| phases.iter().find(|p| p.label == label).expect("phase");
+    let healthy = find("healthy");
+    let releases = find("(re-leased)");
+    let floor = find("(HDD floor)");
+    let reattached = find("(re-attached)");
+    report.blank();
+    report.check_assert(
+        "single_donor_loss_absorbed",
+        "after one donor crash the extension stays attached (per-stripe re-lease)",
+        !releases.suspended && releases.ext_frac > 0.0,
+    );
+    report.check_assert(
+        "all_donors_down_suspends",
+        "with every donor down the extension suspends and ext hits stop",
+        floor.suspended && floor.ext_frac == 0.0,
+    );
+    report.check_ratio_ge(
+        "hdd_floor_is_a_cliff",
+        "healthy throughput >= 2x the HDD floor",
+        ("healthy", healthy.tput),
+        ("HDD floor", floor.tput),
+        2.0,
+    );
+    report.check_assert(
+        "probe_reattaches_extension",
+        "after donor restarts the probe re-attaches the extension",
+        !reattached.suspended && reattached.ext_frac > 0.0,
+    );
+    report.check_ratio_ge(
+        "throughput_recovers",
+        "post-recovery throughput is >= 0.5x the healthy level and >= 5x the floor",
+        ("re-attached", reattached.tput),
+        ("healthy x0.5", healthy.tput * 0.5),
+        1.0,
+    );
+    report.check_ratio_ge(
+        "recovery_leaves_floor_behind",
+        "post-recovery throughput is >= 5x the all-donors-down floor",
+        ("re-attached", reattached.tput),
+        ("HDD floor", floor.tput),
+        5.0,
+    );
+    report.gauge("healthy_scans_per_sec", healthy.tput, 10.0);
+    report.gauge("hdd_floor_scans_per_sec", floor.tput, 10.0);
+    report.finish();
 }

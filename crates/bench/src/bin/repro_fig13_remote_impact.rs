@@ -11,7 +11,7 @@
 //! interleaved in virtual time.
 
 use remem::{Cluster, DbOptions, Design, Protocol, RFileConfig};
-use remem_bench::{header, print_table};
+use remem_bench::Report;
 use remem_sim::rng::SimRng;
 use remem_sim::{Clock, Histogram, SimDuration, SimTime};
 use remem_workloads::rangescan::{load_customer, one_query};
@@ -22,7 +22,10 @@ const SA_WORKERS: usize = 80;
 const SA_THINK: SimDuration = SimDuration::from_micros(10);
 
 fn run_config(proto: Option<Protocol>) -> (f64, f64, f64) {
-    let cluster = Cluster::builder().memory_servers(1).memory_per_server(128 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(1)
+        .memory_per_server(128 << 20)
+        .build();
     let sb = cluster.memory_servers[0];
     let mut clock = Clock::new();
 
@@ -36,8 +39,11 @@ fn run_config(proto: Option<Protocol>) -> (f64, f64, f64) {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     };
-    let sb_db = Design::LocalMemory.build_for(&cluster, &mut clock, sb, &sb_opts).expect("SB");
+    let sb_db = Design::LocalMemory
+        .build_for(&cluster, &mut clock, sb, &sb_opts)
+        .expect("SB");
     let sb_table = load_customer(&sb_db, &mut clock, 40_000);
 
     // SA's BPExt: a remote file on SB, accessed page-by-page
@@ -47,7 +53,9 @@ fn run_config(proto: Option<Protocol>) -> (f64, f64, f64) {
             Protocol::SmbDirect => RFileConfig::smb_direct(),
             Protocol::SmbTcp => RFileConfig::smb_tcp(),
         };
-        cluster.remote_file(&mut clock, cluster.db_server, 24 << 20, cfg).expect("SA BPExt")
+        cluster
+            .remote_file(&mut clock, cluster.db_server, 24 << 20, cfg)
+            .expect("SA BPExt")
     });
 
     let start = clock.now();
@@ -86,22 +94,58 @@ fn run_config(proto: Option<Protocol>) -> (f64, f64, f64) {
 }
 
 fn main() {
-    header("Fig 13", "impact of remote accesses on the memory server's own workload");
+    let mut report = Report::new(
+        "repro_fig13_remote_impact",
+        "Fig 13",
+        "impact of remote accesses on the memory server's own workload",
+    );
     let mut rows = Vec::new();
+    let mut tput = Vec::new();
+    let mut p99 = Vec::new();
     for (label, proto) in [
         ("Default (no remote use)", None),
         ("RDMA (Custom)", Some(Protocol::Custom)),
         ("TCP (SMB)", Some(Protocol::SmbTcp)),
     ] {
-        let (tput, mean, p99) = run_config(proto);
+        let (t, mean, p) = run_config(proto);
         rows.push(vec![
             label.to_string(),
-            format!("{tput:.0}"),
+            format!("{t:.0}"),
             format!("{mean:.1}"),
-            format!("{p99:.1}"),
+            format!("{p:.1}"),
         ]);
+        tput.push((label.to_string(), t));
+        p99.push((label.to_string(), p));
     }
-    print_table(&["SB accessed via", "SB queries/s", "SB mean ms", "SB p99 ms"], &rows);
-    println!("\nshape checks vs paper Fig 13: RDMA ~= Default; TCP costs SB ~10%");
-    println!("throughput and up to ~20% on tail latency.");
+    report.table(
+        "",
+        &["SB accessed via", "SB queries/s", "SB mean ms", "SB p99 ms"],
+        rows,
+    );
+    report.series("sb_tput_qps", &tput);
+    report.series("sb_p99_ms", &p99);
+    report.blank();
+    let default_t = tput[0].1;
+    let rdma_t = tput[1].1;
+    let tcp_t = tput[2].1;
+    report.check_ratio_ge(
+        "rdma_free_for_donor",
+        "RDMA leaves SB's throughput within 2% of the idle baseline",
+        ("RDMA", rdma_t),
+        ("Default * 0.98", default_t * 0.98),
+        1.0,
+    );
+    report.check_assert(
+        "tcp_costs_donor_tput",
+        "TCP remote access costs SB at least 5% of its throughput",
+        tcp_t <= default_t * 0.95,
+    );
+    report.check_assert(
+        "tcp_costs_donor_tail",
+        "TCP inflates SB's p99 latency over the RDMA case",
+        p99[2].1 > p99[1].1,
+    );
+    report.gauge("sb_tput_default", default_t, 10.0);
+    report.gauge("tcp_tput_cost_pct", (1.0 - tcp_t / default_t) * 100.0, 60.0);
+    report.finish();
 }

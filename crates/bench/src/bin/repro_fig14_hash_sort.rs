@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use remem::{Cluster, Design, Device, StorageError};
-use remem_bench::{header, print_table, windowed_util};
+use remem_bench::{windowed_util, Report};
 use remem_engine::{Database, DbConfig, DeviceSet};
 use remem_rfile::RFileConfig;
 use remem_sim::metrics::TimeSeries;
@@ -63,11 +63,22 @@ impl Device for SeriesDevice {
 }
 
 fn main() {
-    header("Fig 14", "Hash+Sort: latency per design + TempDB I/O and CPU drill-down");
-    let params = HashSortParams { orders: 450_000, lineitems_per_order: 4, top_n: 300, seed: 7 };
+    let mut report = Report::new(
+        "repro_fig14_hash_sort",
+        "Fig 14",
+        "Hash+Sort: latency per design + TempDB I/O and CPU drill-down",
+    );
+    let params = HashSortParams {
+        orders: 450_000,
+        lineitems_per_order: 4,
+        top_n: 300,
+        seed: 7,
+    };
     let tempdb_bytes: u64 = 3 << 30;
     let mut rows = Vec::new();
     let mut drilldowns = Vec::new();
+    let mut totals = Vec::new();
+    let mut cpus = Vec::new();
     for design in Design::ALL {
         let cluster = Cluster::builder()
             .memory_servers(2)
@@ -82,13 +93,28 @@ fn main() {
                 Arc::new(Ssd::new(SsdConfig::with_capacity(tempdb_bytes)))
             }
             Design::SmbRamDrive => cluster
-                .remote_file(&mut clock, cluster.db_server, tempdb_bytes / 2, RFileConfig::smb_tcp())
+                .remote_file(
+                    &mut clock,
+                    cluster.db_server,
+                    tempdb_bytes / 2,
+                    RFileConfig::smb_tcp(),
+                )
                 .unwrap(),
             Design::SmbDirectRamDrive => cluster
-                .remote_file(&mut clock, cluster.db_server, tempdb_bytes / 2, RFileConfig::smb_direct())
+                .remote_file(
+                    &mut clock,
+                    cluster.db_server,
+                    tempdb_bytes / 2,
+                    RFileConfig::smb_direct(),
+                )
                 .unwrap(),
             Design::Custom => cluster
-                .remote_file(&mut clock, cluster.db_server, tempdb_bytes / 2, RFileConfig::custom())
+                .remote_file(
+                    &mut clock,
+                    cluster.db_server,
+                    tempdb_bytes / 2,
+                    RFileConfig::custom(),
+                )
                 .unwrap(),
         };
         let tempdb = SeriesDevice::new(tempdb_inner);
@@ -100,7 +126,11 @@ fn main() {
         cfg.workspace_bytes = 192 << 20; // grants capped at 48 MiB
         let db = Database::new(
             cfg,
-            cluster.fabric.server(cluster.db_server).unwrap().cpu_handle(),
+            cluster
+                .fabric
+                .server(cluster.db_server)
+                .unwrap()
+                .cpu_handle(),
             DeviceSet {
                 data: Arc::new(HddArray::new(HddConfig::with_spindles(20, 2 << 30))),
                 log: Arc::new(HddArray::new(HddConfig::with_spindles(20, 256 << 20))),
@@ -114,27 +144,36 @@ fn main() {
         let r = run_hash_sort(&db, &mut clock, tables, params.top_n);
         let t1 = clock.now();
         let u1 = db.cpu().utilization(t1);
+        let cpu_pct = windowed_util(u1, t1, u0, t0) * 100.0;
         rows.push(vec![
             design.label().to_string(),
             format!("{:.2}", r.total.as_secs_f64()),
             format!("{:.2}", r.build_phase.as_secs_f64()),
             format!("{:.2}", r.probe_sort_phase.as_secs_f64()),
             format!("{:.0}", r.tempdb_bytes as f64 / 1e6),
-            format!("{:.0}", windowed_util(u1, t1, u0, t0) * 100.0),
+            format!("{cpu_pct:.0}"),
         ]);
+        totals.push((design.label().to_string(), r.total.as_secs_f64()));
+        cpus.push((design.label().to_string(), cpu_pct));
         if matches!(design, Design::HddSsd | Design::Custom) {
             let reads = tempdb.reads.lock().rates_per_sec();
             let writes = tempdb.writes.lock().rates_per_sec();
             drilldowns.push((design.label(), t0, reads, writes));
         }
     }
-    println!("\nFig 14a — query latency (virtual seconds):");
-    print_table(
-        &["design", "total s", "build s", "probe+sort s", "spill MB", "CPU %"],
-        &rows,
+    report.table(
+        "Fig 14a — query latency (virtual seconds):",
+        &[
+            "design",
+            "total s",
+            "build s",
+            "probe+sort s",
+            "spill MB",
+            "CPU %",
+        ],
+        rows,
     );
     for (label, t0, reads, writes) in drilldowns {
-        println!("\nFig 14b — TempDB I/O during {label} (MB/s per 100 ms bucket):");
         let first = (t0.as_nanos() / 100_000_000) as usize;
         let mut series = Vec::new();
         for i in first..reads.len().max(writes.len()) {
@@ -146,8 +185,42 @@ fn main() {
                 format!("{w:.0}"),
             ]);
         }
-        print_table(&["t (s)", "read MB/s", "write MB/s"], &series);
+        report.table(
+            &format!("Fig 14b — TempDB I/O during {label} (MB/s per 100 ms bucket):"),
+            &["t (s)", "read MB/s", "write MB/s"],
+            series,
+        );
     }
-    println!("\nshape checks vs paper: HDD+SSD slowest of the I/O-bound designs and");
-    println!("~5x Custom; HDD < HDD+SSD; SMBDirect ~= Custom; Custom's CPU % highest.");
+    report.series("total_latency_s", &totals);
+    report.series("cpu_pct", &cpus);
+    report.blank();
+    let find = |set: &[(String, f64)], label: &str| {
+        set.iter().find(|(l, _)| l == label).expect("design").1
+    };
+    report.check_ratio_ge(
+        "hddssd_slowest_io_design",
+        "HDD+SSD clearly slower than Custom (paper: ~5x; sim: ~2x)",
+        ("HDD+SSD s", find(&totals, "HDD+SSD")),
+        ("Custom s", find(&totals, "Custom")),
+        1.5,
+    );
+    report.check_assert(
+        "hdd_beats_hddssd",
+        "plain HDD beats HDD+SSD (sequential spills out-stream one SSD)",
+        find(&totals, "HDD") < find(&totals, "HDD+SSD"),
+    );
+    report.check_assert(
+        "smbdirect_near_custom",
+        "SMBDirect within 25% of Custom (large transfers amortize overheads)",
+        find(&totals, "SMBDirect+RamDrive") <= find(&totals, "Custom") * 1.25,
+    );
+    report.check_assert(
+        "custom_cpu_highest",
+        "Custom's CPU utilization is the highest of the I/O-bound designs",
+        find(&cpus, "Custom") >= find(&cpus, "HDD+SSD")
+            && find(&cpus, "Custom") >= find(&cpus, "HDD"),
+    );
+    report.gauge("custom_total_s", find(&totals, "Custom"), 10.0);
+    report.gauge("hddssd_total_s", find(&totals, "HDD+SSD"), 10.0);
+    report.finish();
 }

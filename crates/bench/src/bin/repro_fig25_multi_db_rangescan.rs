@@ -5,7 +5,7 @@
 //! until the donor's NIC saturates, then latency climbs.
 
 use remem::{Cluster, DbOptions, Design};
-use remem_bench::{header, print_table};
+use remem_bench::Report;
 use remem_sim::rng::SimRng;
 use remem_sim::{Clock, Histogram, SimDuration, SimTime};
 use remem_workloads::rangescan::{load_customer, one_query};
@@ -15,10 +15,20 @@ const WORKERS_PER_DB: usize = 40;
 const WINDOW: SimDuration = SimDuration::from_millis(300);
 
 fn main() {
-    header("Fig 25", "N database servers with their BPExt on one memory server");
+    let mut report = Report::new(
+        "repro_fig25_multi_db_rangescan",
+        "Fig 25",
+        "N database servers with their BPExt on one memory server",
+    );
     let mut rows = Vec::new();
+    let mut agg_tput = Vec::new();
+    let mut mean_lat = Vec::new();
     for n in [1usize, 2, 4, 8] {
-        let cluster = Cluster::builder().memory_servers(1).memory_per_server(512 << 20).build();
+        let cluster = Cluster::builder()
+            .memory_servers(1)
+            .memory_per_server(512 << 20)
+            .metrics(report.registry())
+            .build();
         let opts = DbOptions {
             pool_bytes: 1 << 20, // ~7 GB scaled: small local memory
             bpext_bytes: 30 << 20,
@@ -28,6 +38,7 @@ fn main() {
             oltp: true,
             workspace_bytes: None,
             fault_log: None,
+            metrics: None,
         };
         let mut clock = Clock::new();
         let mut dbs = Vec::new();
@@ -37,7 +48,9 @@ fn main() {
             } else {
                 cluster.add_db_server(format!("DB{}", i + 1), 20)
             };
-            let db = Design::Custom.build_for(&cluster, &mut clock, server, &opts).expect("db");
+            let db = Design::Custom
+                .build_for(&cluster, &mut clock, server, &opts)
+                .expect("db");
             let t = load_customer(&db, &mut clock, ROWS);
             dbs.push((db, t));
         }
@@ -52,13 +65,43 @@ fn main() {
             let startk = rng.uniform(0, ROWS - 100) as i64;
             one_query(db, c, *t, startk, 100, false);
         });
+        let tput = ops as f64 / WINDOW.as_secs_f64();
+        let lat_ms = lat.mean().as_micros_f64() / 1000.0;
         rows.push(vec![
             n.to_string(),
-            format!("{:.0}", ops as f64 / WINDOW.as_secs_f64()),
-            format!("{:.2}", lat.mean().as_micros_f64() / 1000.0),
+            format!("{tput:.0}"),
+            format!("{lat_ms:.2}"),
         ]);
+        agg_tput.push((format!("{n}db"), tput));
+        mean_lat.push((format!("{n}db"), lat_ms));
     }
-    print_table(&["DB servers", "aggregate queries/s", "mean latency ms"], &rows);
-    println!("\nshape checks vs paper Fig 25: near-linear aggregate scaling until");
-    println!("the donor NIC saturates, then flat throughput with rising latency.");
+    report.table(
+        "aggregate RangeScan throughput vs database-server count:",
+        &["DB servers", "aggregate queries/s", "mean latency ms"],
+        rows,
+    );
+    report.series("aggregate_qps", &agg_tput);
+    report.series("mean_latency_ms", &mean_lat);
+    report.blank();
+    report.check_order_asc(
+        "aggregate_tput_monotone",
+        "aggregate throughput never falls as database servers are added",
+        &agg_tput,
+        3.0,
+    );
+    report.check_ratio_ge(
+        "near_linear_early_scaling",
+        "2 database servers deliver >= 1.5x the single-server throughput",
+        ("2db", agg_tput[1].1),
+        ("1db", agg_tput[0].1),
+        1.5,
+    );
+    report.check_assert(
+        "latency_climbs_at_saturation",
+        "mean latency at 8 DB servers exceeds the single-server latency",
+        mean_lat[3].1 > mean_lat[0].1,
+    );
+    report.gauge("aggregate_qps_1db", agg_tput[0].1, 10.0);
+    report.gauge("aggregate_qps_8db", agg_tput[3].1, 10.0);
+    report.finish();
 }

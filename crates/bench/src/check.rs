@@ -1,0 +1,254 @@
+//! `remem-bench --check`: compare a fresh run against committed baselines.
+//!
+//! The comparator does NOT diff bytes — runtimes legitimately move as the
+//! simulator evolves. Instead, for every baseline report it finds the
+//! current report of the same name and asserts the things the paper
+//! actually claims:
+//!
+//! 1. every check recorded in the baseline still *re-derives* to pass from
+//!    the **current** run's data (shape claims like "Custom ≥ SMBDirect ≥
+//!    SMB" or "flat across donors" are re-evaluated, not trusted), and
+//! 2. every designated gauge stays within its recorded drift tolerance of
+//!    the baseline value.
+//!
+//! A missing current file, missing check id, missing gauge, or schema
+//! mismatch is a failure: silently dropping a figure from the gate would be
+//! worse than a regression.
+
+use std::path::Path;
+
+use crate::json::{parse, Json};
+use crate::report::{evaluate, DRIFT_EPSILON, SCHEMA};
+
+/// One comparator finding; `ok == false` fails the gate.
+pub struct Finding {
+    pub report: String,
+    pub what: String,
+    pub ok: bool,
+}
+
+/// Compare every `*.json` baseline under `baseline_dir` with its same-named
+/// counterpart under `current_dir`. Returns all findings (pass and fail).
+pub fn check_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<Vec<Finding>, String> {
+    let mut names: Vec<String> = Vec::new();
+    let entries = std::fs::read_dir(baseline_dir)
+        .map_err(|e| format!("read baseline dir {}: {e}", baseline_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read baseline dir: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    if names.is_empty() {
+        return Err(format!("no *.json baselines in {}", baseline_dir.display()));
+    }
+    names.sort();
+    let mut findings = Vec::new();
+    for name in names {
+        let base = load(&baseline_dir.join(&name))?;
+        let report = name.trim_end_matches(".json").to_string();
+        let cur_path = current_dir.join(&name);
+        if !cur_path.exists() {
+            findings.push(Finding {
+                report,
+                what: format!("current run produced no {name}"),
+                ok: false,
+            });
+            continue;
+        }
+        let cur = load(&cur_path)?;
+        compare(&report, &base, &cur, &mut findings);
+    }
+    Ok(findings)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Compare one baseline report against one current report.
+pub fn compare(report: &str, base: &Json, cur: &Json, out: &mut Vec<Finding>) {
+    let mut push = |what: String, ok: bool| {
+        out.push(Finding {
+            report: report.into(),
+            what,
+            ok,
+        })
+    };
+    for (doc, which) in [(base, "baseline"), (cur, "current")] {
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            push(format!("{which} schema is not {SCHEMA}"), false);
+            return;
+        }
+    }
+    // 1. re-derive every baseline check from the CURRENT data
+    for bc in base.get("checks").and_then(Json::as_arr).unwrap_or(&[]) {
+        let id = bc.get("id").and_then(Json::as_str).unwrap_or("?");
+        let Some(cc) = find_check(cur, id) else {
+            push(format!("check `{id}` missing from current run"), false);
+            continue;
+        };
+        let kind = cc.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let param = cc.get("param").and_then(Json::as_f64).unwrap_or(0.0);
+        let data = read_points(cc.get("data"));
+        match evaluate(kind, param, &data) {
+            Some(true) => push(format!("check `{id}` re-derives to pass"), true),
+            Some(false) => push(
+                format!(
+                    "check `{id}` ({kind}) FAILS on current data: {}",
+                    fmt_points(&data)
+                ),
+                false,
+            ),
+            None => push(format!("check `{id}` has unknown kind `{kind}`"), false),
+        }
+    }
+    // 2. gauge drift against the recorded tolerance
+    for bg in base.get("gauges").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = bg.get("name").and_then(Json::as_str).unwrap_or("?");
+        let base_v = bg.get("value").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let tol_pct = bg.get("tol_pct").and_then(Json::as_f64).unwrap_or(0.0);
+        let Some(cur_v) = find_gauge(cur, name) else {
+            push(format!("gauge `{name}` missing from current run"), false);
+            continue;
+        };
+        let allowed = (base_v.abs() * tol_pct / 100.0).max(DRIFT_EPSILON);
+        let drift = (cur_v - base_v).abs();
+        push(
+            format!("gauge `{name}`: {cur_v} vs baseline {base_v} (allowed ±{tol_pct}%)",),
+            drift <= allowed,
+        );
+    }
+}
+
+fn find_check<'a>(doc: &'a Json, id: &str) -> Option<&'a Json> {
+    doc.get("checks")?
+        .as_arr()?
+        .iter()
+        .find(|c| c.get("id").and_then(Json::as_str) == Some(id))
+}
+
+fn find_gauge(doc: &Json, name: &str) -> Option<f64> {
+    doc.get("gauges")?
+        .as_arr()?
+        .iter()
+        .find(|g| g.get("name").and_then(Json::as_str) == Some(name))?
+        .get("value")?
+        .as_f64()
+}
+
+fn read_points(v: Option<&Json>) -> Vec<(String, f64)> {
+    let Some(arr) = v.and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    arr.iter()
+        .filter_map(|p| {
+            let pair = p.as_arr()?;
+            Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_f64()?))
+        })
+        .collect()
+}
+
+fn fmt_points(points: &[(String, f64)]) -> String {
+    points
+        .iter()
+        .map(|(l, v)| format!("{l}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_doc(points: &[(&str, f64)], gauge_v: f64) -> Json {
+        let mut r = crate::report::Report::new("cmp_unit", "Test", "comparator unit");
+        r.series("runtime", points);
+        r.gauge("custom_ms", gauge_v, 10.0);
+        r.check_order_desc("desc", "slower designs first", points, 0.0);
+        r.to_json()
+    }
+
+    #[test]
+    fn passes_against_itself() {
+        let doc = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0);
+        let mut findings = Vec::new();
+        compare("cmp_unit", &doc, &doc, &mut findings);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().all(|f| f.ok), "self-compare must pass");
+    }
+
+    #[test]
+    fn fails_on_ordering_flip_in_current_data() {
+        let base = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0);
+        // regression: Custom became slower than SMB in the current run
+        let cur = report_doc(&[("SMB", 272.0), ("Custom", 300.0)], 13.0);
+        let mut findings = Vec::new();
+        compare("cmp_unit", &base, &cur, &mut findings);
+        assert!(
+            findings.iter().any(|f| !f.ok && f.what.contains("`desc`")),
+            "ordering flip must fail the re-derived check"
+        );
+    }
+
+    #[test]
+    fn fails_on_gauge_drift_beyond_tolerance() {
+        let base = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0);
+        let cur = report_doc(&[("SMB", 272.0), ("Custom", 20.0)], 20.0); // +54% > 10%
+        let mut findings = Vec::new();
+        compare("cmp_unit", &base, &cur, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| !f.ok && f.what.contains("custom_ms")));
+        // within tolerance passes
+        let ok = report_doc(&[("SMB", 272.0), ("Custom", 13.5)], 13.5);
+        let mut findings = Vec::new();
+        compare("cmp_unit", &base, &ok, &mut findings);
+        assert!(findings.iter().all(|f| f.ok));
+    }
+
+    #[test]
+    fn missing_check_or_gauge_fails() {
+        let base = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0);
+        // well-formed current report with no checks/gauges at all
+        let empty = crate::report::Report::new("cmp_unit", "Test", "empty").to_json();
+        let mut findings = Vec::new();
+        compare("cmp_unit", &base, &empty, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| !f.ok && f.what.contains("check `desc` missing")));
+        assert!(findings
+            .iter()
+            .any(|f| !f.ok && f.what.contains("gauge `custom_ms` missing")));
+    }
+
+    #[test]
+    fn schema_mismatch_fails() {
+        let base = report_doc(&[("a", 2.0), ("b", 1.0)], 1.0);
+        let bogus = Json::Obj(vec![("schema".into(), Json::str("other/v9"))]);
+        let mut findings = Vec::new();
+        compare("cmp_unit", &base, &bogus, &mut findings);
+        assert!(findings.iter().any(|f| !f.ok && f.what.contains("schema")));
+    }
+
+    #[test]
+    fn check_dirs_round_trip() {
+        let tmp = std::env::temp_dir().join(format!("remem-bench-check-{}", std::process::id()));
+        let (b, c) = (tmp.join("base"), tmp.join("cur"));
+        std::fs::create_dir_all(&b).unwrap();
+        std::fs::create_dir_all(&c).unwrap();
+        let doc = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0).to_pretty();
+        std::fs::write(b.join("fig.json"), &doc).unwrap();
+        std::fs::write(c.join("fig.json"), &doc).unwrap();
+        let findings = check_dirs(&b, &c).unwrap();
+        assert!(findings.iter().all(|f| f.ok));
+        // a baseline with no current counterpart fails
+        std::fs::write(b.join("gone.json"), &doc).unwrap();
+        let findings = check_dirs(&b, &c).unwrap();
+        assert!(findings.iter().any(|f| !f.ok && f.report == "gone"));
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -5,11 +5,17 @@
 //! This library holds the shared scaffolding: standard cluster/option
 //! presets and aligned-table printing.
 
+pub mod check;
+pub mod json;
+pub mod report;
+
+pub use report::Report;
+
 use std::sync::Arc;
 
 use remem::{Cluster, DbOptions, Device, StorageError};
-use remem_sim::{Clock, Histogram, SimDuration, SimTime};
 use remem_sim::metrics::Counter;
+use remem_sim::{Clock, Histogram, SimDuration, SimTime};
 
 /// A [`Device`] wrapper recording per-operation latency and byte counts —
 /// used by the drill-down harnesses (Figs. 11 and 14b/c).
@@ -124,7 +130,12 @@ pub fn run_streams(
         run(&mut clocks[w], task);
         latencies.push((task, clocks[w].now().since(t0)));
     }
-    let makespan = clocks.iter().map(|c| c.now()).max().unwrap_or(start).since(start);
+    let makespan = clocks
+        .iter()
+        .map(|c| c.now())
+        .max()
+        .unwrap_or(start)
+        .since(start);
     (makespan, latencies)
 }
 
@@ -133,13 +144,19 @@ pub fn run_streams(
 pub fn header(figure: &str, what: &str) {
     println!("==============================================================");
     println!("{figure}: {what}");
-    println!("scale = paper sizes / {}, device constants unchanged", remem_workloads::SCALE_DENOMINATOR);
+    println!(
+        "scale = paper sizes / {}, device constants unchanged",
+        remem_workloads::SCALE_DENOMINATOR
+    );
     println!("==============================================================");
 }
 
 /// A fresh two-donor cluster with enough memory for the standard presets.
 pub fn standard_cluster() -> Cluster {
-    Cluster::builder().memory_servers(2).memory_per_server(192 << 20).build()
+    Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(192 << 20)
+        .build()
 }
 
 /// A cluster with `n` donors of `bytes` each, spread placement.
@@ -162,6 +179,7 @@ pub fn rangescan_opts(spindles: usize) -> DbOptions {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     }
 }
 
@@ -177,6 +195,7 @@ pub fn hashsort_opts(spindles: usize) -> DbOptions {
         oltp: false,
         workspace_bytes: Some(1 << 20),
         fault_log: None,
+        metrics: None,
     }
 }
 
@@ -191,6 +210,7 @@ pub fn dss_opts(spindles: usize) -> DbOptions {
         oltp: false,
         workspace_bytes: Some(2 << 20),
         fault_log: None,
+        metrics: None,
     }
 }
 
@@ -205,6 +225,7 @@ pub fn tpcc_opts(spindles: usize) -> DbOptions {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     }
 }
 
@@ -242,7 +263,14 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }
@@ -267,7 +295,10 @@ mod tests {
         // smoke: must not panic on ragged content
         print_table(
             &["design", "value"],
-            &[vec!["Custom".into(), "42".into()], vec!["HDD".into(), "1".into()]],
+            &[
+                vec!["Custom".into(), "42".into()],
+                vec!["HDD".into(), "1".into()],
+            ],
         );
     }
 }

@@ -1,0 +1,75 @@
+//! `remem-bench` — the perf-regression gate CLI.
+//!
+//! ```text
+//! remem-bench --check <baseline_dir> [--current <dir>]
+//! ```
+//!
+//! Compares the current run's `results/*.json` (or `--current <dir>`)
+//! against committed baselines, re-deriving every figure's qualitative
+//! claims and gauge tolerances (see `src/check.rs`). Exits non-zero on any
+//! failed finding — this is what CI's `bench-regression` job gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use remem_bench::check::check_dirs;
+use remem_bench::report::results_dir;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => baseline = it.next().map(PathBuf::from),
+            "--current" => current = it.next().map(PathBuf::from),
+            "--help" | "-h" => return usage(ExitCode::SUCCESS),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage(ExitCode::FAILURE);
+            }
+        }
+    }
+    let Some(baseline) = baseline else {
+        eprintln!("missing --check <baseline_dir>");
+        return usage(ExitCode::FAILURE);
+    };
+    let current = current.unwrap_or_else(results_dir);
+    println!(
+        "remem-bench: checking {} against baselines in {}",
+        current.display(),
+        baseline.display()
+    );
+    let findings = match check_dirs(&baseline, &current) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("remem-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    for f in &findings {
+        if f.ok {
+            println!("  ok   [{}] {}", f.report, f.what);
+        } else {
+            failures += 1;
+            println!("  FAIL [{}] {}", f.report, f.what);
+        }
+    }
+    if failures == 0 {
+        println!("remem-bench: {} findings, all pass", findings.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "remem-bench: {failures} of {} findings FAILED",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(code: ExitCode) -> ExitCode {
+    eprintln!("usage: remem-bench --check <baseline_dir> [--current <results_dir>]");
+    code
+}

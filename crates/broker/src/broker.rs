@@ -5,7 +5,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use remem_audit::Auditor;
 use remem_net::{Fabric, MrHandle, ServerId};
-use remem_sim::{Clock, SimDuration, SimTime};
+use remem_sim::{Clock, MetricsRegistry, SimDuration, SimTime};
 
 use crate::lease::{Lease, LeaseId, LeaseState};
 use crate::meta::{MetaState, MetaStore};
@@ -50,7 +50,10 @@ impl Default for BrokerConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BrokerError {
     /// Not enough unleased memory in the cluster to satisfy the request.
-    InsufficientMemory { requested: u64, available: u64 },
+    InsufficientMemory {
+        requested: u64,
+        available: u64,
+    },
     /// The lease does not exist or is no longer active.
     LeaseNotActive(LeaseId, LeaseState),
     UnknownLease(LeaseId),
@@ -63,8 +66,14 @@ pub enum BrokerError {
 impl std::fmt::Display for BrokerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BrokerError::InsufficientMemory { requested, available } => {
-                write!(f, "requested {requested} B but only {available} B available")
+            BrokerError::InsufficientMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} B but only {available} B available"
+                )
             }
             BrokerError::LeaseNotActive(id, st) => write!(f, "lease {id:?} is {st:?}"),
             BrokerError::UnknownLease(id) => write!(f, "unknown lease {id:?}"),
@@ -75,6 +84,41 @@ impl std::fmt::Display for BrokerError {
 
 impl std::error::Error for BrokerError {}
 
+/// Cached handles into an attached [`MetricsRegistry`] covering the lease
+/// lifecycle (§4.2): grants, renewals, terminal transitions, repairs, and
+/// the byte flows behind them.
+struct BrokerMetrics {
+    registry: Arc<MetricsRegistry>,
+    granted: Arc<remem_sim::Counter>,
+    renewed: Arc<remem_sim::Counter>,
+    released: Arc<remem_sim::Counter>,
+    expired: Arc<remem_sim::Counter>,
+    revoked: Arc<remem_sim::Counter>,
+    degraded: Arc<remem_sim::Counter>,
+    repaired: Arc<remem_sim::Counter>,
+    leased_bytes: Arc<remem_sim::Counter>,
+    donated_bytes: Arc<remem_sim::Counter>,
+    reclaimed_bytes: Arc<remem_sim::Counter>,
+}
+
+impl BrokerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> BrokerMetrics {
+        BrokerMetrics {
+            granted: registry.counter("broker.leases.granted"),
+            renewed: registry.counter("broker.leases.renewed"),
+            released: registry.counter("broker.leases.released"),
+            expired: registry.counter("broker.leases.expired"),
+            revoked: registry.counter("broker.leases.revoked"),
+            degraded: registry.counter("broker.leases.degraded"),
+            repaired: registry.counter("broker.leases.repaired"),
+            leased_bytes: registry.counter("broker.leased.bytes"),
+            donated_bytes: registry.counter("broker.donated.bytes"),
+            reclaimed_bytes: registry.counter("broker.reclaimed.bytes"),
+            registry,
+        }
+    }
+}
+
 /// A broker front-end over shared [`MetaStore`] state.
 ///
 /// Cheap to construct: electing a replacement broker after a crash is
@@ -83,11 +127,17 @@ pub struct MemoryBroker {
     cfg: BrokerConfig,
     store: MetaStore,
     auditor: Mutex<Option<Arc<Auditor>>>,
+    metrics: Mutex<Option<Arc<BrokerMetrics>>>,
 }
 
 impl MemoryBroker {
     pub fn new(cfg: BrokerConfig, store: MetaStore) -> MemoryBroker {
-        MemoryBroker { cfg, store, auditor: Mutex::new(None) }
+        MemoryBroker {
+            cfg,
+            store,
+            auditor: Mutex::new(None),
+            metrics: Mutex::new(None),
+        }
     }
 
     pub fn config(&self) -> &BrokerConfig {
@@ -102,6 +152,27 @@ impl MemoryBroker {
     /// mutation re-checks MR conservation and aux-state hygiene.
     pub fn set_auditor(&self, auditor: Option<Arc<Auditor>>) {
         *self.auditor.lock() = auditor;
+    }
+
+    /// Attach (or detach) a telemetry registry. Lease lifecycle transitions
+    /// and byte flows then publish under `broker.*`, and the count of Active
+    /// leases is kept in the `broker.leases.active` gauge.
+    pub fn set_metrics(&self, registry: Option<Arc<MetricsRegistry>>) {
+        *self.metrics.lock() = registry.map(|r| Arc::new(BrokerMetrics::new(r)));
+    }
+
+    /// Run `f` against the cached metric handles if telemetry is attached,
+    /// then refresh the active-lease gauge from `st`.
+    fn meter(&self, st: &MetaState, f: impl FnOnce(&BrokerMetrics)) {
+        let guard = self.metrics.lock();
+        let Some(m) = guard.as_ref() else { return };
+        f(m);
+        let active = st
+            .leases
+            .values()
+            .filter(|(_, s)| *s == LeaseState::Active)
+            .count();
+        m.registry.gauge("broker.leases.active").set(active as f64);
     }
 
     /// Cross-check broker accounting against the conservation laws.
@@ -134,8 +205,7 @@ impl MemoryBroker {
         // auxiliary per-lease maps may only reference Active leases;
         // anything else is a leak from a missed terminal transition
         let mut stale: Vec<String> = Vec::new();
-        let active =
-            |id: &LeaseId| matches!(st.leases.get(id), Some((_, LeaseState::Active)));
+        let active = |id: &LeaseId| matches!(st.leases.get(id), Some((_, LeaseState::Active)));
         for id in &st.auto_renewed {
             if !active(id) {
                 stale.push(format!("auto_renewed holds non-active {id:?}"));
@@ -151,9 +221,13 @@ impl MemoryBroker {
                 stale.push(format!("pending_revocations holds non-active {id:?}"));
             }
         }
-        a.check_that(when, "broker", "aux-state-active-only", stale.is_empty(), || {
-            stale.join("; ")
-        });
+        a.check_that(
+            when,
+            "broker",
+            "aux-state-active-only",
+            stale.is_empty(),
+            || stale.join("; "),
+        );
         a.check_that(
             when,
             "broker",
@@ -169,8 +243,10 @@ impl MemoryBroker {
     /// Called by a proxy: make MRs available for leasing.
     pub(crate) fn offer(&self, server: ServerId, mrs: Vec<MrHandle>) {
         let mut st = self.store.state.lock();
-        st.donated_bytes += mrs.iter().map(|m| m.len).sum::<u64>();
+        let total = mrs.iter().map(|m| m.len).sum::<u64>();
+        st.donated_bytes += total;
         st.available.entry(server).or_default().extend(mrs);
+        self.meter(&st, |m| m.donated_bytes.add(total));
         self.verify(&st, None);
     }
 
@@ -186,7 +262,10 @@ impl MemoryBroker {
         let mut st = self.store.state.lock();
         let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
         if available < bytes {
-            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+            return Err(BrokerError::InsufficientMemory {
+                requested: bytes,
+                available,
+            });
         }
         let mut picked: Vec<MrHandle> = Vec::new();
         let mut got = 0u64;
@@ -211,12 +290,17 @@ impl MemoryBroker {
                 .flat_map(|(_, v)| v)
                 .map(|m| m.len)
                 .sum();
-            return Err(BrokerError::InsufficientMemory { requested: bytes, available: avail_other });
+            return Err(BrokerError::InsufficientMemory {
+                requested: bytes,
+                available: avail_other,
+            });
         }
         match self.cfg.placement {
             PlacementPolicy::Pack => {
                 'outer: for donor in donors {
-                    let Some(pool) = st.available.get_mut(&donor) else { continue 'outer };
+                    let Some(pool) = st.available.get_mut(&donor) else {
+                        continue 'outer;
+                    };
                     while got < bytes {
                         match pool.pop() {
                             Some(mr) => {
@@ -236,7 +320,9 @@ impl MemoryBroker {
                     for _ in 0..donors.len() {
                         let donor = donors[i % donors.len()];
                         i += 1;
-                        let Some(pool) = st.available.get_mut(&donor) else { continue };
+                        let Some(pool) = st.available.get_mut(&donor) else {
+                            continue;
+                        };
                         if let Some(mr) = pool.pop() {
                             got += mr.len;
                             picked.push(mr);
@@ -256,7 +342,10 @@ impl MemoryBroker {
                 st.available.entry(mr.server).or_default().push(mr);
             }
             let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
-            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+            return Err(BrokerError::InsufficientMemory {
+                requested: bytes,
+                available,
+            });
         }
         let id = LeaseId(st.next_lease);
         st.next_lease += 1;
@@ -267,6 +356,10 @@ impl MemoryBroker {
             expires_at: clock.now() + self.cfg.lease_duration,
         };
         st.leases.insert(id, (lease.clone(), LeaseState::Active));
+        self.meter(&st, |m| {
+            m.granted.incr();
+            m.leased_bytes.add(got);
+        });
         self.verify(&st, Some(clock.now()));
         Ok(lease)
     }
@@ -275,7 +368,10 @@ impl MemoryBroker {
     pub fn renew(&self, clock: &mut Clock, id: LeaseId) -> Result<SimTime, BrokerError> {
         clock.advance(self.cfg.rpc_time);
         let mut st = self.store.state.lock();
-        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        let (lease, state) = st
+            .leases
+            .get_mut(&id)
+            .ok_or(BrokerError::UnknownLease(id))?;
         if *state != LeaseState::Active {
             return Err(BrokerError::LeaseNotActive(id, *state));
         }
@@ -287,11 +383,13 @@ impl MemoryBroker {
                 st.available.entry(mr.server).or_default().push(mr);
             }
             st.lease_terminal(id);
+            self.meter(&st, |m| m.expired.incr());
             self.verify(&st, Some(clock.now()));
             return Err(BrokerError::LeaseNotActive(id, LeaseState::Expired));
         }
         lease.expires_at = clock.now() + self.cfg.lease_duration;
         let expires = lease.expires_at;
+        self.meter(&st, |m| m.renewed.incr());
         self.verify(&st, Some(clock.now()));
         Ok(expires)
     }
@@ -300,7 +398,10 @@ impl MemoryBroker {
     pub fn release(&self, clock: &mut Clock, id: LeaseId) -> Result<(), BrokerError> {
         clock.advance(self.cfg.rpc_time);
         let mut st = self.store.state.lock();
-        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        let (lease, state) = st
+            .leases
+            .get_mut(&id)
+            .ok_or(BrokerError::UnknownLease(id))?;
         if *state != LeaseState::Active {
             return Err(BrokerError::LeaseNotActive(id, *state));
         }
@@ -310,6 +411,7 @@ impl MemoryBroker {
             st.available.entry(mr.server).or_default().push(mr);
         }
         st.lease_terminal(id);
+        self.meter(&st, |m| m.released.incr());
         self.verify(&st, Some(clock.now()));
         Ok(())
     }
@@ -348,6 +450,7 @@ impl MemoryBroker {
                 st.available.entry(mr.server).or_default().push(mr);
             }
             st.lease_terminal(id);
+            self.meter(&st, |m| m.expired.incr());
             self.verify(&st, Some(now));
             return false;
         }
@@ -379,6 +482,7 @@ impl MemoryBroker {
             }
         }
         st.wiped_bytes += reclaimed;
+        let mut revoked = 0u64;
         // 2. revoke active leases that include MRs on that server
         if reclaimed < bytes {
             let victims: Vec<LeaseId> = st
@@ -393,7 +497,9 @@ impl MemoryBroker {
                 if reclaimed >= bytes {
                     break;
                 }
-                let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
+                let Some((lease, state)) = st.leases.get_mut(&id) else {
+                    continue;
+                };
                 let mrs = lease.mrs.clone();
                 *state = LeaseState::Revoked;
                 for mr in mrs {
@@ -407,8 +513,13 @@ impl MemoryBroker {
                     }
                 }
                 st.lease_terminal(id);
+                revoked += 1;
             }
         }
+        self.meter(&st, |m| {
+            m.reclaimed_bytes.add(reclaimed);
+            m.revoked.add(revoked);
+        });
         self.verify(&st, None);
         reclaimed
     }
@@ -430,19 +541,29 @@ impl MemoryBroker {
         let mut victims: Vec<LeaseId> = st
             .leases
             .iter()
-            .filter(|(_, (l, s))| *s == LeaseState::Active && l.mrs.iter().any(|m| m.server == server))
+            .filter(|(_, (l, s))| {
+                *s == LeaseState::Active && l.mrs.iter().any(|m| m.server == server)
+            })
             .map(|(id, _)| *id)
             .collect();
         // stable order so the pool's MR order is replay-deterministic
         victims.sort_unstable();
+        let (mut degraded, mut revoked) = (0u64, 0u64);
         for id in victims {
             let auto = st.auto_renewed.contains(&id);
-            let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
+            let Some((lease, state)) = st.leases.get_mut(&id) else {
+                continue;
+            };
             if auto {
-                let lost: Vec<MrHandle> =
-                    lease.mrs.iter().filter(|m| m.server == server).copied().collect();
+                let lost: Vec<MrHandle> = lease
+                    .mrs
+                    .iter()
+                    .filter(|m| m.server == server)
+                    .copied()
+                    .collect();
                 lease.mrs.retain(|m| m.server != server);
                 st.lost_mrs.entry(id).or_default().extend(lost);
+                degraded += 1;
             } else {
                 let mrs = lease.mrs.clone();
                 *state = LeaseState::Revoked;
@@ -455,8 +576,13 @@ impl MemoryBroker {
                     }
                 }
                 st.lease_terminal(id);
+                revoked += 1;
             }
         }
+        self.meter(&st, |m| {
+            m.degraded.add(degraded);
+            m.revoked.add(revoked);
+        });
         self.verify(&st, None);
     }
 
@@ -512,6 +638,7 @@ impl MemoryBroker {
                 notified.push(id);
             }
         }
+        self.meter(&st, |m| m.reclaimed_bytes.add(reclaimed));
         self.verify(&st, Some(now));
         (reclaimed, notified)
     }
@@ -519,7 +646,12 @@ impl MemoryBroker {
     /// Has this lease been put on notice by [`Self::request_reclaim`]?
     /// Returns the pressured server and the revocation deadline.
     pub fn revocation_notice(&self, id: LeaseId) -> Option<(ServerId, SimTime)> {
-        self.store.state.lock().pending_revocations.get(&id).copied()
+        self.store
+            .state
+            .lock()
+            .pending_revocations
+            .get(&id)
+            .copied()
     }
 
     /// Collect pending revocations whose grace window has passed: leases
@@ -537,9 +669,12 @@ impl MemoryBroker {
         // stable order so the pool's MR order is replay-deterministic
         due.sort_unstable();
         let mut reclaimed = 0u64;
+        let mut revoked = 0u64;
         for (id, server) in due {
             st.pending_revocations.remove(&id);
-            let Some((lease, state)) = st.leases.get_mut(&id) else { continue };
+            let Some((lease, state)) = st.leases.get_mut(&id) else {
+                continue;
+            };
             if *state != LeaseState::Active {
                 continue;
             }
@@ -555,7 +690,12 @@ impl MemoryBroker {
                 }
             }
             st.lease_terminal(id);
+            revoked += 1;
         }
+        self.meter(&st, |m| {
+            m.reclaimed_bytes.add(reclaimed);
+            m.revoked.add(revoked);
+        });
         self.verify(&st, Some(now));
         reclaimed
     }
@@ -605,11 +745,19 @@ impl MemoryBroker {
     ) -> Result<u64, BrokerError> {
         clock.advance(self.cfg.rpc_time);
         let mut st = self.store.state.lock();
-        let (lease, state) = st.leases.get_mut(&id).ok_or(BrokerError::UnknownLease(id))?;
+        let (lease, state) = st
+            .leases
+            .get_mut(&id)
+            .ok_or(BrokerError::UnknownLease(id))?;
         if *state != LeaseState::Active {
             return Err(BrokerError::LeaseNotActive(id, *state));
         }
-        let gone: Vec<MrHandle> = lease.mrs.iter().filter(|m| m.server == server).copied().collect();
+        let gone: Vec<MrHandle> = lease
+            .mrs
+            .iter()
+            .filter(|m| m.server == server)
+            .copied()
+            .collect();
         lease.mrs.retain(|m| m.server != server);
         st.pending_revocations.remove(&id);
         let mut freed = 0;
@@ -618,6 +766,7 @@ impl MemoryBroker {
             let _ = fabric.deregister_mr(mr);
         }
         st.wiped_bytes += freed;
+        self.meter(&st, |m| m.reclaimed_bytes.add(freed));
         self.verify(&st, Some(clock.now()));
         Ok(freed)
     }
@@ -665,6 +814,7 @@ impl MemoryBroker {
         // the dead stripes' bytes leave the `lost` bucket: replacements are
         // now leased, the originals died with their donor
         st.wiped_bytes += lost.iter().map(|m| m.len).sum::<u64>();
+        self.meter(&st, |m| m.repaired.incr());
         self.verify(&st, Some(clock.now()));
         Ok((lost, picked))
     }
@@ -688,7 +838,9 @@ impl MemoryBroker {
         let mut picked = Vec::new();
         let mut got = 0u64;
         'outer: for donor in donors {
-            let Some(pool) = st.available.get_mut(&donor) else { continue 'outer };
+            let Some(pool) = st.available.get_mut(&donor) else {
+                continue 'outer;
+            };
             while got < bytes {
                 match pool.pop() {
                     Some(mr) => {
@@ -705,7 +857,10 @@ impl MemoryBroker {
             for mr in picked {
                 st.available.entry(mr.server).or_default().push(mr);
             }
-            return Err(BrokerError::InsufficientMemory { requested: bytes, available });
+            return Err(BrokerError::InsufficientMemory {
+                requested: bytes,
+                available,
+            });
         }
         Ok(picked)
     }
@@ -727,7 +882,9 @@ mod tests {
             let m = fabric.add_server(format!("M{i}"), 20);
             let mut proxy_clock = Clock::new();
             let proxy = MemoryProxy::new(m, MR);
-            proxy.donate(&mut proxy_clock, &fabric, &broker, mrs_each as u64 * MR).unwrap();
+            proxy
+                .donate(&mut proxy_clock, &fabric, &broker, mrs_each as u64 * MR)
+                .unwrap();
         }
         (fabric, broker, db)
     }
@@ -747,7 +904,10 @@ mod tests {
         assert_eq!(broker.store().available_bytes(), 4 * MR);
         assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Released));
         // operations on a released lease fail
-        assert!(matches!(broker.renew(&mut clock, lease.id), Err(BrokerError::LeaseNotActive(..))));
+        assert!(matches!(
+            broker.renew(&mut clock, lease.id),
+            Err(BrokerError::LeaseNotActive(..))
+        ));
     }
 
     #[test]
@@ -790,12 +950,17 @@ mod tests {
     fn spread_policy_uses_all_donors() {
         let fabric = Fabric::new(NetConfig::default());
         let db = fabric.add_server("DB1", 20);
-        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let cfg = BrokerConfig {
+            placement: PlacementPolicy::Spread,
+            ..Default::default()
+        };
         let broker = MemoryBroker::new(cfg, MetaStore::new());
         for i in 0..4 {
             let m = fabric.add_server(format!("M{i}"), 20);
             let mut pc = Clock::new();
-            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+            MemoryProxy::new(m, MR)
+                .donate(&mut pc, &fabric, &broker, 2 * MR)
+                .unwrap();
         }
         let mut clock = Clock::new();
         let lease = broker.request_lease(&mut clock, db, 4 * MR).unwrap();
@@ -829,7 +994,10 @@ mod tests {
     #[test]
     fn donor_failure_revokes_leases() {
         let (_fabric, broker, db) = cluster(2, 2);
-        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let cfg = BrokerConfig {
+            placement: PlacementPolicy::Spread,
+            ..Default::default()
+        };
         let broker = MemoryBroker::new(cfg, broker.store().clone());
         let mut clock = Clock::new();
         let lease = broker.request_lease(&mut clock, db, 4 * MR).unwrap();
@@ -869,7 +1037,9 @@ mod tests {
         assert_eq!(srv, donor);
         assert!(deadline > clock.now());
         // holder gives the memory back inside the window
-        let freed = broker.surrender_mrs(&mut clock, lease.id, donor, &fabric).unwrap();
+        let freed = broker
+            .surrender_mrs(&mut clock, lease.id, donor, &fabric)
+            .unwrap();
         assert_eq!(freed, 2 * MR);
         assert!(broker.revocation_notice(lease.id).is_none());
         // the deadline passes: nothing left to take, lease still Active
@@ -904,15 +1074,23 @@ mod tests {
         for i in 0..2 {
             let m = fabric.add_server(format!("M{i}"), 20);
             let mut pc = Clock::new();
-            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+            MemoryProxy::new(m, MR)
+                .donate(&mut pc, &fabric, &broker, 2 * MR)
+                .unwrap();
         }
         let mut clock = Clock::new();
         // Pack fills M0 (ServerId(1)) first
         let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
         let pressured = lease.mrs[0].server;
-        let extra = broker.request_extra(&mut clock, lease.id, 2 * MR, pressured).unwrap();
-        assert!(extra.iter().all(|m| m.server != pressured && m.server != db));
-        broker.surrender_mrs(&mut clock, lease.id, pressured, &fabric).unwrap();
+        let extra = broker
+            .request_extra(&mut clock, lease.id, 2 * MR, pressured)
+            .unwrap();
+        assert!(extra
+            .iter()
+            .all(|m| m.server != pressured && m.server != db));
+        broker
+            .surrender_mrs(&mut clock, lease.id, pressured, &fabric)
+            .unwrap();
         let st = broker.store().state.lock().leases[&lease.id].0.clone();
         assert_eq!(st.bytes(), 2 * MR);
         assert!(st.mrs.iter().all(|m| m.server != pressured));
@@ -922,28 +1100,42 @@ mod tests {
     fn donor_failure_degrades_auto_renewed_leases_and_repair_restores() {
         let fabric = Fabric::new(NetConfig::default());
         let db = fabric.add_server("DB1", 20);
-        let cfg = BrokerConfig { placement: PlacementPolicy::Spread, ..Default::default() };
+        let cfg = BrokerConfig {
+            placement: PlacementPolicy::Spread,
+            ..Default::default()
+        };
         let broker = MemoryBroker::new(cfg, MetaStore::new());
         for i in 0..3 {
             let m = fabric.add_server(format!("M{i}"), 20);
             let mut pc = Clock::new();
-            MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+            MemoryProxy::new(m, MR)
+                .donate(&mut pc, &fabric, &broker, 2 * MR)
+                .unwrap();
         }
         let mut clock = Clock::new();
         let lease = broker.request_lease(&mut clock, db, 3 * MR).unwrap();
         broker.enable_auto_renew(lease.id);
         let dead = lease.mrs[0].server;
-        let lost_bytes: u64 =
-            lease.mrs.iter().filter(|m| m.server == dead).map(|m| m.len).sum();
+        let lost_bytes: u64 = lease
+            .mrs
+            .iter()
+            .filter(|m| m.server == dead)
+            .map(|m| m.len)
+            .sum();
         broker.server_failed(dead);
         // degraded, not revoked
         assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
         let (lost, replacements) = broker.repair_lease(&mut clock, lease.id).unwrap();
         assert_eq!(lost.iter().map(|m| m.len).sum::<u64>(), lost_bytes);
         assert_eq!(replacements.iter().map(|m| m.len).sum::<u64>(), lost_bytes);
-        assert!(replacements.iter().all(|m| m.server != dead && m.server != db));
+        assert!(replacements
+            .iter()
+            .all(|m| m.server != dead && m.server != db));
         // second repair is a no-op
-        assert_eq!(broker.repair_lease(&mut clock, lease.id).unwrap(), (vec![], vec![]));
+        assert_eq!(
+            broker.repair_lease(&mut clock, lease.id).unwrap(),
+            (vec![], vec![])
+        );
     }
 
     #[test]
@@ -953,7 +1145,9 @@ mod tests {
         let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
         let m = fabric.add_server("M0", 20);
         let mut pc = Clock::new();
-        MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        MemoryProxy::new(m, MR)
+            .donate(&mut pc, &fabric, &broker, 2 * MR)
+            .unwrap();
         let mut clock = Clock::new();
         let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
         broker.enable_auto_renew(lease.id);
@@ -969,11 +1163,51 @@ mod tests {
         // donor restarts and re-donates
         fabric.server(m).unwrap().restart();
         broker.server_recovered(m);
-        MemoryProxy::new(m, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        MemoryProxy::new(m, MR)
+            .donate(&mut pc, &fabric, &broker, 2 * MR)
+            .unwrap();
         let (lost, replacements) = broker.repair_lease(&mut clock, lease.id).unwrap();
         assert_eq!(lost.len(), 2);
         assert_eq!(replacements.len(), 2);
-        assert!(broker.request_lease(&mut clock, db, MR).is_err(), "pool fully re-leased");
+        assert!(
+            broker.request_lease(&mut clock, db, MR).is_err(),
+            "pool fully re-leased"
+        );
+    }
+
+    #[test]
+    fn metrics_track_lease_lifecycle() {
+        let registry = MetricsRegistry::shared();
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        broker.set_metrics(Some(Arc::clone(&registry)));
+        let m = fabric.add_server("M0", 20);
+        let mut pc = Clock::new();
+        MemoryProxy::new(m, MR)
+            .donate(&mut pc, &fabric, &broker, 4 * MR)
+            .unwrap();
+        assert_eq!(registry.counter("broker.donated.bytes").get(), 4 * MR);
+
+        let mut clock = Clock::new();
+        let lease = broker.request_lease(&mut clock, db, 2 * MR).unwrap();
+        assert_eq!(registry.counter("broker.leases.granted").get(), 1);
+        assert_eq!(registry.counter("broker.leased.bytes").get(), 2 * MR);
+        assert_eq!(registry.gauge("broker.leases.active").get(), 1.0);
+
+        broker.renew(&mut clock, lease.id).unwrap();
+        assert_eq!(registry.counter("broker.leases.renewed").get(), 1);
+
+        broker.release(&mut clock, lease.id).unwrap();
+        assert_eq!(registry.counter("broker.leases.released").get(), 1);
+        assert_eq!(registry.gauge("broker.leases.active").get(), 0.0);
+
+        // a second lease revoked by donor pressure
+        let lease2 = broker.request_lease(&mut clock, db, 4 * MR).unwrap();
+        broker.reclaim(&fabric, m, 4 * MR);
+        assert_eq!(broker.lease_state(lease2.id), Some(LeaseState::Revoked));
+        assert_eq!(registry.counter("broker.leases.revoked").get(), 1);
+        assert_eq!(registry.counter("broker.reclaimed.bytes").get(), 4 * MR);
     }
 
     #[test]
@@ -982,7 +1216,9 @@ mod tests {
         let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
         let only = fabric.add_server("S", 20);
         let mut pc = Clock::new();
-        MemoryProxy::new(only, MR).donate(&mut pc, &fabric, &broker, 2 * MR).unwrap();
+        MemoryProxy::new(only, MR)
+            .donate(&mut pc, &fabric, &broker, 2 * MR)
+            .unwrap();
         let mut clock = Clock::new();
         let err = broker.request_lease(&mut clock, only, MR).unwrap_err();
         assert!(matches!(err, BrokerError::InsufficientMemory { .. }));

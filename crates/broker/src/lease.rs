@@ -57,9 +57,21 @@ mod tests {
             id: LeaseId(1),
             holder: ServerId(0),
             mrs: vec![
-                MrHandle { server: ServerId(1), mr: 1, len: 100 },
-                MrHandle { server: ServerId(2), mr: 2, len: 50 },
-                MrHandle { server: ServerId(1), mr: 3, len: 25 },
+                MrHandle {
+                    server: ServerId(1),
+                    mr: 1,
+                    len: 100,
+                },
+                MrHandle {
+                    server: ServerId(2),
+                    mr: 2,
+                    len: 50,
+                },
+                MrHandle {
+                    server: ServerId(1),
+                    mr: 3,
+                    len: 25,
+                },
             ],
             expires_at: SimTime(1000),
         };

@@ -74,7 +74,13 @@ impl MetaStore {
 
     /// Bytes currently available (unleased) cluster-wide.
     pub fn available_bytes(&self) -> u64 {
-        self.state.lock().available.values().flatten().map(|m| m.len).sum()
+        self.state
+            .lock()
+            .available
+            .values()
+            .flatten()
+            .map(|m| m.len)
+            .sum()
     }
 
     /// Bytes currently available on one donor.
@@ -89,7 +95,12 @@ impl MetaStore {
 
     /// Number of active leases.
     pub fn active_leases(&self) -> usize {
-        self.state.lock().leases.values().filter(|(_, s)| *s == LeaseState::Active).count()
+        self.state
+            .lock()
+            .leases
+            .values()
+            .filter(|(_, s)| *s == LeaseState::Active)
+            .count()
     }
 }
 
@@ -103,7 +114,11 @@ mod tests {
         let b = a.clone();
         a.state.lock().available.insert(
             ServerId(3),
-            vec![MrHandle { server: ServerId(3), mr: 1, len: 4096 }],
+            vec![MrHandle {
+                server: ServerId(3),
+                mr: 1,
+                len: 4096,
+            }],
         );
         assert_eq!(b.available_bytes(), 4096);
         assert_eq!(b.available_bytes_on(ServerId(3)), 4096);
@@ -116,8 +131,16 @@ mod tests {
         let mut st = store.state.lock();
         let id = LeaseId(7);
         st.auto_renewed.insert(id);
-        st.pending_revocations.insert(id, (ServerId(1), SimTime(10)));
-        st.lost_mrs.insert(id, vec![MrHandle { server: ServerId(1), mr: 2, len: 4096 }]);
+        st.pending_revocations
+            .insert(id, (ServerId(1), SimTime(10)));
+        st.lost_mrs.insert(
+            id,
+            vec![MrHandle {
+                server: ServerId(1),
+                mr: 2,
+                len: 4096,
+            }],
+        );
         st.lease_terminal(id);
         assert!(st.auto_renewed.is_empty());
         assert!(st.pending_revocations.is_empty());

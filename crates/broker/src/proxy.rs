@@ -94,7 +94,10 @@ mod tests {
         let fabric = Fabric::new(NetConfig::default());
         let m = fabric.add_server("M1", 20);
         let broker = MemoryBroker::new(
-            BrokerConfig { rpc_time: SimDuration::from_micros(100), ..Default::default() },
+            BrokerConfig {
+                rpc_time: SimDuration::from_micros(100),
+                ..Default::default()
+            },
             MetaStore::new(),
         );
         let proxy = MemoryProxy::new(m, 1 << 20);

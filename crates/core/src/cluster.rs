@@ -5,7 +5,7 @@ use std::sync::Arc;
 use remem_broker::{BrokerConfig, MemoryBroker, MemoryProxy, MetaStore, PlacementPolicy};
 use remem_net::{Fabric, NetConfig, ServerId};
 use remem_rfile::{RFileConfig, RemoteFile};
-use remem_sim::Clock;
+use remem_sim::{Clock, MetricsRegistry};
 use remem_storage::StorageError;
 
 /// The simulated cluster of Figure 1: one fabric, one (fault-tolerant)
@@ -21,6 +21,9 @@ pub struct Cluster {
     /// amount it originally offered.
     mr_bytes: u64,
     memory_per_server: u64,
+    /// Telemetry registry shared by the fabric, broker and (by default)
+    /// every remote file opened through [`Cluster::remote_file`].
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Builder for [`Cluster`].
@@ -31,6 +34,7 @@ pub struct ClusterBuilder {
     memory_per_server: u64,
     mr_bytes: u64,
     cores: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for ClusterBuilder {
@@ -42,6 +46,7 @@ impl Default for ClusterBuilder {
             memory_per_server: 64 << 20,
             mr_bytes: 1 << 20,
             cores: 20,
+            metrics: None,
         }
     }
 }
@@ -84,9 +89,21 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attach a telemetry registry to the whole cluster: the fabric and
+    /// broker publish into it, and remote files opened through
+    /// [`Cluster::remote_file`] inherit it unless their config names one.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     pub fn build(self) -> Cluster {
         let fabric = Arc::new(Fabric::new(self.net));
         let broker = Arc::new(MemoryBroker::new(self.broker, MetaStore::new()));
+        if let Some(m) = &self.metrics {
+            fabric.set_metrics(Some(Arc::clone(m)));
+            broker.set_metrics(Some(Arc::clone(m)));
+        }
         let db_server = fabric.add_server("DB1", self.cores);
         let mut memory_servers = Vec::with_capacity(self.memory_servers);
         for i in 0..self.memory_servers {
@@ -105,6 +122,7 @@ impl ClusterBuilder {
             memory_servers,
             mr_bytes: self.mr_bytes,
             memory_per_server: self.memory_per_server,
+            metrics: self.metrics,
         }
     }
 }
@@ -119,15 +137,24 @@ impl Cluster {
         self.fabric.add_server(name, cores)
     }
 
+    /// The cluster-wide telemetry registry, if one was attached.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.clone()
+    }
+
     /// Create and open a remote file of `size` bytes for `local`, leased
-    /// from the cluster's donors.
+    /// from the cluster's donors. Inherits the cluster's telemetry registry
+    /// unless `cfg` already carries one.
     pub fn remote_file(
         &self,
         clock: &mut Clock,
         local: ServerId,
         size: u64,
-        cfg: RFileConfig,
+        mut cfg: RFileConfig,
     ) -> Result<Arc<RemoteFile>, StorageError> {
+        if cfg.metrics.is_none() {
+            cfg.metrics = self.metrics.clone();
+        }
         Ok(Arc::new(RemoteFile::create_open(
             clock,
             Arc::clone(&self.fabric),
@@ -185,9 +212,14 @@ mod tests {
 
     #[test]
     fn remote_file_round_trip_through_cluster() {
-        let c = Cluster::builder().memory_servers(2).memory_per_server(8 << 20).build();
+        let c = Cluster::builder()
+            .memory_servers(2)
+            .memory_per_server(8 << 20)
+            .build();
         let mut clock = Clock::new();
-        let f = c.remote_file(&mut clock, c.db_server, 4 << 20, RFileConfig::custom()).unwrap();
+        let f = c
+            .remote_file(&mut clock, c.db_server, 4 << 20, RFileConfig::custom())
+            .unwrap();
         f.write(&mut clock, 1000, b"cluster-bytes").unwrap();
         let mut out = vec![0u8; 13];
         f.read(&mut clock, 1000, &mut out).unwrap();

@@ -51,7 +51,10 @@ impl Design {
 
     /// Does this design lease remote memory?
     pub fn uses_remote_memory(self) -> bool {
-        matches!(self, Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom)
+        matches!(
+            self,
+            Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom
+        )
     }
 
     fn rfile_config(self) -> RFileConfig {
@@ -84,6 +87,11 @@ pub struct DbOptions {
     /// Chaos-audit log the remote files record retries, repairs and
     /// migrations into (shared with the fault injector by the harnesses).
     pub fault_log: Option<Arc<remem_sim::FaultLog>>,
+    /// Telemetry registry the engine publishes into. When `None` the
+    /// cluster-wide registry (if any) is used, so one
+    /// `ClusterBuilder::metrics` call covers fabric, broker, remote files
+    /// AND the databases built on top.
+    pub metrics: Option<Arc<remem_sim::MetricsRegistry>>,
 }
 
 impl DbOptions {
@@ -98,6 +106,7 @@ impl DbOptions {
             oltp: true,
             workspace_bytes: None,
             fault_log: None,
+            metrics: None,
         }
     }
 
@@ -113,6 +122,7 @@ impl DbOptions {
             oltp: true,
             workspace_bytes: None,
             fault_log: None,
+            metrics: None,
         }
     }
 }
@@ -138,7 +148,10 @@ impl Design {
         opts: &DbOptions,
     ) -> Result<Arc<Database>, StorageError> {
         let hdd = |capacity: u64| -> Arc<dyn Device> {
-            Arc::new(HddArray::new(HddConfig::with_spindles(opts.spindles, capacity)))
+            Arc::new(HddArray::new(HddConfig::with_spindles(
+                opts.spindles,
+                capacity,
+            )))
         };
         let ssd = |capacity: u64| -> Arc<dyn Device> {
             Arc::new(Ssd::new(SsdConfig::with_capacity(capacity)))
@@ -151,7 +164,11 @@ impl Design {
             Design::Hdd => (hdd(opts.tempdb_bytes), None),
             Design::HddSsd => (
                 ssd(opts.tempdb_bytes),
-                if opts.oltp { Some(ssd(opts.bpext_bytes)) } else { None },
+                if opts.oltp {
+                    Some(ssd(opts.bpext_bytes))
+                } else {
+                    None
+                },
             ),
             Design::LocalMemory => (ssd(opts.tempdb_bytes), None),
             Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom => {
@@ -162,13 +179,15 @@ impl Design {
                 // silently corrupt results. The BPExt is a cache of pages
                 // whose truth lives in the data file, so it re-leases lost
                 // stripes and migrates off pressured donors freely.
-                let tempdb =
-                    cluster.remote_file(clock, server, opts.tempdb_bytes, cfg.clone())?;
+                let tempdb = cluster.remote_file(clock, server, opts.tempdb_bytes, cfg.clone())?;
                 let bpext = cluster.remote_file(
                     clock,
                     server,
                     opts.bpext_bytes,
-                    RFileConfig { self_heal: true, ..cfg },
+                    RFileConfig {
+                        self_heal: true,
+                        ..cfg
+                    },
                 )?;
                 (tempdb as Arc<dyn Device>, Some(bpext as Arc<dyn Device>))
             }
@@ -182,8 +201,22 @@ impl Design {
         if let Some(ws) = opts.workspace_bytes {
             cfg.workspace_bytes = ws;
         }
-        let cpu = cluster.fabric.server(server).expect("server exists").cpu_handle();
-        let db = Arc::new(Database::new(cfg, cpu, DeviceSet { data, log, tempdb, bpext }));
+        cfg.metrics = opts.metrics.clone().or_else(|| cluster.metrics());
+        let cpu = cluster
+            .fabric
+            .server(server)
+            .expect("server exists")
+            .cpu_handle();
+        let db = Arc::new(Database::new(
+            cfg,
+            cpu,
+            DeviceSet {
+                data,
+                log,
+                tempdb,
+                bpext,
+            },
+        ));
         db.set_fault_log(opts.fault_log.clone());
         Ok(db)
     }
@@ -193,11 +226,14 @@ impl Design {
 mod tests {
     use super::*;
     use remem_engine::exec::int_row;
-    use remem_engine::Schema;
     use remem_engine::row::ColType;
+    use remem_engine::Schema;
 
     fn cluster() -> Cluster {
-        Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build()
+        Cluster::builder()
+            .memory_servers(2)
+            .memory_per_server(64 << 20)
+            .build()
     }
 
     #[test]
@@ -260,8 +296,54 @@ mod tests {
     }
 
     #[test]
+    fn cluster_metrics_flow_end_to_end() {
+        let registry = remem_sim::MetricsRegistry::shared();
+        let c = Cluster::builder()
+            .memory_servers(2)
+            .memory_per_server(64 << 20)
+            .metrics(Arc::clone(&registry))
+            .build();
+        let mut clock = Clock::new();
+        let mut opts = DbOptions::small();
+        opts.pool_bytes = 8 * 8192; // tiny pool so the BPExt sees traffic
+        let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+        let t = db
+            .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int)]), 0)
+            .unwrap();
+        for k in 0..20_000 {
+            db.insert(&mut clock, t, int_row(&[k])).unwrap();
+        }
+        for k in 0..20_000 {
+            db.get(&mut clock, t, k).unwrap().unwrap();
+        }
+        // one registry saw every layer: broker leases, network verbs, the
+        // remote file, the buffer pool and the metered device roles
+        assert!(
+            registry.counter("broker.leases.granted").get() >= 2,
+            "tempdb + bpext each lease remote memory"
+        );
+        assert!(registry.counter("nic.write.ops").get() > 0);
+        assert!(registry.counter("rfile.write.ops").get() > 0);
+        assert!(registry.counter("bp.misses").get() > 0);
+        assert!(registry.counter("storage.bpext.write.ops").get() > 0);
+        // spans nest storage.bpext.write → rfile.write → net.write
+        assert!(registry.span_stats("storage.bpext.write").count > 0);
+        assert!(registry.span_stats("rfile.write").count > 0);
+        assert!(registry.span_stats("net.write").count > 0);
+        let outer = registry.span_stats("storage.bpext.write");
+        assert!(
+            outer.self_time < outer.total,
+            "rfile time must nest as child time"
+        );
+        assert!(!registry.snapshot().is_empty());
+    }
+
+    #[test]
     fn insufficient_donor_memory_fails_cleanly() {
-        let c = Cluster::builder().memory_servers(1).memory_per_server(1 << 20).build();
+        let c = Cluster::builder()
+            .memory_servers(1)
+            .memory_per_server(1 << 20)
+            .build();
         let mut clock = Clock::new();
         let err = Design::Custom.build(&c, &mut clock, &DbOptions::small());
         assert!(err.is_err());

@@ -54,7 +54,7 @@ pub mod design;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use design::{DbOptions, Design};
 
-pub use remem_audit::{Auditor, AuditViolation};
+pub use remem_audit::{AuditViolation, Auditor};
 pub use remem_broker::{BrokerConfig, Lease, MemoryBroker, PlacementPolicy};
 pub use remem_engine::row::ColType;
 pub use remem_engine::{Database, DbConfig, Row, Schema, TableId, Value};

@@ -28,8 +28,14 @@ pub const MAX_VALUE_BYTES: usize = 2048;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { next: Option<PageNo>, entries: Vec<(i64, Vec<u8>)> },
-    Internal { keys: Vec<i64>, children: Vec<PageNo> },
+    Leaf {
+        next: Option<PageNo>,
+        entries: Vec<(i64, Vec<u8>)>,
+    },
+    Internal {
+        keys: Vec<i64>,
+        children: Vec<PageNo>,
+    },
 }
 
 impl Node {
@@ -45,7 +51,10 @@ impl Node {
                         (key, rec[8..].to_vec())
                     })
                     .collect();
-                Node::Leaf { next: (next != NO_NEXT).then_some(next), entries }
+                Node::Leaf {
+                    next: (next != NO_NEXT).then_some(next),
+                    entries,
+                }
             }
             0 => {
                 let child0 = u64::from_le_bytes(page.get(1).try_into().unwrap());
@@ -110,8 +119,14 @@ impl Node {
 
 /// Outcome of a recursive insert: a split produces a separator and new page.
 enum InsertResult {
-    Done { replaced: bool },
-    Split { sep: i64, right: PageNo, replaced: bool },
+    Done {
+        replaced: bool,
+    },
+    Split {
+        sep: i64,
+        right: PageNo,
+        replaced: bool,
+    },
 }
 
 /// A paged B+tree.
@@ -124,10 +139,17 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree in `file` (allocates the root leaf).
-    pub fn create(clock: &mut Clock, bp: &BufferPool, file: Arc<PagedFile>) -> Result<BTree, StorageError> {
+    pub fn create(
+        clock: &mut Clock,
+        bp: &BufferPool,
+        file: Arc<PagedFile>,
+    ) -> Result<BTree, StorageError> {
         let root = file.allocate()?;
         bp.new_page(clock, file.id(), root)?;
-        let node = Node::Leaf { next: None, entries: Vec::new() };
+        let node = Node::Leaf {
+            next: None,
+            entries: Vec::new(),
+        };
         bp.with_page_mut(clock, file.id(), root, |p| *p = node.encode())?;
         Ok(BTree {
             file,
@@ -155,11 +177,22 @@ impl BTree {
         &self.file
     }
 
-    fn read_node(&self, clock: &mut Clock, bp: &BufferPool, pno: PageNo) -> Result<Node, StorageError> {
+    fn read_node(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        pno: PageNo,
+    ) -> Result<Node, StorageError> {
         bp.with_page(clock, self.file.id(), pno, Node::decode)
     }
 
-    fn write_node(&self, clock: &mut Clock, bp: &BufferPool, pno: PageNo, node: &Node) -> Result<(), StorageError> {
+    fn write_node(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        pno: PageNo,
+        node: &Node,
+    ) -> Result<(), StorageError> {
         debug_assert!(node.fits());
         bp.with_page_mut(clock, self.file.id(), pno, |p| *p = node.encode())
     }
@@ -172,7 +205,11 @@ impl BTree {
         key: i64,
         value: &[u8],
     ) -> Result<bool, StorageError> {
-        assert!(value.len() <= MAX_VALUE_BYTES, "value of {} bytes too large", value.len());
+        assert!(
+            value.len() <= MAX_VALUE_BYTES,
+            "value of {} bytes too large",
+            value.len()
+        );
         let root = self.root.load(Ordering::Acquire);
         match self.insert_rec(clock, bp, root, key, value)? {
             InsertResult::Done { replaced } => {
@@ -181,11 +218,18 @@ impl BTree {
                 }
                 Ok(replaced)
             }
-            InsertResult::Split { sep, right, replaced } => {
+            InsertResult::Split {
+                sep,
+                right,
+                replaced,
+            } => {
                 // grow a new root
                 let new_root = self.file.allocate()?;
                 bp.new_page(clock, self.file.id(), new_root)?;
-                let node = Node::Internal { keys: vec![sep], children: vec![root, right] };
+                let node = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![root, right],
+                };
                 self.write_node(clock, bp, new_root, &node)?;
                 self.root.store(new_root, Ordering::Release);
                 self.height.fetch_add(1, Ordering::Relaxed);
@@ -223,7 +267,9 @@ impl BTree {
                     self.write_node(clock, bp, pno, &candidate)?;
                     return Ok(InsertResult::Done { replaced });
                 }
-                let Node::Leaf { next, mut entries } = candidate else { unreachable!() };
+                let Node::Leaf { next, mut entries } = candidate else {
+                    unreachable!()
+                };
                 // split: rightmost-insert heuristic keeps bulk loads dense
                 let split_at = if pos == entries.len() - 1 {
                     entries.len() - 1
@@ -234,18 +280,35 @@ impl BTree {
                 let sep = right_entries[0].0;
                 let right_pno = self.file.allocate()?;
                 bp.new_page(clock, self.file.id(), right_pno)?;
-                let right = Node::Leaf { next, entries: right_entries };
-                let left = Node::Leaf { next: Some(right_pno), entries };
+                let right = Node::Leaf {
+                    next,
+                    entries: right_entries,
+                };
+                let left = Node::Leaf {
+                    next: Some(right_pno),
+                    entries,
+                };
                 self.write_node(clock, bp, right_pno, &right)?;
                 self.write_node(clock, bp, pno, &left)?;
-                Ok(InsertResult::Split { sep, right: right_pno, replaced })
+                Ok(InsertResult::Split {
+                    sep,
+                    right: right_pno,
+                    replaced,
+                })
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let child = children[idx];
                 match self.insert_rec(clock, bp, child, key, value)? {
                     InsertResult::Done { replaced } => Ok(InsertResult::Done { replaced }),
-                    InsertResult::Split { sep, right, replaced } => {
+                    InsertResult::Split {
+                        sep,
+                        right,
+                        replaced,
+                    } => {
                         keys.insert(idx, sep);
                         children.insert(idx + 1, right);
                         let candidate = Node::Internal { keys, children };
@@ -253,7 +316,11 @@ impl BTree {
                             self.write_node(clock, bp, pno, &candidate)?;
                             return Ok(InsertResult::Done { replaced });
                         }
-                        let Node::Internal { mut keys, mut children } = candidate else {
+                        let Node::Internal {
+                            mut keys,
+                            mut children,
+                        } = candidate
+                        else {
                             unreachable!()
                         };
                         let mid = keys.len() / 2;
@@ -263,11 +330,18 @@ impl BTree {
                         let right_children = children.split_off(mid + 1);
                         let right_pno = self.file.allocate()?;
                         bp.new_page(clock, self.file.id(), right_pno)?;
-                        let rnode = Node::Internal { keys: right_keys, children: right_children };
+                        let rnode = Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        };
                         let lnode = Node::Internal { keys, children };
                         self.write_node(clock, bp, right_pno, &rnode)?;
                         self.write_node(clock, bp, pno, &lnode)?;
-                        Ok(InsertResult::Split { sep: promote, right: right_pno, replaced })
+                        Ok(InsertResult::Split {
+                            sep: promote,
+                            right: right_pno,
+                            replaced,
+                        })
                     }
                 }
             }
@@ -275,7 +349,12 @@ impl BTree {
     }
 
     /// Point lookup.
-    pub fn get(&self, clock: &mut Clock, bp: &BufferPool, key: i64) -> Result<Option<Vec<u8>>, StorageError> {
+    pub fn get(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        key: i64,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
         let mut pno = self.root.load(Ordering::Acquire);
         loop {
             match self.read_node(clock, bp, pno)? {
@@ -316,7 +395,9 @@ impl BTree {
             }
         };
         loop {
-            let Node::Leaf { next, entries } = leaf else { unreachable!() };
+            let Node::Leaf { next, entries } = leaf else {
+                unreachable!()
+            };
             for (k, v) in &entries {
                 if *k < lo {
                     continue;
@@ -363,7 +444,12 @@ impl BTree {
 
     /// Remove a key. Leaves may become underfull (no rebalancing — deletes
     /// are rare in the modelled workloads, as in the paper's).
-    pub fn delete(&self, clock: &mut Clock, bp: &BufferPool, key: i64) -> Result<bool, StorageError> {
+    pub fn delete(
+        &self,
+        clock: &mut Clock,
+        bp: &BufferPool,
+        key: i64,
+    ) -> Result<bool, StorageError> {
         let mut pno = self.root.load(Ordering::Acquire);
         loop {
             match self.read_node(clock, bp, pno)? {
@@ -408,7 +494,9 @@ mod tests {
         let t = BTree::create(&mut clock, &bp, file).unwrap();
         assert!(t.is_empty());
         for k in [5i64, 1, 9, -3, 7] {
-            assert!(!t.insert(&mut clock, &bp, k, format!("v{k}").as_bytes()).unwrap());
+            assert!(!t
+                .insert(&mut clock, &bp, k, format!("v{k}").as_bytes())
+                .unwrap());
         }
         assert_eq!(t.len(), 5);
         assert_eq!(t.get(&mut clock, &bp, 9).unwrap().unwrap(), b"v9");

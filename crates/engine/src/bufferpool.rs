@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use remem_audit::Auditor;
-use remem_sim::{Clock, FaultLog, FaultOrigin, SimDuration, SimTime};
+use remem_sim::{Clock, FaultLog, FaultOrigin, Gauge, MetricsRegistry, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
 
 use crate::page::{Page, PAGE_SIZE};
@@ -41,6 +41,36 @@ pub struct BpStats {
     /// Cached pages discarded because the device reported their backing
     /// bytes lost (self-healed stripe) or failed fatally.
     pub ext_lost_pages: u64,
+}
+
+/// Cached registry handles, resolved once at attach time so the page-access
+/// hot path mirrors [`BpStats`] into named metrics without a name lookup.
+struct BpCounters {
+    hits: Arc<remem_sim::Counter>,
+    misses: Arc<remem_sim::Counter>,
+    ext_hits: Arc<remem_sim::Counter>,
+    ext_writes: Arc<remem_sim::Counter>,
+    base_reads: Arc<remem_sim::Counter>,
+    dirty_flushes: Arc<remem_sim::Counter>,
+    evictions: Arc<remem_sim::Counter>,
+    /// Share of pool misses the extension tier absorbed (`ext_hits /
+    /// (ext_hits + base_reads)`), the headline of the §3.1 scenario.
+    ext_hit_ratio: Arc<Gauge>,
+}
+
+impl BpCounters {
+    fn new(r: &MetricsRegistry) -> BpCounters {
+        BpCounters {
+            hits: r.counter("bp.hits"),
+            misses: r.counter("bp.misses"),
+            ext_hits: r.counter("bpext.hits"),
+            ext_writes: r.counter("bpext.writes"),
+            base_reads: r.counter("bp.base.reads"),
+            dirty_flushes: r.counter("bp.dirty.flushes"),
+            evictions: r.counter("bp.evictions"),
+            ext_hit_ratio: r.gauge("bpext.hit_ratio"),
+        }
+    }
 }
 
 struct Frame {
@@ -182,7 +212,12 @@ impl BpExt {
     fn note_success(&mut self, now: SimTime) {
         if self.suspended.take().is_some() {
             self.reattaches += 1;
-            self.note(now, FaultOrigin::Recovery, "bpext.reattach", "probe succeeded".into());
+            self.note(
+                now,
+                FaultOrigin::Recovery,
+                "bpext.reattach",
+                "probe succeeded".into(),
+            );
         }
     }
 
@@ -191,8 +226,7 @@ impl BpExt {
             // backing bytes are gone: forget the mapping but keep the slots
             // (sorted, so slot recycling order matches the old behavior)
             self.lost_pages += self.map.len() as u64;
-            let mut slots: Vec<u64> =
-                std::mem::take(&mut self.map).into_values().collect();
+            let mut slots: Vec<u64> = std::mem::take(&mut self.map).into_values().collect();
             slots.sort_unstable();
             self.free.extend(slots);
             self.fifo.clear();
@@ -201,7 +235,10 @@ impl BpExt {
             Some(s) => (s.backoff * 2).min(EXT_PROBE_CAP),
             None => EXT_PROBE_BASE,
         };
-        self.suspended = Some(Suspend { probe_at: now + backoff, backoff });
+        self.suspended = Some(Suspend {
+            probe_at: now + backoff,
+            backoff,
+        });
         self.suspends += 1;
         self.note(
             now,
@@ -239,7 +276,10 @@ impl BpExt {
         };
         self.map.insert(key, slot);
         self.fifo.push_back(key);
-        match self.device.write(clock, slot * PAGE_SIZE as u64, page.as_bytes()) {
+        match self
+            .device
+            .write(clock, slot * PAGE_SIZE as u64, page.as_bytes())
+        {
             Ok(()) => {
                 self.note_success(clock.now());
                 PutOutcome::Written
@@ -310,6 +350,7 @@ struct Inner {
     /// each detected, like per-stream readahead in a real engine.
     last_base_miss: BTreeMap<FileId, VecDeque<(PageNo, u32)>>,
     stats: BpStats,
+    metrics: Option<BpCounters>,
     fault_log: Option<Arc<FaultLog>>,
     auditor: Option<Arc<Auditor>>,
 }
@@ -333,7 +374,12 @@ impl BufferPool {
     pub fn new(bytes: u64) -> BufferPool {
         let nframes = (bytes / PAGE_SIZE as u64).max(2) as usize;
         let frames = (0..nframes)
-            .map(|_| Frame { key: None, page: Page::new(), dirty: false, referenced: false })
+            .map(|_| Frame {
+                key: None,
+                page: Page::new(),
+                dirty: false,
+                referenced: false,
+            })
             .collect();
         BufferPool {
             inner: Mutex::new(Inner {
@@ -344,6 +390,7 @@ impl BufferPool {
                 files: BTreeMap::new(),
                 last_base_miss: BTreeMap::new(),
                 stats: BpStats::default(),
+                metrics: None,
                 fault_log: None,
                 auditor: None,
             }),
@@ -380,8 +427,16 @@ impl BufferPool {
         self.inner.lock().auditor = auditor;
     }
 
+    /// Mirror [`BpStats`] into named metrics (`bp.hits`, `bpext.hits`,
+    /// `bpext.hit_ratio`, …) on the given registry.
+    pub fn set_metrics(&self, registry: Option<Arc<MetricsRegistry>>) {
+        self.inner.lock().metrics = registry.map(|r| BpCounters::new(&r));
+    }
+
     fn verify(inner: &Inner, at: SimTime) {
-        let Some(aud) = inner.auditor.as_ref() else { return };
+        let Some(aud) = inner.auditor.as_ref() else {
+            return;
+        };
         let occupied = inner.frames.iter().filter(|fr| fr.key.is_some()).count();
         aud.check_balance(
             at,
@@ -406,7 +461,10 @@ impl BufferPool {
                 "bufferpool",
                 "ext-slot-conservation",
                 ("total_slots", ext.total_slots as i128),
-                &[("resident", ext.map.len() as i128), ("free", ext.free.len() as i128)],
+                &[
+                    ("resident", ext.map.len() as i128),
+                    ("free", ext.free.len() as i128),
+                ],
             );
         }
         aud.observe_clock("bufferpool", at);
@@ -417,7 +475,12 @@ impl BufferPool {
     }
 
     pub fn extension_failed(&self) -> bool {
-        self.inner.lock().ext.as_ref().map(BpExt::has_failed).unwrap_or(false)
+        self.inner
+            .lock()
+            .ext
+            .as_ref()
+            .map(BpExt::has_failed)
+            .unwrap_or(false)
     }
 
     /// Register a paged file so evictions can flush to it.
@@ -471,6 +534,9 @@ impl BufferPool {
                         let mut lazy_writer = Clock::starting_at(clock.now());
                         file.write_page(&mut lazy_writer, key.1, &frame.page)?;
                         inner.stats.dirty_flushes += 1;
+                        if let Some(m) = &inner.metrics {
+                            m.dirty_flushes.incr();
+                        }
                     }
                     // the (now clean) page goes to the extension tier; only
                     // an actual device write counts as one — an up-to-date
@@ -479,11 +545,17 @@ impl BufferPool {
                     if let Some(ext) = inner.ext.as_mut() {
                         if ext.put(clock, key, &page) == PutOutcome::Written {
                             inner.stats.ext_writes += 1;
+                            if let Some(m) = &inner.metrics {
+                                m.ext_writes.incr();
+                            }
                         }
                     }
                     inner.map.remove(&key);
                     inner.frames[idx].key = None;
                     inner.stats.evictions += 1;
+                    if let Some(m) = &inner.metrics {
+                        m.evictions.incr();
+                    }
                     return Ok(idx);
                 }
             }
@@ -500,11 +572,17 @@ impl BufferPool {
         let key = (file, page_no);
         if let Some(&idx) = inner.map.get(&key) {
             inner.stats.hits += 1;
+            if let Some(m) = &inner.metrics {
+                m.hits.incr();
+            }
             inner.frames[idx].referenced = true;
             clock.advance(self.hit_cost);
             return Ok(idx);
         }
         inner.stats.misses += 1;
+        if let Some(m) = &inner.metrics {
+            m.misses.incr();
+        }
         // sequential-stream detection is shared by both tiers: a miss
         // continuing a sufficiently long recent stream reads ahead
         let history = inner.last_base_miss.entry(file).or_default();
@@ -532,6 +610,9 @@ impl BufferPool {
         let page = match from_ext {
             Some(p) => {
                 inner.stats.ext_hits += 1;
+                if let Some(m) = &inner.metrics {
+                    m.ext_hits.incr();
+                }
                 // readahead within the extension: stage the following pages
                 // of the stream so a scan doesn't pay per-page latency
                 if sequential {
@@ -545,6 +626,9 @@ impl BufferPool {
                             }
                             let Some(pg) = ext.get(clock, k) else { break };
                             inner.stats.ext_hits += 1;
+                            if let Some(m) = &inner.metrics {
+                                m.ext_hits.incr();
+                            }
                             match Self::evict_one(inner, clock) {
                                 Ok(idx) => {
                                     inner.frames[idx] = Frame {
@@ -582,6 +666,9 @@ impl BufferPool {
                     .unwrap_or_else(|| panic!("file {file:?} not registered"))
                     .clone();
                 inner.stats.base_reads += 1;
+                if let Some(m) = &inner.metrics {
+                    m.base_reads.incr();
+                }
                 let batch = if sequential {
                     READAHEAD_PAGES
                         .min(f.allocated_pages().saturating_sub(page_no))
@@ -599,7 +686,8 @@ impl BufferPool {
                         .map(|i| inner.map.contains_key(&(file, page_no + i)))
                         .collect();
                     let mut buf = vec![0u8; (batch * PAGE_SIZE as u64) as usize];
-                    f.device().read(clock, page_no * PAGE_SIZE as u64, &mut buf)?;
+                    f.device()
+                        .read(clock, page_no * PAGE_SIZE as u64, &mut buf)?;
                     if let Some(history) = inner.last_base_miss.get_mut(&file) {
                         if let Some(i) = history.iter().position(|&(p, _)| p == page_no) {
                             history[i].0 = page_no + batch - 1;
@@ -612,11 +700,16 @@ impl BufferPool {
                             continue;
                         }
                         let pg = Page::from_bytes(
-                            &buf[(i * PAGE_SIZE as u64) as usize..((i + 1) * PAGE_SIZE as u64) as usize],
+                            &buf[(i * PAGE_SIZE as u64) as usize
+                                ..((i + 1) * PAGE_SIZE as u64) as usize],
                         );
                         let idx = Self::evict_one(inner, clock)?;
-                        inner.frames[idx] =
-                            Frame { key: Some(k), page: pg, dirty: false, referenced: true };
+                        inner.frames[idx] = Frame {
+                            key: Some(k),
+                            page: pg,
+                            dirty: false,
+                            referenced: true,
+                        };
                         inner.map.insert(k, idx);
                     }
                     Page::from_bytes(&buf[..PAGE_SIZE])
@@ -626,8 +719,20 @@ impl BufferPool {
             }
         };
         let idx = Self::evict_one(inner, clock)?;
-        inner.frames[idx] = Frame { key: Some(key), page, dirty: false, referenced: true };
+        inner.frames[idx] = Frame {
+            key: Some(key),
+            page,
+            dirty: false,
+            referenced: true,
+        };
         inner.map.insert(key, idx);
+        if let Some(m) = &inner.metrics {
+            let probes = inner.stats.ext_hits + inner.stats.base_reads;
+            if probes > 0 {
+                m.ext_hit_ratio
+                    .set(inner.stats.ext_hits as f64 / probes as f64);
+            }
+        }
         Ok(idx)
     }
 
@@ -676,9 +781,17 @@ impl BufferPool {
     ) -> Result<(), StorageError> {
         let mut inner = self.inner.lock();
         let key = (file, page_no);
-        assert!(!inner.map.contains_key(&key), "page {key:?} already resident");
+        assert!(
+            !inner.map.contains_key(&key),
+            "page {key:?} already resident"
+        );
         let idx = Self::evict_one(&mut inner, clock)?;
-        inner.frames[idx] = Frame { key: Some(key), page: Page::new(), dirty: true, referenced: true };
+        inner.frames[idx] = Frame {
+            key: Some(key),
+            page: Page::new(),
+            dirty: true,
+            referenced: true,
+        };
         inner.map.insert(key, idx);
         clock.advance(self.hit_cost);
         Self::verify(&inner, clock.now());
@@ -702,6 +815,9 @@ impl BufferPool {
             file.write_page(clock, key.1, &page)?;
             inner.frames[idx].dirty = false;
             inner.stats.dirty_flushes += 1;
+            if let Some(m) = &inner.metrics {
+                m.dirty_flushes.incr();
+            }
         }
         Self::verify(&inner, clock.now());
         Ok(())
@@ -729,7 +845,12 @@ impl BufferPool {
             let Ok(idx) = Self::evict_one(&mut inner, clock) else {
                 break;
             };
-            inner.frames[idx] = Frame { key: Some(key), page, dirty: false, referenced: true };
+            inner.frames[idx] = Frame {
+                key: Some(key),
+                page,
+                dirty: false,
+                referenced: true,
+            };
             inner.map.insert(key, idx);
         }
         Self::verify(&inner, clock.now());
@@ -762,8 +883,10 @@ mod tests {
     }
 
     fn read_marker(bp: &BufferPool, clock: &mut Clock, file: FileId, n: u64) -> u64 {
-        bp.with_page(clock, file, n, |pg| u64::from_le_bytes(pg.get(0).try_into().unwrap()))
-            .unwrap()
+        bp.with_page(clock, file, n, |pg| {
+            u64::from_le_bytes(pg.get(0).try_into().unwrap())
+        })
+        .unwrap()
     }
 
     #[test]
@@ -795,7 +918,9 @@ mod tests {
     #[test]
     fn extension_serves_evicted_pages() {
         let (bp, file, mut clock) = setup(4, 64);
-        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)))));
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(
+            64 * PAGE_SIZE as u64,
+        )))));
         for n in 0..32 {
             write_marker(&bp, &mut clock, &file, n);
         }
@@ -814,11 +939,13 @@ mod tests {
     #[test]
     fn extension_copy_is_invalidated_on_write() {
         let (bp, file, mut clock) = setup(2, 16);
-        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(16 * PAGE_SIZE as u64)))));
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(
+            16 * PAGE_SIZE as u64,
+        )))));
         write_marker(&bp, &mut clock, &file, 0);
         write_marker(&bp, &mut clock, &file, 1);
         write_marker(&bp, &mut clock, &file, 2); // page 0 evicted to ext
-        // mutate page 0: must invalidate the ext copy
+                                                 // mutate page 0: must invalidate the ext copy
         bp.with_page_mut(&mut clock, file.id(), 0, |pg| {
             pg.insert(b"v2").unwrap();
         })
@@ -827,9 +954,15 @@ mod tests {
         write_marker(&bp, &mut clock, &file, 3);
         write_marker(&bp, &mut clock, &file, 4);
         let v = bp
-            .with_page(&mut clock, file.id(), 0, |pg| (pg.len(), pg.get(1).to_vec()))
+            .with_page(&mut clock, file.id(), 0, |pg| {
+                (pg.len(), pg.get(1).to_vec())
+            })
             .unwrap();
-        assert_eq!(v, (2, b"v2".to_vec()), "stale extension copy must never be served");
+        assert_eq!(
+            v,
+            (2, b"v2".to_vec()),
+            "stale extension copy must never be served"
+        );
     }
 
     #[test]
@@ -853,7 +986,9 @@ mod tests {
     fn extension_capacity_is_fifo_bounded() {
         let (bp, file, mut clock) = setup(2, 64);
         // tiny extension: 4 pages
-        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(4 * PAGE_SIZE as u64)))));
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(
+            4 * PAGE_SIZE as u64,
+        )))));
         for n in 0..32 {
             write_marker(&bp, &mut clock, &file, n);
         }
@@ -906,9 +1041,9 @@ mod tests {
         let bp = BufferPool::new(128 * PAGE_SIZE as u64);
         let file = Arc::new(PagedFile::new(
             FileId(3),
-            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(
-                256 * PAGE_SIZE as u64,
-            ))),
+            Arc::new(remem_storage::Ssd::new(
+                remem_storage::SsdConfig::with_capacity(256 * PAGE_SIZE as u64),
+            )),
         ));
         bp.register_file(Arc::clone(&file));
         let mut clock = Clock::new();
@@ -932,7 +1067,10 @@ mod tests {
             bp2.with_page(&mut clock, FileId(3), n, |_| {}).unwrap();
         }
         let s2 = bp2.stats();
-        assert_eq!(s2.base_reads, 8, "random misses must read exactly one page each");
+        assert_eq!(
+            s2.base_reads, 8,
+            "random misses must read exactly one page each"
+        );
     }
 
     /// A RamDisk whose failures can be healed again, with controllable
@@ -1009,10 +1147,16 @@ mod tests {
         for n in 0..32 {
             assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
         }
-        assert!(bp.extension_failed(), "tier must be suspended during the outage");
+        assert!(
+            bp.extension_failed(),
+            "tier must be suspended during the outage"
+        );
         let s = bp.stats();
         assert!(s.ext_suspends >= 1, "{s:?}");
-        assert!(s.ext_lost_pages > 0, "fatal failure discards the cached mapping: {s:?}");
+        assert!(
+            s.ext_lost_pages > 0,
+            "fatal failure discards the cached mapping: {s:?}"
+        );
 
         // device heals; once the probe backoff elapses the next eviction
         // probes, re-attaches, and the tier serves hits again
@@ -1027,7 +1171,10 @@ mod tests {
             assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
         }
         let s = bp.stats();
-        assert!(s.ext_hits > 0, "re-attached extension should serve hits: {s:?}");
+        assert!(
+            s.ext_hits > 0,
+            "re-attached extension should serve hits: {s:?}"
+        );
         assert!(s.ext_reattaches >= 1, "{s:?}");
         assert!(log.count("bpext.suspend", FaultOrigin::Observed) >= 1);
         assert!(log.count("bpext.reattach", FaultOrigin::Recovery) >= 1);
@@ -1049,7 +1196,11 @@ mod tests {
         // the suspend count cannot grow
         assert_eq!(read_marker(&bp, &mut clock, file.id(), 1), 1);
         assert_eq!(bp.stats().ext_suspends, suspends);
-        assert_eq!(bp.stats().ext_lost_pages, 0, "transient failure keeps the mapping");
+        assert_eq!(
+            bp.stats().ext_lost_pages,
+            0,
+            "transient failure keeps the mapping"
+        );
         // heal before the probe: cached pages survive the blip
         disk.heal();
         clock.advance(SimDuration::from_secs(1));
@@ -1059,7 +1210,10 @@ mod tests {
         }
         let s = bp.stats();
         assert!(!bp.extension_failed());
-        assert!(s.ext_hits > 0, "mapping kept across a transient blip: {s:?}");
+        assert!(
+            s.ext_hits > 0,
+            "mapping kept across a transient blip: {s:?}"
+        );
     }
 
     #[test]
@@ -1074,14 +1228,21 @@ mod tests {
         // pages over it must be dropped rather than served
         disk.lose_range(0, 2 * PAGE_SIZE as u64);
         for n in 0..8 {
-            assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n, "page {n} corrupted");
+            assert_eq!(
+                read_marker(&bp, &mut clock, file.id(), n),
+                n,
+                "page {n} corrupted"
+            );
         }
         let s = bp.stats();
         assert!(
             s.ext_lost_pages >= 1 && s.ext_lost_pages <= 2,
             "exactly the overlapping slots are dropped: {s:?}"
         );
-        assert!(!bp.extension_failed(), "losing a stripe is not a tier failure");
+        assert!(
+            !bp.extension_failed(),
+            "losing a stripe is not a tier failure"
+        );
     }
 
     #[test]
@@ -1091,11 +1252,15 @@ mod tests {
         // the loop silently dropped the whole tier.
         let bp = BufferPool::new(16 * PAGE_SIZE as u64);
         let disk_a = Arc::new(HealableDisk::new(64 * PAGE_SIZE as u64));
-        let file_a =
-            Arc::new(PagedFile::new(FileId(0), Arc::clone(&disk_a) as Arc<dyn Device>));
+        let file_a = Arc::new(PagedFile::new(
+            FileId(0),
+            Arc::clone(&disk_a) as Arc<dyn Device>,
+        ));
         bp.register_file(Arc::clone(&file_a));
-        let file_b =
-            Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(64 * PAGE_SIZE as u64))));
+        let file_b = Arc::new(PagedFile::new(
+            FileId(9),
+            Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)),
+        ));
         bp.register_file(Arc::clone(&file_b));
         let mut clock = Clock::new();
         // 8 dirty file-A frames that any later eviction must flush
@@ -1106,7 +1271,10 @@ mod tests {
         let mut ext = BpExt::new(Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)));
         for n in 0..20 {
             file_b.allocate().unwrap();
-            assert_eq!(ext.put(&mut clock, (FileId(9), n), &Page::new()), PutOutcome::Written);
+            assert_eq!(
+                ext.put(&mut clock, (FileId(9), n), &Page::new()),
+                PutOutcome::Written
+            );
         }
         bp.set_extension(Some(ext));
         disk_a.fail(true);
@@ -1119,7 +1287,10 @@ mod tests {
                 break;
             }
         }
-        assert!(failed, "a dirty flush against the failed base disk must surface");
+        assert!(
+            failed,
+            "a dirty flush against the failed base disk must surface"
+        );
         assert!(
             bp.has_extension(),
             "an eviction error during ext readahead must not drop the extension tier"
@@ -1134,7 +1305,9 @@ mod tests {
         // Regression: `put`'s already-cached skip path used to report a
         // write, inflating ext_writes on every clean re-eviction.
         let (bp, file, mut clock) = setup(2, 16);
-        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(16 * PAGE_SIZE as u64)))));
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(
+            16 * PAGE_SIZE as u64,
+        )))));
         for n in 0..3 {
             write_marker(&bp, &mut clock, &file, n);
         }
@@ -1157,13 +1330,18 @@ mod tests {
         let s = bp.stats();
         assert!(s.evictions > 0, "{s:?}");
         assert!(s.ext_hits > 0, "{s:?}");
-        assert_eq!(s.ext_writes, 0, "clean re-evictions must not count as ext writes: {s:?}");
+        assert_eq!(
+            s.ext_writes, 0,
+            "clean re-evictions must not count as ext writes: {s:?}"
+        );
     }
 
     #[test]
     fn auditor_sees_conserved_state_through_churn() {
         let (bp, file, mut clock) = setup(4, 64);
-        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(8 * PAGE_SIZE as u64)))));
+        bp.set_extension(Some(BpExt::new(Arc::new(RamDisk::new(
+            8 * PAGE_SIZE as u64,
+        )))));
         let aud = Arc::new(Auditor::new()); // panics on the first violation
         bp.set_auditor(Some(Arc::clone(&aud)));
         for n in 0..32 {
@@ -1173,7 +1351,11 @@ mod tests {
             assert_eq!(read_marker(&bp, &mut clock, file.id(), n), n);
         }
         bp.flush_all(&mut clock).unwrap();
-        assert!(aud.checks() > 100, "auditor must have been exercised: {}", aud.checks());
+        assert!(
+            aud.checks() > 100,
+            "auditor must have been exercised: {}",
+            aud.checks()
+        );
     }
 
     #[test]
@@ -1182,9 +1364,9 @@ mod tests {
         // use an SSD so misses have real cost
         let ssd_file = Arc::new(PagedFile::new(
             FileId(7),
-            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(
-                16 * PAGE_SIZE as u64,
-            ))),
+            Arc::new(remem_storage::Ssd::new(
+                remem_storage::SsdConfig::with_capacity(16 * PAGE_SIZE as u64),
+            )),
         ));
         bp.register_file(Arc::clone(&ssd_file));
         let _ = file;

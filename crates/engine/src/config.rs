@@ -1,6 +1,8 @@
 //! Engine configuration: CPU cost model and database tunables.
 
-use remem_sim::SimDuration;
+use std::sync::Arc;
+
+use remem_sim::{MetricsRegistry, SimDuration};
 
 /// Per-operation CPU costs charged to the host server's core pool.
 ///
@@ -61,6 +63,12 @@ pub struct DbConfig {
     /// mirroring SQL Server's workspace semantics).
     pub workspace_bytes: u64,
     pub cpu: CpuCosts,
+    /// Telemetry registry the instance publishes into: device roles are
+    /// wrapped in [`remem_storage::MeteredDevice`] (`storage.data.*`,
+    /// `storage.bpext.*`, …) and the buffer pool / TempDB / semantic cache
+    /// mirror their stats as named counters (`bp.hits`, `tempdb.spill.bytes`,
+    /// `semantic.hits`, …).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl DbConfig {
@@ -71,6 +79,7 @@ impl DbConfig {
             max_grant_fraction: 0.25,
             workspace_bytes: buffer_pool_bytes * 6 / 10,
             cpu: CpuCosts::default(),
+            metrics: None,
         }
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use remem_sim::{Clock, CpuPool};
-use remem_storage::{Device, StorageError};
+use remem_storage::{Device, MeteredDevice, StorageError};
 
 use crate::btree::BTree;
 use crate::bufferpool::{BpExt, BpStats, BufferPool};
@@ -79,7 +79,10 @@ const NC_SHIFT: u32 = 20;
 
 impl NcIndex {
     fn nc_key(value: i64, discriminator: u64) -> i64 {
-        assert!((0..(1 << 43)).contains(&value), "NC index values must be in [0, 2^43)");
+        assert!(
+            (0..(1 << 43)).contains(&value),
+            "NC index values must be in [0, 2^43)"
+        );
         (value << NC_SHIFT) | (discriminator & ((1 << NC_SHIFT) - 1)) as i64
     }
 
@@ -124,15 +127,34 @@ impl Database {
     /// `cpu` (share the fabric server's pool so network processing and query
     /// processing contend — Fig. 13).
     pub fn new(cfg: DbConfig, cpu: Arc<CpuPool>, devices: DeviceSet) -> Database {
+        // With telemetry attached, every device role is wrapped so the bench
+        // harness can split virtual time between storage roles by name.
+        let metrics = cfg.metrics.clone();
+        let wrap = |dev: Arc<dyn Device>, prefix: &str| -> Arc<dyn Device> {
+            match &metrics {
+                Some(r) => Arc::new(MeteredDevice::new(dev, Arc::clone(r), prefix)),
+                None => dev,
+            }
+        };
         let bp = BufferPool::new(cfg.buffer_pool_bytes);
-        let data_file = Arc::new(PagedFile::new(FileId(0), devices.data));
+        bp.set_metrics(metrics.clone());
+        let data_file = Arc::new(PagedFile::new(
+            FileId(0),
+            wrap(devices.data, "storage.data"),
+        ));
         bp.register_file(Arc::clone(&data_file));
         if let Some(ext) = devices.bpext {
-            bp.set_extension(Some(BpExt::new(ext)));
+            bp.set_extension(Some(BpExt::new(wrap(ext, "storage.bpext"))));
         }
-        let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(1), devices.tempdb)));
-        let wal = Wal::new(devices.log);
+        let mut tempdb = TempDb::new(Arc::new(PagedFile::new(
+            FileId(1),
+            wrap(devices.tempdb, "storage.tempdb"),
+        )));
+        tempdb.set_metrics(metrics.clone());
+        let wal = Wal::new(wrap(devices.log, "storage.log"));
         let grants = GrantManager::new(cfg.workspace_bytes, cfg.max_grant_fraction);
+        let semantic = SemanticCache::new();
+        semantic.set_metrics(metrics);
         Database {
             cpu,
             bp,
@@ -140,7 +162,7 @@ impl Database {
             tempdb,
             wal,
             grants,
-            semantic: SemanticCache::new(),
+            semantic,
             // 1/256 of the pool, mirroring SQL Server's plan-cache sizing
             proc_cache: ProcedureCache::new((cfg.buffer_pool_bytes / 256).max(64 << 10)),
             tables: RwLock::new(Vec::new()),
@@ -227,7 +249,13 @@ impl Database {
         let tree = BTree::create(clock, &self.bp, Arc::clone(&self.data_file))?;
         let mut tables = self.tables.write();
         let id = TableId(tables.len() as u32);
-        tables.push(TableMeta { name: name.into(), schema, key_col, tree, nc: Vec::new() });
+        tables.push(TableMeta {
+            name: name.into(),
+            schema,
+            key_col,
+            tree,
+            nc: Vec::new(),
+        });
         Ok(id)
     }
 
@@ -273,7 +301,11 @@ impl Database {
     ) -> Result<usize, DbError> {
         let file = self.new_file(device);
         let tree = BTree::create(clock, &self.bp, file)?;
-        let idx = NcIndex { col, tree, counter: AtomicU64::new(0) };
+        let idx = NcIndex {
+            col,
+            tree,
+            counter: AtomicU64::new(0),
+        };
         // bulk-build from the existing rows
         let rows = self.scan(clock, tid)?;
         {
@@ -283,7 +315,8 @@ impl Database {
         for row in &rows {
             let v = row.int(col);
             let d = idx.counter.fetch_add(1, Ordering::Relaxed);
-            idx.tree.insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
+            idx.tree
+                .insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
         }
         let mut tables = self.tables.write();
         let t = &mut tables[tid.0 as usize];
@@ -329,20 +362,27 @@ impl Database {
         allow_replace: bool,
     ) -> Result<(), DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         let key = row.int(t.key_col);
         self.charge_seek(clock, t.tree.height());
         let replaced = t.tree.insert(clock, &self.bp, key, &row.to_bytes())?;
         if replaced && !allow_replace {
             return Err(DbError::DuplicateKey { table: tid, key });
         }
-        let op = if replaced { WalOp::Update } else { WalOp::Insert };
+        let op = if replaced {
+            WalOp::Update
+        } else {
+            WalOp::Insert
+        };
         self.wal.append(clock, tid.0, op, key, Some(&row))?;
         // synchronous maintenance of NC indexes (§3.3: "updated in-sync")
         for idx in &t.nc {
             let v = row.int(idx.col);
             let d = idx.counter.fetch_add(1, Ordering::Relaxed);
-            idx.tree.insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
+            idx.tree
+                .insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
         }
         drop(tables);
         self.semantic.notify_update(tid);
@@ -352,7 +392,9 @@ impl Database {
     /// Point lookup by clustered key.
     pub fn get(&self, clock: &mut Clock, tid: TableId, key: i64) -> Result<Option<Row>, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         self.charge_seek(clock, t.tree.height());
         Ok(t.tree.get(clock, &self.bp, key)?.map(|b| Row::decode(&b).0))
     }
@@ -366,20 +408,28 @@ impl Database {
         f: impl FnOnce(&mut Row),
     ) -> Result<bool, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         self.charge_seek(clock, t.tree.height());
         let Some(bytes) = t.tree.get(clock, &self.bp, key)? else {
             return Ok(false);
         };
         let (mut row, _) = Row::decode(&bytes);
         f(&mut row);
-        assert_eq!(row.int(t.key_col), key, "update must not change the clustered key");
+        assert_eq!(
+            row.int(t.key_col),
+            key,
+            "update must not change the clustered key"
+        );
         t.tree.insert(clock, &self.bp, key, &row.to_bytes())?;
-        self.wal.append(clock, tid.0, WalOp::Update, key, Some(&row))?;
+        self.wal
+            .append(clock, tid.0, WalOp::Update, key, Some(&row))?;
         for idx in &t.nc {
             let v = row.int(idx.col);
             let d = idx.counter.fetch_add(1, Ordering::Relaxed);
-            idx.tree.insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
+            idx.tree
+                .insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
         }
         drop(tables);
         self.semantic.notify_update(tid);
@@ -389,7 +439,9 @@ impl Database {
     /// Delete by key.
     pub fn delete(&self, clock: &mut Clock, tid: TableId, key: i64) -> Result<bool, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         self.charge_seek(clock, t.tree.height());
         let deleted = t.tree.delete(clock, &self.bp, key)?;
         if deleted {
@@ -421,7 +473,9 @@ impl Database {
         limit: usize,
     ) -> Result<Vec<Row>, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         self.charge_seek(clock, t.tree.height());
         let mut rows = Vec::new();
         t.tree.range(clock, &self.bp, lo, hi, |_, bytes| {
@@ -437,13 +491,16 @@ impl Database {
     /// DOP (parallel scan), unlike the OLTP-shaped [`Database::range`].
     pub fn scan(&self, clock: &mut Clock, tid: TableId) -> Result<Vec<Row>, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         self.charge_seek(clock, t.tree.height());
         let mut rows = Vec::new();
-        t.tree.range(clock, &self.bp, i64::MIN, i64::MAX, |_, bytes| {
-            rows.push(Row::decode(bytes).0);
-            true
-        })?;
+        t.tree
+            .range(clock, &self.bp, i64::MIN, i64::MAX, |_, bytes| {
+                rows.push(Row::decode(bytes).0);
+                true
+            })?;
         let mut ctx = self.exec_ctx(clock).parallel();
         ctx.charge_n(ctx.costs.row_scan, rows.len() as u64);
         Ok(rows)
@@ -459,7 +516,9 @@ impl Database {
         value: i64,
     ) -> Result<Vec<Row>, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         let index = &t.nc[idx];
         self.charge_seek(clock, index.height());
         let lo = NcIndex::nc_key(value, 0);
@@ -473,9 +532,16 @@ impl Database {
     }
 
     /// Full scan of a non-clustered index (index-only scan).
-    pub fn nc_scan(&self, clock: &mut Clock, tid: TableId, idx: usize) -> Result<Vec<Row>, DbError> {
+    pub fn nc_scan(
+        &self,
+        clock: &mut Clock,
+        tid: TableId,
+        idx: usize,
+    ) -> Result<Vec<Row>, DbError> {
         let tables = self.tables.read();
-        let t = tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?;
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
         let index = &t.nc[idx];
         let mut rows = Vec::new();
         index.tree.scan(clock, &self.bp, |_, bytes| {
@@ -600,11 +666,19 @@ impl Database {
     ) -> Result<u64, DbError> {
         let col = {
             let tables = self.tables.read();
-            tables.get(tid.0 as usize).ok_or(DbError::NoSuchTable(tid))?.nc[idx].col
+            tables
+                .get(tid.0 as usize)
+                .ok_or(DbError::NoSuchTable(tid))?
+                .nc[idx]
+                .col
         };
         let file = self.new_file(device);
         let tree = BTree::create(clock, &self.bp, file)?;
-        let new_idx = NcIndex { col, tree, counter: AtomicU64::new(0) };
+        let new_idx = NcIndex {
+            col,
+            tree,
+            counter: AtomicU64::new(0),
+        };
         // Collect the trailing records first (the WAL replay charges its own
         // sequential read I/O), then apply them to the new index.
         let mut records = Vec::new();
@@ -619,7 +693,9 @@ impl Database {
         for row in records {
             let v = row.int(col);
             let d = new_idx.counter.fetch_add(1, Ordering::Relaxed);
-            new_idx.tree.insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
+            new_idx
+                .tree
+                .insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
         }
         self.tables.write()[tid.0 as usize].nc[idx] = new_idx;
         Ok(applied)
@@ -658,13 +734,18 @@ mod tests {
     }
 
     fn db() -> (Database, Clock) {
-        (Database::standalone(DbConfig::with_pool(32 << 20), 8, ram_devices()), Clock::new())
+        (
+            Database::standalone(DbConfig::with_pool(32 << 20), 8, ram_devices()),
+            Clock::new(),
+        )
     }
 
     #[test]
     fn crud_round_trip() {
         let (db, mut clock) = db();
-        let t = db.create_table(&mut clock, "customer", customer_schema(), 0).unwrap();
+        let t = db
+            .create_table(&mut clock, "customer", customer_schema(), 0)
+            .unwrap();
         for k in 0..1000 {
             db.insert(&mut clock, t, customer(k)).unwrap();
         }
@@ -672,7 +753,9 @@ mod tests {
         let row = db.get(&mut clock, t, 500).unwrap().unwrap();
         assert_eq!(row.str(1), "Customer#000000500");
         // update
-        assert!(db.update(&mut clock, t, 500, |r| r.0[2] = Value::Float(9.9)).unwrap());
+        assert!(db
+            .update(&mut clock, t, 500, |r| r.0[2] = Value::Float(9.9))
+            .unwrap());
         assert_eq!(db.get(&mut clock, t, 500).unwrap().unwrap().float(2), 9.9);
         // delete
         assert!(db.delete(&mut clock, t, 500).unwrap());
@@ -689,7 +772,9 @@ mod tests {
     #[test]
     fn range_scans_are_ordered_and_bounded() {
         let (db, mut clock) = db();
-        let t = db.create_table(&mut clock, "c", customer_schema(), 0).unwrap();
+        let t = db
+            .create_table(&mut clock, "c", customer_schema(), 0)
+            .unwrap();
         for k in (0..2000).rev() {
             db.insert(&mut clock, t, customer(k)).unwrap();
         }
@@ -703,9 +788,12 @@ mod tests {
     #[test]
     fn wal_records_every_change() {
         let (db, mut clock) = db();
-        let t = db.create_table(&mut clock, "c", customer_schema(), 0).unwrap();
+        let t = db
+            .create_table(&mut clock, "c", customer_schema(), 0)
+            .unwrap();
         db.insert(&mut clock, t, customer(1)).unwrap();
-        db.update(&mut clock, t, 1, |r| r.0[2] = Value::Float(0.0)).unwrap();
+        db.update(&mut clock, t, 1, |r| r.0[2] = Value::Float(0.0))
+            .unwrap();
         db.delete(&mut clock, t, 1).unwrap();
         let mut ops = Vec::new();
         db.wal().replay(&mut clock, 0, |r| ops.push(r.op)).unwrap();
@@ -715,7 +803,9 @@ mod tests {
     #[test]
     fn nc_index_lookup_and_sync_maintenance() {
         let (db, mut clock) = db();
-        let t = db.create_table(&mut clock, "c", customer_schema(), 0).unwrap();
+        let t = db
+            .create_table(&mut clock, "c", customer_schema(), 0)
+            .unwrap();
         for k in 0..500 {
             db.insert(&mut clock, t, customer(k)).unwrap();
         }
@@ -752,8 +842,9 @@ mod tests {
             )
             .unwrap();
         }
-        let lineitems: Vec<Row> =
-            (0..900).map(|i| crate::exec::int_row(&[i % 300, i])).collect();
+        let lineitems: Vec<Row> = (0..900)
+            .map(|i| crate::exec::int_row(&[i % 300, i]))
+            .collect();
         // join_inlj calls emit(outer=lineitem, inner=order)
         let emit = |l: &Row, o: &Row| {
             let mut v = l.0.clone();
@@ -765,10 +856,19 @@ mod tests {
             v.extend(b.0.iter().cloned());
             Row::new(v)
         };
-        let a = db.join_inlj(&mut clock, &lineitems, 0, orders, emit).unwrap();
+        let a = db
+            .join_inlj(&mut clock, &lineitems, 0, orders, emit)
+            .unwrap();
         let orders_rows = db.scan(&mut clock, orders).unwrap();
         let b = db
-            .join_hash(&mut clock, orders_rows, lineitems, |r| r.int(0), |r| r.int(0), emit_h)
+            .join_hash(
+                &mut clock,
+                orders_rows,
+                lineitems,
+                |r| r.int(0),
+                |r| r.int(0),
+                emit_h,
+            )
             .unwrap();
         assert_eq!(a.len(), 900);
         assert_eq!(b.len(), 900);
@@ -792,7 +892,9 @@ mod tests {
         let mut keys: Vec<i64> = (0..30_000).collect();
         rng.shuffle(&mut keys);
         let rows: Vec<Row> = keys.iter().map(|&k| crate::exec::int_row(&[k])).collect();
-        let sorted = db.sort_rows(&mut clock, rows, |r| r.int(0) as f64, None).unwrap();
+        let sorted = db
+            .sort_rows(&mut clock, rows, |r| r.int(0) as f64, None)
+            .unwrap();
         assert!(db.tempdb().bytes_spilled() > 0, "expected a spill");
         assert!(sorted.windows(2).all(|w| w[0].int(0) <= w[1].int(0)));
         assert_eq!(sorted.len(), 30_000);
@@ -810,7 +912,9 @@ mod tests {
             // pool of only 8 frames so the ~40-page table cannot fit
             let db = Database::standalone(DbConfig::with_pool(8 * 8192), 8, devices);
             let mut clock = Clock::new();
-            let t = db.create_table(&mut clock, "c", customer_schema(), 0).unwrap();
+            let t = db
+                .create_table(&mut clock, "c", customer_schema(), 0)
+                .unwrap();
             for k in 0..5000 {
                 db.insert(&mut clock, t, customer(k)).unwrap();
             }
@@ -829,5 +933,89 @@ mod tests {
             reads_ext < reads_no_ext / 4,
             "extension should absorb most misses: {reads_ext} vs {reads_no_ext} ({stats_ext:?})"
         );
+    }
+
+    #[test]
+    fn metrics_mirror_buffer_pool_and_device_roles() {
+        let registry = remem_sim::MetricsRegistry::shared();
+        let mut devices = ram_devices();
+        devices.bpext = Some(Arc::new(RamDisk::new(64 << 20)));
+        let mut cfg = DbConfig::with_pool(8 * 8192);
+        cfg.metrics = Some(Arc::clone(&registry));
+        let db = Database::standalone(cfg, 8, devices);
+        let mut clock = Clock::new();
+        let t = db
+            .create_table(&mut clock, "c", customer_schema(), 0)
+            .unwrap();
+        for k in 0..3000 {
+            db.insert(&mut clock, t, customer(k)).unwrap();
+        }
+        for k in 0..3000 {
+            db.get(&mut clock, t, k).unwrap().unwrap();
+        }
+        // the named counters track BpStats exactly
+        let s = db.bp_stats();
+        assert_eq!(registry.counter("bp.hits").get(), s.hits);
+        assert_eq!(registry.counter("bp.misses").get(), s.misses);
+        assert_eq!(registry.counter("bpext.hits").get(), s.ext_hits);
+        assert_eq!(registry.counter("bp.base.reads").get(), s.base_reads);
+        assert_eq!(registry.counter("bp.evictions").get(), s.evictions);
+        assert!(registry.gauge("bpext.hit_ratio").get() > 0.0);
+        // device-role telemetry, spans included (reads are absorbed by the
+        // extension here, so the data file shows up through dirty flushes)
+        assert!(registry.counter("storage.data.write.ops").get() > 0);
+        assert!(registry.span_stats("storage.data.write").count > 0);
+        assert!(registry.counter("storage.bpext.write.bytes").get() > 0);
+        assert!(registry.counter("storage.bpext.read.ops").get() > 0);
+        assert!(registry.counter("storage.log.write.ops").get() > 0);
+    }
+
+    #[test]
+    fn metrics_track_spills_and_semantic_cache() {
+        let registry = remem_sim::MetricsRegistry::shared();
+        let mut cfg = DbConfig::with_pool(32 << 20);
+        cfg.workspace_bytes = 256 << 10; // tiny workspace forces spilling
+        cfg.max_grant_fraction = 1.0;
+        cfg.metrics = Some(Arc::clone(&registry));
+        let db = Database::standalone(cfg, 8, ram_devices());
+        let mut clock = Clock::new();
+        let mut rng = remem_sim::rng::SimRng::seeded(3);
+        let mut keys: Vec<i64> = (0..30_000).collect();
+        rng.shuffle(&mut keys);
+        let rows: Vec<Row> = keys.iter().map(|&k| crate::exec::int_row(&[k])).collect();
+        db.sort_rows(&mut clock, rows, |r| r.int(0) as f64, None)
+            .unwrap();
+        assert!(db.tempdb().bytes_spilled() > 0, "expected a spill");
+        assert_eq!(
+            registry.counter("tempdb.spill.bytes").get(),
+            db.tempdb().bytes_spilled()
+        );
+        assert_eq!(
+            registry.counter("tempdb.readback.bytes").get(),
+            db.tempdb().bytes_read_back()
+        );
+
+        let t = db
+            .create_table(&mut clock, "c", customer_schema(), 0)
+            .unwrap();
+        {
+            let mut ctx = db.exec_ctx(&mut clock);
+            assert!(db.semantic().get_mv(&mut ctx, "v").unwrap().is_none());
+            db.semantic()
+                .create_mv(
+                    &mut ctx,
+                    "v",
+                    vec![t],
+                    crate::semantic::MvPolicy::Invalidate,
+                    &[crate::exec::int_row(&[1])],
+                    Arc::new(RamDisk::new(1 << 20)),
+                )
+                .unwrap();
+            assert!(db.semantic().get_mv(&mut ctx, "v").unwrap().is_some());
+        }
+        db.insert(&mut clock, t, customer(1)).unwrap();
+        assert_eq!(registry.counter("semantic.hits").get(), 1);
+        assert_eq!(registry.counter("semantic.misses").get(), 1);
+        assert_eq!(registry.counter("semantic.invalidations").get(), 1);
     }
 }

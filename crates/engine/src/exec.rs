@@ -31,7 +31,13 @@ const FLUSH_THRESHOLD: SimDuration = SimDuration::from_micros(50);
 
 impl<'a> ExecCtx<'a> {
     pub fn new(clock: &'a mut Clock, cpu: &'a CpuPool, costs: &'a CpuCosts) -> ExecCtx<'a> {
-        ExecCtx { clock, cpu, costs, acc: SimDuration::ZERO, dop: 1 }
+        ExecCtx {
+            clock,
+            cpu,
+            costs,
+            acc: SimDuration::ZERO,
+            dop: 1,
+        }
     }
 
     /// Set the degree of parallelism for subsequent CPU work. Flushes any

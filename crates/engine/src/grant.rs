@@ -25,7 +25,11 @@ pub struct Grant<'a> {
 impl GrantManager {
     pub fn new(workspace_bytes: u64, max_grant_fraction: f64) -> GrantManager {
         assert!((0.0..=1.0).contains(&max_grant_fraction));
-        GrantManager { workspace_bytes, max_grant_fraction, outstanding: Mutex::new(0) }
+        GrantManager {
+            workspace_bytes,
+            max_grant_fraction,
+            outstanding: Mutex::new(0),
+        }
     }
 
     pub fn workspace_bytes(&self) -> u64 {
@@ -42,7 +46,10 @@ impl GrantManager {
         let min_grant = 256 * 1024; // one working buffer
         let granted = wanted.min(cap).min(free).max(min_grant);
         *outstanding += granted;
-        Grant { mgr: self, bytes: granted }
+        Grant {
+            mgr: self,
+            bytes: granted,
+        }
     }
 
     pub fn outstanding(&self) -> u64 {

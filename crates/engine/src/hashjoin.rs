@@ -39,7 +39,9 @@ pub fn hash_join(
 ) -> Result<Vec<Row>, StorageError> {
     let build_bytes: u64 = build.iter().map(row_footprint).sum();
     if build_bytes <= grant_bytes {
-        return Ok(in_memory_join(ctx, build, probe, build_key, probe_key, emit));
+        return Ok(in_memory_join(
+            ctx, build, probe, build_key, probe_key, emit,
+        ));
     }
 
     // Grace: partition both inputs so each build partition fits the grant.
@@ -62,10 +64,14 @@ pub fn hash_join(
         probe_parts[partition_of(probe_key(r), partitions)].push(ctx, r)?;
     }
     drop(probe);
-    let build_files: Vec<_> =
-        build_parts.into_iter().map(|w| w.finish(ctx)).collect::<Result<_, _>>()?;
-    let probe_files: Vec<_> =
-        probe_parts.into_iter().map(|w| w.finish(ctx)).collect::<Result<_, _>>()?;
+    let build_files: Vec<_> = build_parts
+        .into_iter()
+        .map(|w| w.finish(ctx))
+        .collect::<Result<_, _>>()?;
+    let probe_files: Vec<_> = probe_parts
+        .into_iter()
+        .map(|w| w.finish(ctx))
+        .collect::<Result<_, _>>()?;
 
     let mut out = Vec::new();
     for (bf, pf) in build_files.iter().zip(&probe_files) {
@@ -74,7 +80,9 @@ pub fn hash_join(
         }
         let bpart = tempdb.read_all(ctx, bf)?;
         let ppart = tempdb.read_all(ctx, pf)?;
-        out.extend(in_memory_join(ctx, bpart, ppart, build_key, probe_key, emit));
+        out.extend(in_memory_join(
+            ctx, bpart, ppart, build_key, probe_key, emit,
+        ));
     }
     Ok(out)
 }
@@ -119,7 +127,12 @@ mod tests {
 
     fn setup() -> (TempDb, Clock, CpuPool, CpuCosts) {
         let file = Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(128 << 20))));
-        (TempDb::new(file), Clock::new(), CpuPool::new(4), CpuCosts::default())
+        (
+            TempDb::new(file),
+            Clock::new(),
+            CpuPool::new(4),
+            CpuCosts::default(),
+        )
     }
 
     fn emit_pair(b: &Row, p: &Row) -> Row {
@@ -159,8 +172,10 @@ mod tests {
             emit_pair,
         )
         .unwrap();
-        let mut got: Vec<(i64, i64, i64, i64)> =
-            joined.iter().map(|r| (r.int(0), r.int(1), r.int(2), r.int(3))).collect();
+        let mut got: Vec<(i64, i64, i64, i64)> = joined
+            .iter()
+            .map(|r| (r.int(0), r.int(1), r.int(2), r.int(3)))
+            .collect();
         got.sort_unstable();
         let expected = nlj(&build, &probe, 0, 0);
         assert_eq!(got, expected, "hash join must equal nested-loop reference");

@@ -96,7 +96,8 @@ pub fn choose_join(est: JoinEstimate, index_tier: DeviceProfile, costs: &CpuCost
     // which the upper levels are usually cached; charge one uncached random
     // access plus CPU for the cached descent.
     let seek_cpu = SimDuration::from_nanos(
-        costs.compare.as_nanos() * 9 * est.index_height + costs.page_fix.as_nanos() * est.index_height,
+        costs.compare.as_nanos() * 9 * est.index_height
+            + costs.page_fix.as_nanos() * est.index_height,
     );
     let per_seek = index_tier.random_page + seek_cpu;
     let inlj_cost = SimDuration::from_nanos(per_seek.as_nanos() * est.outer_rows)
@@ -108,8 +109,16 @@ pub fn choose_join(est: JoinEstimate, index_tier: DeviceProfile, costs: &CpuCost
     let probe = SimDuration::from_nanos(costs.row_hash.as_nanos() * est.outer_rows);
     let hash_cost = scan + build + probe;
 
-    let plan = if inlj_cost <= hash_cost { JoinPlan::IndexNestedLoop } else { JoinPlan::HashJoin };
-    PlanChoice { plan, inlj_cost, hash_cost }
+    let plan = if inlj_cost <= hash_cost {
+        JoinPlan::IndexNestedLoop
+    } else {
+        JoinPlan::HashJoin
+    };
+    PlanChoice {
+        plan,
+        inlj_cost,
+        hash_cost,
+    }
 }
 
 /// The outer-row count at which the plans cost the same (the crossover the
@@ -126,7 +135,12 @@ pub fn crossover_outer_rows(
     let mut hi = inner_rows.max(2) * 4;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let est = JoinEstimate { outer_rows: mid, inner_rows, inner_pages, index_height };
+        let est = JoinEstimate {
+            outer_rows: mid,
+            inner_rows,
+            inner_pages,
+            index_height,
+        };
         match choose_join(est, index_tier, costs).plan {
             JoinPlan::IndexNestedLoop => lo = mid + 1,
             JoinPlan::HashJoin => hi = mid,
@@ -151,7 +165,11 @@ mod tests {
     #[test]
     fn tiny_outer_prefers_inlj_everywhere() {
         let costs = CpuCosts::default();
-        for tier in [DeviceProfile::ssd(), DeviceProfile::remote_memory(), DeviceProfile::local_memory()] {
+        for tier in [
+            DeviceProfile::ssd(),
+            DeviceProfile::remote_memory(),
+            DeviceProfile::local_memory(),
+        ] {
             let c = choose_join(est(10), tier, &costs);
             assert_eq!(c.plan, JoinPlan::IndexNestedLoop, "tier {}", tier.label);
         }
@@ -160,7 +178,11 @@ mod tests {
     #[test]
     fn huge_outer_prefers_hash_everywhere() {
         let costs = CpuCosts::default();
-        for tier in [DeviceProfile::ssd(), DeviceProfile::remote_memory(), DeviceProfile::hdd(20)] {
+        for tier in [
+            DeviceProfile::ssd(),
+            DeviceProfile::remote_memory(),
+            DeviceProfile::hdd(20),
+        ] {
             let c = choose_join(est(4_000_000), tier, &costs);
             assert_eq!(c.plan, JoinPlan::HashJoin, "tier {}", tier.label);
         }

@@ -82,7 +82,9 @@ impl Page {
     /// Contiguous free bytes available for one more record.
     pub fn free_space(&self) -> usize {
         let used_front = HEADER + self.nslots() * SLOT;
-        self.free_off().saturating_sub(used_front).saturating_sub(SLOT)
+        self.free_off()
+            .saturating_sub(used_front)
+            .saturating_sub(SLOT)
     }
 
     /// Whether a record of `len` bytes fits.

@@ -28,7 +28,11 @@ pub struct PagedFile {
 
 impl PagedFile {
     pub fn new(id: FileId, device: Arc<dyn Device>) -> PagedFile {
-        PagedFile { id, device, next_page: AtomicU64::new(0) }
+        PagedFile {
+            id,
+            device,
+            next_page: AtomicU64::new(0),
+        }
     }
 
     pub fn id(&self) -> FileId {
@@ -86,8 +90,14 @@ impl PagedFile {
     }
 
     /// Write a page to the device.
-    pub fn write_page(&self, clock: &mut Clock, page: PageNo, p: &Page) -> Result<(), StorageError> {
-        self.device.write(clock, page * PAGE_SIZE as u64, p.as_bytes())
+    pub fn write_page(
+        &self,
+        clock: &mut Clock,
+        page: PageNo,
+        p: &Page,
+    ) -> Result<(), StorageError> {
+        self.device
+            .write(clock, page * PAGE_SIZE as u64, p.as_bytes())
     }
 }
 
@@ -128,6 +138,10 @@ mod tests {
         assert_eq!(f.capacity_pages(), 64);
         f.allocate_extent(64).unwrap();
         assert!(f.allocate().is_err());
-        assert_eq!(f.allocated_pages(), 64, "failed allocation must not leak pages");
+        assert_eq!(
+            f.allocated_pages(),
+            64,
+            "failed allocation must not leak pages"
+        );
     }
 }

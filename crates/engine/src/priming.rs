@@ -34,7 +34,10 @@ pub fn serialize_pool(ctx: &mut ExecCtx<'_>, bp: &BufferPool) -> Vec<u8> {
 
 /// Load serialized pool contents into `bp` (the final step at `S2`).
 pub fn deserialize_into_pool(ctx: &mut ExecCtx<'_>, bp: &BufferPool, bytes: &[u8]) -> usize {
-    assert!(bytes.len().is_multiple_of(ENTRY_BYTES), "corrupt priming image");
+    assert!(
+        bytes.len().is_multiple_of(ENTRY_BYTES),
+        "corrupt priming image"
+    );
     let mut pages = Vec::with_capacity(bytes.len() / ENTRY_BYTES);
     for chunk in bytes.chunks_exact(ENTRY_BYTES) {
         ctx.charge(ctx.costs.page_serialize);
@@ -77,7 +80,10 @@ mod tests {
 
     fn warm_pool(n: u64) -> (BufferPool, Arc<PagedFile>, Clock) {
         let bp = BufferPool::new(64 * PAGE_SIZE as u64);
-        let file = Arc::new(PagedFile::new(FileId(0), Arc::new(RamDisk::new(64 * PAGE_SIZE as u64))));
+        let file = Arc::new(PagedFile::new(
+            FileId(0),
+            Arc::new(RamDisk::new(64 * PAGE_SIZE as u64)),
+        ));
         bp.register_file(Arc::clone(&file));
         let mut clock = Clock::new();
         for i in 0..n {
@@ -120,7 +126,11 @@ mod tests {
                 .unwrap();
             assert_eq!(v, i);
         }
-        assert_eq!(dst_bp.stats().misses, 0, "a primed pool never touches the device");
+        assert_eq!(
+            dst_bp.stats().misses,
+            0,
+            "a primed pool never touches the device"
+        );
     }
 
     #[test]

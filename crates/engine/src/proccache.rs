@@ -150,7 +150,9 @@ impl ProcedureCache {
         inner.memory_bytes += bytes;
         // evict FIFO to the extension until we fit
         while inner.memory_bytes > inner.capacity_bytes {
-            let Some(victim) = inner.order.pop_front() else { break };
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
             if victim == fp {
                 inner.order.push_back(victim);
                 if inner.order.len() == 1 {
@@ -158,7 +160,9 @@ impl ProcedureCache {
                 }
                 continue;
             }
-            let Some(blob) = inner.memory.remove(&victim) else { continue };
+            let Some(blob) = inner.memory.remove(&victim) else {
+                continue;
+            };
             inner.memory_bytes -= blob.len() as u64;
             if let Some(ext) = inner.ext.as_mut() {
                 Self::spill_to_ext(ext, clock, victim, &blob);
@@ -211,7 +215,14 @@ mod tests {
                 plan(100, 7)
             });
             assert_eq!(p, plan(100, 7));
-            assert_eq!(src, if i == 0 { PlanSource::Compiled } else { PlanSource::Memory });
+            assert_eq!(
+                src,
+                if i == 0 {
+                    PlanSource::Compiled
+                } else {
+                    PlanSource::Memory
+                }
+            );
         }
         assert_eq!(compiled, 1);
         let s = pc.stats();

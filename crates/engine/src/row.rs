@@ -60,7 +60,12 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(columns: Vec<(&str, ColType)>) -> Schema {
-        Schema { columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect() }
+        Schema {
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
     }
 
     pub fn col(&self, name: &str) -> usize {

@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use remem_sim::metrics::Counter;
+use remem_sim::MetricsRegistry;
 use remem_storage::{Device, StorageError};
 
 use crate::db::TableId;
@@ -44,11 +46,19 @@ struct MvEntry {
     rows: u64,
 }
 
+/// Registry mirrors of cache effectiveness, resolved once at attach time.
+struct ScCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+}
+
 /// The semantic-cache broker: named materialized results on pinned devices.
 pub struct SemanticCache {
     // ordered so invalidation sweeps visit views in name order (replayable)
     mvs: RwLock<BTreeMap<String, MvEntry>>,
     next_file: AtomicU32,
+    metrics: RwLock<Option<ScCounters>>,
 }
 
 impl Default for SemanticCache {
@@ -59,7 +69,27 @@ impl Default for SemanticCache {
 
 impl SemanticCache {
     pub fn new() -> SemanticCache {
-        SemanticCache { mvs: RwLock::new(BTreeMap::new()), next_file: AtomicU32::new(60_000) }
+        SemanticCache {
+            mvs: RwLock::new(BTreeMap::new()),
+            next_file: AtomicU32::new(60_000),
+            metrics: RwLock::new(None),
+        }
+    }
+
+    /// Mirror MV serving into `semantic.hits` / `semantic.misses` /
+    /// `semantic.invalidations` on the given registry.
+    pub fn set_metrics(&self, registry: Option<Arc<MetricsRegistry>>) {
+        *self.metrics.write() = registry.map(|r| ScCounters {
+            hits: r.counter("semantic.hits"),
+            misses: r.counter("semantic.misses"),
+            invalidations: r.counter("semantic.invalidations"),
+        });
+    }
+
+    fn meter(&self, f: impl FnOnce(&ScCounters)) {
+        if let Some(m) = self.metrics.read().as_ref() {
+            f(m);
+        }
     }
 
     /// Materialize `rows` as the view `name` on `device`. The device is the
@@ -102,19 +132,33 @@ impl SemanticCache {
         flush(ctx, &mut page)?;
         self.mvs.write().insert(
             name.into(),
-            MvEntry { sources, policy, valid: true, stale: false, file, pages, rows: rows.len() as u64 },
+            MvEntry {
+                sources,
+                policy,
+                valid: true,
+                stale: false,
+                file,
+                pages,
+                rows: rows.len() as u64,
+            },
         );
         Ok(())
     }
 
     /// Serve a query from the view, if it is valid. Reads the pinned pages
     /// from the view's device (RDMA reads when it lives in remote memory).
-    pub fn get_mv(&self, ctx: &mut ExecCtx<'_>, name: &str) -> Result<Option<Vec<Row>>, StorageError> {
+    pub fn get_mv(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        name: &str,
+    ) -> Result<Option<Vec<Row>>, StorageError> {
         let mvs = self.mvs.read();
         let Some(entry) = mvs.get(name) else {
+            self.meter(|m| m.misses.incr());
             return Ok(None);
         };
         if !entry.valid {
+            self.meter(|m| m.misses.incr());
             return Ok(None);
         }
         let mut out = Vec::with_capacity(entry.rows as usize);
@@ -124,7 +168,10 @@ impl SemanticCache {
             let page = match entry.file.read_page(ctx.clock, pno) {
                 Ok(p) => p,
                 // best-effort: a lost remote MV is a miss, not an error
-                Err(StorageError::Unavailable(_)) => return Ok(None),
+                Err(StorageError::Unavailable(_)) => {
+                    self.meter(|m| m.misses.incr());
+                    return Ok(None);
+                }
                 Err(e) => return Err(e),
             };
             for rec in page.iter() {
@@ -132,20 +179,31 @@ impl SemanticCache {
             }
         }
         ctx.charge_n(ctx.costs.row_scan, out.len() as u64);
+        self.meter(|m| m.hits.incr());
         Ok(Some(out))
     }
 
     /// A base table changed: apply each dependent view's policy.
     pub fn notify_update(&self, table: TableId) {
+        let mut invalidated = 0u64;
         let mut mvs = self.mvs.write();
         for entry in mvs.values_mut() {
             if entry.sources.contains(&table) {
                 match entry.policy {
-                    MvPolicy::Invalidate => entry.valid = false,
+                    MvPolicy::Invalidate => {
+                        if entry.valid {
+                            invalidated += 1;
+                        }
+                        entry.valid = false;
+                    }
                     MvPolicy::Snapshot => {}
                     MvPolicy::AsyncRefresh => entry.stale = true,
                 }
             }
+        }
+        drop(mvs);
+        if invalidated > 0 {
+            self.meter(|m| m.invalidations.add(invalidated));
         }
     }
 
@@ -194,7 +252,12 @@ mod tests {
     use remem_storage::RamDisk;
 
     fn parts() -> (SemanticCache, Clock, CpuPool, CpuCosts) {
-        (SemanticCache::new(), Clock::new(), CpuPool::new(4), CpuCosts::default())
+        (
+            SemanticCache::new(),
+            Clock::new(),
+            CpuPool::new(4),
+            CpuCosts::default(),
+        )
     }
 
     #[test]
@@ -222,10 +285,42 @@ mod tests {
         let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
         let rows = vec![int_row(&[1])];
         let disk = || -> Arc<dyn Device> { Arc::new(RamDisk::new(1 << 20)) };
-        sc.create_mv(&mut ctx, "inv", vec![TableId(0)], MvPolicy::Invalidate, &rows, disk()).unwrap();
-        sc.create_mv(&mut ctx, "snap", vec![TableId(0)], MvPolicy::Snapshot, &rows, disk()).unwrap();
-        sc.create_mv(&mut ctx, "async", vec![TableId(0)], MvPolicy::AsyncRefresh, &rows, disk()).unwrap();
-        sc.create_mv(&mut ctx, "other", vec![TableId(9)], MvPolicy::Invalidate, &rows, disk()).unwrap();
+        sc.create_mv(
+            &mut ctx,
+            "inv",
+            vec![TableId(0)],
+            MvPolicy::Invalidate,
+            &rows,
+            disk(),
+        )
+        .unwrap();
+        sc.create_mv(
+            &mut ctx,
+            "snap",
+            vec![TableId(0)],
+            MvPolicy::Snapshot,
+            &rows,
+            disk(),
+        )
+        .unwrap();
+        sc.create_mv(
+            &mut ctx,
+            "async",
+            vec![TableId(0)],
+            MvPolicy::AsyncRefresh,
+            &rows,
+            disk(),
+        )
+        .unwrap();
+        sc.create_mv(
+            &mut ctx,
+            "other",
+            vec![TableId(9)],
+            MvPolicy::Invalidate,
+            &rows,
+            disk(),
+        )
+        .unwrap();
         sc.notify_update(TableId(0));
         assert!(!sc.is_valid("inv"));
         assert!(sc.is_valid("snap"));
@@ -250,7 +345,8 @@ mod tests {
         .unwrap();
         sc.notify_update(TableId(0));
         assert!(sc.is_stale("v"));
-        sc.refresh_mv(&mut ctx, "v", &[int_row(&[1]), int_row(&[2])]).unwrap();
+        sc.refresh_mv(&mut ctx, "v", &[int_row(&[1]), int_row(&[2])])
+            .unwrap();
         assert!(!sc.is_stale("v"));
         assert_eq!(sc.get_mv(&mut ctx, "v").unwrap().unwrap().len(), 2);
         assert!(!sc.refresh_mv(&mut ctx, "nonexistent", &[]).unwrap());
@@ -271,7 +367,10 @@ mod tests {
         )
         .unwrap();
         disk.fail();
-        assert!(sc.get_mv(&mut ctx, "v").unwrap().is_none(), "failure degrades to a miss");
+        assert!(
+            sc.get_mv(&mut ctx, "v").unwrap().is_none(),
+            "failure degrades to a miss"
+        );
     }
 
     #[test]

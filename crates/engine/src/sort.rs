@@ -97,7 +97,10 @@ pub fn external_sort(
     impl Ord for HeapItem {
         fn cmp(&self, other: &Self) -> Ordering {
             // reversed: BinaryHeap is a max-heap, we want the smallest key
-            other.key.total_cmp(&self.key).then(other.run.cmp(&self.run))
+            other
+                .key
+                .total_cmp(&self.key)
+                .then(other.run.cmp(&self.run))
         }
     }
 
@@ -105,7 +108,11 @@ pub fn external_sort(
     let mut heap = BinaryHeap::with_capacity(readers.len());
     for (i, reader) in readers.iter_mut().enumerate() {
         if let Some(row) = reader.next(ctx)? {
-            heap.push(HeapItem { key: key(&row), run: i, row });
+            heap.push(HeapItem {
+                key: key(&row),
+                run: i,
+                row,
+            });
         }
     }
     let logk = log2_ceil(runs.len() as u64);
@@ -120,7 +127,11 @@ pub fn external_sort(
             }
         }
         if let Some(row) = readers[item.run].next(ctx)? {
-            heap.push(HeapItem { key: key(&row), run: item.run, row });
+            heap.push(HeapItem {
+                key: key(&row),
+                run: item.run,
+                row,
+            });
         }
     }
     Ok(out)
@@ -139,7 +150,12 @@ mod tests {
 
     fn setup() -> (TempDb, Clock, CpuPool, CpuCosts) {
         let file = Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(64 << 20))));
-        (TempDb::new(file), Clock::new(), CpuPool::new(4), CpuCosts::default())
+        (
+            TempDb::new(file),
+            Clock::new(),
+            CpuPool::new(4),
+            CpuCosts::default(),
+        )
     }
 
     fn shuffled(n: i64, seed: u64) -> Vec<Row> {
@@ -170,7 +186,11 @@ mod tests {
             external_sort(&mut ctx, &tempdb, rows, |r| r.int(0) as f64, 64 << 10, None).unwrap();
         assert_eq!(out.len(), 20_000);
         for (i, r) in out.iter().enumerate() {
-            assert_eq!(r.int(0), i as i64, "external sort output must equal reference");
+            assert_eq!(
+                r.int(0),
+                i as i64,
+                "external sort output must equal reference"
+            );
         }
         assert!(tempdb.bytes_spilled() > 0, "grant pressure must spill");
     }
@@ -188,7 +208,10 @@ mod tests {
             Some(10),
         )
         .unwrap();
-        assert_eq!(out.iter().map(|r| r.int(0)).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            out.iter().map(|r| r.int(0)).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
         let out2 = external_sort(
             &mut ctx,
             &tempdb,
@@ -198,7 +221,10 @@ mod tests {
             Some(10),
         )
         .unwrap();
-        assert_eq!(out2.iter().map(|r| r.int(0)).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            out2.iter().map(|r| r.int(0)).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -216,7 +242,8 @@ mod tests {
     fn empty_input() {
         let (tempdb, mut clock, cpu, costs) = setup();
         let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
-        let out = external_sort(&mut ctx, &tempdb, vec![], |r| r.int(0) as f64, 1024, None).unwrap();
+        let out =
+            external_sort(&mut ctx, &tempdb, vec![], |r| r.int(0) as f64, 1024, None).unwrap();
         assert!(out.is_empty());
     }
 
@@ -238,7 +265,9 @@ mod tests {
         let mut times = Vec::new();
         for slow in [false, true] {
             let device: Arc<dyn remem_storage::Device> = if slow {
-                Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(64 << 20)))
+                Arc::new(remem_storage::Ssd::new(
+                    remem_storage::SsdConfig::with_capacity(64 << 20),
+                ))
             } else {
                 Arc::new(RamDisk::new(64 << 20))
             };
@@ -247,8 +276,15 @@ mod tests {
             let cpu = CpuPool::new(4);
             let costs = CpuCosts::default();
             let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
-            external_sort(&mut ctx, &tempdb, rows.clone(), |r| r.int(0) as f64, 2 << 20, None)
-                .unwrap();
+            external_sort(
+                &mut ctx,
+                &tempdb,
+                rows.clone(),
+                |r| r.int(0) as f64,
+                2 << 20,
+                None,
+            )
+            .unwrap();
             drop(ctx);
             times.push(clock.now());
         }

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use remem_sim::metrics::Counter;
+use remem_sim::MetricsRegistry;
 use remem_storage::StorageError;
 
 use crate::exec::ExecCtx;
@@ -22,17 +23,37 @@ use crate::row::Row;
 /// operations too).
 pub const EXTENT_PAGES: u64 = 256;
 
+/// Registry mirrors of the spill accounting, resolved once at attach time.
+struct TdCounters {
+    spilled: Arc<Counter>,
+    read_back: Arc<Counter>,
+}
+
 /// The TempDB database: a paged file on any device (HDD, SSD, or a
 /// remote-memory file) plus spill accounting.
 pub struct TempDb {
     file: Arc<PagedFile>,
     bytes_spilled: Counter,
     bytes_read_back: Counter,
+    metrics: Option<TdCounters>,
 }
 
 impl TempDb {
     pub fn new(file: Arc<PagedFile>) -> TempDb {
-        TempDb { file, bytes_spilled: Counter::new(), bytes_read_back: Counter::new() }
+        TempDb {
+            file,
+            bytes_spilled: Counter::new(),
+            bytes_read_back: Counter::new(),
+            metrics: None,
+        }
+    }
+
+    /// Mirror spill volume into `tempdb.spill.bytes` / `tempdb.readback.bytes`.
+    pub fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        self.metrics = registry.map(|r| TdCounters {
+            spilled: r.counter("tempdb.spill.bytes"),
+            read_back: r.counter("tempdb.readback.bytes"),
+        });
     }
 
     pub fn device_label(&self) -> String {
@@ -83,7 +104,11 @@ impl TempDb {
     }
 
     /// Read an entire spill file into memory (convenience for small files).
-    pub fn read_all(&self, ctx: &mut ExecCtx<'_>, spill: &SpillFile) -> Result<Vec<Row>, StorageError> {
+    pub fn read_all(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        spill: &SpillFile,
+    ) -> Result<Vec<Row>, StorageError> {
         let mut reader = self.reader(spill);
         let mut out = Vec::with_capacity(spill.rows as usize);
         while let Some(r) = reader.next(ctx)? {
@@ -150,7 +175,9 @@ impl SpillWriter<'_> {
         assert!(bytes.len() <= PAGE_SIZE - 8, "row too large to spill");
         if self.current.insert(&bytes).is_none() {
             self.seal_page(ctx)?;
-            self.current.insert(&bytes).expect("fresh page fits the row");
+            self.current
+                .insert(&bytes)
+                .expect("fresh page fits the row");
         }
         self.current_rows += 1;
         self.rows += 1;
@@ -193,6 +220,9 @@ impl SpillWriter<'_> {
             .device()
             .write(ctx.clock, start * PAGE_SIZE as u64, &self.extent_buf)?;
         self.tempdb.bytes_spilled.add(self.extent_buf.len() as u64);
+        if let Some(m) = &self.tempdb.metrics {
+            m.spilled.add(self.extent_buf.len() as u64);
+        }
         self.extents.push((start, n_pages));
         self.pages += n_pages;
         self.extent_buf.clear();
@@ -203,7 +233,11 @@ impl SpillWriter<'_> {
     pub fn finish(mut self, ctx: &mut ExecCtx<'_>) -> Result<SpillFile, StorageError> {
         self.seal_page(ctx)?;
         self.flush_extent(ctx)?;
-        Ok(SpillFile { extents: self.extents, pages: self.pages, rows: self.rows })
+        Ok(SpillFile {
+            extents: self.extents,
+            pages: self.pages,
+            rows: self.rows,
+        })
     }
 }
 
@@ -244,8 +278,14 @@ impl SpillReader<'_> {
             self.extent_idx += 1;
             self.buf.resize((n_pages as usize) * PAGE_SIZE, 0);
             ctx.flush_cpu();
-            self.tempdb.file.device().read(ctx.clock, start * PAGE_SIZE as u64, &mut self.buf)?;
+            self.tempdb
+                .file
+                .device()
+                .read(ctx.clock, start * PAGE_SIZE as u64, &mut self.buf)?;
             self.tempdb.bytes_read_back.add(self.buf.len() as u64);
+            if let Some(m) = &self.tempdb.metrics {
+                m.read_back.add(self.buf.len() as u64);
+            }
             self.page_in_buf = 0;
             self.pages_in_buf = n_pages as usize;
             self.slot = 0;
@@ -264,7 +304,12 @@ mod tests {
 
     fn setup() -> (TempDb, Clock, CpuPool, CpuCosts) {
         let file = Arc::new(PagedFile::new(FileId(9), Arc::new(RamDisk::new(16 << 20))));
-        (TempDb::new(file), Clock::new(), CpuPool::new(4), CpuCosts::default())
+        (
+            TempDb::new(file),
+            Clock::new(),
+            CpuPool::new(4),
+            CpuCosts::default(),
+        )
     }
 
     #[test]
@@ -354,11 +399,12 @@ mod tests {
         // the Fig. 14a inversion: striped-HDD sequential > SSD
         let mut times = Vec::new();
         for device in [
-            Arc::new(remem_storage::HddArray::new(remem_storage::HddConfig::with_spindles(
-                20,
-                256 << 20,
-            ))) as Arc<dyn remem_storage::Device>,
-            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(256 << 20))),
+            Arc::new(remem_storage::HddArray::new(
+                remem_storage::HddConfig::with_spindles(20, 256 << 20),
+            )) as Arc<dyn remem_storage::Device>,
+            Arc::new(remem_storage::Ssd::new(
+                remem_storage::SsdConfig::with_capacity(256 << 20),
+            )),
         ] {
             let tempdb = TempDb::new(Arc::new(PagedFile::new(FileId(9), device)));
             let mut clock = Clock::new();

@@ -69,8 +69,18 @@ impl WalRecord {
             t => panic!("corrupt WAL record op {t}"),
         };
         let key = i64::from_le_bytes(body[13..21].try_into().unwrap());
-        let row = if body[21] == 1 { Some(Row::decode(&body[22..]).0) } else { None };
-        WalRecord { lsn, table, op, key, row }
+        let row = if body[21] == 1 {
+            Some(Row::decode(&body[22..]).0)
+        } else {
+            None
+        };
+        WalRecord {
+            lsn,
+            table,
+            op,
+            key,
+            row,
+        }
     }
 }
 
@@ -87,7 +97,13 @@ struct WalState {
 
 impl Wal {
     pub fn new(device: Arc<dyn Device>) -> Wal {
-        Wal { device, state: Mutex::new(WalState { next_lsn: 1, tail: 0 }) }
+        Wal {
+            device,
+            state: Mutex::new(WalState {
+                next_lsn: 1,
+                tail: 0,
+            }),
+        }
     }
 
     pub fn device_label(&self) -> String {
@@ -114,7 +130,13 @@ impl Wal {
     ) -> Result<Lsn, StorageError> {
         let mut st = self.state.lock();
         let lsn = st.next_lsn;
-        let rec = WalRecord { lsn, table, op, key, row: cloned(row) };
+        let rec = WalRecord {
+            lsn,
+            table,
+            op,
+            key,
+            row: cloned(row),
+        };
         let bytes = rec.encode();
         if st.tail + bytes.len() as u64 > self.device.capacity() {
             return Err(StorageError::OutOfBounds {
@@ -176,8 +198,13 @@ mod tests {
     fn append_and_replay_all() {
         let (wal, mut clock) = wal();
         for i in 0..100i64 {
-            let op = if i % 3 == 0 { WalOp::Insert } else { WalOp::Update };
-            wal.append(&mut clock, 7, op, i, Some(&int_row(&[i, i * 2]))).unwrap();
+            let op = if i % 3 == 0 {
+                WalOp::Insert
+            } else {
+                WalOp::Update
+            };
+            wal.append(&mut clock, 7, op, i, Some(&int_row(&[i, i * 2])))
+                .unwrap();
         }
         wal.append(&mut clock, 7, WalOp::Delete, 5, None).unwrap();
         let mut seen = Vec::new();
@@ -196,14 +223,18 @@ mod tests {
     fn replay_from_checkpoint_skips_old_records() {
         let (wal, mut clock) = wal();
         for i in 0..50i64 {
-            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i]))).unwrap();
+            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i])))
+                .unwrap();
         }
         let checkpoint = wal.current_lsn();
         for i in 50..80i64 {
-            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i]))).unwrap();
+            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i])))
+                .unwrap();
         }
         let mut keys = Vec::new();
-        let n = wal.replay(&mut clock, checkpoint, |r| keys.push(r.key)).unwrap();
+        let n = wal
+            .replay(&mut clock, checkpoint, |r| keys.push(r.key))
+            .unwrap();
         assert_eq!(n, 30);
         assert_eq!(keys, (50..80).collect::<Vec<_>>());
     }
@@ -214,7 +245,8 @@ mod tests {
         let (wal, mut clock) = wal();
         let row = int_row(&[1, 2, 3, 4, 5]);
         for i in 0..2000i64 {
-            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&row)).unwrap();
+            wal.append(&mut clock, 1, WalOp::Insert, i, Some(&row))
+                .unwrap();
         }
         let mut c_small = Clock::new();
         wal.replay(&mut c_small, 1950, |_| {}).unwrap();
@@ -225,7 +257,9 @@ mod tests {
         // the *amount of log present*, tested below.
         let (short_wal, mut clock2) = super::tests::wal();
         for i in 0..200i64 {
-            short_wal.append(&mut clock2, 1, WalOp::Insert, i, Some(&row)).unwrap();
+            short_wal
+                .append(&mut clock2, 1, WalOp::Insert, i, Some(&row))
+                .unwrap();
         }
         let mut c_short = Clock::new();
         short_wal.replay(&mut c_short, 0, |_| {}).unwrap();
@@ -241,7 +275,10 @@ mod tests {
         let mut clock = Clock::new();
         let mut failed = false;
         for i in 0..100i64 {
-            if wal.append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i]))).is_err() {
+            if wal
+                .append(&mut clock, 1, WalOp::Insert, i, Some(&int_row(&[i])))
+                .is_err()
+            {
                 failed = true;
                 break;
             }

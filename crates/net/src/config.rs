@@ -132,7 +132,10 @@ mod tests {
         let small = c.registration_cost(8192);
         let big = c.registration_cost(1 << 20); // 128 pages
         assert!(big > small);
-        assert!(big < SimDuration::from_micros(200), "big registration {big}");
+        assert!(
+            big < SimDuration::from_micros(200),
+            "big registration {big}"
+        );
     }
 
     #[test]

@@ -16,7 +16,12 @@ pub enum NetError {
     /// Unknown or deregistered memory region.
     NoSuchMr { server: ServerId, mr: u64 },
     /// Access beyond the bounds of a memory region.
-    OutOfBounds { mr: u64, offset: u64, len: u64, mr_len: u64 },
+    OutOfBounds {
+        mr: u64,
+        offset: u64,
+        len: u64,
+        mr_len: u64,
+    },
     /// NIC limits exceeded (2 GB per MR / ~130 K MRs on ConnectX-3).
     MrLimitExceeded(&'static str),
     /// No queue pair has been connected between the two servers.
@@ -24,7 +29,10 @@ pub enum NetError {
     /// A transient verb failure (flaky link, brief partition): the access is
     /// expected to succeed if retried after a short backoff. Injected by the
     /// fault framework; callers should retry rather than fail over.
-    Transient { server: ServerId, reason: &'static str },
+    Transient {
+        server: ServerId,
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -35,8 +43,17 @@ impl fmt::Display for NetError {
             NetError::NoSuchMr { server, mr } => {
                 write!(f, "no MR {mr} on server {server:?}")
             }
-            NetError::OutOfBounds { mr, offset, len, mr_len } => {
-                write!(f, "access [{offset}, {}) out of bounds of MR {mr} (len {mr_len})", offset + len)
+            NetError::OutOfBounds {
+                mr,
+                offset,
+                len,
+                mr_len,
+            } => {
+                write!(
+                    f,
+                    "access [{offset}, {}) out of bounds of MR {mr} (len {mr_len})",
+                    offset + len
+                )
             }
             NetError::MrLimitExceeded(which) => write!(f, "NIC MR limit exceeded: {which}"),
             NetError::NotConnected { from, to } => {

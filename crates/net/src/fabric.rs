@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use remem_audit::Auditor;
-use remem_sim::{Clock, SimDuration};
+use remem_sim::{Clock, MetricsRegistry, SimDuration};
 use std::collections::BTreeSet;
 
 use crate::config::NetConfig;
@@ -40,6 +40,44 @@ impl Protocol {
     }
 }
 
+/// Cached handles into an attached [`MetricsRegistry`], resolved once at
+/// [`Fabric::set_metrics`] so the per-verb hot path never does a name
+/// lookup. Spans still go through the registry (they carry the nesting
+/// stack that attributes rfile time to network verbs).
+struct FabricMetrics {
+    registry: Arc<MetricsRegistry>,
+    read_ops: Arc<remem_sim::Counter>,
+    write_ops: Arc<remem_sim::Counter>,
+    read_lat: Arc<remem_sim::Histogram>,
+    write_lat: Arc<remem_sim::Histogram>,
+    read_bytes: Arc<remem_sim::Counter>,
+    write_bytes: Arc<remem_sim::Counter>,
+    read_errors: Arc<remem_sim::Counter>,
+    write_errors: Arc<remem_sim::Counter>,
+    mr_registrations: Arc<remem_sim::Counter>,
+    mr_bytes: Arc<remem_sim::Counter>,
+    connects: Arc<remem_sim::Counter>,
+}
+
+impl FabricMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> FabricMetrics {
+        FabricMetrics {
+            read_ops: registry.counter("nic.read.ops"),
+            write_ops: registry.counter("nic.write.ops"),
+            read_lat: registry.histogram("nic.read.lat"),
+            write_lat: registry.histogram("nic.write.lat"),
+            read_bytes: registry.counter("fabric.read.bytes"),
+            write_bytes: registry.counter("fabric.write.bytes"),
+            read_errors: registry.counter("fabric.read.errors"),
+            write_errors: registry.counter("fabric.write.errors"),
+            mr_registrations: registry.counter("fabric.mr.registrations"),
+            mr_bytes: registry.counter("fabric.mr.bytes"),
+            connects: registry.counter("fabric.connects"),
+            registry,
+        }
+    }
+}
+
 /// Per-protocol cost parameters resolved from [`NetConfig`].
 struct ProtocolCosts {
     bandwidth: u64,
@@ -62,6 +100,7 @@ pub struct Fabric {
     connections: Mutex<BTreeSet<(ServerId, ServerId)>>,
     injector: RwLock<Option<Arc<FaultInjector>>>,
     auditor: RwLock<Option<Arc<Auditor>>>,
+    metrics: RwLock<Option<Arc<FabricMetrics>>>,
 }
 
 impl Fabric {
@@ -72,7 +111,15 @@ impl Fabric {
             connections: Mutex::new(BTreeSet::new()),
             injector: RwLock::new(None),
             auditor: RwLock::new(None),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Attach (or detach) a telemetry registry. Verbs, MR registration and
+    /// connection setup then publish counters/histograms under `nic.*` /
+    /// `fabric.*` and wrap data movement in `net.read` / `net.write` spans.
+    pub fn set_metrics(&self, registry: Option<Arc<MetricsRegistry>>) {
+        *self.metrics.write() = registry.map(|r| Arc::new(FabricMetrics::new(r)));
     }
 
     /// Attach (or detach) a runtime invariant auditor to every NIC in the
@@ -111,7 +158,11 @@ impl Fabric {
     }
 
     pub fn server(&self, id: ServerId) -> Result<Arc<Server>, NetError> {
-        self.servers.read().get(id.0).cloned().ok_or(NetError::NoSuchServer(id))
+        self.servers
+            .read()
+            .get(id.0)
+            .cloned()
+            .ok_or(NetError::NoSuchServer(id))
     }
 
     pub fn server_count(&self) -> usize {
@@ -134,6 +185,9 @@ impl Fabric {
         let mut conns = self.connections.lock();
         if conns.insert(ordered(from, to)) {
             clock.advance(self.cfg.connect_time);
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.connects.incr();
+            }
         }
         Ok(())
     }
@@ -159,7 +213,15 @@ impl Fabric {
         let s = self.live_server(server)?;
         let id = s.nic().register_mr(len)?;
         clock.advance(self.cfg.registration_cost(len));
-        Ok(MrHandle { server, mr: id, len })
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.mr_registrations.incr();
+            m.mr_bytes.add(len);
+        }
+        Ok(MrHandle {
+            server,
+            mr: id,
+            len,
+        })
     }
 
     /// Deregister (unpin) an MR, e.g. when the proxy detects local memory
@@ -169,7 +231,10 @@ impl Fabric {
         if s.nic().deregister_mr(handle.mr) {
             Ok(())
         } else {
-            Err(NetError::NoSuchMr { server: handle.server, mr: handle.mr })
+            Err(NetError::NoSuchMr {
+                server: handle.server,
+                mr: handle.mr,
+            })
         }
     }
 
@@ -210,14 +275,22 @@ impl Fabric {
         self.live_server(local)?;
         let remote = self.live_server(handle.server)?;
         if !self.is_connected(local, handle.server) {
-            return Err(NetError::NotConnected { from: local, to: handle.server });
+            return Err(NetError::NotConnected {
+                from: local,
+                to: handle.server,
+            });
         }
         let mr = remote.nic().mr(handle.mr).ok_or(NetError::NoSuchMr {
             server: handle.server,
             mr: handle.mr,
         })?;
         if offset + len > mr.len() {
-            return Err(NetError::OutOfBounds { mr: handle.mr, offset, len, mr_len: mr.len() });
+            return Err(NetError::OutOfBounds {
+                mr: handle.mr,
+                offset,
+                len,
+                mr_len: mr.len(),
+            });
         }
         Ok((remote, mr))
     }
@@ -238,16 +311,18 @@ impl Fabric {
         // Serialization occupies both NIC pipes; the transfer is pipelined
         // through them, so the effective start is gated by whichever pipe is
         // busier, not the sum of both.
-        let g_local = local_srv.nic().reserve(now, bytes, costs.bandwidth, costs.op_overhead);
+        let g_local = local_srv
+            .nic()
+            .reserve(now, bytes, costs.bandwidth, costs.op_overhead);
         let g_remote =
-            remote.nic().reserve(g_local.start, bytes, costs.bandwidth, costs.op_overhead);
+            remote
+                .nic()
+                .reserve(g_local.start, bytes, costs.bandwidth, costs.op_overhead);
         let mut end = g_remote.end;
         // TCP involves the remote CPU per transfer; RDMA bypasses it. This is
         // the entire mechanism behind Fig. 13.
         let cpu = costs.remote_cpu_per_op
-            + SimDuration::from_nanos(
-                costs.remote_cpu_per_kib.as_nanos() * bytes.div_ceil(1024),
-            );
+            + SimDuration::from_nanos(costs.remote_cpu_per_kib.as_nanos() * bytes.div_ceil(1024));
         if !cpu.is_zero() {
             end = remote.cpu().execute(end, cpu).end;
         }
@@ -290,6 +365,34 @@ impl Fabric {
         offset: u64,
         buf: &mut [u8],
     ) -> Result<(), NetError> {
+        let m = self.metrics.read().clone();
+        let t0 = clock.now();
+        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.read", t0));
+        let res = self.read_inner(clock, proto, local, handle, offset, buf);
+        if let Some(fm) = &m {
+            if let Some(span) = span {
+                fm.registry.span_exit(span, clock.now());
+            }
+            if res.is_ok() {
+                fm.read_ops.incr();
+                fm.read_bytes.add(buf.len() as u64);
+                fm.read_lat.record(clock.now().since(t0));
+            } else {
+                fm.read_errors.incr();
+            }
+        }
+        res
+    }
+
+    fn read_inner(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        handle: MrHandle,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), NetError> {
         let (remote, mr) = self.validate(local, handle, offset, buf.len() as u64)?;
         let extra = self.consult_injector(clock, proto, local, handle.server, offset)?;
         self.charge(clock, proto, local, &remote, buf.len() as u64)?;
@@ -300,6 +403,34 @@ impl Fabric {
 
     /// Write `data` into `handle` at `offset`.
     pub fn write(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        handle: MrHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), NetError> {
+        let m = self.metrics.read().clone();
+        let t0 = clock.now();
+        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.write", t0));
+        let res = self.write_inner(clock, proto, local, handle, offset, data);
+        if let Some(fm) = &m {
+            if let Some(span) = span {
+                fm.registry.span_exit(span, clock.now());
+            }
+            if res.is_ok() {
+                fm.write_ops.incr();
+                fm.write_bytes.add(data.len() as u64);
+                fm.write_lat.record(clock.now().since(t0));
+            } else {
+                fm.write_errors.incr();
+            }
+        }
+        res
+    }
+
+    fn write_inner(
         &self,
         clock: &mut Clock,
         proto: Protocol,
@@ -366,9 +497,13 @@ mod tests {
         let (fabric, db, _mem, handle) = two_server_fabric();
         let mut clock = Clock::new();
         let data: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
-        fabric.write(&mut clock, Protocol::Custom, db, handle, 4096, &data).unwrap();
+        fabric
+            .write(&mut clock, Protocol::Custom, db, handle, 4096, &data)
+            .unwrap();
         let mut out = vec![0u8; 8192];
-        fabric.read(&mut clock, Protocol::Custom, db, handle, 4096, &mut out).unwrap();
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 4096, &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -377,9 +512,14 @@ mod tests {
         let (fabric, db, _mem, handle) = two_server_fabric();
         let mut clock = Clock::new();
         let mut buf = vec![0u8; 8192];
-        fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).unwrap();
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .unwrap();
         let us = clock.now().as_micros_f64();
-        assert!((5.0..=15.0).contains(&us), "RDMA 8K read took {us}us, paper says ~10us");
+        assert!(
+            (5.0..=15.0).contains(&us),
+            "RDMA 8K read took {us}us, paper says ~10us"
+        );
     }
 
     #[test]
@@ -390,7 +530,9 @@ mod tests {
         for proto in Protocol::ALL {
             let mut clock = Clock::new();
             let mut buf = vec![0u8; 8192];
-            fabric.read(&mut clock, proto, db, handle, 0, &mut buf).unwrap();
+            fabric
+                .read(&mut clock, proto, db, handle, 0, &mut buf)
+                .unwrap();
             lat.push(clock.now().as_micros_f64());
         }
         assert!(lat[0] < lat[1], "Custom {} !< SMBDirect {}", lat[0], lat[1]);
@@ -415,11 +557,24 @@ mod tests {
             tput.push(gbps);
         }
         let (custom, smbd, tcp) = (tput[0], tput[1], tput[2]);
-        assert!((3.0..=5.0).contains(&custom), "Custom random {custom} GB/s (paper 4.27)");
-        assert!((1.0..=2.2).contains(&smbd), "SMBDirect random {smbd} GB/s (paper 1.36)");
-        assert!((0.4..=1.0).contains(&tcp), "TCP random {tcp} GB/s (paper 0.64)");
+        assert!(
+            (3.0..=5.0).contains(&custom),
+            "Custom random {custom} GB/s (paper 4.27)"
+        );
+        assert!(
+            (1.0..=2.2).contains(&smbd),
+            "SMBDirect random {smbd} GB/s (paper 1.36)"
+        );
+        assert!(
+            (0.4..=1.0).contains(&tcp),
+            "TCP random {tcp} GB/s (paper 0.64)"
+        );
         // paper: Custom ≈ 3.4x SMBDirect on random I/O
-        assert!(custom / smbd > 2.0, "Custom/SMBDirect ratio {}", custom / smbd);
+        assert!(
+            custom / smbd > 2.0,
+            "Custom/SMBDirect ratio {}",
+            custom / smbd
+        );
     }
 
     #[test]
@@ -431,7 +586,9 @@ mod tests {
         let mut driver = ClosedLoopDriver::new(8, horizon);
         let h = Histogram::new();
         driver.run(&h, |_, clock| {
-            fabric.read(clock, Protocol::Custom, db, handle, 0, &mut buf).unwrap();
+            fabric
+                .read(clock, Protocol::Custom, db, handle, 0, &mut buf)
+                .unwrap();
         });
         let rdma_cpu = fabric.server(mem).unwrap().cpu().utilization(horizon);
 
@@ -439,7 +596,9 @@ mod tests {
         let mut driver2 = ClosedLoopDriver::new(8, horizon);
         let h2 = Histogram::new();
         driver2.run(&h2, |_, clock| {
-            fabric2.read(clock, Protocol::SmbTcp, db2, handle2, 0, &mut buf).unwrap();
+            fabric2
+                .read(clock, Protocol::SmbTcp, db2, handle2, 0, &mut buf)
+                .unwrap();
         });
         let tcp_cpu = fabric2.server(mem2).unwrap().cpu().utilization(horizon);
 
@@ -460,7 +619,9 @@ mod tests {
         // restart: connection and MR metadata still exist in this model,
         // but contents are zeroed only on reregistration — the caller's job.
         fabric.server(mem).unwrap().restart();
-        assert!(fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).is_ok());
+        assert!(fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .is_ok());
     }
 
     #[test]
@@ -482,16 +643,21 @@ mod tests {
         let (fabric, db, _mem, handle) = two_server_fabric();
         let mut clock = Clock::new();
         let mut buf = [0u8; 64];
-        let err = fabric.read(&mut clock, Protocol::Custom, db, handle, handle.len - 32, &mut buf);
+        let err = fabric.read(
+            &mut clock,
+            Protocol::Custom,
+            db,
+            handle,
+            handle.len - 32,
+            &mut buf,
+        );
         assert!(matches!(err, Err(NetError::OutOfBounds { .. })));
     }
 
     #[test]
     fn injected_blackout_fails_verbs_then_clears() {
         let (fabric, db, mem, handle) = two_server_fabric();
-        let inj = Arc::new(
-            FaultInjector::new(3).blackout(mem, SimTime(0), SimTime(1_000_000)),
-        );
+        let inj = Arc::new(FaultInjector::new(3).blackout(mem, SimTime(0), SimTime(1_000_000)));
         fabric.set_fault_injector(Some(inj.clone()));
         let mut clock = Clock::new();
         let mut buf = vec![0u8; 64];
@@ -499,11 +665,20 @@ mod tests {
             fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf),
             Err(NetError::ServerDown(mem))
         );
-        assert!(clock.now() > SimTime::ZERO, "failure detection must cost time");
+        assert!(
+            clock.now() > SimTime::ZERO,
+            "failure detection must cost time"
+        );
         // past the window the same verb succeeds
         clock.advance_to(SimTime(1_000_000));
-        assert!(fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).is_ok());
-        assert!(inj.log().count("net.blackout", remem_sim::FaultOrigin::Observed) >= 1);
+        assert!(fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .is_ok());
+        assert!(
+            inj.log()
+                .count("net.blackout", remem_sim::FaultOrigin::Observed)
+                >= 1
+        );
     }
 
     #[test]
@@ -511,7 +686,9 @@ mod tests {
         let (fabric, db, mem, handle) = two_server_fabric();
         let mut clock = Clock::new();
         let mut buf = vec![0u8; 8192];
-        fabric.read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf).unwrap();
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .unwrap();
         let baseline = clock.now();
 
         let (fabric2, db2, mem2, handle2) = two_server_fabric();
@@ -524,8 +701,55 @@ mod tests {
             extra,
         ))));
         let mut clock2 = Clock::new();
-        fabric2.read(&mut clock2, Protocol::Custom, db2, handle2, 0, &mut buf).unwrap();
+        fabric2
+            .read(&mut clock2, Protocol::Custom, db2, handle2, 0, &mut buf)
+            .unwrap();
         assert_eq!(clock2.now(), baseline + extra);
+    }
+
+    #[test]
+    fn metrics_record_verbs_registrations_and_spans() {
+        let registry = MetricsRegistry::shared();
+        let fabric = Fabric::new(NetConfig::default());
+        fabric.set_metrics(Some(Arc::clone(&registry)));
+        let db = fabric.add_server("DB1", 4);
+        let mem = fabric.add_server("M1", 4);
+        let mut clock = Clock::new();
+        let handle = fabric.register_mr(&mut clock, mem, 1 << 20).unwrap();
+        fabric.connect(&mut clock, db, mem).unwrap();
+        let mut buf = vec![0u8; 8192];
+        fabric
+            .write(&mut clock, Protocol::Custom, db, handle, 0, &buf)
+            .unwrap();
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .unwrap();
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .unwrap();
+
+        assert_eq!(registry.counter("nic.read.ops").get(), 2);
+        assert_eq!(registry.counter("nic.write.ops").get(), 1);
+        assert_eq!(registry.counter("fabric.read.bytes").get(), 16384);
+        assert_eq!(registry.counter("fabric.write.bytes").get(), 8192);
+        assert_eq!(registry.counter("fabric.mr.registrations").get(), 1);
+        assert_eq!(registry.counter("fabric.connects").get(), 1);
+        let span = registry.span_stats("net.read");
+        assert_eq!(span.count, 2);
+        assert!(span.total > SimDuration::ZERO);
+
+        // failed verbs land in the error counter, not the latency histogram
+        let mut big = vec![0u8; 64];
+        let _ = fabric.read(
+            &mut clock,
+            Protocol::Custom,
+            db,
+            handle,
+            handle.len - 8,
+            &mut big,
+        );
+        assert_eq!(registry.counter("fabric.read.errors").get(), 1);
+        assert_eq!(registry.counter("nic.read.ops").get(), 2);
     }
 
     #[test]

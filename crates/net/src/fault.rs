@@ -23,13 +23,32 @@ use crate::server::ServerId;
 #[derive(Debug, Clone)]
 enum Spec {
     /// Verbs touching `server` fail with probability `prob`.
-    Flaky { server: ServerId, from: SimTime, until: SimTime, prob: f64 },
+    Flaky {
+        server: ServerId,
+        from: SimTime,
+        until: SimTime,
+        prob: f64,
+    },
     /// Verbs touching `server` take `extra` longer (congested donor).
-    Slow { server: ServerId, from: SimTime, until: SimTime, extra: SimDuration },
+    Slow {
+        server: ServerId,
+        from: SimTime,
+        until: SimTime,
+        extra: SimDuration,
+    },
     /// All traffic between `a` and `b` fails (link partition).
-    Partition { a: ServerId, b: ServerId, from: SimTime, until: SimTime },
+    Partition {
+        a: ServerId,
+        b: ServerId,
+        from: SimTime,
+        until: SimTime,
+    },
     /// `server` is unreachable — a crash→restart pair as one window.
-    Blackout { server: ServerId, from: SimTime, until: SimTime },
+    Blackout {
+        server: ServerId,
+        from: SimTime,
+        until: SimTime,
+    },
 }
 
 fn window(from: SimTime, until: SimTime, now: SimTime) -> bool {
@@ -49,7 +68,11 @@ impl FaultInjector {
     }
 
     pub fn with_log(seed: u64, log: Arc<FaultLog>) -> FaultInjector {
-        FaultInjector { seed, specs: Vec::new(), log }
+        FaultInjector {
+            seed,
+            specs: Vec::new(),
+            log,
+        }
     }
 
     /// The shared log injected and observed events are recorded into.
@@ -57,7 +80,13 @@ impl FaultInjector {
         &self.log
     }
 
-    pub fn flaky_window(mut self, server: ServerId, from: SimTime, until: SimTime, prob: f64) -> Self {
+    pub fn flaky_window(
+        mut self,
+        server: ServerId,
+        from: SimTime,
+        until: SimTime,
+        prob: f64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&prob));
         self.log.record(
             from,
@@ -65,7 +94,12 @@ impl FaultInjector {
             "net.flaky",
             format!("{server:?} p={prob} [{},{})", from.0, until.0),
         );
-        self.specs.push(Spec::Flaky { server, from, until, prob });
+        self.specs.push(Spec::Flaky {
+            server,
+            from,
+            until,
+            prob,
+        });
         self
     }
 
@@ -82,7 +116,12 @@ impl FaultInjector {
             "net.slow",
             format!("{server:?} +{extra} [{},{})", from.0, until.0),
         );
-        self.specs.push(Spec::Slow { server, from, until, extra });
+        self.specs.push(Spec::Slow {
+            server,
+            from,
+            until,
+            extra,
+        });
         self
     }
 
@@ -104,7 +143,11 @@ impl FaultInjector {
             "net.blackout",
             format!("{server:?} [{},{})", from.0, until.0),
         );
-        self.specs.push(Spec::Blackout { server, from, until });
+        self.specs.push(Spec::Blackout {
+            server,
+            from,
+            until,
+        });
         self
     }
 
@@ -171,9 +214,11 @@ impl FaultInjector {
         let mut extra = SimDuration::ZERO;
         for spec in &self.specs {
             match *spec {
-                Spec::Blackout { server, from, until }
-                    if window(from, until, now) && (server == remote || server == local) =>
-                {
+                Spec::Blackout {
+                    server,
+                    from,
+                    until,
+                } if window(from, until, now) && (server == remote || server == local) => {
                     self.log.record(
                         now,
                         FaultOrigin::Observed,
@@ -192,12 +237,19 @@ impl FaultInjector {
                         "net.partition",
                         format!("{local:?}<->{remote:?} partitioned"),
                     );
-                    return Err(NetError::Transient { server: remote, reason: "link partition" });
+                    return Err(NetError::Transient {
+                        server: remote,
+                        reason: "link partition",
+                    });
                 }
-                Spec::Flaky { server, from, until, prob }
-                    if window(from, until, now)
-                        && (server == remote || server == local)
-                        && self.roll(local, remote, offset, now) < prob =>
+                Spec::Flaky {
+                    server,
+                    from,
+                    until,
+                    prob,
+                } if window(from, until, now)
+                    && (server == remote || server == local)
+                    && self.roll(local, remote, offset, now) < prob =>
                 {
                     self.log.record(
                         now,
@@ -205,11 +257,17 @@ impl FaultInjector {
                         "net.flaky",
                         format!("verb to {remote:?} @{offset} dropped"),
                     );
-                    return Err(NetError::Transient { server, reason: "flaky window" });
+                    return Err(NetError::Transient {
+                        server,
+                        reason: "flaky window",
+                    });
                 }
-                Spec::Slow { server, from, until, extra: e }
-                    if window(from, until, now) && (server == remote || server == local) =>
-                {
+                Spec::Slow {
+                    server,
+                    from,
+                    until,
+                    extra: e,
+                } if window(from, until, now) && (server == remote || server == local) => {
                     extra += e;
                 }
                 _ => {}
@@ -241,13 +299,22 @@ mod tests {
             .blackout(B, SimTime(100), SimTime(200))
             .partition(A, C, SimTime(50), SimTime(60));
         assert!(inj.inject(SimTime(99), A, B, 0).is_ok());
-        assert_eq!(inj.inject(SimTime(150), A, B, 0), Err(NetError::ServerDown(B)));
-        assert!(inj.inject(SimTime(200), A, B, 0).is_ok(), "until is exclusive");
+        assert_eq!(
+            inj.inject(SimTime(150), A, B, 0),
+            Err(NetError::ServerDown(B))
+        );
+        assert!(
+            inj.inject(SimTime(200), A, B, 0).is_ok(),
+            "until is exclusive"
+        );
         assert!(matches!(
             inj.inject(SimTime(55), A, C, 0),
             Err(NetError::Transient { server: C, .. })
         ));
-        assert!(inj.inject(SimTime(55), A, B, 0).is_ok(), "partition is pairwise");
+        assert!(
+            inj.inject(SimTime(55), A, B, 0).is_ok(),
+            "partition is pairwise"
+        );
     }
 
     #[test]
@@ -256,7 +323,10 @@ mod tests {
         let fails = (0..1000)
             .filter(|&i| inj.inject(SimTime(i * 997), A, B, i).is_err())
             .count();
-        assert!((300..700).contains(&fails), "p=0.5 gave {fails}/1000 failures");
+        assert!(
+            (300..700).contains(&fails),
+            "p=0.5 gave {fails}/1000 failures"
+        );
         // identical (time, offset) → identical outcome, every time
         for i in 0..100u64 {
             let x = inj.inject(SimTime(i), A, B, i).is_err();
@@ -270,7 +340,10 @@ mod tests {
         let inj = FaultInjector::new(1)
             .slow_window(B, SimTime(0), SimTime(100), SimDuration::from_micros(10))
             .slow_window(B, SimTime(0), SimTime(100), SimDuration::from_micros(5));
-        assert_eq!(inj.inject(SimTime(50), A, B, 0), Ok(SimDuration::from_micros(15)));
+        assert_eq!(
+            inj.inject(SimTime(50), A, B, 0),
+            Ok(SimDuration::from_micros(15))
+        );
         assert_eq!(inj.inject(SimTime(150), A, B, 0), Ok(SimDuration::ZERO));
     }
 

@@ -22,7 +22,10 @@ pub struct MemoryRegion {
 
 impl MemoryRegion {
     pub(crate) fn new(id: MrId, len: u64) -> MemoryRegion {
-        MemoryRegion { id, data: Arc::new(RwLock::new(vec![0u8; len as usize])) }
+        MemoryRegion {
+            id,
+            data: Arc::new(RwLock::new(vec![0u8; len as usize])),
+        }
     }
 
     pub fn id(&self) -> MrId {

@@ -71,21 +71,33 @@ impl Nic {
             "nic",
             "mr-registration-count",
             ("registered", s.reg_count as i128),
-            &[("live", mrs.len() as i128), ("deregistered", s.dereg_count as i128)],
+            &[
+                ("live", mrs.len() as i128),
+                ("deregistered", s.dereg_count as i128),
+            ],
         );
         a.check_balance(
             SimTime::ZERO,
             "nic",
             "mr-registration-bytes",
             ("registered", s.reg_bytes as i128),
-            &[("live", live_bytes as i128), ("deregistered", s.dereg_bytes as i128)],
+            &[
+                ("live", live_bytes as i128),
+                ("deregistered", s.dereg_bytes as i128),
+            ],
         );
         a.check_that(
             SimTime::ZERO,
             "nic",
             "mr-limit",
             mrs.len() <= self.max_mr_count,
-            || format!("{} live MRs > device limit {}", mrs.len(), self.max_mr_count),
+            || {
+                format!(
+                    "{} live MRs > device limit {}",
+                    mrs.len(),
+                    self.max_mr_count
+                )
+            },
         );
     }
 
@@ -117,7 +129,9 @@ impl Nic {
     /// Deregister (unpin) an MR, freeing its memory back to the OS.
     pub fn deregister_mr(&self, id: MrId) -> bool {
         let mut mrs = self.mrs.lock();
-        let Some(mr) = mrs.remove(&id) else { return false };
+        let Some(mr) = mrs.remove(&id) else {
+            return false;
+        };
         {
             let mut s = self.registered.lock();
             s.dereg_count += 1;
@@ -179,7 +193,10 @@ mod tests {
 
     #[test]
     fn registration_respects_limits() {
-        let cfg = NetConfig { max_mr_count: 2, ..NetConfig::default() };
+        let cfg = NetConfig {
+            max_mr_count: 2,
+            ..NetConfig::default()
+        };
         let nic = Nic::new(&cfg);
         assert!(nic.register_mr(1024).is_ok());
         assert!(nic.register_mr(1024).is_ok());
@@ -195,7 +212,10 @@ mod tests {
 
     #[test]
     fn deregister_frees_slots() {
-        let cfg = NetConfig { max_mr_count: 1, ..NetConfig::default() };
+        let cfg = NetConfig {
+            max_mr_count: 1,
+            ..NetConfig::default()
+        };
         let nic = Nic::new(&cfg);
         let id = nic.register_mr(64).unwrap();
         assert_eq!(nic.mr_count(), 1);

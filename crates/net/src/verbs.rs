@@ -79,7 +79,14 @@ impl<'a> QueuePair<'a> {
         remote: ServerId,
     ) -> Result<QueuePair<'a>, NetError> {
         fabric.connect(clock, local, remote)?;
-        Ok(QueuePair { fabric, protocol, local, remote, next_wr: 1, cq: VecDeque::new() })
+        Ok(QueuePair {
+            fabric,
+            protocol,
+            local,
+            remote,
+            next_wr: 1,
+            cq: VecDeque::new(),
+        })
     }
 
     pub fn remote(&self) -> ServerId {
@@ -97,8 +104,16 @@ impl<'a> QueuePair<'a> {
     ) -> WorkRequestId {
         let wr_id = self.alloc_wr();
         let t0 = clock.now();
-        let result = self.fabric.read(clock, self.protocol, self.local, mr, offset, buf);
-        self.complete(wr_id, Verb::Read, clock.now().max(t0), buf.len() as u64, result);
+        let result = self
+            .fabric
+            .read(clock, self.protocol, self.local, mr, offset, buf);
+        self.complete(
+            wr_id,
+            Verb::Read,
+            clock.now().max(t0),
+            buf.len() as u64,
+            result,
+        );
         wr_id
     }
 
@@ -112,8 +127,16 @@ impl<'a> QueuePair<'a> {
     ) -> WorkRequestId {
         let wr_id = self.alloc_wr();
         let t0 = clock.now();
-        let result = self.fabric.write(clock, self.protocol, self.local, mr, offset, data);
-        self.complete(wr_id, Verb::Write, clock.now().max(t0), data.len() as u64, result);
+        let result = self
+            .fabric
+            .write(clock, self.protocol, self.local, mr, offset, data);
+        self.complete(
+            wr_id,
+            Verb::Write,
+            clock.now().max(t0),
+            data.len() as u64,
+            result,
+        );
         wr_id
     }
 
@@ -201,7 +224,9 @@ mod tests {
             vec![w1, w2, r1]
         );
         assert!(completions.iter().all(Completion::is_ok));
-        assert!(completions.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        assert!(completions
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
         assert_eq!(qp.cq_depth(), 0);
     }
 

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use remem_net::Protocol;
-use remem_sim::{FaultLog, SimDuration};
+use remem_sim::{FaultLog, MetricsRegistry, SimDuration};
 
 /// How remote accesses complete (§4.1.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,9 @@ impl AccessMode {
     /// The adaptive mode with the paper's suggested "a few tens of
     /// microseconds" budget.
     pub fn adaptive() -> AccessMode {
-        AccessMode::Adaptive { spin_budget: remem_sim::SimDuration::from_micros(30) }
+        AccessMode::Adaptive {
+            spin_budget: remem_sim::SimDuration::from_micros(30),
+        }
     }
 }
 
@@ -74,6 +76,10 @@ pub struct RFileConfig {
     pub self_heal: bool,
     /// Chaos-audit log retries/repairs/migrations are recorded into.
     pub fault_log: Option<Arc<FaultLog>>,
+    /// Telemetry registry reads/writes/retries/repairs publish into (under
+    /// `rfile.*`, with `rfile.read` / `rfile.write` spans so network time
+    /// nests as child time).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for RFileConfig {
@@ -89,6 +95,7 @@ impl Default for RFileConfig {
             retry_backoff: SimDuration::from_micros(50),
             self_heal: false,
             fault_log: None,
+            metrics: None,
         }
     }
 }

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use remem_broker::{BrokerError, Lease, MemoryBroker};
 use remem_net::{Fabric, MrHandle, NetError, Protocol, ServerId};
 use remem_sim::metrics::Counter;
-use remem_sim::{Clock, FaultOrigin, SimDuration, SimTime};
+use remem_sim::{Clock, FaultOrigin, MetricsRegistry, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
 
 use crate::config::{AccessMode, RFileConfig, RegistrationMode};
@@ -23,6 +23,38 @@ const MAX_HEALS_PER_IO: u32 = 4;
 /// Attempts to zero a freshly re-leased stripe before giving up (the range
 /// is reported lost either way, so caches above discard it).
 const ZERO_ATTEMPTS: u32 = 16;
+
+/// Cached handles into an attached [`MetricsRegistry`]; resolved once at
+/// create time so per-I/O mirroring of the local counters is lock-free.
+struct RfMetrics {
+    registry: Arc<MetricsRegistry>,
+    read_ops: Arc<Counter>,
+    write_ops: Arc<Counter>,
+    read_bytes: Arc<Counter>,
+    write_bytes: Arc<Counter>,
+    read_lat: Arc<remem_sim::Histogram>,
+    write_lat: Arc<remem_sim::Histogram>,
+    retries: Arc<Counter>,
+    repairs: Arc<Counter>,
+    migrations: Arc<Counter>,
+}
+
+impl RfMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> RfMetrics {
+        RfMetrics {
+            read_ops: registry.counter("rfile.read.ops"),
+            write_ops: registry.counter("rfile.write.ops"),
+            read_bytes: registry.counter("rfile.read.bytes"),
+            write_bytes: registry.counter("rfile.write.bytes"),
+            read_lat: registry.histogram("rfile.read.lat"),
+            write_lat: registry.histogram("rfile.write.lat"),
+            retries: registry.counter("rfile.retries"),
+            repairs: registry.counter("rfile.repairs"),
+            migrations: registry.counter("rfile.migrations"),
+            registry,
+        }
+    }
+}
 
 /// One contiguous run of file bytes and the MR region backing it.
 ///
@@ -91,6 +123,7 @@ pub struct RemoteFile {
     retries: Counter,
     repairs: Counter,
     migrations: Counter,
+    metrics: Option<Arc<RfMetrics>>,
 }
 
 impl RemoteFile {
@@ -134,6 +167,7 @@ impl RemoteFile {
             retries: Counter::new(),
             repairs: Counter::new(),
             migrations: Counter::new(),
+            metrics: cfg.metrics.clone().map(|r| Arc::new(RfMetrics::new(r))),
             cfg,
         })
     }
@@ -142,7 +176,12 @@ impl RemoteFile {
         let mut extents = Vec::with_capacity(mrs.len());
         let mut off = 0u64;
         for mr in mrs {
-            extents.push(Extent { start: off, len: mr.len, mr: *mr, mr_off: 0 });
+            extents.push(Extent {
+                start: off,
+                len: mr.len,
+                mr: *mr,
+                mr_off: 0,
+            });
             off += mr.len;
         }
         extents
@@ -195,7 +234,9 @@ impl RemoteFile {
     pub fn delete(&self, clock: &mut Clock) -> Result<(), StorageError> {
         self.close(clock);
         let id = self.state.lock().lease.id;
-        self.broker.release(clock, id).map_err(|e| StorageError::Unavailable(e.to_string()))
+        self.broker
+            .release(clock, id)
+            .map_err(|e| StorageError::Unavailable(e.to_string()))
     }
 
     pub fn size(&self) -> u64 {
@@ -273,10 +314,19 @@ impl RemoteFile {
     fn migrate_off(&self, clock: &mut Clock, server: ServerId) -> Result<(), StorageError> {
         let (id, old_mrs, needs) = {
             let st = self.state.lock();
-            let old_mrs: Vec<MrHandle> =
-                st.lease.mrs.iter().filter(|m| m.server == server).copied().collect();
-            let needs: Vec<Extent> =
-                st.extents.iter().filter(|e| e.mr.server == server).copied().collect();
+            let old_mrs: Vec<MrHandle> = st
+                .lease
+                .mrs
+                .iter()
+                .filter(|m| m.server == server)
+                .copied()
+                .collect();
+            let needs: Vec<Extent> = st
+                .extents
+                .iter()
+                .filter(|e| e.mr.server == server)
+                .copied()
+                .collect();
             (st.lease.id, old_mrs, needs)
         };
         if old_mrs.is_empty() {
@@ -299,13 +349,27 @@ impl RemoteFile {
             debug_assert_eq!(old.start, new[0].start);
             let mut buf = vec![0u8; old.len as usize];
             self.fabric
-                .read(clock, self.cfg.protocol, self.local, old.mr, old.mr_off, &mut buf)
+                .read(
+                    clock,
+                    self.cfg.protocol,
+                    self.local,
+                    old.mr,
+                    old.mr_off,
+                    &mut buf,
+                )
                 .map_err(|e| StorageError::Unavailable(e.to_string()))?;
             for part in new {
                 let lo = (part.start - old.start) as usize;
                 let hi = lo + part.len as usize;
                 self.fabric
-                    .write(clock, self.cfg.protocol, self.local, part.mr, part.mr_off, &buf[lo..hi])
+                    .write(
+                        clock,
+                        self.cfg.protocol,
+                        self.local,
+                        part.mr,
+                        part.mr_off,
+                        &buf[lo..hi],
+                    )
                     .map_err(|e| StorageError::Unavailable(e.to_string()))?;
             }
         }
@@ -321,6 +385,9 @@ impl RemoteFile {
             .surrender_mrs(clock, id, server, &self.fabric)
             .map_err(|e| StorageError::Unavailable(e.to_string()))?;
         self.migrations.add(1);
+        if let Some(m) = &self.metrics {
+            m.migrations.incr();
+        }
         self.note(
             clock.now(),
             FaultOrigin::Recovery,
@@ -336,7 +403,10 @@ impl RemoteFile {
     /// back at least as many bytes as were lost; if it short-changes us
     /// that is a metadata bug this layer surfaces as an error rather than
     /// a panic mid-repair.
-    fn carve(replacements: &[MrHandle], needs: &[Extent]) -> Result<Vec<Vec<Extent>>, StorageError> {
+    fn carve(
+        replacements: &[MrHandle],
+        needs: &[Extent],
+    ) -> Result<Vec<Vec<Extent>>, StorageError> {
         let mut out = Vec::with_capacity(needs.len());
         let mut ri = 0usize;
         let mut roff = 0u64;
@@ -351,7 +421,12 @@ impl RemoteFile {
                     ));
                 };
                 let take = rem.min(mr.len - roff);
-                parts.push(Extent { start, len: take, mr, mr_off: roff });
+                parts.push(Extent {
+                    start,
+                    len: take,
+                    mr,
+                    mr_off: roff,
+                });
                 start += take;
                 rem -= take;
                 roff += take;
@@ -373,7 +448,9 @@ impl RemoteFile {
         {
             let st = self.state.lock();
             if clock.now() < st.next_repair {
-                return Err(StorageError::Unavailable("remote file awaiting repair".into()));
+                return Err(StorageError::Unavailable(
+                    "remote file awaiting repair".into(),
+                ));
             }
         }
         let id = self.state.lock().lease.id;
@@ -400,7 +477,11 @@ impl RemoteFile {
     /// Replace the stripes the broker recorded as lost (donor crash) with
     /// fresh MRs from surviving donors, zeroing them and recording the file
     /// ranges as lost.
-    fn repair_stripes(&self, clock: &mut Clock, id: remem_broker::LeaseId) -> Result<(), StorageError> {
+    fn repair_stripes(
+        &self,
+        clock: &mut Clock,
+        id: remem_broker::LeaseId,
+    ) -> Result<(), StorageError> {
         let (lost, replacements) = self.broker.repair_lease(clock, id).map_err(|e| match e {
             BrokerError::InsufficientMemory { .. } => {
                 StorageError::Unavailable(format!("stripe repair short of memory: {e}"))
@@ -419,8 +500,10 @@ impl RemoteFile {
             let mut st = self.state.lock();
             let dead = |m: &MrHandle| lost.iter().any(|l| l.server == m.server && l.mr == m.mr);
             let needs: Vec<Extent> = st.extents.iter().filter(|e| dead(&e.mr)).copied().collect();
-            let fresh: Vec<Extent> =
-                Self::carve(&replacements, &needs)?.into_iter().flatten().collect();
+            let fresh: Vec<Extent> = Self::carve(&replacements, &needs)?
+                .into_iter()
+                .flatten()
+                .collect();
             st.extents.retain(|e| !dead(&e.mr));
             st.extents.extend(fresh.iter().copied());
             st.extents.sort_by_key(|e| e.start);
@@ -439,6 +522,9 @@ impl RemoteFile {
         self.zero_extents(clock, &fresh);
         let bytes: u64 = needs.iter().map(|e| e.len).sum();
         self.repairs.add(1);
+        if let Some(m) = &self.metrics {
+            m.repairs.incr();
+        }
         self.note(
             clock.now(),
             FaultOrigin::Recovery,
@@ -473,6 +559,9 @@ impl RemoteFile {
         }
         self.zero_extents(clock, &extents);
         self.repairs.add(1);
+        if let Some(m) = &self.metrics {
+            m.repairs.incr();
+        }
         self.note(
             clock.now(),
             FaultOrigin::Recovery,
@@ -574,7 +663,13 @@ impl RemoteFile {
         }
     }
 
-    fn io<F>(&self, clock: &mut Clock, offset: u64, len: u64, mut chunk_op: F) -> Result<(), StorageError>
+    fn io<F>(
+        &self,
+        clock: &mut Clock,
+        offset: u64,
+        len: u64,
+        mut chunk_op: F,
+    ) -> Result<(), StorageError>
     where
         F: FnMut(&mut Clock, MrHandle, u64, u64, u64) -> Result<(), NetError>,
     {
@@ -582,7 +677,11 @@ impl RemoteFile {
             return Err(StorageError::Unavailable("file is not open".into()));
         }
         if offset + len > self.size {
-            return Err(StorageError::OutOfBounds { offset, len, capacity: self.size });
+            return Err(StorageError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.size,
+            });
         }
         self.ensure_lease(clock)?;
         let mut cur = offset;
@@ -616,7 +715,10 @@ impl RemoteFile {
                             clock.now(),
                             FaultOrigin::Observed,
                             "rfile.retry",
-                            format!("chunk at {cur} gave up after {} retries", self.cfg.max_retries),
+                            format!(
+                                "chunk at {cur} gave up after {} retries",
+                                self.cfg.max_retries
+                            ),
                         );
                         return Err(StorageError::Transient(format!(
                             "{} retries exhausted reaching {server:?}: {reason}",
@@ -624,6 +726,9 @@ impl RemoteFile {
                         )));
                     }
                     self.retries.add(1);
+                    if let Some(m) = &self.metrics {
+                        m.retries.incr();
+                    }
                     clock.advance(self.cfg.retry_backoff * (1 << (transient_tries - 1)));
                 }
                 Err(fatal) => {
@@ -656,10 +761,25 @@ impl RemoteFile {
         let fabric = Arc::clone(&self.fabric);
         let proto = self.cfg.protocol;
         let local = self.local;
+        let t0 = clock.now();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span_enter("rfile.read", t0));
         let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
             let dst = &mut buf[done as usize..(done + chunk) as usize];
             fabric.read(clock, proto, local, handle, within, dst)
         });
+        if let Some(m) = &self.metrics {
+            if let Some(span) = span {
+                m.registry.span_exit(span, clock.now());
+            }
+            if res.is_ok() {
+                m.read_ops.incr();
+                m.read_bytes.add(len);
+                m.read_lat.record(clock.now().since(t0));
+            }
+        }
         if res.is_ok() {
             self.bytes_read.add(len);
         }
@@ -672,10 +792,25 @@ impl RemoteFile {
         let fabric = Arc::clone(&self.fabric);
         let proto = self.cfg.protocol;
         let local = self.local;
+        let t0 = clock.now();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span_enter("rfile.write", t0));
         let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
             let src = &data[done as usize..(done + chunk) as usize];
             fabric.write(clock, proto, local, handle, within, src)
         });
+        if let Some(m) = &self.metrics {
+            if let Some(span) = span {
+                m.registry.span_exit(span, clock.now());
+            }
+            if res.is_ok() {
+                m.write_ops.incr();
+                m.write_bytes.add(len);
+                m.write_lat.record(clock.now().since(t0));
+            }
+        }
         if res.is_ok() {
             self.bytes_written.add(len);
         }
@@ -724,7 +859,10 @@ mod tests {
         let fabric = Arc::new(Fabric::new(NetConfig::default()));
         let db = fabric.add_server("DB1", 20);
         let broker = Arc::new(MemoryBroker::new(
-            BrokerConfig { placement, ..Default::default() },
+            BrokerConfig {
+                placement,
+                ..Default::default()
+            },
             MetaStore::new(),
         ));
         let mut ids = Vec::new();
@@ -736,12 +874,24 @@ mod tests {
                 .unwrap();
             ids.push(m);
         }
-        Cluster { fabric, broker, db, donors: ids }
+        Cluster {
+            fabric,
+            broker,
+            db,
+            donors: ids,
+        }
     }
 
     fn mk_file(c: &Cluster, size: u64, cfg: RFileConfig, clock: &mut Clock) -> RemoteFile {
-        RemoteFile::create_open(clock, Arc::clone(&c.fabric), Arc::clone(&c.broker), c.db, size, cfg)
-            .unwrap()
+        RemoteFile::create_open(
+            clock,
+            Arc::clone(&c.fabric),
+            Arc::clone(&c.broker),
+            c.db,
+            size,
+            cfg,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -749,7 +899,10 @@ mod tests {
         let c = cluster(2, 4, PlacementPolicy::Spread);
         let mut clock = Clock::new();
         let f = mk_file(&c, 4 * MR, RFileConfig::custom(), &mut clock);
-        assert!(f.donors().len() >= 2, "spread placement should use both donors");
+        assert!(
+            f.donors().len() >= 2,
+            "spread placement should use both donors"
+        );
         // write a pattern crossing three MR boundaries
         let data: Vec<u8> = (0..(3 * MR) as usize).map(|i| (i % 255) as u8).collect();
         let offset = MR / 2;
@@ -790,7 +943,10 @@ mod tests {
         let f = mk_file(&c, MR, RFileConfig::custom(), &mut clock);
         f.close(&mut clock);
         let mut buf = [0u8; 8];
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Unavailable(_))
+        ));
         f.open(&mut clock).unwrap();
         assert!(f.read(&mut clock, 0, &mut buf).is_ok());
     }
@@ -812,7 +968,10 @@ mod tests {
         let f = mk_file(&c, MR, RFileConfig::custom(), &mut clock);
         c.fabric.server(c.donors[0]).unwrap().fail();
         let mut buf = [0u8; 8];
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Unavailable(_))
+        ));
     }
 
     #[test]
@@ -823,7 +982,10 @@ mod tests {
         // donor comes under memory pressure and reclaims everything
         c.broker.reclaim(&c.fabric, c.donors[0], 2 * MR);
         let mut buf = [0u8; 8];
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Unavailable(_))
+        ));
     }
 
     #[test]
@@ -844,11 +1006,17 @@ mod tests {
     fn without_auto_renew_the_lease_expires() {
         let c = cluster(1, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { auto_renew: false, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            auto_renew: false,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, MR, cfg, &mut clock);
         clock.advance(c.broker.config().lease_duration * 2);
         let mut buf = [0u8; 8];
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Unavailable(_))
+        ));
     }
 
     #[test]
@@ -862,7 +1030,10 @@ mod tests {
         ] {
             let c = cluster(1, 4, PlacementPolicy::Pack);
             let mut clock = Clock::new();
-            let cfg = RFileConfig { registration: mode, ..RFileConfig::custom() };
+            let cfg = RFileConfig {
+                registration: mode,
+                ..RFileConfig::custom()
+            };
             let f = mk_file(&c, 2 * MR, cfg, &mut clock);
             let t0 = clock.now();
             for i in 0..16u64 {
@@ -883,7 +1054,10 @@ mod tests {
         for access in [AccessMode::SyncSpin, AccessMode::Async] {
             let c = cluster(1, 4, PlacementPolicy::Pack);
             let mut clock = Clock::new();
-            let cfg = RFileConfig { access, ..RFileConfig::custom() };
+            let cfg = RFileConfig {
+                access,
+                ..RFileConfig::custom()
+            };
             let f = mk_file(&c, MR, cfg, &mut clock);
             let t0 = clock.now();
             let mut buf = vec![0u8; 8192];
@@ -891,7 +1065,12 @@ mod tests {
             lat.push(clock.now().since(t0));
         }
         // §4.1.3: the async penalty is comparable to the access itself
-        assert!(lat[1].as_nanos() > lat[0].as_nanos() * 3, "async {} vs sync {}", lat[1], lat[0]);
+        assert!(
+            lat[1].as_nanos() > lat[0].as_nanos() * 3,
+            "async {} vs sync {}",
+            lat[1],
+            lat[0]
+        );
     }
 
     #[test]
@@ -901,7 +1080,10 @@ mod tests {
         let measure = |access: AccessMode, bytes: usize| -> SimDuration {
             let c = cluster(2, 64, PlacementPolicy::Pack);
             let mut clock = Clock::new();
-            let cfg = RFileConfig { access, ..RFileConfig::custom() };
+            let cfg = RFileConfig {
+                access,
+                ..RFileConfig::custom()
+            };
             let f = mk_file(&c, 32 * MR, cfg, &mut clock);
             let data = vec![0u8; bytes];
             let t0 = clock.now();
@@ -914,11 +1096,16 @@ mod tests {
         assert_eq!(adaptive_small, sync_small);
         // a 64 KiB chunk (one MR) takes ~19 us on the wire: with a tight
         // 10 us budget the adaptive path yields and pays the async penalty
-        let tight = AccessMode::Adaptive { spin_budget: SimDuration::from_micros(10) };
+        let tight = AccessMode::Adaptive {
+            spin_budget: SimDuration::from_micros(10),
+        };
         let sync_big = measure(AccessMode::SyncSpin, 64 << 10);
         let adaptive_big = measure(tight, 64 << 10);
         let async_big = measure(AccessMode::Async, 64 << 10);
-        assert!(adaptive_big > sync_big, "transfers beyond the budget must yield");
+        assert!(
+            adaptive_big > sync_big,
+            "transfers beyond the budget must yield"
+        );
         assert_eq!(adaptive_big, async_big);
     }
 
@@ -940,48 +1127,65 @@ mod tests {
     fn transient_faults_are_retried_through() {
         let c = cluster(1, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { max_retries: 8, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            max_retries: 8,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, MR, cfg, &mut clock);
         f.write(&mut clock, 0, b"survives flakiness").unwrap();
         // a flaky window: ~40% of verbs to the donor fail; retries (each at
         // a later virtual instant) must push every access through
-        c.fabric.set_fault_injector(Some(Arc::new(FaultInjector::new(11).flaky_window(
-            c.donors[0],
-            SimTime::ZERO,
-            SimTime(1 << 40),
-            0.4,
-        ))));
+        c.fabric
+            .set_fault_injector(Some(Arc::new(FaultInjector::new(11).flaky_window(
+                c.donors[0],
+                SimTime::ZERO,
+                SimTime(1 << 40),
+                0.4,
+            ))));
         let mut buf = vec![0u8; 18];
         for _ in 0..50 {
             f.read(&mut clock, 0, &mut buf).unwrap();
             assert_eq!(&buf, b"survives flakiness");
         }
-        assert!(f.retries() > 0, "a p=0.4 window over 50 reads must trigger retries");
+        assert!(
+            f.retries() > 0,
+            "a p=0.4 window over 50 reads must trigger retries"
+        );
     }
 
     #[test]
     fn exhausted_retries_surface_as_transient_not_unavailable() {
         let c = cluster(1, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { retry_backoff: SimDuration::ZERO, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            retry_backoff: SimDuration::ZERO,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, MR, cfg, &mut clock);
         // p=1.0: every attempt fails, retries can't save it. Zero backoff
         // keeps the clock inside the window for all attempts.
-        c.fabric.set_fault_injector(Some(Arc::new(FaultInjector::new(5).flaky_window(
-            c.donors[0],
-            SimTime::ZERO,
-            SimTime(1 << 40),
-            1.0,
-        ))));
+        c.fabric
+            .set_fault_injector(Some(Arc::new(FaultInjector::new(5).flaky_window(
+                c.donors[0],
+                SimTime::ZERO,
+                SimTime(1 << 40),
+                1.0,
+            ))));
         let mut buf = [0u8; 8];
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Transient(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Transient(_))
+        ));
     }
 
     #[test]
     fn self_heal_releases_dead_stripes_and_reports_lost_ranges() {
         let c = cluster(3, 2, PlacementPolicy::Spread);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            self_heal: true,
+            ..RFileConfig::custom()
+        };
         // 4 MR file across 3 donors (spread), 2 MR spare capacity
         let f = mk_file(&c, 4 * MR, cfg, &mut clock);
         let data: Vec<u8> = (0..(4 * MR) as usize).map(|i| (i % 253) as u8).collect();
@@ -1016,13 +1220,18 @@ mod tests {
     fn self_heal_migrates_off_a_pressured_donor_without_data_loss() {
         let c = cluster(2, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            self_heal: true,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, 2 * MR, cfg, &mut clock);
         let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 241) as u8).collect();
         f.write(&mut clock, 0, &data).unwrap();
         let donor = f.donors()[0];
         // two-phase reclaim: the donor asks for its memory back
-        let (_, notified) = c.broker.request_reclaim(clock.now(), &c.fabric, donor, 2 * MR);
+        let (_, notified) = c
+            .broker
+            .request_reclaim(clock.now(), &c.fabric, donor, 2 * MR);
         assert_eq!(notified.len(), 1);
         // next access migrates to the other donor inside the grace window
         let mut out = vec![0u8; (2 * MR) as usize];
@@ -1042,7 +1251,10 @@ mod tests {
     fn self_heal_reacquires_a_revoked_lease() {
         let c = cluster(2, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            self_heal: true,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, 2 * MR, cfg, &mut clock);
         f.write(&mut clock, 0, b"gone after revoke").unwrap();
         // hard revocation (legacy immediate reclaim — no grace window)
@@ -1056,10 +1268,44 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_nests_network_time_under_rfile_spans() {
+        let registry = MetricsRegistry::shared();
+        let c = cluster(1, 4, PlacementPolicy::Pack);
+        c.fabric.set_metrics(Some(Arc::clone(&registry)));
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            metrics: Some(Arc::clone(&registry)),
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data = vec![3u8; 8192];
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut out = vec![0u8; 8192];
+        f.read(&mut clock, 0, &mut out).unwrap();
+
+        assert_eq!(registry.counter("rfile.read.ops").get(), 1);
+        assert_eq!(registry.counter("rfile.write.bytes").get(), 8192);
+        let rf = registry.span_stats("rfile.read");
+        let net = registry.span_stats("net.read");
+        assert_eq!(rf.count, 1);
+        assert!(net.count >= 1);
+        // network verb time is charged to the child span, so the rfile span's
+        // self time excludes it
+        assert!(
+            rf.self_time < rf.total,
+            "net child time must be attributed: {rf:?}"
+        );
+        assert!(net.total <= rf.total);
+    }
+
+    #[test]
     fn repair_backs_off_while_capacity_is_short() {
         let c = cluster(1, 2, PlacementPolicy::Pack);
         let mut clock = Clock::new();
-        let cfg = RFileConfig { self_heal: true, ..RFileConfig::custom() };
+        let cfg = RFileConfig {
+            self_heal: true,
+            ..RFileConfig::custom()
+        };
         let f = mk_file(&c, 2 * MR, cfg, &mut clock);
         // the only donor dies: repair has nowhere to go
         let dead = c.donors[0];
@@ -1069,12 +1315,17 @@ mod tests {
         let mut buf = [0u8; 8];
         assert!(f.read(&mut clock, 0, &mut buf).is_err());
         // immediately after, the gate holds (no broker hammering)
-        assert!(matches!(f.read(&mut clock, 0, &mut buf), Err(StorageError::Unavailable(_))));
+        assert!(matches!(
+            f.read(&mut clock, 0, &mut buf),
+            Err(StorageError::Unavailable(_))
+        ));
         // donor comes back with fresh memory
         c.fabric.server(dead).unwrap().restart();
         c.broker.server_recovered(dead);
         let mut pc = Clock::new();
-        remem_broker::MemoryProxy::new(dead, MR).donate(&mut pc, &c.fabric, &c.broker, 2 * MR).unwrap();
+        remem_broker::MemoryProxy::new(dead, MR)
+            .donate(&mut pc, &c.fabric, &c.broker, 2 * MR)
+            .unwrap();
         // past the backoff, the next access repairs and succeeds
         clock.advance(SimDuration::from_secs(6));
         f.read(&mut clock, 0, &mut buf).unwrap();

@@ -40,7 +40,11 @@ impl StagingBuffers {
     /// (computed by the caller once the RDMA completes), charging any wait
     /// for a free slot to the clock first. Returns the instant the slot
     /// became available (the transfer may begin then).
-    pub fn acquire_slot(&self, clock: &mut Clock, transfer_duration: remem_sim::SimDuration) -> SimTime {
+    pub fn acquire_slot(
+        &self,
+        clock: &mut Clock,
+        transfer_duration: remem_sim::SimDuration,
+    ) -> SimTime {
         let g = self.slots.acquire(clock.now(), transfer_duration);
         clock.advance_to(g.start);
         g.start

@@ -18,14 +18,20 @@ fn make_file(
     let fabric = Arc::new(Fabric::new(NetConfig::default()));
     let db = fabric.add_server("DB", 8);
     let broker = Arc::new(MemoryBroker::new(
-        BrokerConfig { placement, ..Default::default() },
+        BrokerConfig {
+            placement,
+            ..Default::default()
+        },
         MetaStore::new(),
     ));
-    let per_donor = size.div_ceil(donors as u64).div_ceil(mr_kib << 10) * (mr_kib << 10) + (mr_kib << 10);
+    let per_donor =
+        size.div_ceil(donors as u64).div_ceil(mr_kib << 10) * (mr_kib << 10) + (mr_kib << 10);
     for i in 0..donors {
         let m = fabric.add_server(format!("M{i}"), 8);
         let mut pc = Clock::new();
-        MemoryProxy::new(m, mr_kib << 10).donate(&mut pc, &fabric, &broker, per_donor).unwrap();
+        MemoryProxy::new(m, mr_kib << 10)
+            .donate(&mut pc, &fabric, &broker, per_donor)
+            .unwrap();
     }
     let mut clock = Clock::new();
     let f = RemoteFile::create_open(&mut clock, fabric, broker, db, size, RFileConfig::custom())

@@ -22,7 +22,10 @@ pub struct ClosedLoopDriver {
 impl ClosedLoopDriver {
     pub fn new(workers: usize, horizon: SimTime) -> ClosedLoopDriver {
         assert!(workers > 0);
-        ClosedLoopDriver { clocks: vec![Clock::new(); workers], horizon }
+        ClosedLoopDriver {
+            clocks: vec![Clock::new(); workers],
+            horizon,
+        }
     }
 
     /// Start all workers at `t` instead of zero (e.g. after a warm-up phase).
@@ -75,7 +78,11 @@ impl ClosedLoopDriver {
 
     /// Largest clock across workers — the virtual makespan of the run.
     pub fn makespan(&self) -> SimTime {
-        self.clocks.iter().map(Clock::now).max().unwrap_or(SimTime::ZERO)
+        self.clocks
+            .iter()
+            .map(Clock::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 }
 
@@ -109,7 +116,11 @@ mod tests {
         });
         // the resource can serve 100 ops in 1 ms regardless of worker count
         assert!((95..=105).contains(&ops), "ops={ops}");
-        assert!(h.mean() >= SimDuration::from_micros(30), "mean={}", h.mean());
+        assert!(
+            h.mean() >= SimDuration::from_micros(30),
+            "mean={}",
+            h.mean()
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl FaultLog {
     }
 
     pub fn with_capacity(capacity: usize) -> FaultLog {
-        FaultLog { events: Mutex::new(Vec::new()), counts: Mutex::new(BTreeMap::new()), capacity }
+        FaultLog {
+            events: Mutex::new(Vec::new()),
+            counts: Mutex::new(BTreeMap::new()),
+            capacity,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -89,7 +93,12 @@ impl FaultLog {
         *self.counts.lock().entry((kind, origin)).or_insert(0) += 1;
         let mut events = self.events.lock();
         if events.len() < self.capacity {
-            events.push(FaultEvent { at, origin, kind, detail: detail.into() });
+            events.push(FaultEvent {
+                at,
+                origin,
+                kind,
+                detail: detail.into(),
+            });
         }
     }
 
@@ -100,12 +109,21 @@ impl FaultLog {
 
     /// Total events of `kind` with `origin`, including any past the cap.
     pub fn count(&self, kind: &'static str, origin: FaultOrigin) -> u64 {
-        self.counts.lock().get(&(kind, origin)).copied().unwrap_or(0)
+        self.counts
+            .lock()
+            .get(&(kind, origin))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total events recorded with `origin`, across all kinds.
     pub fn count_origin(&self, origin: FaultOrigin) -> u64 {
-        self.counts.lock().iter().filter(|((_, o), _)| *o == origin).map(|(_, n)| *n).sum()
+        self.counts
+            .lock()
+            .iter()
+            .filter(|((_, o), _)| *o == origin)
+            .map(|(_, n)| *n)
+            .sum()
     }
 
     /// FNV-1a over every retained event plus every count — equal across two
@@ -151,9 +169,24 @@ mod tests {
     fn records_and_counts() {
         let log = FaultLog::new();
         log.record(SimTime(10), FaultOrigin::Injected, "net.flaky", "M1 window");
-        log.record(SimTime(20), FaultOrigin::Observed, "net.flaky", "read failed");
-        log.record(SimTime(30), FaultOrigin::Observed, "net.flaky", "read failed");
-        log.record(SimTime(40), FaultOrigin::Recovery, "rfile.retry", "attempt 1 ok");
+        log.record(
+            SimTime(20),
+            FaultOrigin::Observed,
+            "net.flaky",
+            "read failed",
+        );
+        log.record(
+            SimTime(30),
+            FaultOrigin::Observed,
+            "net.flaky",
+            "read failed",
+        );
+        log.record(
+            SimTime(40),
+            FaultOrigin::Recovery,
+            "rfile.retry",
+            "attempt 1 ok",
+        );
         assert_eq!(log.events().len(), 4);
         assert_eq!(log.count("net.flaky", FaultOrigin::Observed), 2);
         assert_eq!(log.count("net.flaky", FaultOrigin::Injected), 1);

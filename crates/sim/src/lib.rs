@@ -25,6 +25,7 @@ pub mod clock;
 pub mod driver;
 pub mod fault;
 pub mod metrics;
+pub mod registry;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -33,5 +34,6 @@ pub use clock::Clock;
 pub use driver::ClosedLoopDriver;
 pub use fault::{FaultEvent, FaultLog, FaultOrigin};
 pub use metrics::{Counter, Histogram, TimeSeries};
+pub use registry::{Gauge, MetricsRegistry, MetricsSnapshot, SpanStats, SpanToken};
 pub use resource::{CpuPool, FifoResource, LinkResource, PoolResource};
 pub use time::{SimDuration, SimTime};

@@ -117,7 +117,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     pub fn new(bucket_width: SimDuration) -> TimeSeries {
         assert!(!bucket_width.is_zero());
-        TimeSeries { bucket_width, buckets: Mutex::new(Vec::new()) }
+        TimeSeries {
+            bucket_width,
+            buckets: Mutex::new(Vec::new()),
+        }
     }
 
     pub fn bucket_width(&self) -> SimDuration {

@@ -1,0 +1,422 @@
+//! Central registry of *named* metrics and virtual-clock span tracing.
+//!
+//! [`crate::metrics`] provides the raw primitives (counters, histograms,
+//! time series); this module organizes them into one component hierarchy
+//! (`nic.read.lat`, `fabric.read.bytes`, `broker.lease.grants`,
+//! `bpext.hit_ratio`, `rfile.retries`, …) that the bench harness can
+//! snapshot deterministically and serialize next to a figure's data.
+//!
+//! Two properties matter more than anything else here:
+//!
+//! * **Determinism** — all maps are `BTreeMap`, snapshots iterate in name
+//!   order, and nothing reads the wall clock. Two identical seeded runs
+//!   produce identical snapshots, byte for byte once serialized.
+//! * **Zero time distortion** — recording a metric never charges a
+//!   [`Clock`](crate::Clock). Span enter/exit take explicit [`SimTime`]
+//!   instants so attribution is exact without touching the clock.
+//!
+//! Span tracing is stack-shaped: [`MetricsRegistry::span_enter`] /
+//! [`MetricsRegistry::span_exit`] must nest LIFO (the simulation driver
+//! runs one worker step to completion at a time, so this holds naturally).
+//! Each named span accumulates call count, total time and *self* time
+//! (total minus enclosed child spans) — the per-layer attribution that
+//! splits an `rfile.read` into network verbs vs. file-layer overhead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Histogram, TimeSeries};
+use crate::time::{SimDuration, SimTime};
+
+/// A settable scalar metric (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregate statistics for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    pub count: u64,
+    pub total: SimDuration,
+    /// Total minus time spent inside child spans.
+    pub self_time: SimDuration,
+}
+
+/// Token returned by [`MetricsRegistry::span_enter`]; pass it back to
+/// [`MetricsRegistry::span_exit`]. Exits must be LIFO.
+#[derive(Debug)]
+#[must_use = "a span that is never exited records nothing"]
+pub struct SpanToken {
+    depth: usize,
+}
+
+struct OpenSpan {
+    name: String,
+    start: SimTime,
+    child_time: SimDuration,
+}
+
+#[derive(Default)]
+struct SpanState {
+    stats: BTreeMap<String, SpanStats>,
+    stack: Vec<OpenSpan>,
+}
+
+/// The central metric registry: named counters, gauges, histograms, time
+/// series and spans, created on first use.
+///
+/// A name is bound to one metric kind forever; asking for `fabric.bytes` as
+/// a counter after it was created as a gauge is a programming error and
+/// panics (names are compile-time constants in the instrumented crates, so
+/// this fails fast and deterministically).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    kinds: Mutex<BTreeMap<String, &'static str>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Arc<TimeSeries>>>,
+    spans: Mutex<SpanState>,
+}
+
+// Configs embed `Option<Arc<MetricsRegistry>>` and still derive Debug;
+// dumping every registered metric there would be noise, so show the count.
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.kinds.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Convenience: a fresh registry behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    fn claim(&self, name: &str, kind: &'static str) {
+        let mut kinds = self.kinds.lock();
+        match kinds.get(name) {
+            None => {
+                kinds.insert(name.to_string(), kind);
+            }
+            Some(k) if *k == kind => {}
+            Some(k) => panic!(
+                "metric name collision: `{name}` is registered as a {k}, requested as a {kind}"
+            ),
+        }
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.claim(name, "counter");
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.claim(name, "gauge");
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.claim(name, "histogram");
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Get or create the time series `name` (bucketed by `width` of virtual
+    /// time; the width of the first creation wins).
+    pub fn time_series(&self, name: &str, width: SimDuration) -> Arc<TimeSeries> {
+        self.claim(name, "series");
+        Arc::clone(
+            self.series
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(TimeSeries::new(width))),
+        )
+    }
+
+    /// Open the span `name` at instant `at`. Spans nest; close with
+    /// [`MetricsRegistry::span_exit`] in LIFO order.
+    pub fn span_enter(&self, name: &str, at: SimTime) -> SpanToken {
+        self.claim(name, "span");
+        let mut s = self.spans.lock();
+        s.stack.push(OpenSpan {
+            name: name.to_string(),
+            start: at,
+            child_time: SimDuration::ZERO,
+        });
+        SpanToken {
+            depth: s.stack.len() - 1,
+        }
+    }
+
+    /// Close the innermost open span, which must be the one `token` came
+    /// from, charging `at - enter_time` to its stats.
+    pub fn span_exit(&self, token: SpanToken, at: SimTime) {
+        let mut s = self.spans.lock();
+        assert_eq!(
+            s.stack.len(),
+            token.depth + 1,
+            "span_exit out of order: spans must close LIFO"
+        );
+        let open = s
+            .stack
+            .pop()
+            .unwrap_or_else(|| unreachable!("asserted non-empty"));
+        let total = at.since(open.start);
+        let self_time = SimDuration(total.as_nanos().saturating_sub(open.child_time.as_nanos()));
+        if let Some(parent) = s.stack.last_mut() {
+            parent.child_time += total;
+        }
+        let st = s.stats.entry(open.name).or_default();
+        st.count += 1;
+        st.total += total;
+        st.self_time += self_time;
+    }
+
+    /// Per-name span statistics accumulated so far.
+    pub fn span_stats(&self, name: &str) -> SpanStats {
+        self.spans
+            .lock()
+            .stats
+            .get(name)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A deterministic, name-ordered snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSummary {
+                        count: h.len() as u64,
+                        mean_ns: h.mean().as_nanos(),
+                        p50_ns: h.percentile(50.0).as_nanos(),
+                        p95_ns: h.percentile(95.0).as_nanos(),
+                        p99_ns: h.percentile(99.0).as_nanos(),
+                        max_ns: h.max().as_nanos(),
+                    },
+                )
+            })
+            .collect();
+        let series = self
+            .series
+            .lock()
+            .iter()
+            .map(|(k, s)| {
+                (
+                    k.clone(),
+                    SeriesSummary {
+                        bucket_ns: s.bucket_width().as_nanos(),
+                        sums: s.sums(),
+                    },
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .stats
+            .iter()
+            .map(|(k, st)| {
+                (
+                    k.clone(),
+                    SpanSummary {
+                        count: st.count,
+                        total_ns: st.total.as_nanos(),
+                        self_ns: st.self_time.as_nanos(),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            series,
+            spans,
+        }
+    }
+}
+
+/// Five-number summary of a histogram, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// A time series' bucket sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSummary {
+    pub bucket_ns: u64,
+    pub sums: Vec<f64>,
+}
+
+/// Span totals in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSummary {
+    pub count: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+}
+
+/// Name-ordered snapshot of a [`MetricsRegistry`], ready for serialization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSummary)>,
+    pub series: Vec<(String, SeriesSummary)>,
+    pub spans: Vec<(String, SpanSummary)>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = MetricsRegistry::new();
+        r.counter("fabric.read.bytes").add(4096);
+        r.counter("fabric.read.bytes").incr();
+        r.gauge("bpext.hit_ratio").set(0.75);
+        assert_eq!(r.counter("fabric.read.bytes").get(), 4097);
+        assert_eq!(r.gauge("bpext.hit_ratio").get(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric name collision")]
+    fn name_collision_across_kinds_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("fabric.bytes").incr();
+        let _ = r.gauge("fabric.bytes");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_deterministic() {
+        let build = || {
+            let r = MetricsRegistry::new();
+            r.counter("z.last").add(3);
+            r.counter("a.first").add(1);
+            r.histogram("m.lat").record(SimDuration::from_micros(10));
+            r.histogram("m.lat").record(SimDuration::from_micros(30));
+            r.gauge("g").set(1.5);
+            let t = r.span_enter("outer", SimTime(0));
+            r.span_exit(t, SimTime(500));
+            r.snapshot()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "identical runs must snapshot identically");
+        assert_eq!(
+            a.counters
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a.first", "z.last"]
+        );
+        assert_eq!(a.histograms[0].1.count, 2);
+        assert_eq!(a.histograms[0].1.mean_ns, 20_000);
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_self_time() {
+        let r = MetricsRegistry::new();
+        let outer = r.span_enter("rfile.read", SimTime(0));
+        let inner = r.span_enter("net.read", SimTime(100));
+        r.span_exit(inner, SimTime(700));
+        r.span_exit(outer, SimTime(1000));
+        let o = r.span_stats("rfile.read");
+        let i = r.span_stats("net.read");
+        assert_eq!(o.count, 1);
+        assert_eq!(o.total, SimDuration(1000));
+        assert_eq!(
+            o.self_time,
+            SimDuration(400),
+            "1000 total - 600 in net.read"
+        );
+        assert_eq!(i.total, SimDuration(600));
+        assert_eq!(i.self_time, SimDuration(600));
+    }
+
+    #[test]
+    #[should_panic(expected = "span_exit out of order")]
+    fn out_of_order_span_exit_panics() {
+        let r = MetricsRegistry::new();
+        let a = r.span_enter("a", SimTime(0));
+        let _b = r.span_enter("b", SimTime(1));
+        r.span_exit(a, SimTime(2));
+    }
+}

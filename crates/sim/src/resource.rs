@@ -64,7 +64,10 @@ struct Fluid {
 
 impl FifoResource {
     pub fn new() -> FifoResource {
-        FifoResource { state: Mutex::new(Fluid::default()), total_service: AtomicU64::new(0) }
+        FifoResource {
+            state: Mutex::new(Fluid::default()),
+            total_service: AtomicU64::new(0),
+        }
     }
 
     /// Queue `service` of work behind the current backlog.
@@ -83,7 +86,10 @@ impl FifoResource {
         let end = start + service.0;
         s.backlog += service.0;
         self.total_service.fetch_add(service.0, Ordering::Relaxed);
-        Grant { start: SimTime(start), end: SimTime(end) }
+        Grant {
+            start: SimTime(start),
+            end: SimTime(end),
+        }
     }
 
     /// When the current backlog would drain (diagnostic).
@@ -140,7 +146,10 @@ impl PoolResource {
         let start = now.0 + fluid.backlog;
         let end = start + service.0;
         fluid.backlog += service.0;
-        Grant { start: SimTime(start), end: SimTime(end) }
+        Grant {
+            start: SimTime(start),
+            end: SimTime(end),
+        }
     }
 
     /// Queue `service` on the least-backlogged server.
@@ -177,8 +186,7 @@ impl PoolResource {
             return 0.0;
         }
         let k = self.servers.lock().len();
-        (self.total_service.load(Ordering::Relaxed) as f64 / (horizon.0 as f64 * k as f64))
-            .min(1.0)
+        (self.total_service.load(Ordering::Relaxed) as f64 / (horizon.0 as f64 * k as f64)).min(1.0)
     }
 }
 
@@ -197,7 +205,11 @@ pub struct LinkResource {
 impl LinkResource {
     pub fn new(bytes_per_sec: u64, propagation: SimDuration) -> LinkResource {
         assert!(bytes_per_sec > 0);
-        LinkResource { pipe: FifoResource::new(), bytes_per_sec, propagation }
+        LinkResource {
+            pipe: FifoResource::new(),
+            bytes_per_sec,
+            propagation,
+        }
     }
 
     pub fn bandwidth(&self) -> u64 {
@@ -208,7 +220,10 @@ impl LinkResource {
     pub fn transfer(&self, now: SimTime, bytes: u64) -> Grant {
         let ser = SimDuration::for_transfer(bytes, self.bytes_per_sec);
         let g = self.pipe.acquire(now, ser);
-        Grant { start: g.start, end: g.end + self.propagation }
+        Grant {
+            start: g.start,
+            end: g.end + self.propagation,
+        }
     }
 
     /// Fraction of `[0, horizon]` during which the pipe was busy.
@@ -227,7 +242,9 @@ pub struct CpuPool {
 
 impl CpuPool {
     pub fn new(cores: usize) -> CpuPool {
-        CpuPool { cores: PoolResource::new(cores) }
+        CpuPool {
+            cores: PoolResource::new(cores),
+        }
     }
 
     pub fn cores(&self) -> usize {

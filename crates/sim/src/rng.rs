@@ -26,12 +26,17 @@ impl SimRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
-        SimRng { s: [next(), next(), next(), next()] }
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// The raw xoshiro256++ step: uniform over all of `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -131,7 +136,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = SimRng::seeded(1);
         let mut b = SimRng::seeded(2);
-        let same = (0..100).filter(|_| a.uniform(0, 1_000_000) == b.uniform(0, 1_000_000)).count();
+        let same = (0..100)
+            .filter(|_| a.uniform(0, 1_000_000) == b.uniform(0, 1_000_000))
+            .count();
         assert!(same < 5);
     }
 
@@ -140,7 +147,9 @@ mod tests {
         let mut r = SimRng::seeded(42);
         let n = 10_000u64;
         let hot_n = 2_000u64;
-        let hits = (0..50_000).filter(|_| r.hotspot(n, 0.2, 0.99) < hot_n).count();
+        let hits = (0..50_000)
+            .filter(|_| r.hotspot(n, 0.2, 0.99) < hot_n)
+            .count();
         let frac = hits as f64 / 50_000.0;
         assert!(frac > 0.97, "hot fraction {frac} too low");
     }
@@ -181,6 +190,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 }

@@ -250,6 +250,9 @@ mod tests {
         let d = SimDuration::from_micros(10);
         assert_eq!(d * 3, SimDuration::from_micros(30));
         assert_eq!(d / 2, SimDuration::from_micros(5));
-        assert_eq!(d.max(SimDuration::from_micros(12)), SimDuration::from_micros(12));
+        assert_eq!(
+            d.max(SimDuration::from_micros(12)),
+            SimDuration::from_micros(12)
+        );
     }
 }

@@ -37,7 +37,11 @@ pub trait Device: Send + Sync {
     /// Bounds-check helper shared by implementations.
     fn check_bounds(&self, offset: u64, len: u64) -> Result<(), StorageError> {
         if offset + len > self.capacity() {
-            Err(StorageError::OutOfBounds { offset, len, capacity: self.capacity() })
+            Err(StorageError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity(),
+            })
         } else {
             Ok(())
         }
@@ -55,7 +59,9 @@ pub(crate) struct Backing {
 
 impl Backing {
     pub fn new(capacity: u64) -> Backing {
-        Backing { data: parking_lot::RwLock::new(vec![0u8; capacity as usize]) }
+        Backing {
+            data: parking_lot::RwLock::new(vec![0u8; capacity as usize]),
+        }
     }
 
     pub fn read(&self, offset: u64, buf: &mut [u8]) {

@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
     /// Access beyond device capacity.
-    OutOfBounds { offset: u64, len: u64, capacity: u64 },
+    OutOfBounds {
+        offset: u64,
+        len: u64,
+        capacity: u64,
+    },
     /// The device (or the remote memory behind it) is unavailable.
     /// For remote-memory-backed devices this is the best-effort failure the
     /// paper's scenarios must tolerate without losing correctness.
@@ -27,8 +31,16 @@ impl StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::OutOfBounds { offset, len, capacity } => {
-                write!(f, "access [{offset}, {}) exceeds capacity {capacity}", offset + len)
+            StorageError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "access [{offset}, {}) exceeds capacity {capacity}",
+                    offset + len
+                )
             }
             StorageError::Unavailable(why) => write!(f, "device unavailable: {why}"),
             StorageError::Transient(why) => write!(f, "device transiently failing: {why}"),

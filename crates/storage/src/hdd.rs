@@ -163,7 +163,10 @@ mod tests {
         let mut buf = vec![0u8; 8192];
         hdd.read(&mut clock, 0, &mut buf).unwrap();
         let ms = clock.now().as_micros_f64() / 1000.0;
-        assert!((5.0..=9.0).contains(&ms), "random 8K read {ms}ms (paper ~8ms on HDD(20))");
+        assert!(
+            (5.0..=9.0).contains(&ms),
+            "random 8K read {ms}ms (paper ~8ms on HDD(20))"
+        );
     }
 
     #[test]
@@ -211,9 +214,18 @@ mod tests {
             results.push(gbps);
         }
         let (h4, h8, h20) = (results[0], results[1], results[2]);
-        assert!((0.25..=0.5).contains(&h4), "HDD(4) seq {h4} GB/s (paper 0.36)");
-        assert!((0.55..=1.0).contains(&h8), "HDD(8) seq {h8} GB/s (paper 0.76)");
-        assert!((1.3..=2.2).contains(&h20), "HDD(20) seq {h20} GB/s (paper 1.76)");
+        assert!(
+            (0.25..=0.5).contains(&h4),
+            "HDD(4) seq {h4} GB/s (paper 0.36)"
+        );
+        assert!(
+            (0.55..=1.0).contains(&h8),
+            "HDD(8) seq {h8} GB/s (paper 0.76)"
+        );
+        assert!(
+            (1.3..=2.2).contains(&h20),
+            "HDD(20) seq {h20} GB/s (paper 1.76)"
+        );
         assert!(h8 > h4 * 1.7 && h20 > h8 * 1.7, "scaling not near-linear");
     }
 
@@ -232,9 +244,15 @@ mod tests {
             hdd.read(clock, page * 8192, &mut buf).unwrap();
         });
         let gbps = ops as f64 * 8192.0 / horizon.as_secs_f64() / 1e9;
-        assert!(gbps < 0.1, "HDD(20) random {gbps} GB/s should be well under 0.1 (paper 0.04)");
+        assert!(
+            gbps < 0.1,
+            "HDD(20) random {gbps} GB/s should be well under 0.1 (paper 0.04)"
+        );
         let lat = h.mean().as_millis_f64();
-        assert!((4.0..=20.0).contains(&lat), "HDD(20) random latency {lat}ms (paper 8ms)");
+        assert!(
+            (4.0..=20.0).contains(&lat),
+            "HDD(20) random latency {lat}ms (paper 8ms)"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod hdd;
+pub mod metered;
 pub mod ramdisk;
 pub mod ssd;
 
@@ -26,5 +27,6 @@ pub use config::{HddConfig, SsdConfig};
 pub use device::Device;
 pub use error::StorageError;
 pub use hdd::HddArray;
+pub use metered::MeteredDevice;
 pub use ramdisk::RamDisk;
 pub use ssd::Ssd;

@@ -30,7 +30,13 @@ impl RamDisk {
     }
 
     pub fn with_speeds(capacity: u64, bandwidth: u64, fixed: SimDuration) -> RamDisk {
-        RamDisk { capacity, bandwidth, fixed, backing: Backing::new(capacity), failed: Mutex::new(false) }
+        RamDisk {
+            capacity,
+            bandwidth,
+            fixed,
+            backing: Backing::new(capacity),
+            failed: Mutex::new(false),
+        }
     }
 
     /// Simulate the hosting server failing: contents are lost and accesses

@@ -103,8 +103,14 @@ mod tests {
         });
         let lat_us = h.mean().as_micros_f64();
         let gbps = ops as f64 * 8192.0 / horizon.as_secs_f64() / 1e9;
-        assert!((450.0..=800.0).contains(&lat_us), "SSD random latency {lat_us}us (paper 624)");
-        assert!((0.18..=0.32).contains(&gbps), "SSD random {gbps} GB/s (paper 0.24)");
+        assert!(
+            (450.0..=800.0).contains(&lat_us),
+            "SSD random latency {lat_us}us (paper 624)"
+        );
+        assert!(
+            (0.18..=0.32).contains(&gbps),
+            "SSD random {gbps} GB/s (paper 0.24)"
+        );
     }
 
     #[test]
@@ -123,7 +129,10 @@ mod tests {
             offsets[w] += buf.len() as u64;
         });
         let gbps = ops as f64 * buf.len() as f64 / horizon.as_secs_f64() / 1e9;
-        assert!((0.3..=0.45).contains(&gbps), "SSD seq {gbps} GB/s (paper 0.39)");
+        assert!(
+            (0.3..=0.45).contains(&gbps),
+            "SSD seq {gbps} GB/s (paper 0.39)"
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub struct HashSortParams {
 
 impl Default for HashSortParams {
     fn default() -> HashSortParams {
-        HashSortParams { orders: 30_000, lineitems_per_order: 4, top_n: 1_000, seed: 11 }
+        HashSortParams {
+            orders: 30_000,
+            lineitems_per_order: 4,
+            top_n: 1_000,
+            seed: 11,
+        }
     }
 }
 
@@ -55,8 +60,12 @@ pub fn lineitem_schema() -> Schema {
 /// Load both tables, clustered on their keys.
 pub fn load_tables(db: &Database, clock: &mut Clock, p: &HashSortParams) -> HashSortTables {
     let mut rng = SimRng::seeded(p.seed);
-    let orders = db.create_table(clock, "orders", orders_schema(), 0).expect("orders");
-    let lineitem = db.create_table(clock, "lineitem", lineitem_schema(), 0).expect("lineitem");
+    let orders = db
+        .create_table(clock, "orders", orders_schema(), 0)
+        .expect("orders");
+    let lineitem = db
+        .create_table(clock, "lineitem", lineitem_schema(), 0)
+        .expect("lineitem");
     for ok in 0..p.orders as i64 {
         db.insert(
             clock,
@@ -170,7 +179,12 @@ mod tests {
     }
 
     fn small_params() -> HashSortParams {
-        HashSortParams { orders: 3_000, lineitems_per_order: 3, top_n: 100, seed: 5 }
+        HashSortParams {
+            orders: 3_000,
+            lineitems_per_order: 3,
+            top_n: 100,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -190,7 +204,9 @@ mod tests {
         let mut results = Vec::new();
         for tempdb in [
             Arc::new(RamDisk::new(256 << 20)) as Arc<dyn remem_storage::Device>,
-            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(256 << 20))),
+            Arc::new(remem_storage::Ssd::new(
+                remem_storage::SsdConfig::with_capacity(256 << 20),
+            )),
         ] {
             let db = db_with_tempdb(tempdb, 1 << 20);
             let mut clock = Clock::new();
@@ -206,7 +222,9 @@ mod tests {
         let mut totals = Vec::new();
         for tempdb in [
             Arc::new(RamDisk::new(256 << 20)) as Arc<dyn remem_storage::Device>,
-            Arc::new(remem_storage::Ssd::new(remem_storage::SsdConfig::with_capacity(256 << 20))),
+            Arc::new(remem_storage::Ssd::new(
+                remem_storage::SsdConfig::with_capacity(256 << 20),
+            )),
         ] {
             let db = db_with_tempdb(tempdb, 512 << 10);
             let mut clock = Clock::new();

@@ -29,7 +29,12 @@ pub struct LoadingParams {
 
 impl Default for LoadingParams {
     fn default() -> LoadingParams {
-        LoadingParams { splits: 80, split_bytes: 2 << 20, server_parse_rate: 23_000_000, cores: 20 }
+        LoadingParams {
+            splits: 80,
+            split_bytes: 2 << 20,
+            server_parse_rate: 23_000_000,
+            cores: 20,
+        }
     }
 }
 
@@ -66,8 +71,9 @@ pub fn run_parallel_load(p: &LoadingParams, n_servers: usize) -> LoadingReport {
     // Parse phase: each server is a pipeline running at its aggregate rate,
     // so its splits serialize on that pipeline.
     let per_split = SimDuration::for_transfer(p.split_bytes, p.server_parse_rate);
-    let pipelines: Vec<remem_sim::FifoResource> =
-        (0..n_servers).map(|_| remem_sim::FifoResource::new()).collect();
+    let pipelines: Vec<remem_sim::FifoResource> = (0..n_servers)
+        .map(|_| remem_sim::FifoResource::new())
+        .collect();
     let mut load_end = SimTime::ZERO;
     let mut loaded_bytes = vec![0u64; n_servers];
     for s in 0..p.splits {
@@ -89,7 +95,9 @@ pub fn run_parallel_load(p: &LoadingParams, n_servers: usize) -> LoadingReport {
             let mr = fabric
                 .register_mr(&mut reg_clock, loader, loaded_bytes[li])
                 .expect("register in-memory file");
-            fabric.connect(&mut copy_clock, dest, loader).expect("connect");
+            fabric
+                .connect(&mut copy_clock, dest, loader)
+                .expect("connect");
             // pull in 1 MiB transfers
             let chunk = 1 << 20;
             let mut buf = vec![0u8; chunk as usize];
@@ -97,7 +105,14 @@ pub fn run_parallel_load(p: &LoadingParams, n_servers: usize) -> LoadingReport {
             while off < loaded_bytes[li] {
                 let n = chunk.min(loaded_bytes[li] - off);
                 fabric
-                    .read(&mut copy_clock, Protocol::Custom, dest, mr, off, &mut buf[..n as usize])
+                    .read(
+                        &mut copy_clock,
+                        Protocol::Custom,
+                        dest,
+                        mr,
+                        off,
+                        &mut buf[..n as usize],
+                    )
                     .expect("pull");
                 off += n;
             }
@@ -119,7 +134,10 @@ mod tests {
         let r = run_parallel_load(&LoadingParams::default(), 1);
         let secs = r.load.as_secs_f64();
         // paper: 6,919 s for 160 GB → 6.9 s for our 160 MB
-        assert!((6.0..=8.0).contains(&secs), "1-server load {secs}s (paper ~6.9s scaled)");
+        assert!(
+            (6.0..=8.0).contains(&secs),
+            "1-server load {secs}s (paper ~6.9s scaled)"
+        );
         assert!(r.copy.is_zero());
     }
 
@@ -130,7 +148,10 @@ mod tests {
         let t8 = run_parallel_load(&p, 8).total();
         let speedup = t1.as_nanos() as f64 / t8.as_nanos() as f64;
         // paper: 6919/894 ≈ 7.7x with 8 servers
-        assert!((6.0..=8.2).contains(&speedup), "8-server speedup {speedup} (paper ~7.7x)");
+        assert!(
+            (6.0..=8.2).contains(&speedup),
+            "8-server speedup {speedup} (paper ~7.7x)"
+        );
     }
 
     #[test]

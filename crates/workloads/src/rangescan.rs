@@ -5,11 +5,11 @@
 //! `@start` drawn uniformly (BPExt stress) or from a hotspot (priming), and
 //! an optional update variant that rewrites the selected balances.
 
-use remem_engine::{Database, Row, Schema, TableId, Value};
 use remem_engine::row::ColType;
+use remem_engine::{Database, Row, Schema, TableId, Value};
 use remem_sim::metrics::RunSummary;
 use remem_sim::rng::SimRng;
-use remem_sim::{ClosedLoopDriver, Clock, Histogram, SimDuration, SimTime};
+use remem_sim::{Clock, ClosedLoopDriver, Histogram, SimDuration, SimTime};
 
 /// Key distribution for `@start`.
 #[derive(Debug, Clone, Copy)]
@@ -17,7 +17,10 @@ pub enum KeyDistribution {
     Uniform,
     /// `prob` of the accesses hit the first `frac` of the keyspace
     /// (the paper's priming experiment uses 99 % / 20 %).
-    Hotspot { frac: f64, prob: f64 },
+    Hotspot {
+        frac: f64,
+        prob: f64,
+    },
 }
 
 /// Workload parameters. The paper's defaults: range 100, 80 workers,
@@ -92,7 +95,9 @@ pub fn one_query(
     let mut ctx = db.exec_ctx(clock);
     ctx.charge(ctx.costs.statement_overhead);
     drop(ctx);
-    let rows = db.range(clock, table, start, start + range as i64).expect("range scan");
+    let rows = db
+        .range(clock, table, start, start + range as i64)
+        .expect("range scan");
     if update {
         for r in &rows {
             let k = r.int(0);
@@ -123,8 +128,7 @@ pub fn run_rangescan(
     assert!(total_rows > p.range, "table smaller than one range");
     let mut rng = SimRng::seeded(p.seed);
     let latencies = Histogram::new();
-    let mut driver =
-        ClosedLoopDriver::new(p.workers, start + p.duration).starting_at(start);
+    let mut driver = ClosedLoopDriver::new(p.workers, start + p.duration).starting_at(start);
     let max_start = total_rows - p.range;
     driver.run(&latencies, |_, clock| {
         let key = match p.distribution {
@@ -161,7 +165,10 @@ mod tests {
     fn rows_average_245_bytes() {
         let r = customer_row(123);
         let len = r.encoded_len();
-        assert!((230..=260).contains(&len), "row is {len} bytes, paper says ~245");
+        assert!(
+            (230..=260).contains(&len),
+            "row is {len} bytes, paper says ~245"
+        );
     }
 
     #[test]
@@ -207,7 +214,10 @@ mod tests {
         let t = load_customer(&db, &mut clock, 2000);
         let p = RangeScanParams {
             workers: 4,
-            distribution: KeyDistribution::Hotspot { frac: 0.2, prob: 0.99 },
+            distribution: KeyDistribution::Hotspot {
+                frac: 0.2,
+                prob: 0.99,
+            },
             duration: SimDuration::from_millis(50),
             ..Default::default()
         };

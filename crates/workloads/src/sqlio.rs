@@ -71,7 +71,10 @@ pub struct SqlioReport {
 /// occupancy across runs (as a real disk carries queued work). Benchmarks
 /// comparing patterns should use a *fresh* device instance per run.
 pub fn run_sqlio(device: &dyn Device, p: &SqlioParams) -> SqlioReport {
-    assert!(device.capacity() >= p.block_bytes * p.threads as u64, "device too small");
+    assert!(
+        device.capacity() >= p.block_bytes * p.threads as u64,
+        "device too small"
+    );
     let mut rng = SimRng::seeded(p.seed);
     let blocks = device.capacity() / p.block_bytes;
     let mut driver = ClosedLoopDriver::new(p.threads, p.horizon);
@@ -116,7 +119,7 @@ pub fn run_sqlio(device: &dyn Device, p: &SqlioParams) -> SqlioReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remem_storage::{HddConfig, HddArray, RamDisk, Ssd, SsdConfig};
+    use remem_storage::{HddArray, HddConfig, RamDisk, Ssd, SsdConfig};
 
     const HORIZON: SimTime = SimTime(100_000_000); // 100 ms
 
@@ -139,7 +142,10 @@ mod tests {
     #[test]
     fn sequential_streams_stay_in_their_regions() {
         let ram = RamDisk::new(64 << 20);
-        let p = SqlioParams { threads: 4, ..SqlioParams::sequential_512k(HORIZON) };
+        let p = SqlioParams {
+            threads: 4,
+            ..SqlioParams::sequential_512k(HORIZON)
+        };
         let r = run_sqlio(&ram, &p);
         assert!(r.ops > 100);
     }
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn write_mode_works() {
         let ram = RamDisk::new(16 << 20);
-        let p = SqlioParams { writes: true, ..SqlioParams::random_8k(SimTime(10_000_000)) };
+        let p = SqlioParams {
+            writes: true,
+            ..SqlioParams::random_8k(SimTime(10_000_000))
+        };
         let r = run_sqlio(&ram, &p);
         assert!(r.ops > 0);
     }

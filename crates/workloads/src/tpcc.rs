@@ -10,7 +10,7 @@ use remem_engine::row::ColType;
 use remem_engine::{Database, Row, Schema, TableId, Value};
 use remem_sim::metrics::RunSummary;
 use remem_sim::rng::SimRng;
-use remem_sim::{ClosedLoopDriver, Clock, Histogram, SimTime};
+use remem_sim::{Clock, ClosedLoopDriver, Histogram, SimTime};
 use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Scaled sizing (paper: 800 warehouses / 168 GB).
@@ -48,12 +48,24 @@ pub struct Mix {
 impl Mix {
     /// The standard TPC-C mix.
     pub fn default_mix() -> Mix {
-        Mix { new_order: 0.45, payment: 0.43, order_status: 0.04, delivery: 0.04, stock_level: 0.04 }
+        Mix {
+            new_order: 0.45,
+            payment: 0.43,
+            order_status: 0.04,
+            delivery: 0.04,
+            stock_level: 0.04,
+        }
     }
 
     /// The paper's read-mostly variant: 90 % StockLevel.
     pub fn read_mostly() -> Mix {
-        Mix { new_order: 0.045, payment: 0.043, order_status: 0.006, delivery: 0.006, stock_level: 0.90 }
+        Mix {
+            new_order: 0.045,
+            payment: 0.043,
+            order_status: 0.006,
+            delivery: 0.006,
+            stock_level: 0.90,
+        }
     }
 }
 
@@ -102,13 +114,22 @@ impl Tpcc {
 pub fn load(db: &Database, clock: &mut Clock, p: &TpccParams) -> Tpcc {
     let mut rng = SimRng::seeded(p.seed);
     let warehouse = db
-        .create_table(clock, "warehouse", Schema::new(vec![("w_id", ColType::Int), ("w_ytd", ColType::Float)]), 0)
+        .create_table(
+            clock,
+            "warehouse",
+            Schema::new(vec![("w_id", ColType::Int), ("w_ytd", ColType::Float)]),
+            0,
+        )
         .expect("warehouse");
     let district = db
         .create_table(
             clock,
             "district",
-            Schema::new(vec![("d_key", ColType::Int), ("d_ytd", ColType::Float), ("d_next_oid", ColType::Int)]),
+            Schema::new(vec![
+                ("d_key", ColType::Int),
+                ("d_ytd", ColType::Float),
+                ("d_next_oid", ColType::Int),
+            ]),
             0,
         )
         .expect("district");
@@ -141,7 +162,11 @@ pub fn load(db: &Database, clock: &mut Clock, p: &TpccParams) -> Tpcc {
         .create_table(
             clock,
             "item",
-            Schema::new(vec![("i_id", ColType::Int), ("i_price", ColType::Float), ("i_name", ColType::Str)]),
+            Schema::new(vec![
+                ("i_id", ColType::Int),
+                ("i_price", ColType::Float),
+                ("i_name", ColType::Str),
+            ]),
             0,
         )
         .expect("item");
@@ -172,7 +197,12 @@ pub fn load(db: &Database, clock: &mut Clock, p: &TpccParams) -> Tpcc {
         )
         .expect("order_line");
     let new_orders = db
-        .create_table(clock, "new_orders", Schema::new(vec![("no_key", ColType::Int)]), 0)
+        .create_table(
+            clock,
+            "new_orders",
+            Schema::new(vec![("no_key", ColType::Int)]),
+            0,
+        )
         .expect("new_orders");
 
     let t = Tpcc {
@@ -206,7 +236,12 @@ pub fn load(db: &Database, clock: &mut Clock, p: &TpccParams) -> Tpcc {
         .expect("item");
     }
     for w in 0..p.warehouses {
-        db.insert(clock, warehouse, Row::new(vec![Value::Int(w), Value::Float(0.0)])).expect("wh");
+        db.insert(
+            clock,
+            warehouse,
+            Row::new(vec![Value::Int(w), Value::Float(0.0)]),
+        )
+        .expect("wh");
         for i in 0..p.items {
             db.insert(
                 clock,
@@ -296,7 +331,8 @@ pub fn new_order(db: &Database, clock: &mut Clock, t: &Tpcc, rng: &mut SimRng) -
     let ok = t.order_key(w, d, oid);
     let n_lines = rng.uniform(5, 16) as i64;
     // read customer, update district next-oid
-    db.get(clock, t.customer, t.customer_key(w, d, c)).expect("read customer");
+    db.get(clock, t.customer, t.customer_key(w, d, c))
+        .expect("read customer");
     db.update(clock, t.district, t.district_key(w, d), |r| {
         r.0[2] = Value::Int(oid + 1);
     })
@@ -312,11 +348,16 @@ pub fn new_order(db: &Database, clock: &mut Clock, t: &Tpcc, rng: &mut SimRng) -
         ]),
     )
     .expect("insert order");
-    db.insert(clock, t.new_orders, Row::new(vec![Value::Int(ok)])).expect("insert new_order");
+    db.insert(clock, t.new_orders, Row::new(vec![Value::Int(ok)]))
+        .expect("insert new_order");
     for l in 0..n_lines {
         let i = rng.zipf(p.items as u64, 0.8) as i64;
         // read item price, decrement stock
-        let price = db.get(clock, t.item, i).expect("item").expect("item exists").float(1);
+        let price = db
+            .get(clock, t.item, i)
+            .expect("item")
+            .expect("item exists")
+            .float(1);
         db.update(clock, t.stock, t.stock_key(w, i), |r| {
             let q = r.int(1);
             r.0[1] = Value::Int(if q > 10 { q - 5 } else { q + 86 });
@@ -345,8 +386,10 @@ pub fn payment(db: &Database, clock: &mut Clock, t: &Tpcc, rng: &mut SimRng) {
     let d = rng.uniform(0, p.districts_per_wh as u64) as i64;
     let c = rng.zipf(p.customers_per_district as u64, 0.8) as i64;
     let amount = 1.0 + rng.unit() * 4999.0;
-    db.update(clock, t.warehouse, w, |r| r.0[1] = Value::Float(r.float(1) + amount))
-        .expect("wh ytd");
+    db.update(clock, t.warehouse, w, |r| {
+        r.0[1] = Value::Float(r.float(1) + amount)
+    })
+    .expect("wh ytd");
     db.update(clock, t.district, t.district_key(w, d), |r| {
         r.0[1] = Value::Float(r.float(1) + amount)
     })
@@ -365,14 +408,20 @@ pub fn order_status(db: &Database, clock: &mut Clock, t: &Tpcc, rng: &mut SimRng
     let dist_idx = t.district_key(w, d) as usize;
     let last = t.next_oid[dist_idx].load(Ordering::Relaxed) - 1;
     let ok = t.order_key(w, d, last.max(0));
-    db.get(clock, t.customer, t.customer_key(w, d, 0)).expect("customer");
+    db.get(clock, t.customer, t.customer_key(w, d, 0))
+        .expect("customer");
     let order = db.get(clock, t.orders, ok).expect("order");
     match order {
         Some(o) => {
             let n = o.int(3);
-            db.range(clock, t.order_line, t.order_line_key(ok, 0), t.order_line_key(ok, n))
-                .expect("order lines")
-                .len()
+            db.range(
+                clock,
+                t.order_line,
+                t.order_line_key(ok, 0),
+                t.order_line_key(ok, n),
+            )
+            .expect("order lines")
+            .len()
         }
         None => 0,
     }
@@ -392,8 +441,12 @@ pub fn delivery(db: &Database, clock: &mut Clock, t: &Tpcc, rng: &mut SimRng) ->
             continue;
         }
         let ok = t.order_key(w, d, cursor);
-        if db.delete(clock, t.new_orders, ok).expect("delete new_order") {
-            db.update(clock, t.orders, ok, |r| r.0[2] = Value::Int(7)).expect("carrier");
+        if db
+            .delete(clock, t.new_orders, ok)
+            .expect("delete new_order")
+        {
+            db.update(clock, t.orders, ok, |r| r.0[2] = Value::Int(7))
+                .expect("carrier");
             delivered += 1;
         }
         t.delivery_cursor[dist_idx].store(cursor + 1, Ordering::Relaxed);
@@ -474,7 +527,13 @@ mod tests {
     use std::sync::Arc;
 
     fn tiny() -> TpccParams {
-        TpccParams { warehouses: 2, districts_per_wh: 2, customers_per_district: 10, items: 100, seed: 1 }
+        TpccParams {
+            warehouses: 2,
+            districts_per_wh: 2,
+            customers_per_district: 10,
+            items: 100,
+            seed: 1,
+        }
     }
 
     fn db() -> Database {
@@ -514,7 +573,15 @@ mod tests {
         let mut clock = Clock::new();
         let t = load(&db1, &mut clock, &tiny());
         let wal_before = db1.wal().current_lsn();
-        let s = run_mix(&db1, &t, &Mix::read_mostly(), 4, clock.now(), remem_sim::SimDuration::from_millis(50), 3);
+        let s = run_mix(
+            &db1,
+            &t,
+            &Mix::read_mostly(),
+            4,
+            clock.now(),
+            remem_sim::SimDuration::from_millis(50),
+            3,
+        );
         assert!(s.ops > 10, "{s:?}");
         let wal_rm = db1.wal().current_lsn() - wal_before;
 
@@ -522,13 +589,24 @@ mod tests {
         let mut clock2 = Clock::new();
         let t2 = load(&db2, &mut clock2, &tiny());
         let wal_before2 = db2.wal().current_lsn();
-        let s2 = run_mix(&db2, &t2, &Mix::default_mix(), 4, clock2.now(), remem_sim::SimDuration::from_millis(50), 3);
+        let s2 = run_mix(
+            &db2,
+            &t2,
+            &Mix::default_mix(),
+            4,
+            clock2.now(),
+            remem_sim::SimDuration::from_millis(50),
+            3,
+        );
         assert!(s2.ops > 10);
         let wal_def = db2.wal().current_lsn() - wal_before2;
         // per-transaction log volume must be far higher in the default mix
         let per_tx_rm = wal_rm as f64 / s.ops as f64;
         let per_tx_def = wal_def as f64 / s2.ops as f64;
-        assert!(per_tx_def > 3.0 * per_tx_rm, "default {per_tx_def} vs read-mostly {per_tx_rm}");
+        assert!(
+            per_tx_def > 3.0 * per_tx_rm,
+            "default {per_tx_def} vs read-mostly {per_tx_rm}"
+        );
     }
 
     #[test]

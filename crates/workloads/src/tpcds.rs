@@ -22,7 +22,12 @@ pub struct TpcdsParams {
 
 impl Default for TpcdsParams {
     fn default() -> TpcdsParams {
-        TpcdsParams { sales: 60_000, items: 2_000, days: 1_461, seed: 23 }
+        TpcdsParams {
+            sales: 60_000,
+            items: 2_000,
+            days: 1_461,
+            seed: 23,
+        }
     }
 }
 
@@ -67,15 +72,24 @@ pub fn item_schema() -> Schema {
 /// Generate and load the star schema.
 pub fn load(db: &Database, clock: &mut Clock, p: &TpcdsParams) -> Tpcds {
     let mut rng = SimRng::seeded(p.seed);
-    let store_sales =
-        db.create_table(clock, "store_sales", store_sales_schema(), 0).expect("store_sales");
-    let date_dim = db.create_table(clock, "date_dim", date_dim_schema(), 0).expect("date_dim");
-    let item = db.create_table(clock, "item", item_schema(), 0).expect("item");
+    let store_sales = db
+        .create_table(clock, "store_sales", store_sales_schema(), 0)
+        .expect("store_sales");
+    let date_dim = db
+        .create_table(clock, "date_dim", date_dim_schema(), 0)
+        .expect("date_dim");
+    let item = db
+        .create_table(clock, "item", item_schema(), 0)
+        .expect("item");
     for d in 0..p.days as i64 {
         db.insert(
             clock,
             date_dim,
-            Row::new(vec![Value::Int(d), Value::Int(1998 + d / 365), Value::Int(1 + (d / 30) % 12)]),
+            Row::new(vec![
+                Value::Int(d),
+                Value::Int(1998 + d / 365),
+                Value::Int(1 + (d / 30) % 12),
+            ]),
         )
         .expect("insert date");
     }
@@ -108,7 +122,13 @@ pub fn load(db: &Database, clock: &mut Clock, p: &TpcdsParams) -> Tpcds {
         .expect("insert sale");
     }
     db.checkpoint(clock).expect("checkpoint");
-    Tpcds { store_sales, date_dim, item, n_sales: p.sales, days: p.days }
+    Tpcds {
+        store_sales,
+        date_dim,
+        item,
+        n_sales: p.sales,
+        days: p.days,
+    }
 }
 
 /// Queries in the generated workload (the paper's histogram covers ~75).
@@ -116,7 +136,10 @@ pub const QUERY_COUNT: usize = 50;
 
 /// Execute query `qno` (1-based). Returns result cardinality.
 pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpcds, qno: usize) -> usize {
-    assert!((1..=QUERY_COUNT).contains(&qno), "TPC-DS workload has queries 1..={QUERY_COUNT}");
+    assert!(
+        (1..=QUERY_COUNT).contains(&qno),
+        "TPC-DS workload has queries 1..={QUERY_COUNT}"
+    );
     {
         let mut ctx = db.exec_ctx(clock).parallel();
         ctx.charge(ctx.costs.statement_overhead);
@@ -135,9 +158,14 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpcds, qno: usize) -> usi
             drop(ctx);
             let items = db.scan(clock, t.item).expect("scan");
             let joined = db
-                .join_hash(clock, items, sales, |i| i.int(0), |s| s.int(1), |i, s| {
-                    Row::new(vec![i.0[1].clone(), s.0[4].clone()])
-                })
+                .join_hash(
+                    clock,
+                    items,
+                    sales,
+                    |i| i.int(0),
+                    |s| s.int(1),
+                    |i, s| Row::new(vec![i.0[1].clone(), s.0[4].clone()]),
+                )
                 .expect("join");
             let mut ctx = db.exec_ctx(clock).parallel();
             let groups = remem_engine::exec::aggregate(
@@ -179,10 +207,14 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpcds, qno: usize) -> usi
             );
             let rows: Vec<Row> = groups
                 .into_iter()
-                .map(|(k, (n, v))| Row::new(vec![Value::Int(k), Value::Int(n as i64), Value::Float(v)]))
+                .map(|(k, (n, v))| {
+                    Row::new(vec![Value::Int(k), Value::Int(n as i64), Value::Float(v)])
+                })
                 .collect();
             drop(ctx);
-            let sorted = db.sort_rows(clock, rows, |r| -r.float(2), Some(50)).expect("sort");
+            let sorted = db
+                .sort_rows(clock, rows, |r| -r.float(2), Some(50))
+                .expect("sort");
             sorted.len()
         }
         // short seek-heavy query: narrow fact windows + INLJ into item
@@ -194,7 +226,10 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpcds, qno: usize) -> usi
             let mut narrow = Vec::new();
             for _ in 0..windows {
                 let start = rng.uniform(0, t.n_sales.saturating_sub(64)) as i64;
-                narrow.extend(db.range(clock, t.store_sales, start, start + 64).expect("range"));
+                narrow.extend(
+                    db.range(clock, t.store_sales, start, start + 64)
+                        .expect("range"),
+                );
             }
             let joined = db
                 .join_inlj(clock, &narrow, 1, t.item, |s, i| {
@@ -214,7 +249,12 @@ mod tests {
     use std::sync::Arc;
 
     fn tiny() -> TpcdsParams {
-        TpcdsParams { sales: 3_000, items: 200, days: 730, seed: 4 }
+        TpcdsParams {
+            sales: 3_000,
+            items: 200,
+            days: 730,
+            seed: 4,
+        }
     }
 
     fn db() -> Database {
@@ -237,8 +277,12 @@ mod tests {
         let db = db();
         let mut clock = Clock::new();
         let t = load(&db, &mut clock, &tiny());
-        let a: Vec<usize> = (1..=QUERY_COUNT).map(|q| run_query(&db, &mut clock, &t, q)).collect();
-        let b: Vec<usize> = (1..=QUERY_COUNT).map(|q| run_query(&db, &mut clock, &t, q)).collect();
+        let a: Vec<usize> = (1..=QUERY_COUNT)
+            .map(|q| run_query(&db, &mut clock, &t, q))
+            .collect();
+        let b: Vec<usize> = (1..=QUERY_COUNT)
+            .map(|q| run_query(&db, &mut clock, &t, q))
+            .collect();
         assert_eq!(a, b);
         assert!(a.iter().filter(|&&n| n > 0).count() > QUERY_COUNT / 2);
     }

@@ -26,7 +26,12 @@ pub struct TpchParams {
 
 impl Default for TpchParams {
     fn default() -> TpchParams {
-        TpchParams { customers: 5_000, orders_per_customer: 3, lineitems_per_order: 4, seed: 17 }
+        TpchParams {
+            customers: 5_000,
+            orders_per_customer: 3,
+            lineitems_per_order: 4,
+            seed: 17,
+        }
     }
 }
 
@@ -78,9 +83,15 @@ pub fn lineitem_schema() -> Schema {
 /// Generate and load the database (clustered on the primary keys).
 pub fn load(db: &Database, clock: &mut Clock, p: &TpchParams) -> Tpch {
     let mut rng = SimRng::seeded(p.seed);
-    let customer = db.create_table(clock, "customer", customer_schema(), 0).expect("customer");
-    let orders = db.create_table(clock, "orders", orders_schema(), 0).expect("orders");
-    let lineitem = db.create_table(clock, "lineitem", lineitem_schema(), 0).expect("lineitem");
+    let customer = db
+        .create_table(clock, "customer", customer_schema(), 0)
+        .expect("customer");
+    let orders = db
+        .create_table(clock, "orders", orders_schema(), 0)
+        .expect("orders");
+    let lineitem = db
+        .create_table(clock, "lineitem", lineitem_schema(), 0)
+        .expect("lineitem");
     let n_orders = p.customers * p.orders_per_customer;
     for ck in 0..p.customers as i64 {
         db.insert(
@@ -133,7 +144,12 @@ pub fn load(db: &Database, clock: &mut Clock, p: &TpchParams) -> Tpch {
         }
     }
     db.checkpoint(clock).expect("checkpoint");
-    Tpch { customer, orders, lineitem, n_orders }
+    Tpch {
+        customer,
+        orders,
+        lineitem,
+        n_orders,
+    }
 }
 
 /// Number of queries in the workload (TPC-H has 22).
@@ -163,8 +179,9 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
         1 | 13 | 21 => {
             let rows = db.scan(clock, t.lineitem).expect("scan");
             let mut ctx = db.exec_ctx(clock).parallel();
-            let filtered =
-                remem_engine::exec::filter(&mut ctx, rows, |r| r.int(5) <= DATE_DOMAIN - cutoff.min(200));
+            let filtered = remem_engine::exec::filter(&mut ctx, rows, |r| {
+                r.int(5) <= DATE_DOMAIN - cutoff.min(200)
+            });
             let groups = remem_engine::exec::aggregate(
                 &mut ctx,
                 &filtered,
@@ -192,19 +209,32 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
             let seg = (qno % 5) as i64;
             let customers = db.scan(clock, t.customer).expect("scan");
             let mut ctx = db.exec_ctx(clock).parallel();
-            let customers =
-                remem_engine::exec::filter(&mut ctx, customers, |r| r.int(2) == seg);
+            let customers = remem_engine::exec::filter(&mut ctx, customers, |r| r.int(2) == seg);
             drop(ctx);
             let orders = db.scan(clock, t.orders).expect("scan");
             let mut ctx = db.exec_ctx(clock).parallel();
             let orders = remem_engine::exec::filter(&mut ctx, orders, |r| r.int(2) < cutoff);
             drop(ctx);
             let co = db
-                .join_hash(clock, customers, orders, |c| c.int(0), |o| o.int(1), |_, o| o.clone())
+                .join_hash(
+                    clock,
+                    customers,
+                    orders,
+                    |c| c.int(0),
+                    |o| o.int(1),
+                    |_, o| o.clone(),
+                )
                 .expect("c⋈o");
             let lineitems = db.scan(clock, t.lineitem).expect("scan");
             let col = db
-                .join_hash(clock, co, lineitems, |o| o.int(0), |l| l.int(1), |_, l| l.clone())
+                .join_hash(
+                    clock,
+                    co,
+                    lineitems,
+                    |o| o.int(0),
+                    |l| l.int(1),
+                    |_, l| l.clone(),
+                )
                 .expect("co⋈l");
             let mut ctx = db.exec_ctx(clock).parallel();
             let top = remem_engine::exec::top_n(&mut ctx, col, 10, |r| r.float(3), false);
@@ -223,9 +253,9 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
                     |l| l.int(1),
                     |o, l| {
                         Row::new(vec![
-                            o.0[1].clone(),          // custkey
-                            l.0[3].clone(),          // extendedprice
-                            o.0[4].clone(),          // padding (bulk)
+                            o.0[1].clone(), // custkey
+                            l.0[3].clone(), // extendedprice
+                            o.0[4].clone(), // padding (bulk)
                         ])
                     },
                 )
@@ -270,7 +300,9 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
             let mut total = 0usize;
             for _ in 0..50 {
                 let start = rng.uniform(0, t.n_orders.saturating_sub(200)) as i64;
-                let rows = db.range(clock, t.orders, start, start + 200).expect("range");
+                let rows = db
+                    .range(clock, t.orders, start, start + 200)
+                    .expect("range");
                 let mut ctx = db.exec_ctx(clock).parallel();
                 let _ = remem_engine::exec::sum_float(&mut ctx, &rows, 3);
                 total += rows.len();
@@ -290,7 +322,14 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
             let late = remem_engine::exec::filter(&mut ctx, lineitems, |r| r.int(2) > 40);
             drop(ctx);
             let joined = db
-                .join_hash(clock, orders, late, |o| o.int(0), |l| l.int(1), |o, _| o.clone())
+                .join_hash(
+                    clock,
+                    orders,
+                    late,
+                    |o| o.int(0),
+                    |l| l.int(1),
+                    |o, _| o.clone(),
+                )
                 .expect("semi");
             let mut ctx = db.exec_ctx(clock).parallel();
             let groups = remem_engine::exec::aggregate(
@@ -312,9 +351,14 @@ pub fn run_query(db: &Database, clock: &mut Clock, t: &Tpch, qno: usize) -> usiz
             drop(ctx);
             let orders = db.scan(clock, t.orders).expect("scan");
             let joined = db
-                .join_hash(clock, rich, orders, |c| c.int(0), |o| o.int(1), |c, o| {
-                    Row::new(vec![c.0[1].clone(), o.0[3].clone()])
-                })
+                .join_hash(
+                    clock,
+                    rich,
+                    orders,
+                    |c| c.int(0),
+                    |o| o.int(1),
+                    |c, o| Row::new(vec![c.0[1].clone(), o.0[3].clone()]),
+                )
                 .expect("join");
             let mut ctx = db.exec_ctx(clock).parallel();
             let groups = remem_engine::exec::aggregate(
@@ -337,7 +381,12 @@ mod tests {
     use std::sync::Arc;
 
     fn tiny() -> TpchParams {
-        TpchParams { customers: 300, orders_per_customer: 2, lineitems_per_order: 2, seed: 3 }
+        TpchParams {
+            customers: 300,
+            orders_per_customer: 2,
+            lineitems_per_order: 2,
+            seed: 3,
+        }
     }
 
     fn db() -> Database {
@@ -360,12 +409,17 @@ mod tests {
         let db = db();
         let mut clock = Clock::new();
         let t = load(&db, &mut clock, &tiny());
-        let first: Vec<usize> =
-            (1..=QUERY_COUNT).map(|q| run_query(&db, &mut clock, &t, q)).collect();
-        let second: Vec<usize> =
-            (1..=QUERY_COUNT).map(|q| run_query(&db, &mut clock, &t, q)).collect();
+        let first: Vec<usize> = (1..=QUERY_COUNT)
+            .map(|q| run_query(&db, &mut clock, &t, q))
+            .collect();
+        let second: Vec<usize> = (1..=QUERY_COUNT)
+            .map(|q| run_query(&db, &mut clock, &t, q))
+            .collect();
         assert_eq!(first, second, "queries must be deterministic");
-        assert!(first.iter().any(|&n| n > 0), "some queries must return rows");
+        assert!(
+            first.iter().any(|&n| n > 0),
+            "some queries must return rows"
+        );
     }
 
     #[test]
@@ -386,11 +440,19 @@ mod tests {
         let t = load(
             &db,
             &mut clock,
-            &TpchParams { customers: 2000, orders_per_customer: 3, lineitems_per_order: 4, seed: 3 },
+            &TpchParams {
+                customers: 2000,
+                orders_per_customer: 3,
+                lineitems_per_order: 4,
+                seed: 3,
+            },
         );
         let before = db.tempdb().bytes_spilled();
         run_query(&db, &mut clock, &t, 10);
-        assert!(db.tempdb().bytes_spilled() > before, "Q10 must spill (Appendix B.1)");
+        assert!(
+            db.tempdb().bytes_spilled() > before,
+            "Q10 must spill (Appendix B.1)"
+        );
     }
 
     #[test]

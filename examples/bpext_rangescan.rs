@@ -20,6 +20,7 @@ fn main() {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     };
     let rows = 60_000; // ~15 MiB of 245-byte customer rows
     let params = RangeScanParams {
@@ -28,8 +29,14 @@ fn main() {
         ..Default::default()
     };
 
-    println!("RangeScan (read-only, uniform): {rows} rows, pool {} MiB", opts.pool_bytes >> 20);
-    println!("{:<22} {:>14} {:>12} {:>12}", "design", "queries/sec", "mean ms", "p99 ms");
+    println!(
+        "RangeScan (read-only, uniform): {rows} rows, pool {} MiB",
+        opts.pool_bytes >> 20
+    );
+    println!(
+        "{:<22} {:>14} {:>12} {:>12}",
+        "design", "queries/sec", "mean ms", "p99 ms"
+    );
     for design in Design::ALL {
         // fresh cluster per design: virtual-time device state is stateful
         let cluster = Cluster::builder()
@@ -37,7 +44,9 @@ fn main() {
             .memory_per_server(32 << 20)
             .build();
         let mut clock = Clock::new();
-        let db = design.build(&cluster, &mut clock, &opts).expect("build design");
+        let db = design
+            .build(&cluster, &mut clock, &opts)
+            .expect("build design");
         let t = load_customer(&db, &mut clock, rows);
         db.buffer_pool().reset_stats();
         let s = run_rangescan(&db, t, &params, clock.now());

@@ -20,14 +20,23 @@ fn main() {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     };
     let rows = 40_000u64;
-    let hotspot = KeyDistribution::Hotspot { frac: 0.2, prob: 0.99 };
+    let hotspot = KeyDistribution::Hotspot {
+        frac: 0.2,
+        prob: 0.99,
+    };
 
     // ---- the old primary S1 runs the workload and warms its pool --------
-    let cluster = Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(64 << 20)
+        .build();
     let mut s1_clock = Clock::new();
-    let s1 = Design::Custom.build(&cluster, &mut s1_clock, &opts).expect("S1");
+    let s1 = Design::Custom
+        .build(&cluster, &mut s1_clock, &opts)
+        .expect("S1");
     let table = load_customer(&s1, &mut s1_clock, rows);
     let warmup = run_rangescan(
         &s1,
@@ -40,7 +49,11 @@ fn main() {
         },
         s1_clock.now(),
     );
-    println!("S1 warm: {} queries, {} warm pages", warmup.ops, s1.buffer_pool().resident_pages());
+    println!(
+        "S1 warm: {} queries, {} warm pages",
+        warmup.ops,
+        s1.buffer_pool().resident_pages()
+    );
 
     // ---- planned swap: serialize S1's pool, push via in-memory file -----
     let t0 = s1_clock.now();
@@ -50,18 +63,26 @@ fn main() {
     };
     let serialize_time = s1_clock.now().since(t0);
     let transfer_file = cluster
-        .remote_file(&mut s1_clock, cluster.db_server, (image.len() as u64).max(1), RFileConfig::custom())
+        .remote_file(
+            &mut s1_clock,
+            cluster.db_server,
+            (image.len() as u64).max(1),
+            RFileConfig::custom(),
+        )
         .expect("in-memory transfer file");
 
     // S2: a physically identical replica, elected primary with a cold pool
     let s2_server = cluster.add_db_server("DB2-new-primary", 20);
     let mut s2_clock = Clock::starting_at(s1_clock.now());
-    let s2 = Design::Custom.build_for(&cluster, &mut s2_clock, s2_server, &opts).expect("S2");
+    let s2 = Design::Custom
+        .build_for(&cluster, &mut s2_clock, s2_server, &opts)
+        .expect("S2");
     let table2 = load_customer(&s2, &mut s2_clock, rows);
 
     let t1 = s2_clock.now();
-    let pulled = priming::transfer_image(&mut s1_clock, &mut s2_clock, transfer_file.as_ref(), &image)
-        .expect("pull image");
+    let pulled =
+        priming::transfer_image(&mut s1_clock, &mut s2_clock, transfer_file.as_ref(), &image)
+            .expect("pull image");
     let primed = {
         let mut ctx = s2.exec_ctx(&mut s2_clock);
         priming::deserialize_into_pool(&mut ctx, s2.buffer_pool(), &pulled)
@@ -89,9 +110,14 @@ fn main() {
     // primed S2
     let primed_summary = run_tail(&s2, table2, s2_clock.now());
     // a cold S2 for comparison (fresh build, nothing primed)
-    let cluster2 = Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build();
+    let cluster2 = Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(64 << 20)
+        .build();
     let mut cold_clock = Clock::new();
-    let cold = Design::Custom.build(&cluster2, &mut cold_clock, &opts).expect("cold S2");
+    let cold = Design::Custom
+        .build(&cluster2, &mut cold_clock, &opts)
+        .expect("cold S2");
     let cold_table = load_customer(&cold, &mut cold_clock, rows);
     cold.buffer_pool().reset_stats();
     // NOTE: the cold pool still holds load-time pages; evict by churning? A

@@ -24,9 +24,15 @@ fn main() {
     // --- The core abstraction: a remote file (Table 2) ------------------
     let mut clock = Clock::new();
     let file = cluster
-        .remote_file(&mut clock, cluster.db_server, 8 << 20, RFileConfig::custom())
+        .remote_file(
+            &mut clock,
+            cluster.db_server,
+            8 << 20,
+            RFileConfig::custom(),
+        )
         .expect("lease + open remote file");
-    file.write(&mut clock, 4096, b"bytes that live on another server").unwrap();
+    file.write(&mut clock, 4096, b"bytes that live on another server")
+        .unwrap();
     let mut buf = vec![0u8; 33];
     file.read(&mut clock, 4096, &mut buf).unwrap();
     println!(

@@ -13,7 +13,10 @@ use remem_workloads::tpch::{self, TpchParams};
 use std::sync::Arc;
 
 fn main() {
-    let cluster = Cluster::builder().memory_servers(2).memory_per_server(96 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(96 << 20)
+        .build();
     let mut clock = Clock::new();
     let opts = DbOptions {
         pool_bytes: 16 << 20,
@@ -24,8 +27,11 @@ fn main() {
         oltp: false,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     };
-    let db = Design::Custom.build(&cluster, &mut clock, &opts).expect("build");
+    let db = Design::Custom
+        .build(&cluster, &mut clock, &opts)
+        .expect("build");
     let t = tpch::load(&db, &mut clock, &TpchParams::default());
     println!("TPC-H-like data loaded: {} orders", t.n_orders);
 
@@ -40,19 +46,33 @@ fn main() {
         .map(|g| remem_engine::Row::new(vec![Value::Int(g), Value::Float(g as f64 * 1e6)]))
         .collect();
     let mv_file = cluster
-        .remote_file(&mut clock, cluster.db_server, 4 << 20, RFileConfig::custom())
+        .remote_file(
+            &mut clock,
+            cluster.db_server,
+            4 << 20,
+            RFileConfig::custom(),
+        )
         .expect("MV file");
     {
         let mut ctx = db.exec_ctx(&mut clock);
         db.semantic()
-            .create_mv(&mut ctx, "q1_agg", vec![t.lineitem], MvPolicy::Invalidate, &mv_rows,
-                Arc::clone(&mv_file) as Arc<dyn remem::Device>)
+            .create_mv(
+                &mut ctx,
+                "q1_agg",
+                vec![t.lineitem],
+                MvPolicy::Invalidate,
+                &mv_rows,
+                Arc::clone(&mv_file) as Arc<dyn remem::Device>,
+            )
             .expect("create MV");
     }
     let t1 = clock.now();
     let served = {
         let mut ctx = db.exec_ctx(&mut clock);
-        db.semantic().get_mv(&mut ctx, "q1_agg").expect("mv read").expect("valid")
+        db.semantic()
+            .get_mv(&mut ctx, "q1_agg")
+            .expect("mv read")
+            .expect("valid")
     };
     let cached = clock.now().since(t1);
     println!(
@@ -67,7 +87,12 @@ fn main() {
     println!("\nINLJ vs HJ plan choice (1M-row inner, Fig. 15b):");
     let costs = db.config().cpu.clone();
     for outer in [1_000u64, 20_000, 200_000, 1_000_000] {
-        let est = JoinEstimate { outer_rows: outer, inner_rows: 1_000_000, inner_pages: 40_000, index_height: 3 };
+        let est = JoinEstimate {
+            outer_rows: outer,
+            inner_rows: 1_000_000,
+            inner_pages: 40_000,
+            index_height: 3,
+        };
         let ssd = choose_join(est, DeviceProfile::ssd(), &costs);
         let remote = choose_join(est, DeviceProfile::remote_memory(), &costs);
         println!(
@@ -79,7 +104,12 @@ fn main() {
     // --- 3. donor failure: invalidate, then recover from the WAL ----------
     let checkpoint = db.wal().current_lsn();
     let idx = db
-        .create_nc_index(&mut clock, t.orders, 1, Arc::clone(&mv_file) as Arc<dyn remem::Device>)
+        .create_nc_index(
+            &mut clock,
+            t.orders,
+            1,
+            Arc::clone(&mv_file) as Arc<dyn remem::Device>,
+        )
         .expect("NC index in remote memory");
     // trailing updates after the checkpoint
     for k in 0..2_000i64 {

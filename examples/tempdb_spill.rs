@@ -14,14 +14,22 @@ fn main() {
         tempdb_bytes: 96 << 20,
         data_bytes: 256 << 20,
         spindles: 20,
-        oltp: false, // analytics: HDD+SSD keeps BPExt off (Table 5)
+        oltp: false,                    // analytics: HDD+SSD keeps BPExt off (Table 5)
         workspace_bytes: Some(2 << 20), // small grants force the spill
         fault_log: None,
+        metrics: None,
     };
-    let params = HashSortParams { orders: 12_000, lineitems_per_order: 4, top_n: 1_000, seed: 7 };
+    let params = HashSortParams {
+        orders: 12_000,
+        lineitems_per_order: 4,
+        top_n: 1_000,
+        seed: 7,
+    };
 
-    println!("Hash+Sort: {} orders x {} lineitems, Top-{}", params.orders,
-        params.lineitems_per_order, params.top_n);
+    println!(
+        "Hash+Sort: {} orders x {} lineitems, Top-{}",
+        params.orders, params.lineitems_per_order, params.top_n
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>14} {:>12}",
         "design", "total s", "build s", "probe+sort s", "spill MiB"
@@ -33,7 +41,9 @@ fn main() {
             .memory_per_server(64 << 20)
             .build();
         let mut clock = Clock::new();
-        let db = design.build(&cluster, &mut clock, &opts).expect("build design");
+        let db = design
+            .build(&cluster, &mut clock, &opts)
+            .expect("build design");
         let tables = load_tables(&db, &mut clock, &params);
         let r = run_hash_sort(&db, &mut clock, tables, params.top_n);
         println!(

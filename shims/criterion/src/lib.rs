@@ -25,7 +25,11 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string(), sample_size: 10 }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
@@ -69,7 +73,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     f(&mut b);
     if measuring() {
         let per_iter = b.elapsed_ns.checked_div(b.timed_iters as u128).unwrap_or(0);
-        println!("bench {name:<40} {per_iter:>12} ns/iter ({} iters)", b.timed_iters);
+        println!(
+            "bench {name:<40} {per_iter:>12} ns/iter ({} iters)",
+            b.timed_iters
+        );
     }
 }
 
@@ -132,7 +139,8 @@ mod tests {
         let mut c = Criterion::default();
         let mut calls = 0;
         let mut g = c.benchmark_group("g");
-        g.sample_size(20).bench_function("count", |b| b.iter(|| calls += 1));
+        g.sample_size(20)
+            .bench_function("count", |b| b.iter(|| calls += 1));
         g.finish();
         assert!(calls >= 1);
     }

@@ -42,7 +42,9 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -138,7 +140,10 @@ pub struct Union<V> {
 
 impl<V> Union<V> {
     pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 }
@@ -233,7 +238,9 @@ impl Strategy for &'static str {
         match parse_class_repeat(self) {
             Some((chars, lo, hi)) => {
                 let len = lo + rng.below((hi - lo + 1) as u64) as usize;
-                (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
             }
             None => (*self).to_string(),
         }
@@ -370,9 +377,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err(
-                format!("assertion failed: `{} != {}`\n  both: {:?}",
-                    stringify!($left), stringify!($right), l));
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
         }
     }};
 }
@@ -439,7 +449,10 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-c0-1 _-]{2,5}".generate(&mut rng);
             assert!(s.chars().count() >= 2 && s.chars().count() <= 5);
-            assert!(s.chars().all(|c| "abc01 _-".contains(c)), "bad char in {s:?}");
+            assert!(
+                s.chars().all(|c| "abc01 _-".contains(c)),
+                "bad char in {s:?}"
+            );
         }
     }
 

@@ -47,7 +47,9 @@ fn sweep(
 ) {
     for _ in 0..12 {
         let lo = rng.uniform(0, (ROWS - 200) as u64) as i64;
-        let rows = db.range(clock, t, lo, lo + 200).expect("scan must not fail");
+        let rows = db
+            .range(clock, t, lo, lo + 200)
+            .expect("scan must not fail");
         assert_eq!(rows.len(), 200, "range [{lo},{}) incomplete", lo + 200);
         for r in &rows {
             let k = r.int(0);
@@ -59,7 +61,8 @@ fn sweep(
         for _ in 0..2 {
             let k = rng.uniform(0, ROWS as u64) as i64;
             let v = rng.uniform(0, 1 << 30) as i64;
-            db.update(clock, t, k, |row| row.0[1] = Value::Int(v)).expect("update");
+            db.update(clock, t, k, |row| row.0[1] = Value::Int(v))
+                .expect("update");
             model[k as usize] = v;
             fnv(checksum, v as u64);
         }
@@ -87,6 +90,7 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
     let opts = DbOptions {
         pool_bytes: 1 << 20,
         fault_log: Some(Arc::clone(&log)),
+        metrics: None,
         ..DbOptions::small()
     };
     let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
@@ -95,7 +99,11 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
         .create_table(
             &mut clock,
             "t",
-            Schema::new(vec![("k", ColType::Int), ("v", ColType::Int), ("pad", ColType::Str)]),
+            Schema::new(vec![
+                ("k", ColType::Int),
+                ("v", ColType::Int),
+                ("pad", ColType::Str),
+            ]),
             0,
         )
         .unwrap();
@@ -105,7 +113,11 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
         db.insert(
             &mut clock,
             t,
-            remem::Row::new(vec![Value::Int(k), Value::Int(k * 3), Value::Str("p".repeat(180))]),
+            remem::Row::new(vec![
+                Value::Int(k),
+                Value::Int(k * 3),
+                Value::Str("p".repeat(180)),
+            ]),
         )
         .unwrap();
     }
@@ -160,8 +172,13 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
     // notice (an under-pool request is satisfied without bothering anyone)
     let pressured = c.memory_servers[1];
     let demand = c.broker.store().available_bytes_on(pressured) + (1 << 20);
-    let (_, notified) = c.broker.request_reclaim(clock.now(), &c.fabric, pressured, demand);
-    assert!(!notified.is_empty(), "pressure on a live donor should notify leases");
+    let (_, notified) = c
+        .broker
+        .request_reclaim(clock.now(), &c.fabric, pressured, demand);
+    assert!(
+        !notified.is_empty(),
+        "pressure on a live donor should notify leases"
+    );
     sweep(&db, &mut clock, t, &mut model, &mut rng, &mut checksum);
     clock.advance(c.broker.config().grace_period);
     c.broker.finalize_revocations(&c.fabric, clock.now());
@@ -204,7 +221,10 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
         fnv(&mut checksum, r.int(1) as u64);
     }
 
-    Outcome { checksum, fingerprint: log.fingerprint() }
+    Outcome {
+        checksum,
+        fingerprint: log.fingerprint(),
+    }
 }
 
 #[test]
@@ -218,8 +238,15 @@ fn chaos_run_under_auditor_is_clean_and_replays_identically() {
     let aud = Arc::new(Auditor::recording());
     let audited = chaos_run_with(11, Some(Arc::clone(&aud)));
     assert_eq!(aud.violation_count(), 0, "{}", aud.report());
-    assert!(aud.checks() > 1_000, "auditor must actually be exercised: {}", aud.checks());
-    assert_eq!(audited.checksum, base.checksum, "auditing must not perturb query results");
+    assert!(
+        aud.checks() > 1_000,
+        "auditor must actually be exercised: {}",
+        aud.checks()
+    );
+    assert_eq!(
+        audited.checksum, base.checksum,
+        "auditing must not perturb query results"
+    );
     assert_eq!(
         audited.fingerprint, base.fingerprint,
         "auditing must not perturb the fault schedule"
@@ -230,9 +257,18 @@ fn chaos_run_under_auditor_is_clean_and_replays_identically() {
 fn chaos_runs_replay_byte_identically() {
     let a = chaos_run(7);
     let b = chaos_run(7);
-    assert_eq!(a.checksum, b.checksum, "query results must replay identically");
-    assert_eq!(a.fingerprint, b.fingerprint, "fault logs must replay identically");
+    assert_eq!(
+        a.checksum, b.checksum,
+        "query results must replay identically"
+    );
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "fault logs must replay identically"
+    );
     // and a different seed actually produces a different schedule
     let c = chaos_run(8);
-    assert_ne!(a.fingerprint, c.fingerprint, "different seeds, different schedules");
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "different seeds, different schedules"
+    );
 }

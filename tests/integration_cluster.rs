@@ -16,7 +16,12 @@ fn lease_lifecycle_through_the_file_api() {
     assert_eq!(cluster.available_remote_bytes(), 48 << 20);
 
     let f = cluster
-        .remote_file(&mut clock, cluster.db_server, 12 << 20, RFileConfig::custom())
+        .remote_file(
+            &mut clock,
+            cluster.db_server,
+            12 << 20,
+            RFileConfig::custom(),
+        )
         .unwrap();
     assert_eq!(cluster.available_remote_bytes(), 36 << 20);
     assert!(f.donors().len() >= 2, "spread placement crosses donors");
@@ -37,28 +42,52 @@ fn lease_lifecycle_through_the_file_api() {
 fn protocol_stack_order_is_preserved_end_to_end() {
     // one 8 KiB page read through each Table 5 protocol
     let mut latencies = Vec::new();
-    for cfg in [RFileConfig::custom(), RFileConfig::smb_direct(), RFileConfig::smb_tcp()] {
-        let cluster = Cluster::builder().memory_servers(1).memory_per_server(16 << 20).build();
+    for cfg in [
+        RFileConfig::custom(),
+        RFileConfig::smb_direct(),
+        RFileConfig::smb_tcp(),
+    ] {
+        let cluster = Cluster::builder()
+            .memory_servers(1)
+            .memory_per_server(16 << 20)
+            .build();
         let mut clock = Clock::new();
-        let f = cluster.remote_file(&mut clock, cluster.db_server, 8 << 20, cfg).unwrap();
+        let f = cluster
+            .remote_file(&mut clock, cluster.db_server, 8 << 20, cfg)
+            .unwrap();
         let mut buf = vec![0u8; 8192];
         let t0 = clock.now();
         f.read(&mut clock, 0, &mut buf).unwrap();
         latencies.push(clock.now().since(t0));
     }
-    assert!(latencies[0] < latencies[1], "Custom {} !< SMBDirect {}", latencies[0], latencies[1]);
-    assert!(latencies[1] < latencies[2], "SMBDirect {} !< SMB {}", latencies[1], latencies[2]);
+    assert!(
+        latencies[0] < latencies[1],
+        "Custom {} !< SMBDirect {}",
+        latencies[0],
+        latencies[1]
+    );
+    assert!(
+        latencies[1] < latencies[2],
+        "SMBDirect {} !< SMB {}",
+        latencies[1],
+        latencies[2]
+    );
 }
 
 #[test]
 fn multiple_db_servers_share_one_donor() {
     // Fig. 6 shape: aggregate throughput through one donor NIC saturates
-    let cluster = Cluster::builder().memory_servers(1).memory_per_server(64 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(1)
+        .memory_per_server(64 << 20)
+        .build();
     let mut files = Vec::new();
     for i in 0..4 {
         let dbi = cluster.add_db_server(format!("DB{}", i + 2), 20);
         let mut clock = Clock::new();
-        let f = cluster.remote_file(&mut clock, dbi, 8 << 20, RFileConfig::custom()).unwrap();
+        let f = cluster
+            .remote_file(&mut clock, dbi, 8 << 20, RFileConfig::custom())
+            .unwrap();
         files.push(f);
     }
     // every file holds independent data
@@ -70,15 +99,28 @@ fn multiple_db_servers_share_one_donor() {
         let mut clock = Clock::new();
         let mut out = [0u8; 1024];
         f.read(&mut clock, 0, &mut out).unwrap();
-        assert!(out.iter().all(|&b| b == i as u8), "file {i} corrupted by a neighbour");
+        assert!(
+            out.iter().all(|&b| b == i as u8),
+            "file {i} corrupted by a neighbour"
+        );
     }
 }
 
 #[test]
 fn broker_failover_mid_workload_is_transparent_to_io() {
-    let cluster = Cluster::builder().memory_servers(1).memory_per_server(16 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(1)
+        .memory_per_server(16 << 20)
+        .build();
     let mut clock = Clock::new();
-    let f = cluster.remote_file(&mut clock, cluster.db_server, 4 << 20, RFileConfig::custom()).unwrap();
+    let f = cluster
+        .remote_file(
+            &mut clock,
+            cluster.db_server,
+            4 << 20,
+            RFileConfig::custom(),
+        )
+        .unwrap();
     f.write(&mut clock, 0, b"before failover").unwrap();
 
     // the broker process dies; a new front-end is elected over the MetaStore
@@ -94,15 +136,30 @@ fn broker_failover_mid_workload_is_transparent_to_io() {
 
 #[test]
 fn donor_memory_pressure_revokes_and_io_fails_cleanly() {
-    let cluster = Cluster::builder().memory_servers(1).memory_per_server(8 << 20).build();
+    let cluster = Cluster::builder()
+        .memory_servers(1)
+        .memory_per_server(8 << 20)
+        .build();
     let mut clock = Clock::new();
-    let f = cluster.remote_file(&mut clock, cluster.db_server, 8 << 20, RFileConfig::custom()).unwrap();
+    let f = cluster
+        .remote_file(
+            &mut clock,
+            cluster.db_server,
+            8 << 20,
+            RFileConfig::custom(),
+        )
+        .unwrap();
     f.write(&mut clock, 0, b"soon gone").unwrap();
     // a local process on the donor needs its memory back
-    let reclaimed = cluster.broker.reclaim(&cluster.fabric, cluster.memory_servers[0], 8 << 20);
+    let reclaimed = cluster
+        .broker
+        .reclaim(&cluster.fabric, cluster.memory_servers[0], 8 << 20);
     assert_eq!(reclaimed, 8 << 20);
     let mut out = [0u8; 9];
-    assert!(f.read(&mut clock, 0, &mut out).is_err(), "revoked lease must fail reads");
+    assert!(
+        f.read(&mut clock, 0, &mut out).is_err(),
+        "revoked lease must fail reads"
+    );
 }
 
 #[test]
@@ -110,7 +167,10 @@ fn design_choice_ablation_costs_are_visible_end_to_end() {
     // Table 1's sync-vs-async and staged-vs-dynamic choices, measured
     // through the full cluster stack
     let measure = |access: AccessMode, reg: RegistrationMode| -> SimDuration {
-        let cluster = Cluster::builder().memory_servers(1).memory_per_server(16 << 20).build();
+        let cluster = Cluster::builder()
+            .memory_servers(1)
+            .memory_per_server(16 << 20)
+            .build();
         let mut clock = Clock::new();
         let cfg = RFileConfig {
             access,
@@ -118,7 +178,9 @@ fn design_choice_ablation_costs_are_visible_end_to_end() {
             protocol: Protocol::Custom,
             ..RFileConfig::custom()
         };
-        let f = cluster.remote_file(&mut clock, cluster.db_server, 8 << 20, cfg).unwrap();
+        let f = cluster
+            .remote_file(&mut clock, cluster.db_server, 8 << 20, cfg)
+            .unwrap();
         let page = vec![0u8; 8192];
         let t0 = clock.now();
         for i in 0..64u64 {
@@ -129,6 +191,12 @@ fn design_choice_ablation_costs_are_visible_end_to_end() {
     let paper = measure(AccessMode::SyncSpin, RegistrationMode::Staged);
     let async_mode = measure(AccessMode::Async, RegistrationMode::Staged);
     let dynamic_reg = measure(AccessMode::SyncSpin, RegistrationMode::Dynamic);
-    assert!(async_mode > paper * 2, "async {async_mode} vs paper {paper}");
-    assert!(dynamic_reg > paper * 2, "dynamic {dynamic_reg} vs paper {paper}");
+    assert!(
+        async_mode > paper * 2,
+        "async {async_mode} vs paper {paper}"
+    );
+    assert!(
+        dynamic_reg > paper * 2,
+        "dynamic {dynamic_reg} vs paper {paper}"
+    );
 }

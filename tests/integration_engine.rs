@@ -7,7 +7,10 @@ use remem_engine::Row;
 use remem_sim::Clock;
 
 fn small_cluster() -> Cluster {
-    Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build()
+    Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(64 << 20)
+        .build()
 }
 
 /// Every design must produce identical query answers — remote memory is a
@@ -18,7 +21,9 @@ fn all_designs_agree_on_query_answers() {
     for design in Design::ALL {
         let cluster = small_cluster();
         let mut clock = Clock::new();
-        let db = design.build(&cluster, &mut clock, &DbOptions::small()).unwrap();
+        let db = design
+            .build(&cluster, &mut clock, &DbOptions::small())
+            .unwrap();
         let t = db
             .create_table(
                 &mut clock,
@@ -37,13 +42,19 @@ fn all_designs_agree_on_query_answers() {
         }
         // mix of point reads, range scans and updates
         for k in (0..3_000i64).step_by(7) {
-            db.update(&mut clock, t, k, |r| r.0[1] = Value::Float(r.float(1) + 0.5)).unwrap();
+            db.update(&mut clock, t, k, |r| {
+                r.0[1] = Value::Float(r.float(1) + 0.5)
+            })
+            .unwrap();
         }
         let rows = db.range(&mut clock, t, 500, 1_500).unwrap();
         let sum: f64 = rows.iter().map(|r| r.float(1)).sum();
         answers.push((rows.len(), (sum * 100.0).round() as i64));
     }
-    assert!(answers.windows(2).all(|w| w[0] == w[1]), "answers diverged: {answers:?}");
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "answers diverged: {answers:?}"
+    );
 }
 
 /// BPExt in remote memory must hold more pages than local memory alone and
@@ -59,10 +70,20 @@ fn remote_bpext_serves_evictions() {
     };
     let db = Design::Custom.build(&cluster, &mut clock, &opts).unwrap();
     let t = db
-        .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int), ("pad", ColType::Str)]), 0)
+        .create_table(
+            &mut clock,
+            "t",
+            Schema::new(vec![("k", ColType::Int), ("pad", ColType::Str)]),
+            0,
+        )
         .unwrap();
     for k in 0..20_000i64 {
-        db.insert(&mut clock, t, Row::new(vec![Value::Int(k), Value::Str("p".repeat(200))])).unwrap();
+        db.insert(
+            &mut clock,
+            t,
+            Row::new(vec![Value::Int(k), Value::Str("p".repeat(200))]),
+        )
+        .unwrap();
     }
     db.buffer_pool().reset_stats();
     let mut rng = remem_sim::rng::SimRng::seeded(1);
@@ -71,7 +92,10 @@ fn remote_bpext_serves_evictions() {
         assert!(db.get(&mut clock, t, k).unwrap().is_some());
     }
     let s = db.bp_stats();
-    assert!(s.ext_hits > s.base_reads, "remote extension should serve most misses: {s:?}");
+    assert!(
+        s.ext_hits > s.base_reads,
+        "remote extension should serve most misses: {s:?}"
+    );
 }
 
 /// TempDB in remote memory: a spilling sort returns exactly the reference
@@ -80,14 +104,22 @@ fn remote_bpext_serves_evictions() {
 fn remote_tempdb_spilling_sort_is_correct() {
     let cluster = small_cluster();
     let mut clock = Clock::new();
-    let opts = DbOptions { workspace_bytes: Some(512 << 10), ..DbOptions::small() };
+    let opts = DbOptions {
+        workspace_bytes: Some(512 << 10),
+        ..DbOptions::small()
+    };
     let db = Design::Custom.build(&cluster, &mut clock, &opts).unwrap();
     let mut rng = remem_sim::rng::SimRng::seeded(2);
     let mut keys: Vec<i64> = (0..40_000).collect();
     rng.shuffle(&mut keys);
     let rows: Vec<Row> = keys.iter().map(|&k| int_row(&[k])).collect();
-    let sorted = db.sort_rows(&mut clock, rows, |r| r.int(0) as f64, None).unwrap();
-    assert!(db.tempdb().bytes_spilled() > 0, "must spill to the remote TempDB");
+    let sorted = db
+        .sort_rows(&mut clock, rows, |r| r.int(0) as f64, None)
+        .unwrap();
+    assert!(
+        db.tempdb().bytes_spilled() > 0,
+        "must spill to the remote TempDB"
+    );
     for (i, r) in sorted.iter().enumerate() {
         assert_eq!(r.int(0), i as i64);
     }
@@ -99,7 +131,9 @@ fn remote_tempdb_spilling_sort_is_correct() {
 fn priming_transfers_the_working_set() {
     let cluster = small_cluster();
     let mut clock = Clock::new();
-    let db1 = Design::Custom.build(&cluster, &mut clock, &DbOptions::small()).unwrap();
+    let db1 = Design::Custom
+        .build(&cluster, &mut clock, &DbOptions::small())
+        .unwrap();
     let t = db1
         .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int)]), 0)
         .unwrap();
@@ -121,7 +155,9 @@ fn priming_transfers_the_working_set() {
     // identical load produces identical files)
     let cluster2 = small_cluster();
     let mut clock2 = Clock::new();
-    let db2 = Design::Custom.build(&cluster2, &mut clock2, &DbOptions::small()).unwrap();
+    let db2 = Design::Custom
+        .build(&cluster2, &mut clock2, &DbOptions::small())
+        .unwrap();
     let t2 = db2
         .create_table(&mut clock2, "t", Schema::new(vec![("k", ColType::Int)]), 0)
         .unwrap();
@@ -158,12 +194,16 @@ fn remote_tempdb_can_beat_local_memory_for_spilling_queries() {
         rng.shuffle(&mut keys);
         let rows: Vec<Row> = keys.iter().map(|&k| int_row(&[k])).collect();
         let t0 = clock.now();
-        db.sort_rows(&mut clock, rows, |r| r.int(0) as f64, None).unwrap();
+        db.sort_rows(&mut clock, rows, |r| r.int(0) as f64, None)
+            .unwrap();
         (clock.now().since(t0), db.tempdb().bytes_spilled())
     };
     let (custom_time, custom_spill) = run(Design::Custom);
     let (local_time, local_spill) = run(Design::LocalMemory);
-    assert!(custom_spill > 0 && local_spill > 0, "both must spill under the grant cap");
+    assert!(
+        custom_spill > 0 && local_spill > 0,
+        "both must spill under the grant cap"
+    );
     assert!(
         custom_time < local_time,
         "remote TempDB {custom_time} should beat SSD TempDB {local_time}"

@@ -3,15 +3,18 @@
 
 use remem::{Cluster, ColType, DbOptions, Design, Schema};
 use remem_engine::exec::int_row;
+use remem_engine::semantic::MvPolicy;
 #[allow(unused_imports)]
 use remem_engine::Row;
-use remem_engine::semantic::MvPolicy;
 use remem_engine::Value;
 use remem_sim::Clock;
 use std::sync::Arc;
 
 fn cluster() -> Cluster {
-    Cluster::builder().memory_servers(2).memory_per_server(64 << 20).build()
+    Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(64 << 20)
+        .build()
 }
 
 /// Donor crash mid-workload: the BPExt disappears, the engine keeps
@@ -20,13 +23,20 @@ fn cluster() -> Cluster {
 fn donor_crash_degrades_but_never_corrupts() {
     let c = cluster();
     let mut clock = Clock::new();
-    let opts = DbOptions { pool_bytes: 1 << 20, ..DbOptions::small() };
+    let opts = DbOptions {
+        pool_bytes: 1 << 20,
+        ..DbOptions::small()
+    };
     let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
     let t = db
         .create_table(
             &mut clock,
             "t",
-            Schema::new(vec![("k", ColType::Int), ("v", ColType::Int), ("pad", ColType::Str)]),
+            Schema::new(vec![
+                ("k", ColType::Int),
+                ("v", ColType::Int),
+                ("pad", ColType::Str),
+            ]),
             0,
         )
         .unwrap();
@@ -64,7 +74,10 @@ fn donor_crash_degrades_but_never_corrupts() {
             "correctness must survive donor failure"
         );
     }
-    assert!(db.buffer_pool().extension_failed(), "extension should be suspended");
+    assert!(
+        db.buffer_pool().extension_failed(),
+        "extension should be suspended"
+    );
 
     // restart both donors end-to-end; after the probe backoff the remote
     // file re-leases fresh stripes and the extension re-attaches
@@ -90,7 +103,10 @@ fn donor_crash_degrades_but_never_corrupts() {
 fn lease_expiry_mid_scan_falls_back() {
     let c = cluster();
     let mut clock = Clock::new();
-    let opts = DbOptions { pool_bytes: 1 << 20, ..DbOptions::small() };
+    let opts = DbOptions {
+        pool_bytes: 1 << 20,
+        ..DbOptions::small()
+    };
     let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
     let t = db
         .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int)]), 0)
@@ -102,7 +118,11 @@ fn lease_expiry_mid_scan_falls_back() {
     // are accessed; a long idle period lets the leases lapse)
     clock.advance(c.broker.config().lease_duration * 3);
     let rows = db.range(&mut clock, t, 0, 5_000).unwrap();
-    assert_eq!(rows.len(), 5_000, "scan after lease loss must still be complete");
+    assert_eq!(
+        rows.len(),
+        5_000,
+        "scan after lease loss must still be complete"
+    );
 }
 
 /// The semantic cache after donor failure: invalid (miss), then rebuilt
@@ -111,9 +131,16 @@ fn lease_expiry_mid_scan_falls_back() {
 fn semantic_cache_recovery_equals_rebuild() {
     let c = cluster();
     let mut clock = Clock::new();
-    let db = Design::Custom.build(&c, &mut clock, &DbOptions::small()).unwrap();
+    let db = Design::Custom
+        .build(&c, &mut clock, &DbOptions::small())
+        .unwrap();
     let t = db
-        .create_table(&mut clock, "orders", Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)]), 0)
+        .create_table(
+            &mut clock,
+            "orders",
+            Schema::new(vec![("k", ColType::Int), ("v", ColType::Int)]),
+            0,
+        )
         .unwrap();
     let checkpoint = db.wal().current_lsn();
     for k in 0..1_000i64 {
@@ -121,7 +148,12 @@ fn semantic_cache_recovery_equals_rebuild() {
     }
     // NC index on column 1 lives in remote memory
     let remote_dev = c
-        .remote_file(&mut clock, c.db_server, 16 << 20, remem::RFileConfig::custom())
+        .remote_file(
+            &mut clock,
+            c.db_server,
+            16 << 20,
+            remem::RFileConfig::custom(),
+        )
         .unwrap();
     let idx = db
         .create_nc_index(&mut clock, t, 1, remote_dev as Arc<dyn remem::Device>)
@@ -141,7 +173,11 @@ fn semantic_cache_recovery_equals_rebuild() {
         .unwrap();
     assert_eq!(applied, 1_000);
     let after = db.nc_lookup(&mut clock, t, idx, 13).unwrap();
-    assert_eq!(after.len(), before, "recovered index must equal the original");
+    assert_eq!(
+        after.len(),
+        before,
+        "recovered index must equal the original"
+    );
     assert!(after.iter().all(|r| r.int(1) == 13));
 }
 
@@ -151,9 +187,16 @@ fn semantic_cache_recovery_equals_rebuild() {
 fn mv_failure_and_invalidation_are_misses() {
     let c = cluster();
     let mut clock = Clock::new();
-    let db = Design::Custom.build(&c, &mut clock, &DbOptions::small()).unwrap();
+    let db = Design::Custom
+        .build(&c, &mut clock, &DbOptions::small())
+        .unwrap();
     let t = db
-        .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int), ("v", ColType::Float)]), 0)
+        .create_table(
+            &mut clock,
+            "t",
+            Schema::new(vec![("k", ColType::Int), ("v", ColType::Float)]),
+            0,
+        )
         .unwrap();
     for k in 0..100i64 {
         db.insert(
@@ -164,13 +207,24 @@ fn mv_failure_and_invalidation_are_misses() {
         .unwrap();
     }
     let mv_dev = c
-        .remote_file(&mut clock, c.db_server, 4 << 20, remem::RFileConfig::custom())
+        .remote_file(
+            &mut clock,
+            c.db_server,
+            4 << 20,
+            remem::RFileConfig::custom(),
+        )
         .unwrap();
     {
         let mut ctx = db.exec_ctx(&mut clock);
         db.semantic()
-            .create_mv(&mut ctx, "sum_v", vec![t], MvPolicy::Invalidate, &[int_row(&[4950])],
-                mv_dev as Arc<dyn remem::Device>)
+            .create_mv(
+                &mut ctx,
+                "sum_v",
+                vec![t],
+                MvPolicy::Invalidate,
+                &[int_row(&[4950])],
+                mv_dev as Arc<dyn remem::Device>,
+            )
             .unwrap();
     }
     {
@@ -178,7 +232,8 @@ fn mv_failure_and_invalidation_are_misses() {
         assert!(db.semantic().get_mv(&mut ctx, "sum_v").unwrap().is_some());
     }
     // a base update invalidates it
-    db.update(&mut clock, t, 0, |r| r.0[1] = Value::Float(100.0)).unwrap();
+    db.update(&mut clock, t, 0, |r| r.0[1] = Value::Float(100.0))
+        .unwrap();
     {
         let mut ctx = db.exec_ctx(&mut clock);
         assert!(db.semantic().get_mv(&mut ctx, "sum_v").unwrap().is_none());

@@ -8,7 +8,10 @@ use remem_workloads::rangescan::{load_customer, run_rangescan, RangeScanParams};
 use remem_workloads::tpcc;
 
 fn cluster() -> Cluster {
-    Cluster::builder().memory_servers(2).memory_per_server(96 << 20).build()
+    Cluster::builder()
+        .memory_servers(2)
+        .memory_per_server(96 << 20)
+        .build()
 }
 
 /// Fig. 9/10 shape: RangeScan read-only throughput ordering
@@ -24,6 +27,7 @@ fn rangescan_design_ordering() {
         oltp: true,
         workspace_bytes: None,
         fault_log: None,
+        metrics: None,
     };
     let params = RangeScanParams {
         workers: 20,
@@ -31,7 +35,12 @@ fn rangescan_design_ordering() {
         ..Default::default()
     };
     let mut tput = std::collections::HashMap::new();
-    for design in [Design::Hdd, Design::HddSsd, Design::Custom, Design::LocalMemory] {
+    for design in [
+        Design::Hdd,
+        Design::HddSsd,
+        Design::Custom,
+        Design::LocalMemory,
+    ] {
         let c = cluster();
         let mut clock = Clock::new();
         let db = design.build(&c, &mut clock, &opts).unwrap();
@@ -45,9 +54,18 @@ fn rangescan_design_ordering() {
         tput["Custom"],
         tput["Local Memory"],
     );
-    assert!(hddssd > hdd, "SSD BPExt should beat bare HDD ({hddssd} vs {hdd})");
-    assert!(custom > 2.0 * hddssd, "Custom should be multiples of HDD+SSD ({custom} vs {hddssd})");
-    assert!(custom > 0.7 * local, "Custom should be within ~30% of Local Memory ({custom} vs {local})");
+    assert!(
+        hddssd > hdd,
+        "SSD BPExt should beat bare HDD ({hddssd} vs {hdd})"
+    );
+    assert!(
+        custom > 2.0 * hddssd,
+        "Custom should be multiples of HDD+SSD ({custom} vs {hddssd})"
+    );
+    assert!(
+        custom > 0.7 * local,
+        "Custom should be within ~30% of Local Memory ({custom} vs {local})"
+    );
 }
 
 /// Fig. 14 shape: Hash+Sort latency ordering HDD+SSD > HDD > Custom, with
@@ -63,10 +81,21 @@ fn hashsort_design_ordering() {
         oltp: false,
         workspace_bytes: Some(1 << 20),
         fault_log: None,
+        metrics: None,
     };
-    let params = HashSortParams { orders: 8_000, lineitems_per_order: 4, top_n: 500, seed: 9 };
+    let params = HashSortParams {
+        orders: 8_000,
+        lineitems_per_order: 4,
+        top_n: 500,
+        seed: 9,
+    };
     let mut latency = std::collections::HashMap::new();
-    for design in [Design::Hdd, Design::HddSsd, Design::SmbDirectRamDrive, Design::Custom] {
+    for design in [
+        Design::Hdd,
+        Design::HddSsd,
+        Design::SmbDirectRamDrive,
+        Design::Custom,
+    ] {
         let c = cluster();
         let mut clock = Clock::new();
         let db = design.build(&c, &mut clock, &opts).unwrap();
@@ -84,9 +113,18 @@ fn hashsort_design_ordering() {
     // Note: the paper's HDD-faster-than-SSD inversion needs paper-sized
     // (GB) spill runs to amortize seeks; it is reproduced at full scale by
     // the repro_fig14_hash_sort harness, not at this test's small scale.
-    assert!(hdd > custom, "even HDD spills must be slower than remote memory");
-    assert!(hddssd > 2.0 * custom, "paper: HDD+SSD ~5x slower than Custom ({hddssd} vs {custom})");
-    assert!(smbd < custom * 1.5, "SMBDirect should be close to Custom here ({smbd} vs {custom})");
+    assert!(
+        hdd > custom,
+        "even HDD spills must be slower than remote memory"
+    );
+    assert!(
+        hddssd > 2.0 * custom,
+        "paper: HDD+SSD ~5x slower than Custom ({hddssd} vs {custom})"
+    );
+    assert!(
+        smbd < custom * 1.5,
+        "SMBDirect should be close to Custom here ({smbd} vs {custom})"
+    );
 }
 
 /// Fig. 22 shape: the default TPC-C mix barely benefits from remote memory;
@@ -124,7 +162,9 @@ fn end_to_end_runs_are_deterministic() {
     let run = || {
         let c = cluster();
         let mut clock = Clock::new();
-        let db = Design::Custom.build(&c, &mut clock, &DbOptions::small()).unwrap();
+        let db = Design::Custom
+            .build(&c, &mut clock, &DbOptions::small())
+            .unwrap();
         let t = load_customer(&db, &mut clock, 10_000);
         let s = run_rangescan(
             &db,
@@ -136,7 +176,11 @@ fn end_to_end_runs_are_deterministic() {
             },
             clock.now(),
         );
-        (s.ops, s.mean_latency_us.to_bits(), s.p99_latency_us.to_bits())
+        (
+            s.ops,
+            s.mean_latency_us.to_bits(),
+            s.p99_latency_us.to_bits(),
+        )
     };
     assert_eq!(run(), run());
 }
