@@ -226,6 +226,46 @@ fn bench_rfile_stack(c: &mut Criterion) {
             });
         });
     }
+
+    // the pipelined vectored path vs 32 scalar reads of the same bytes:
+    // tracks the real (host) cost of simulating one doorbell batch
+    for (name, vectored) in [("read_32x8k_scalar", false), ("read_32x8k_vectored", true)] {
+        let cluster = Cluster::builder()
+            .memory_servers(2)
+            .memory_per_server(64 << 20)
+            .build();
+        let mut setup = Clock::new();
+        let file = cluster
+            .remote_file(
+                &mut setup,
+                cluster.db_server,
+                32 << 20,
+                RFileConfig::custom(),
+            )
+            .unwrap();
+        let mut clock = setup;
+        let mut rng = SimRng::seeded(5);
+        let mut bufs = vec![vec![0u8; 8192]; 32];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let base = rng.uniform(0, 3800) * 8192;
+                if vectored {
+                    let mut reqs: Vec<(u64, &mut [u8])> = bufs
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, b)| (base + (i as u64) * 8192, b.as_mut_slice()))
+                        .collect();
+                    for r in file.read_vectored(&mut clock, &mut reqs) {
+                        r.unwrap();
+                    }
+                } else {
+                    for (i, b) in bufs.iter_mut().enumerate() {
+                        file.read(&mut clock, base + (i as u64) * 8192, b).unwrap();
+                    }
+                }
+            });
+        });
+    }
     g.finish();
 }
 

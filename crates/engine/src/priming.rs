@@ -52,20 +52,40 @@ pub fn deserialize_into_pool(ctx: &mut ExecCtx<'_>, bp: &BufferPool, bytes: &[u8
     n
 }
 
+/// Transfer chunk: 1 MiB requests keep a remote-memory file's pipeline at
+/// a useful queue depth without bloating any single work request.
+const TRANSFER_CHUNK: usize = 1 << 20;
+
 /// Push a priming image through an intermediate device (the in-memory file
 /// of §4.2): `S1` writes it on `src_clock`, `S2` reads it on `dst_clock`
 /// (which first synchronizes to the write completion — the pull cannot
-/// start before the image exists).
+/// start before the image exists). Both sides stream the image as a batch
+/// of chunked vectored requests, so a remote-memory device fans them out
+/// across stripes at its configured queue depth.
 pub fn transfer_image(
     src_clock: &mut Clock,
     dst_clock: &mut Clock,
     device: &dyn Device,
     image: &[u8],
 ) -> Result<Vec<u8>, StorageError> {
-    device.write(src_clock, 0, image)?;
+    let reqs: Vec<(u64, &[u8])> = image
+        .chunks(TRANSFER_CHUNK)
+        .enumerate()
+        .map(|(i, c)| ((i * TRANSFER_CHUNK) as u64, c))
+        .collect();
+    for res in device.write_vectored(src_clock, &reqs) {
+        res?;
+    }
     dst_clock.advance_to(src_clock.now());
     let mut buf = vec![0u8; image.len()];
-    device.read(dst_clock, 0, &mut buf)?;
+    let mut reads: Vec<(u64, &mut [u8])> = buf
+        .chunks_mut(TRANSFER_CHUNK)
+        .enumerate()
+        .map(|(i, c)| ((i * TRANSFER_CHUNK) as u64, c))
+        .collect();
+    for res in device.read_vectored(dst_clock, &mut reads) {
+        res?;
+    }
     Ok(buf)
 }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use remem_audit::Auditor;
-use remem_sim::{Clock, MetricsRegistry, SimDuration};
+use remem_sim::{Clock, MetricsRegistry, SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 use crate::config::NetConfig;
@@ -57,6 +57,10 @@ struct FabricMetrics {
     mr_registrations: Arc<remem_sim::Counter>,
     mr_bytes: Arc<remem_sim::Counter>,
     connects: Arc<remem_sim::Counter>,
+    batch_doorbells: Arc<remem_sim::Counter>,
+    /// Work requests per doorbell. Histograms are duration-typed; batch
+    /// sizes are recorded as unitless nanoseconds (1 WR = 1 ns).
+    batch_size: Arc<remem_sim::Histogram>,
 }
 
 impl FabricMetrics {
@@ -73,9 +77,32 @@ impl FabricMetrics {
             mr_registrations: registry.counter("fabric.mr.registrations"),
             mr_bytes: registry.counter("fabric.mr.bytes"),
             connects: registry.counter("fabric.connects"),
+            batch_doorbells: registry.counter("fabric.batch.doorbells"),
+            batch_size: registry.histogram("fabric.batch.size"),
             registry,
         }
     }
+}
+
+/// Lifetime work-request bookkeeping for one (ordered) server pair: the
+/// auditor's no-leaked-WR invariant is `posted == completed` at teardown.
+#[derive(Debug, Default, Clone, Copy)]
+struct WrStats {
+    posted: u64,
+    completed: u64,
+}
+
+/// Outcome of one work request inside a doorbell batch
+/// ([`Fabric::execute_batch`]).
+#[derive(Debug)]
+pub struct BatchCompletion {
+    /// Virtual instant this WR's bytes finished serializing (monotone in
+    /// post order; the last WR lands at the doorbell's completion).
+    pub completed_at: remem_sim::SimTime,
+    /// Bytes this WR asked to move.
+    pub bytes: u64,
+    /// Per-WR outcome; failed WRs move no bytes and are not charged.
+    pub result: Result<(), NetError>,
 }
 
 /// Per-protocol cost parameters resolved from [`NetConfig`].
@@ -101,6 +128,8 @@ pub struct Fabric {
     injector: RwLock<Option<Arc<FaultInjector>>>,
     auditor: RwLock<Option<Arc<Auditor>>>,
     metrics: RwLock<Option<Arc<FabricMetrics>>>,
+    // ordered map: the teardown audit sweep iterates it
+    wr_stats: Mutex<std::collections::BTreeMap<(ServerId, ServerId), WrStats>>,
 }
 
 impl Fabric {
@@ -112,6 +141,7 @@ impl Fabric {
             injector: RwLock::new(None),
             auditor: RwLock::new(None),
             metrics: RwLock::new(None),
+            wr_stats: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -192,9 +222,78 @@ impl Fabric {
         Ok(())
     }
 
-    /// Tear down the queue pair ("Close" in Table 2).
+    /// Tear down the queue pair ("Close" in Table 2). If an auditor is
+    /// attached, the pair's work-request ledger is checked: every WR ever
+    /// posted between the two servers must have produced a completion
+    /// (successful or errored) — a real QP transitioning to error state
+    /// flushes its queues the same way.
     pub fn disconnect(&self, from: ServerId, to: ServerId) {
         self.connections.lock().remove(&ordered(from, to));
+        self.verify_wr_balance(from, to);
+    }
+
+    fn note_posted(&self, a: ServerId, b: ServerId, n: u64) {
+        self.wr_stats
+            .lock()
+            .entry(ordered(a, b))
+            .or_default()
+            .posted += n;
+    }
+
+    fn note_completed(&self, a: ServerId, b: ServerId, n: u64) {
+        self.wr_stats
+            .lock()
+            .entry(ordered(a, b))
+            .or_default()
+            .completed += n;
+    }
+
+    /// Lifetime (posted, completed) work-request counts between two servers.
+    pub fn wr_counts(&self, a: ServerId, b: ServerId) -> (u64, u64) {
+        let s = self
+            .wr_stats
+            .lock()
+            .get(&ordered(a, b))
+            .copied()
+            .unwrap_or_default();
+        (s.posted, s.completed)
+    }
+
+    /// Audit the WR ledger of one pair: posts == completions (no WR leaked
+    /// in flight). Registration happens at teardown, so violations are
+    /// stamped `SimTime::ZERO` like the NIC's registration invariants.
+    fn verify_wr_balance(&self, a: ServerId, b: ServerId) {
+        let guard = self.auditor.read();
+        let Some(aud) = guard.as_ref() else { return };
+        let s = self
+            .wr_stats
+            .lock()
+            .get(&ordered(a, b))
+            .copied()
+            .unwrap_or_default();
+        aud.check_balance(
+            remem_sim::SimTime::ZERO,
+            "qp",
+            "wr-conservation",
+            ("posted", s.posted as i128),
+            &[("completed", s.completed as i128)],
+        );
+    }
+
+    /// Audit every pair's WR ledger (used at full-fabric teardown).
+    pub fn verify_all_wr_balances(&self) {
+        let pairs: Vec<(ServerId, ServerId)> = self.wr_stats.lock().keys().copied().collect();
+        for (a, b) in pairs {
+            self.verify_wr_balance(a, b);
+        }
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics_registry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics
+            .read()
+            .as_ref()
+            .map(|m| Arc::clone(&m.registry))
     }
 
     pub fn is_connected(&self, a: ServerId, b: ServerId) -> bool {
@@ -368,7 +467,9 @@ impl Fabric {
         let m = self.metrics.read().clone();
         let t0 = clock.now();
         let span = m.as_ref().map(|fm| fm.registry.span_enter("net.read", t0));
+        self.note_posted(local, handle.server, 1);
         let res = self.read_inner(clock, proto, local, handle, offset, buf);
+        self.note_completed(local, handle.server, 1);
         if let Some(fm) = &m {
             if let Some(span) = span {
                 fm.registry.span_exit(span, clock.now());
@@ -414,7 +515,9 @@ impl Fabric {
         let m = self.metrics.read().clone();
         let t0 = clock.now();
         let span = m.as_ref().map(|fm| fm.registry.span_enter("net.write", t0));
+        self.note_posted(local, handle.server, 1);
         let res = self.write_inner(clock, proto, local, handle, offset, data);
+        self.note_completed(local, handle.server, 1);
         if let Some(fm) = &m {
             if let Some(span) = span {
                 fm.registry.span_exit(span, clock.now());
@@ -445,6 +548,220 @@ impl Fabric {
         clock.advance(extra);
         mr.write_from(offset, data);
         Ok(())
+    }
+
+    /// Execute a chain of vectored work requests behind **one doorbell**.
+    ///
+    /// Cost model (Appendix A + "The End of Slow Networks"): posting a
+    /// linked WQE chain costs a single `op_overhead` on the local pipe —
+    /// the doorbell — after which all bytes serialize at line rate. Each
+    /// remote NIC touched pays one `op_overhead` for its half of the
+    /// pipeline plus its share of the bytes; `fixed_latency` is paid once
+    /// for the whole chain, because the caller only spins on the *last*
+    /// completion. This is what makes deep queues approach NIC bandwidth
+    /// while scalar verbs flatline at the per-op ceiling (`repro_qd_sweep`).
+    ///
+    /// Per-WR semantics: a WR that fails validation or is killed by the
+    /// fault schedule completes with an error and its bytes are neither
+    /// charged nor moved; the surviving WRs still execute — completion
+    /// order (and `completed_at` monotonicity) is preserved in post order.
+    pub fn execute_batch(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        wrs: &mut [crate::verbs::WorkRequest<'_>],
+    ) -> Vec<BatchCompletion> {
+        use std::collections::BTreeMap;
+        if wrs.is_empty() {
+            return Vec::new();
+        }
+        let m = self.metrics.read().clone();
+        let t0 = clock.now();
+        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.batch", t0));
+        let costs = self.costs(proto);
+        for wr in wrs.iter() {
+            if let Some((server, _)) = wr.target() {
+                self.note_posted(local, server, 1);
+            }
+        }
+
+        // Validate every SGE up front; a WR fails as a unit (the NIC rejects
+        // the whole WQE at post time).
+        let mut plans: Vec<Result<Vec<crate::mr::MemoryRegion>, NetError>> =
+            wrs.iter().map(|wr| self.plan_wr(local, wr)).collect();
+        // Consult the fault schedule once per surviving WR. Injected
+        // slowness delays the whole chain by the worst window hit (the
+        // chain completes when its slowest member does).
+        let mut extra = SimDuration::ZERO;
+        for (wr, plan) in wrs.iter().zip(plans.iter_mut()) {
+            if plan.is_err() {
+                continue;
+            }
+            if let Some((server, offset)) = wr.target() {
+                match self.consult_injector(clock, proto, local, server, offset) {
+                    Ok(e) => {
+                        if e > extra {
+                            extra = e;
+                        }
+                    }
+                    Err(err) => *plan = Err(err),
+                }
+            }
+        }
+
+        // Aggregate surviving bytes/ops per remote NIC for the charge.
+        let mut per_server: BTreeMap<ServerId, (u64, u64)> = BTreeMap::new();
+        let mut total = 0u64;
+        let mut any_ok = false;
+        for (wr, plan) in wrs.iter().zip(plans.iter()) {
+            if plan.is_ok() {
+                any_ok = true;
+                if let Some((server, _)) = wr.target() {
+                    let e = per_server.entry(server).or_insert((0, 0));
+                    e.0 += wr.bytes();
+                    e.1 += 1;
+                    total += wr.bytes();
+                }
+            }
+        }
+
+        // One doorbell: a single op overhead on the local pipe covers the
+        // whole chain; bytes stream behind it at line rate.
+        let mut doorbell: Option<SimTime> = None;
+        if any_ok {
+            match self.live_server(local) {
+                Ok(local_srv) => {
+                    let now = clock.now();
+                    let g_local =
+                        local_srv
+                            .nic()
+                            .reserve(now, total, costs.bandwidth, costs.op_overhead);
+                    let mut end = g_local.end;
+                    for (&server, &(bytes, ops)) in per_server.iter() {
+                        if let Ok(srv) = self.server(server) {
+                            let g = srv.nic().reserve(
+                                g_local.start,
+                                bytes,
+                                costs.bandwidth,
+                                costs.op_overhead,
+                            );
+                            let mut e = g.end;
+                            // TCP still pays the remote CPU per request —
+                            // batching doorbells does not hide Fig. 13.
+                            let cpu = costs.remote_cpu_per_op * ops
+                                + SimDuration::from_nanos(
+                                    costs.remote_cpu_per_kib.as_nanos() * bytes.div_ceil(1024),
+                                );
+                            if !cpu.is_zero() {
+                                e = srv.cpu().execute(e, cpu).end;
+                            }
+                            if e > end {
+                                end = e;
+                            }
+                        }
+                    }
+                    clock.advance_to(end + costs.fixed_latency);
+                    clock.advance(extra);
+                    doorbell = Some(g_local.start);
+                }
+                Err(e) => {
+                    for plan in plans.iter_mut() {
+                        if plan.is_ok() {
+                            *plan = Err(e.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        // Move the bytes and stamp per-WR completions: WR i completes once
+        // the chain has serialized the cumulative bytes through i, so
+        // completions are monotone in post order and the last one lands at
+        // the doorbell's end.
+        let final_now = clock.now();
+        let mut cum = 0u64;
+        let mut completions = Vec::with_capacity(wrs.len());
+        for (wr, plan) in wrs.iter_mut().zip(plans) {
+            let bytes = wr.bytes();
+            match plan {
+                Ok(regions) => {
+                    cum += bytes;
+                    let at = match doorbell {
+                        Some(start) => {
+                            let t = start
+                                + costs.op_overhead
+                                + SimDuration::for_transfer(cum, costs.bandwidth)
+                                + costs.fixed_latency;
+                            if t > final_now {
+                                final_now
+                            } else {
+                                t
+                            }
+                        }
+                        None => final_now,
+                    };
+                    wr.execute(&regions);
+                    completions.push(BatchCompletion {
+                        completed_at: at,
+                        bytes,
+                        result: Ok(()),
+                    });
+                }
+                Err(e) => completions.push(BatchCompletion {
+                    completed_at: final_now,
+                    bytes,
+                    result: Err(e),
+                }),
+            }
+        }
+        for wr in wrs.iter() {
+            if let Some((server, _)) = wr.target() {
+                self.note_completed(local, server, 1);
+            }
+        }
+
+        if let Some(fm) = &m {
+            if let Some(span) = span {
+                fm.registry.span_exit(span, clock.now());
+            }
+            fm.batch_doorbells.incr();
+            fm.batch_size
+                .record(SimDuration::from_nanos(wrs.len() as u64));
+            for (wr, c) in wrs.iter().zip(completions.iter()) {
+                let is_read = matches!(wr, crate::verbs::WorkRequest::Read(_));
+                match (&c.result, is_read) {
+                    (Ok(()), true) => {
+                        fm.read_ops.incr();
+                        fm.read_bytes.add(c.bytes);
+                        fm.read_lat.record(c.completed_at.since(t0));
+                    }
+                    (Ok(()), false) => {
+                        fm.write_ops.incr();
+                        fm.write_bytes.add(c.bytes);
+                        fm.write_lat.record(c.completed_at.since(t0));
+                    }
+                    (Err(_), true) => fm.read_errors.incr(),
+                    (Err(_), false) => fm.write_errors.incr(),
+                }
+            }
+        }
+        completions
+    }
+
+    /// Validate one vectored WR: every SGE must hit a live, connected,
+    /// in-bounds MR. Returns the resolved region per SGE.
+    fn plan_wr(
+        &self,
+        local: ServerId,
+        wr: &crate::verbs::WorkRequest<'_>,
+    ) -> Result<Vec<crate::mr::MemoryRegion>, NetError> {
+        let mut regions = Vec::with_capacity(wr.sge_count());
+        for (mr, offset, len) in wr.sges() {
+            let (_, region) = self.validate(local, mr, offset, len)?;
+            regions.push(region);
+        }
+        Ok(regions)
     }
 
     /// Direct peek at remote memory without charging time — used only by
@@ -750,6 +1067,66 @@ mod tests {
         );
         assert_eq!(registry.counter("fabric.read.errors").get(), 1);
         assert_eq!(registry.counter("nic.read.ops").get(), 2);
+    }
+
+    #[test]
+    fn wr_ledger_balances_at_disconnect() {
+        let (fabric, db, mem, handle) = two_server_fabric();
+        let aud = Arc::new(remem_audit::Auditor::recording());
+        fabric.set_auditor(Some(Arc::clone(&aud)));
+        let mut clock = Clock::new();
+        let mut buf = vec![0u8; 4096];
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handle, 0, &mut buf)
+            .unwrap();
+        fabric
+            .write(&mut clock, Protocol::Custom, db, handle, 0, &buf)
+            .unwrap();
+        // errored verbs still complete (no leaked WRs)
+        let mut big = vec![0u8; 64];
+        let _ = fabric.read(
+            &mut clock,
+            Protocol::Custom,
+            db,
+            handle,
+            handle.len - 8,
+            &mut big,
+        );
+        let (posted, completed) = fabric.wr_counts(db, mem);
+        assert_eq!(posted, 3);
+        assert_eq!(completed, 3);
+        fabric.disconnect(db, mem);
+        fabric.verify_all_wr_balances();
+        assert_eq!(aud.violation_count(), 0, "{}", aud.report());
+    }
+
+    /// The fluid-queue saturation story of `repro_qd_sweep` in miniature: a
+    /// deep batch of page reads approaches NIC line rate, while the scalar
+    /// loop is capped by per-op overhead + fixed latency.
+    #[test]
+    fn deep_batches_approach_nic_bandwidth() {
+        let n = 256usize;
+        let (fabric, db, _mem, handle) = two_server_fabric();
+        let mut clock = Clock::new();
+        let t0 = clock.now();
+        let mut bufs = vec![vec![0u8; 8192]; n];
+        let mut wrs: Vec<crate::verbs::WorkRequest<'_>> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| {
+                crate::verbs::WorkRequest::Read(vec![crate::verbs::ReadSge {
+                    mr: handle,
+                    offset: ((i * 8192) % (1 << 20)) as u64,
+                    buf: b,
+                }])
+            })
+            .collect();
+        let completions = fabric.execute_batch(&mut clock, Protocol::Custom, db, &mut wrs);
+        assert!(completions.iter().all(|c| c.result.is_ok()));
+        let secs = clock.now().since(t0).as_secs_f64();
+        let gbps = (n as f64 * 8192.0) / secs / 1e9;
+        // line rate is 5.5 GB/s; one doorbell over 2 MiB should get close
+        assert!(gbps > 4.0, "batched throughput {gbps} GB/s");
     }
 
     #[test]

@@ -31,9 +31,12 @@ pub mod verbs;
 
 pub use config::NetConfig;
 pub use error::NetError;
-pub use fabric::{Fabric, Protocol};
+pub use fabric::{BatchCompletion, Fabric, Protocol};
 pub use fault::FaultInjector;
 pub use mr::{MemoryRegion, MrHandle, MrId};
 pub use nic::Nic;
 pub use server::{Server, ServerId};
-pub use verbs::{Completion, QueuePair, Verb, WorkRequestId};
+pub use verbs::{
+    Completion, QueuePair, ReadSge, Verb, WorkRequest, WorkRequestId, WriteSge,
+    DEFAULT_MAX_OUTSTANDING,
+};

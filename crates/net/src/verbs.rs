@@ -13,13 +13,110 @@
 //! §4.2 sustains up to 128 pending transfers per scheduler this way).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use remem_sim::{Clock, SimTime};
+use remem_sim::{Clock, Gauge, SimTime};
 
 use crate::error::NetError;
 use crate::fabric::{Fabric, Protocol};
-use crate::mr::MrHandle;
+use crate::mr::{MemoryRegion, MrHandle};
 use crate::server::ServerId;
+
+/// Default per-QP limit on work requests rung in one doorbell chain — the
+/// "up to 128 pending transfers per scheduler" of §4.2.
+pub const DEFAULT_MAX_OUTSTANDING: usize = 128;
+
+/// One scatter element of a vectored read: a contiguous span of a remote MR
+/// landing in a local buffer segment.
+#[derive(Debug)]
+pub struct ReadSge<'a> {
+    pub mr: MrHandle,
+    pub offset: u64,
+    pub buf: &'a mut [u8],
+}
+
+/// One gather element of a vectored write: a local buffer segment headed
+/// for a contiguous span of a remote MR.
+#[derive(Debug)]
+pub struct WriteSge<'a> {
+    pub mr: MrHandle,
+    pub offset: u64,
+    pub data: &'a [u8],
+}
+
+/// A vectored work request: one verb with a scatter/gather list. Like a
+/// real WQE, all elements of one WR should target MRs of a single remote
+/// server (each WR travels one queue pair); the cost model attributes the
+/// WR's op overhead to the first element's server.
+#[derive(Debug)]
+pub enum WorkRequest<'a> {
+    Read(Vec<ReadSge<'a>>),
+    Write(Vec<WriteSge<'a>>),
+}
+
+impl WorkRequest<'_> {
+    pub fn verb(&self) -> Verb {
+        match self {
+            WorkRequest::Read(_) => Verb::Read,
+            WorkRequest::Write(_) => Verb::Write,
+        }
+    }
+
+    /// Total bytes this WR moves across all its elements.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            WorkRequest::Read(sges) => sges.iter().map(|s| s.buf.len() as u64).sum(),
+            WorkRequest::Write(sges) => sges.iter().map(|s| s.data.len() as u64).sum(),
+        }
+    }
+
+    pub(crate) fn sge_count(&self) -> usize {
+        match self {
+            WorkRequest::Read(sges) => sges.len(),
+            WorkRequest::Write(sges) => sges.len(),
+        }
+    }
+
+    /// (server, first offset) of the WR's first element — the address the
+    /// fault schedule and op-overhead accounting key on.
+    pub(crate) fn target(&self) -> Option<(ServerId, u64)> {
+        match self {
+            WorkRequest::Read(sges) => sges.first().map(|s| (s.mr.server, s.offset)),
+            WorkRequest::Write(sges) => sges.first().map(|s| (s.mr.server, s.offset)),
+        }
+    }
+
+    /// Iterate `(handle, offset, len)` per element, for validation.
+    pub(crate) fn sges(&self) -> Vec<(MrHandle, u64, u64)> {
+        match self {
+            WorkRequest::Read(sges) => sges
+                .iter()
+                .map(|s| (s.mr, s.offset, s.buf.len() as u64))
+                .collect(),
+            WorkRequest::Write(sges) => sges
+                .iter()
+                .map(|s| (s.mr, s.offset, s.data.len() as u64))
+                .collect(),
+        }
+    }
+
+    /// Move the bytes through the validated regions (parallel to the SGE
+    /// list). Time has already been charged by the doorbell.
+    pub(crate) fn execute(&mut self, regions: &[MemoryRegion]) {
+        match self {
+            WorkRequest::Read(sges) => {
+                for (sge, region) in sges.iter_mut().zip(regions) {
+                    region.read_into(sge.offset, sge.buf);
+                }
+            }
+            WorkRequest::Write(sges) => {
+                for (sge, region) in sges.iter().zip(regions) {
+                    region.write_from(sge.offset, sge.data);
+                }
+            }
+        }
+    }
+}
 
 /// Identifier of a posted work request, unique within its queue pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,6 +164,11 @@ pub struct QueuePair<'a> {
     remote: ServerId,
     next_wr: u64,
     cq: VecDeque<Completion>,
+    /// Send-queue depth: at most this many WRs ring in one doorbell chain.
+    max_outstanding: usize,
+    /// `qp.<local>-<remote>.outstanding` — completions posted but not yet
+    /// polled. Resolved once at connect so posting never does name lookups.
+    outstanding: Option<Arc<Gauge>>,
 }
 
 impl<'a> QueuePair<'a> {
@@ -79,6 +181,9 @@ impl<'a> QueuePair<'a> {
         remote: ServerId,
     ) -> Result<QueuePair<'a>, NetError> {
         fabric.connect(clock, local, remote)?;
+        let outstanding = fabric
+            .metrics_registry()
+            .map(|r| r.gauge(&format!("qp.{}-{}.outstanding", local.0, remote.0)));
         Ok(QueuePair {
             fabric,
             protocol,
@@ -86,11 +191,58 @@ impl<'a> QueuePair<'a> {
             remote,
             next_wr: 1,
             cq: VecDeque::new(),
+            max_outstanding: DEFAULT_MAX_OUTSTANDING,
+            outstanding,
         })
     }
 
     pub fn remote(&self) -> ServerId {
         self.remote
+    }
+
+    /// Cap the number of WRs rung per doorbell chain (≥ 1).
+    pub fn set_max_outstanding(&mut self, n: usize) {
+        self.max_outstanding = n.max(1);
+    }
+
+    pub fn max_outstanding(&self) -> usize {
+        self.max_outstanding
+    }
+
+    fn publish_outstanding(&self) {
+        if let Some(g) = &self.outstanding {
+            g.set(self.cq.len() as f64);
+        }
+    }
+
+    /// Post a chain of vectored work requests, ringing one doorbell per
+    /// `max_outstanding`-sized chunk ([`Fabric::execute_batch`]). Returns
+    /// the WR ids in post order; completions — including per-WR failures —
+    /// land in the CQ in the same order.
+    pub fn post_batch(
+        &mut self,
+        clock: &mut Clock,
+        wrs: &mut [WorkRequest<'_>],
+    ) -> Vec<WorkRequestId> {
+        let mut ids = Vec::with_capacity(wrs.len());
+        for chunk in wrs.chunks_mut(self.max_outstanding) {
+            let completions = self
+                .fabric
+                .execute_batch(clock, self.protocol, self.local, chunk);
+            for (wr, c) in chunk.iter().zip(completions) {
+                let id = self.alloc_wr();
+                ids.push(id);
+                self.cq.push_back(Completion {
+                    wr_id: id,
+                    verb: wr.verb(),
+                    completed_at: c.completed_at,
+                    bytes: c.bytes,
+                    error: c.result.err(),
+                });
+            }
+        }
+        self.publish_outstanding();
+        ids
     }
 
     /// Post an RDMA read: remote `[offset, offset+buf.len())` → `buf`.
@@ -161,11 +313,14 @@ impl<'a> QueuePair<'a> {
             bytes,
             error: result.err(),
         });
+        self.publish_outstanding();
     }
 
     /// Poll one completion, if any (non-blocking, like `ibv_poll_cq`).
     pub fn poll_cq(&mut self) -> Option<Completion> {
-        self.cq.pop_front()
+        let c = self.cq.pop_front();
+        self.publish_outstanding();
+        c
     }
 
     /// Completions pending in the CQ.
@@ -181,6 +336,7 @@ impl<'a> QueuePair<'a> {
             clock.advance_to(c.completed_at);
             out.push(c);
         }
+        self.publish_outstanding();
         out
     }
 
@@ -251,6 +407,175 @@ mod tests {
         assert!(fabric.is_connected(db, mem));
         qp.disconnect();
         assert!(!fabric.is_connected(db, mem));
+    }
+
+    #[test]
+    fn batched_reads_cost_one_doorbell() {
+        // 16 pages via one post_batch must beat 16 scalar posts: the chain
+        // pays op_overhead + fixed_latency once instead of 16 times.
+        let n = 16usize;
+        let (fabric, db, mem, mr) = setup();
+        let mut scalar_clock = Clock::new();
+        let mut qp = QueuePair::connect(&fabric, &mut scalar_clock, Protocol::Custom, db, mem)
+            .expect("connect");
+        let mut buf = vec![0u8; 8192];
+        for i in 0..n {
+            qp.post_read(&mut scalar_clock, mr, (i * 8192) as u64, &mut buf);
+        }
+        qp.drain_cq(&mut scalar_clock);
+        qp.disconnect();
+
+        let (fabric2, db2, mem2, mr2) = setup();
+        let mut clock = Clock::new();
+        let mut qp2 =
+            QueuePair::connect(&fabric2, &mut clock, Protocol::Custom, db2, mem2).expect("connect");
+        let mut bufs = vec![vec![0u8; 8192]; n];
+        let mut wrs: Vec<WorkRequest<'_>> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| {
+                WorkRequest::Read(vec![ReadSge {
+                    mr: mr2,
+                    offset: (i * 8192) as u64,
+                    buf: b,
+                }])
+            })
+            .collect();
+        let ids = qp2.post_batch(&mut clock, &mut wrs);
+        assert_eq!(ids.len(), n);
+        let completions = qp2.drain_cq(&mut clock);
+        assert!(completions.iter().all(Completion::is_ok));
+        assert!(completions
+            .windows(2)
+            .all(|w| w[0].completed_at <= w[1].completed_at));
+        qp2.disconnect();
+        assert!(
+            clock.now() < scalar_clock.now(),
+            "batched {:?} must beat scalar {:?}",
+            clock.now(),
+            scalar_clock.now()
+        );
+    }
+
+    #[test]
+    fn batch_moves_bytes_and_gathers_sges() {
+        let (fabric, db, mem, mr) = setup();
+        let mut clock = Clock::new();
+        let mut qp =
+            QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).expect("connect");
+        // one gather-write WR with two SGEs, then a scatter-read back
+        let (a, b) = (*b"hello ", *b"world!");
+        let mut wrs = vec![WorkRequest::Write(vec![
+            WriteSge {
+                mr,
+                offset: 64,
+                data: &a,
+            },
+            WriteSge {
+                mr,
+                offset: 70,
+                data: &b,
+            },
+        ])];
+        qp.post_batch(&mut clock, &mut wrs);
+        let mut lo = [0u8; 4];
+        let mut hi = [0u8; 8];
+        let mut reads = vec![WorkRequest::Read(vec![
+            ReadSge {
+                mr,
+                offset: 64,
+                buf: &mut lo,
+            },
+            ReadSge {
+                mr,
+                offset: 68,
+                buf: &mut hi,
+            },
+        ])];
+        qp.post_batch(&mut clock, &mut reads);
+        drop(reads);
+        assert_eq!(&lo, b"hell");
+        assert_eq!(&hi, b"o world!");
+        assert!(qp.drain_cq(&mut clock).iter().all(Completion::is_ok));
+    }
+
+    #[test]
+    fn batch_partial_failure_surfaces_per_wr_errors() {
+        let (fabric, db, mem, mr) = setup();
+        let mut clock = Clock::new();
+        let mut qp =
+            QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).expect("connect");
+        let mut good1 = [0u8; 128];
+        let mut bad = [0u8; 128];
+        let mut good2 = [0u8; 128];
+        let mut wrs = vec![
+            WorkRequest::Read(vec![ReadSge {
+                mr,
+                offset: 0,
+                buf: &mut good1,
+            }]),
+            // out of bounds: fails validation, must not poison the chain
+            WorkRequest::Read(vec![ReadSge {
+                mr,
+                offset: mr.len - 16,
+                buf: &mut bad,
+            }]),
+            WorkRequest::Read(vec![ReadSge {
+                mr,
+                offset: 8192,
+                buf: &mut good2,
+            }]),
+        ];
+        qp.post_batch(&mut clock, &mut wrs);
+        drop(wrs);
+        let completions = qp.drain_cq(&mut clock);
+        assert_eq!(completions.len(), 3);
+        assert!(completions[0].is_ok());
+        assert!(matches!(
+            completions[1].error,
+            Some(NetError::OutOfBounds { .. })
+        ));
+        assert!(completions[2].is_ok());
+    }
+
+    #[test]
+    fn max_outstanding_chunks_the_chain() {
+        let (fabric, db, mem, mr) = setup();
+        let registry = remem_sim::MetricsRegistry::shared();
+        fabric.set_metrics(Some(std::sync::Arc::clone(&registry)));
+        let mut clock = Clock::new();
+        let mut qp =
+            QueuePair::connect(&fabric, &mut clock, Protocol::Custom, db, mem).expect("connect");
+        qp.set_max_outstanding(4);
+        let mut bufs = vec![vec![0u8; 512]; 10];
+        let mut wrs: Vec<WorkRequest<'_>> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| {
+                WorkRequest::Read(vec![ReadSge {
+                    mr,
+                    offset: (i * 512) as u64,
+                    buf: b,
+                }])
+            })
+            .collect();
+        qp.post_batch(&mut clock, &mut wrs);
+        drop(wrs);
+        // 10 WRs at depth 4 → doorbells of 4 + 4 + 2
+        assert_eq!(registry.counter("fabric.batch.doorbells").get(), 3);
+        assert_eq!(
+            registry
+                .gauge(&format!("qp.{}-{}.outstanding", db.0, mem.0))
+                .get(),
+            10.0
+        );
+        qp.drain_cq(&mut clock);
+        assert_eq!(
+            registry
+                .gauge(&format!("qp.{}-{}.outstanding", db.0, mem.0))
+                .get(),
+            0.0
+        );
     }
 
     #[test]

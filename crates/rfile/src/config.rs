@@ -74,6 +74,12 @@ pub struct RFileConfig {
     /// whose contents can be re-fetched elsewhere — keep it off for spill
     /// files, where a silently zeroed stripe would corrupt results.
     pub self_heal: bool,
+    /// Queue depth of the pipelined vectored path: how many chunk work
+    /// requests are fanned out per doorbell in `read_vectored` /
+    /// `write_vectored`. 1 degenerates to the scalar path; the paper's
+    /// staging design sustains up to 128 in-flight transfers per scheduler
+    /// (§4.2), so the default sits well below that.
+    pub queue_depth: usize,
     /// Chaos-audit log retries/repairs/migrations are recorded into.
     pub fault_log: Option<Arc<FaultLog>>,
     /// Telemetry registry reads/writes/retries/repairs publish into (under
@@ -94,6 +100,7 @@ impl Default for RFileConfig {
             max_retries: 4,
             retry_backoff: SimDuration::from_micros(50),
             self_heal: false,
+            queue_depth: 32,
             fault_log: None,
             metrics: None,
         }

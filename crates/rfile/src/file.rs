@@ -1,11 +1,12 @@
 //! The remote file: Table 2's five operations over leased MRs.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use remem_broker::{BrokerError, Lease, MemoryBroker};
-use remem_net::{Fabric, MrHandle, NetError, Protocol, ServerId};
+use remem_net::{Fabric, MrHandle, NetError, Protocol, ReadSge, ServerId, WorkRequest, WriteSge};
 use remem_sim::metrics::Counter;
 use remem_sim::{Clock, FaultOrigin, MetricsRegistry, SimDuration, SimTime};
 use remem_storage::{Device, StorageError};
@@ -84,6 +85,77 @@ struct FileState {
     next_repair: SimTime,
     repair_backoff: SimDuration,
 }
+
+/// One operation of the asynchronous submit/complete API
+/// ([`RemoteFile::submit`] / [`RemoteFile::complete`]). Buffers are owned by
+/// the op so a batch can be held across scheduler activations.
+#[derive(Debug)]
+pub enum IoOp {
+    /// Fill `buf` from file `offset`.
+    Read { offset: u64, buf: Vec<u8> },
+    /// Store `data` at file `offset`.
+    Write { offset: u64, data: Vec<u8> },
+}
+
+impl IoOp {
+    /// Convenience constructor: a read of `len` zero-initialized bytes.
+    pub fn read(offset: u64, len: usize) -> IoOp {
+        IoOp::Read {
+            offset,
+            buf: vec![0u8; len],
+        }
+    }
+
+    pub fn write(offset: u64, data: Vec<u8>) -> IoOp {
+        IoOp::Write { offset, data }
+    }
+}
+
+/// A batch recorded by [`RemoteFile::submit`], awaiting
+/// [`RemoteFile::complete`]. Submission charges no virtual time and moves no
+/// bytes; dropping an un-completed batch performs no I/O.
+#[must_use = "submitted I/O does nothing until complete() is called"]
+pub struct IoBatch {
+    ops: Vec<IoOp>,
+}
+
+impl IoBatch {
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// One queued chunk of a vectored read: which request it belongs to and the
+/// sub-slice of that request's buffer still unserved. Chunks split at extent
+/// boundaries and carry their own retry schedule, so one chunk backing off
+/// never stalls the rest of the batch.
+struct ReadChunk<'b> {
+    req: usize,
+    file_off: u64,
+    tries: u32,
+    not_before: SimTime,
+    buf: &'b mut [u8],
+}
+
+/// Write-side twin of [`ReadChunk`].
+struct WriteChunk<'b> {
+    req: usize,
+    file_off: u64,
+    tries: u32,
+    not_before: SimTime,
+    data: &'b [u8],
+}
+
+/// One located wave entry: `(request, file_off, tries, backing MR,
+/// offset-within-MR, buffer)` — the chunk after address translation, ready
+/// to be coalesced into a work request.
+type ReadWave<'b> = Vec<(usize, u64, u32, MrHandle, u64, &'b mut [u8])>;
+/// Write-side twin of [`ReadWave`].
+type WriteWave<'b> = Vec<(usize, u64, u32, MrHandle, u64, &'b [u8])>;
 
 /// A file whose bytes live in remote memory, accessed via RDMA.
 ///
@@ -575,18 +647,18 @@ impl RemoteFile {
     /// Persistent failure is recorded but not fatal: the covering ranges are
     /// already in `lost_ranges`, so caches above discard them regardless.
     fn zero_extents(&self, clock: &mut Clock, extents: &[Extent]) {
+        // one scratch buffer sized for the largest extent, reused across the
+        // loop — repair must not allocate per stripe
+        let max = extents.iter().map(|e| e.len).max().unwrap_or(0) as usize;
+        let zeros = vec![0u8; max];
         for e in extents {
-            let zeros = vec![0u8; e.len as usize];
+            let zeros = &zeros[..e.len as usize];
             let mut ok = false;
             for attempt in 0..ZERO_ATTEMPTS {
-                match self.fabric.write(
-                    clock,
-                    self.cfg.protocol,
-                    self.local,
-                    e.mr,
-                    e.mr_off,
-                    &zeros,
-                ) {
+                match self
+                    .fabric
+                    .write(clock, self.cfg.protocol, self.local, e.mr, e.mr_off, zeros)
+                {
                     Ok(()) => {
                         ok = true;
                         break;
@@ -816,6 +888,594 @@ impl RemoteFile {
         }
         res
     }
+
+    /// Validate the batch shape and lease once up front. Requests that fail
+    /// validation get their error slot set and are skipped by the wave
+    /// engine; a dead lease (or closed file) fails the whole batch. Returns
+    /// whether any request may proceed.
+    fn vectored_preflight(
+        &self,
+        clock: &mut Clock,
+        shape: &[(u64, u64)],
+        results: &mut [Result<(), StorageError>],
+    ) -> bool {
+        if !self.is_open.load(Ordering::Acquire) {
+            for r in results.iter_mut() {
+                *r = Err(StorageError::Unavailable("file is not open".into()));
+            }
+            return false;
+        }
+        for (i, &(offset, len)) in shape.iter().enumerate() {
+            if offset + len > self.size {
+                results[i] = Err(StorageError::OutOfBounds {
+                    offset,
+                    len,
+                    capacity: self.size,
+                });
+            }
+        }
+        if let Err(e) = self.ensure_lease(clock) {
+            for r in results.iter_mut() {
+                if r.is_ok() {
+                    *r = Err(e.clone());
+                }
+            }
+            return false;
+        }
+        results.iter().any(|r| r.is_ok())
+    }
+
+    /// Bounded self-heal shared by the wave engines; mirrors the scalar
+    /// fatal-fault arm of [`RemoteFile::io`].
+    fn heal_once(
+        &self,
+        clock: &mut Clock,
+        heals: &mut u32,
+        fatal: &NetError,
+    ) -> Result<(), StorageError> {
+        *heals += 1;
+        if *heals > MAX_HEALS_PER_IO {
+            return Err(StorageError::Unavailable(format!(
+                "giving up after {MAX_HEALS_PER_IO} repair attempts: {fatal}"
+            )));
+        }
+        self.note(
+            clock.now(),
+            FaultOrigin::Observed,
+            "rfile.fatal",
+            fatal.to_string(),
+        );
+        self.ensure_lease(clock)?;
+        self.try_repair(clock)
+    }
+
+    /// **Vectored read**: fan the request list out across stripes and donor
+    /// servers in waves of up to `cfg.queue_depth` chunks, one doorbell per
+    /// wave. Chunks landing in the same MR at adjacent offsets coalesce into
+    /// a single multi-SGE work request (one op overhead for the run), and a
+    /// chunk backing off after a transient fault only costs wall time when
+    /// nothing else is ready to issue — retries overlap other in-flight work.
+    /// Results come back per request; one request failing never poisons its
+    /// neighbours.
+    pub fn read_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &mut [(u64, &mut [u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        let t0 = clock.now();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span_enter("rfile.read_vectored", t0));
+        let shape: Vec<(u64, u64)> = reqs.iter().map(|(o, b)| (*o, b.len() as u64)).collect();
+        let mut results: Vec<Result<(), StorageError>> = vec![Ok(()); reqs.len()];
+        if self.vectored_preflight(clock, &shape, &mut results) {
+            let mut queue: VecDeque<ReadChunk<'_>> = VecDeque::new();
+            for (i, (offset, buf)) in reqs.iter_mut().enumerate() {
+                if results[i].is_err() || buf.is_empty() {
+                    continue;
+                }
+                queue.push_back(ReadChunk {
+                    req: i,
+                    file_off: *offset,
+                    tries: 0,
+                    not_before: SimTime::ZERO,
+                    buf,
+                });
+            }
+            self.drive_read_waves(clock, &mut queue, &mut results);
+        }
+        let (mut ok_n, mut ok_bytes) = (0u64, 0u64);
+        for (i, r) in results.iter().enumerate() {
+            if r.is_ok() {
+                ok_n += 1;
+                ok_bytes += shape[i].1;
+            }
+        }
+        self.bytes_read.add(ok_bytes);
+        if let Some(m) = &self.metrics {
+            if let Some(span) = span {
+                m.registry.span_exit(span, clock.now());
+            }
+            m.read_ops.add(ok_n);
+            m.read_bytes.add(ok_bytes);
+            m.read_lat.record(clock.now().since(t0));
+        }
+        results
+    }
+
+    fn drive_read_waves<'b>(
+        &self,
+        clock: &mut Clock,
+        queue: &mut VecDeque<ReadChunk<'b>>,
+        results: &mut [Result<(), StorageError>],
+    ) {
+        let qd = self.cfg.queue_depth.max(1);
+        let mut heals = 0u32;
+        loop {
+            // drop chunks whose request already failed through a sibling
+            queue.retain(|c| results[c.req].is_ok());
+            if queue.is_empty() {
+                return;
+            }
+            // only when *every* survivor is backing off does backoff cost
+            // clock time — otherwise retries hide behind other waves
+            let now = clock.now();
+            // every queued chunk backing off == the earliest deadline is in
+            // the future; only then does backoff cost any virtual time
+            if let Some(t) = queue.iter().map(|c| c.not_before).min() {
+                if t > now {
+                    clock.advance_to(t);
+                }
+            }
+            // carve one wave of ready chunks, splitting at extent boundaries
+            // (re-locating every time: a repair may have swapped the backing)
+            let mut wave: ReadWave<'b> = Vec::new();
+            let mut scan = queue.len();
+            while wave.len() < qd && scan > 0 {
+                scan -= 1;
+                let Some(chunk) = queue.pop_front() else {
+                    break;
+                };
+                if chunk.not_before > clock.now() {
+                    queue.push_back(chunk);
+                    continue;
+                }
+                let (mr, mr_off, avail) = self.locate(chunk.file_off, chunk.buf.len() as u64);
+                let ReadChunk {
+                    req,
+                    file_off,
+                    tries,
+                    not_before,
+                    buf,
+                } = chunk;
+                if avail < buf.len() as u64 {
+                    let (head, tail) = buf.split_at_mut(avail as usize);
+                    queue.push_front(ReadChunk {
+                        req,
+                        file_off: file_off + avail,
+                        tries,
+                        not_before,
+                        buf: tail,
+                    });
+                    wave.push((req, file_off, tries, mr, mr_off, head));
+                } else {
+                    wave.push((req, file_off, tries, mr, mr_off, buf));
+                }
+            }
+            if wave.is_empty() {
+                continue;
+            }
+            // local prep (staging memcpy / dynamic registration) serializes
+            // on the issuing scheduler, exactly as in the scalar path
+            for (_, _, _, _, _, buf) in &wave {
+                self.prepare_transfer(clock, buf.len() as u64);
+            }
+            // coalesce MR-adjacent chunks into multi-SGE WRs: a sequential
+            // readahead batch or a run of dirty neighbours becomes one WR
+            wave.sort_by_key(|&(_, _, _, mr, mr_off, _)| (mr.server.0, mr.mr, mr_off));
+            let mut wrs: Vec<WorkRequest<'_>> = Vec::new();
+            let mut metas: Vec<Vec<(usize, u64, u32)>> = Vec::new();
+            for (req, file_off, tries, mr, mr_off, buf) in wave {
+                let contiguous = match wrs.last() {
+                    Some(WorkRequest::Read(sges)) => sges.last().is_some_and(|last| {
+                        last.mr.server == mr.server
+                            && last.mr.mr == mr.mr
+                            && last.offset + last.buf.len() as u64 == mr_off
+                    }),
+                    _ => false,
+                };
+                let sge = ReadSge {
+                    mr,
+                    offset: mr_off,
+                    buf,
+                };
+                match (wrs.last_mut(), metas.last_mut()) {
+                    (Some(WorkRequest::Read(sges)), Some(meta)) if contiguous => {
+                        sges.push(sge);
+                        meta.push((req, file_off, tries));
+                    }
+                    _ => {
+                        wrs.push(WorkRequest::Read(vec![sge]));
+                        metas.push(vec![(req, file_off, tries)]);
+                    }
+                }
+            }
+            let issued = clock.now();
+            let comps = self
+                .fabric
+                .execute_batch(clock, self.cfg.protocol, self.local, &mut wrs);
+            self.access_mode_penalty(clock, clock.now().since(issued));
+            let mut healed_this_wave = false;
+            for ((wr, meta), comp) in wrs.into_iter().zip(metas).zip(comps) {
+                let WorkRequest::Read(sges) = wr else {
+                    unreachable!("read wave only posts read WRs")
+                };
+                match comp.result {
+                    Ok(()) => {
+                        for &(_, file_off, tries) in &meta {
+                            if tries > 0 {
+                                self.note(
+                                    clock.now(),
+                                    FaultOrigin::Recovery,
+                                    "rfile.retry",
+                                    format!("chunk at {file_off} ok after {tries} retries"),
+                                );
+                            }
+                        }
+                    }
+                    Err(NetError::Transient { server, reason }) => {
+                        for (sge, (req, file_off, tries)) in sges.into_iter().zip(meta) {
+                            let tries = tries + 1;
+                            if tries > self.cfg.max_retries {
+                                self.note(
+                                    clock.now(),
+                                    FaultOrigin::Observed,
+                                    "rfile.retry",
+                                    format!(
+                                        "chunk at {file_off} gave up after {} retries",
+                                        self.cfg.max_retries
+                                    ),
+                                );
+                                results[req] = Err(StorageError::Transient(format!(
+                                    "{} retries exhausted reaching {server:?}: {reason}",
+                                    self.cfg.max_retries
+                                )));
+                                continue;
+                            }
+                            self.retries.add(1);
+                            if let Some(m) = &self.metrics {
+                                m.retries.incr();
+                            }
+                            queue.push_back(ReadChunk {
+                                req,
+                                file_off,
+                                tries,
+                                not_before: clock.now()
+                                    + self.cfg.retry_backoff * (1 << (tries - 1)),
+                                buf: sge.buf,
+                            });
+                        }
+                    }
+                    Err(fatal) => {
+                        if !self.cfg.self_heal {
+                            for (req, _, _) in meta {
+                                results[req] = Err(StorageError::Unavailable(fatal.to_string()));
+                            }
+                            continue;
+                        }
+                        // one heal per wave covers every fatal WR in it: the
+                        // repair already replaced all the dead stripes
+                        let heal = if healed_this_wave {
+                            Ok(())
+                        } else {
+                            self.heal_once(clock, &mut heals, &fatal)
+                        };
+                        match heal {
+                            Ok(()) => {
+                                healed_this_wave = true;
+                                for (sge, (req, file_off, tries)) in sges.into_iter().zip(meta) {
+                                    queue.push_back(ReadChunk {
+                                        req,
+                                        file_off,
+                                        tries,
+                                        not_before: clock.now(),
+                                        buf: sge.buf,
+                                    });
+                                }
+                            }
+                            Err(e) => {
+                                for (req, _, _) in meta {
+                                    results[req] = Err(e.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// **Vectored write**: the gather-side twin of
+    /// [`RemoteFile::read_vectored`] — same wave engine, with adjacent dirty
+    /// ranges coalesced into single multi-SGE work requests.
+    pub fn write_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &[(u64, &[u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        let t0 = clock.now();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span_enter("rfile.write_vectored", t0));
+        let shape: Vec<(u64, u64)> = reqs.iter().map(|(o, d)| (*o, d.len() as u64)).collect();
+        let mut results: Vec<Result<(), StorageError>> = vec![Ok(()); reqs.len()];
+        if self.vectored_preflight(clock, &shape, &mut results) {
+            let mut queue: VecDeque<WriteChunk<'_>> = VecDeque::new();
+            for (i, (offset, data)) in reqs.iter().enumerate() {
+                if results[i].is_err() || data.is_empty() {
+                    continue;
+                }
+                queue.push_back(WriteChunk {
+                    req: i,
+                    file_off: *offset,
+                    tries: 0,
+                    not_before: SimTime::ZERO,
+                    data,
+                });
+            }
+            self.drive_write_waves(clock, &mut queue, &mut results);
+        }
+        let (mut ok_n, mut ok_bytes) = (0u64, 0u64);
+        for (i, r) in results.iter().enumerate() {
+            if r.is_ok() {
+                ok_n += 1;
+                ok_bytes += shape[i].1;
+            }
+        }
+        self.bytes_written.add(ok_bytes);
+        if let Some(m) = &self.metrics {
+            if let Some(span) = span {
+                m.registry.span_exit(span, clock.now());
+            }
+            m.write_ops.add(ok_n);
+            m.write_bytes.add(ok_bytes);
+            m.write_lat.record(clock.now().since(t0));
+        }
+        results
+    }
+
+    fn drive_write_waves<'b>(
+        &self,
+        clock: &mut Clock,
+        queue: &mut VecDeque<WriteChunk<'b>>,
+        results: &mut [Result<(), StorageError>],
+    ) {
+        let qd = self.cfg.queue_depth.max(1);
+        let mut heals = 0u32;
+        loop {
+            queue.retain(|c| results[c.req].is_ok());
+            if queue.is_empty() {
+                return;
+            }
+            let now = clock.now();
+            // every queued chunk backing off == the earliest deadline is in
+            // the future; only then does backoff cost any virtual time
+            if let Some(t) = queue.iter().map(|c| c.not_before).min() {
+                if t > now {
+                    clock.advance_to(t);
+                }
+            }
+            let mut wave: WriteWave<'b> = Vec::new();
+            let mut scan = queue.len();
+            while wave.len() < qd && scan > 0 {
+                scan -= 1;
+                let Some(chunk) = queue.pop_front() else {
+                    break;
+                };
+                if chunk.not_before > clock.now() {
+                    queue.push_back(chunk);
+                    continue;
+                }
+                let (mr, mr_off, avail) = self.locate(chunk.file_off, chunk.data.len() as u64);
+                let WriteChunk {
+                    req,
+                    file_off,
+                    tries,
+                    not_before,
+                    data,
+                } = chunk;
+                if avail < data.len() as u64 {
+                    let (head, tail) = data.split_at(avail as usize);
+                    queue.push_front(WriteChunk {
+                        req,
+                        file_off: file_off + avail,
+                        tries,
+                        not_before,
+                        data: tail,
+                    });
+                    wave.push((req, file_off, tries, mr, mr_off, head));
+                } else {
+                    wave.push((req, file_off, tries, mr, mr_off, data));
+                }
+            }
+            if wave.is_empty() {
+                continue;
+            }
+            for (_, _, _, _, _, data) in &wave {
+                self.prepare_transfer(clock, data.len() as u64);
+            }
+            wave.sort_by_key(|&(_, _, _, mr, mr_off, _)| (mr.server.0, mr.mr, mr_off));
+            let mut wrs: Vec<WorkRequest<'_>> = Vec::new();
+            let mut metas: Vec<Vec<(usize, u64, u32)>> = Vec::new();
+            for (req, file_off, tries, mr, mr_off, data) in wave {
+                let contiguous = match wrs.last() {
+                    Some(WorkRequest::Write(sges)) => sges.last().is_some_and(|last| {
+                        last.mr.server == mr.server
+                            && last.mr.mr == mr.mr
+                            && last.offset + last.data.len() as u64 == mr_off
+                    }),
+                    _ => false,
+                };
+                let sge = WriteSge {
+                    mr,
+                    offset: mr_off,
+                    data,
+                };
+                match (wrs.last_mut(), metas.last_mut()) {
+                    (Some(WorkRequest::Write(sges)), Some(meta)) if contiguous => {
+                        sges.push(sge);
+                        meta.push((req, file_off, tries));
+                    }
+                    _ => {
+                        wrs.push(WorkRequest::Write(vec![sge]));
+                        metas.push(vec![(req, file_off, tries)]);
+                    }
+                }
+            }
+            let issued = clock.now();
+            let comps = self
+                .fabric
+                .execute_batch(clock, self.cfg.protocol, self.local, &mut wrs);
+            self.access_mode_penalty(clock, clock.now().since(issued));
+            let mut healed_this_wave = false;
+            for ((wr, meta), comp) in wrs.into_iter().zip(metas).zip(comps) {
+                let WorkRequest::Write(sges) = wr else {
+                    unreachable!("write wave only posts write WRs")
+                };
+                match comp.result {
+                    Ok(()) => {
+                        for &(_, file_off, tries) in &meta {
+                            if tries > 0 {
+                                self.note(
+                                    clock.now(),
+                                    FaultOrigin::Recovery,
+                                    "rfile.retry",
+                                    format!("chunk at {file_off} ok after {tries} retries"),
+                                );
+                            }
+                        }
+                    }
+                    Err(NetError::Transient { server, reason }) => {
+                        for (sge, (req, file_off, tries)) in sges.into_iter().zip(meta) {
+                            let tries = tries + 1;
+                            if tries > self.cfg.max_retries {
+                                self.note(
+                                    clock.now(),
+                                    FaultOrigin::Observed,
+                                    "rfile.retry",
+                                    format!(
+                                        "chunk at {file_off} gave up after {} retries",
+                                        self.cfg.max_retries
+                                    ),
+                                );
+                                results[req] = Err(StorageError::Transient(format!(
+                                    "{} retries exhausted reaching {server:?}: {reason}",
+                                    self.cfg.max_retries
+                                )));
+                                continue;
+                            }
+                            self.retries.add(1);
+                            if let Some(m) = &self.metrics {
+                                m.retries.incr();
+                            }
+                            queue.push_back(WriteChunk {
+                                req,
+                                file_off,
+                                tries,
+                                not_before: clock.now()
+                                    + self.cfg.retry_backoff * (1 << (tries - 1)),
+                                data: sge.data,
+                            });
+                        }
+                    }
+                    Err(fatal) => {
+                        if !self.cfg.self_heal {
+                            for (req, _, _) in meta {
+                                results[req] = Err(StorageError::Unavailable(fatal.to_string()));
+                            }
+                            continue;
+                        }
+                        let heal = if healed_this_wave {
+                            Ok(())
+                        } else {
+                            self.heal_once(clock, &mut heals, &fatal)
+                        };
+                        match heal {
+                            Ok(()) => {
+                                healed_this_wave = true;
+                                for (sge, (req, file_off, tries)) in sges.into_iter().zip(meta) {
+                                    queue.push_back(WriteChunk {
+                                        req,
+                                        file_off,
+                                        tries,
+                                        not_before: clock.now(),
+                                        data: sge.data,
+                                    });
+                                }
+                            }
+                            Err(e) => {
+                                for (req, _, _) in meta {
+                                    results[req] = Err(e.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// **Submit** half of the async API: record the operation list. No
+    /// virtual time is charged and no bytes move until
+    /// [`RemoteFile::complete`] — the caller keeps working in between, which
+    /// is how the engine overlaps spill I/O with compute.
+    pub fn submit(&self, ops: Vec<IoOp>) -> IoBatch {
+        IoBatch { ops }
+    }
+
+    /// **Complete** half of the async API: drive the whole batch through the
+    /// pipelined vectored path — consecutive same-verb runs share doorbells —
+    /// and hand the buffers back with per-op results, in submission order.
+    pub fn complete(
+        &self,
+        clock: &mut Clock,
+        batch: IoBatch,
+    ) -> Vec<(IoOp, Result<(), StorageError>)> {
+        let mut ops = batch.ops;
+        let n = ops.len();
+        let mut results: Vec<Result<(), StorageError>> = Vec::with_capacity(n);
+        let mut i = 0;
+        while i < n {
+            let is_read = matches!(ops[i], IoOp::Read { .. });
+            let mut j = i + 1;
+            while j < n && matches!(ops[j], IoOp::Read { .. }) == is_read {
+                j += 1;
+            }
+            if is_read {
+                let mut reqs: Vec<(u64, &mut [u8])> = ops[i..j]
+                    .iter_mut()
+                    .map(|op| match op {
+                        IoOp::Read { offset, buf } => (*offset, buf.as_mut_slice()),
+                        IoOp::Write { .. } => unreachable!("run contains only reads"),
+                    })
+                    .collect();
+                results.extend(self.read_vectored(clock, &mut reqs));
+            } else {
+                let reqs: Vec<(u64, &[u8])> = ops[i..j]
+                    .iter()
+                    .map(|op| match op {
+                        IoOp::Write { offset, data } => (*offset, data.as_slice()),
+                        IoOp::Read { .. } => unreachable!("run contains only writes"),
+                    })
+                    .collect();
+                results.extend(self.write_vectored(clock, &reqs));
+            }
+            i = j;
+        }
+        ops.into_iter().zip(results).collect()
+    }
 }
 
 impl Device for RemoteFile {
@@ -825,6 +1485,22 @@ impl Device for RemoteFile {
 
     fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError> {
         RemoteFile::write(self, clock, offset, data)
+    }
+
+    fn read_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &mut [(u64, &mut [u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        RemoteFile::read_vectored(self, clock, reqs)
+    }
+
+    fn write_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &[(u64, &[u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        RemoteFile::write_vectored(self, clock, reqs)
     }
 
     fn capacity(&self) -> u64 {
@@ -1296,6 +1972,163 @@ mod tests {
             "net child time must be attributed: {rf:?}"
         );
         assert!(net.total <= rf.total);
+    }
+
+    #[test]
+    fn vectored_read_matches_scalar_across_stripe_boundaries() {
+        let c = cluster(2, 4, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, 4 * MR, RFileConfig::custom(), &mut clock);
+        let data: Vec<u8> = (0..(4 * MR) as usize).map(|i| (i % 251) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        // request list straddling MR boundaries, unsorted, including the tail
+        let spec: Vec<(u64, u64)> = vec![
+            (MR - 100, 300),
+            (0, 8192),
+            (3 * MR + 100, MR - 100), // runs to the file tail
+            (2 * MR - 1, 2),
+        ];
+        let mut bufs: Vec<Vec<u8>> = spec.iter().map(|&(_, l)| vec![0u8; l as usize]).collect();
+        let mut reqs: Vec<(u64, &mut [u8])> = spec
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(&(o, _), b)| (o, b.as_mut_slice()))
+            .collect();
+        let results = f.read_vectored(&mut clock, &mut reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        for (&(o, l), buf) in spec.iter().zip(&bufs) {
+            assert_eq!(buf[..], data[o as usize..(o + l) as usize], "req at {o}");
+        }
+        let expect: u64 = spec.iter().map(|&(_, l)| l).sum();
+        assert_eq!(f.bytes_read(), expect);
+    }
+
+    #[test]
+    fn vectored_write_round_trips_and_coalesces() {
+        let c = cluster(1, 4, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, 4 * MR, RFileConfig::custom(), &mut clock);
+        // adjacent dirty ranges — the engine should gather them, but the
+        // observable contract is byte identity with the scalar sequence
+        let pages: Vec<(u64, Vec<u8>)> = (0..16u64)
+            .map(|i| (i * 8192, vec![(i + 1) as u8; 8192]))
+            .collect();
+        let reqs: Vec<(u64, &[u8])> = pages.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        let results = f.write_vectored(&mut clock, &reqs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let mut out = vec![0u8; 16 * 8192];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        for (i, chunk) in out.chunks(8192).enumerate() {
+            assert!(chunk.iter().all(|&b| b == (i + 1) as u8), "page {i}");
+        }
+        assert_eq!(f.bytes_written(), 16 * 8192);
+    }
+
+    #[test]
+    fn pipelined_reads_beat_serial_at_equal_bytes() {
+        let mk = |qd: usize| -> (SimDuration, Vec<u8>) {
+            let c = cluster(2, 8, PlacementPolicy::Spread);
+            let mut clock = Clock::new();
+            let cfg = RFileConfig {
+                queue_depth: qd,
+                ..RFileConfig::custom()
+            };
+            let f = mk_file(&c, 8 * MR, cfg, &mut clock);
+            let data: Vec<u8> = (0..(8 * MR) as usize).map(|i| (i % 241) as u8).collect();
+            f.write(&mut clock, 0, &data).unwrap();
+            let mut bufs: Vec<Vec<u8>> = (0..64).map(|_| vec![0u8; 8192]).collect();
+            let t0 = clock.now();
+            let mut reqs: Vec<(u64, &mut [u8])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| (i as u64 * 8192, b.as_mut_slice()))
+                .collect();
+            let results = f.read_vectored(&mut clock, &mut reqs);
+            assert!(results.iter().all(|r| r.is_ok()));
+            (clock.now().since(t0), bufs.concat())
+        };
+        let (deep, deep_bytes) = mk(32);
+        let (scalar, scalar_bytes) = mk(1);
+        assert_eq!(deep_bytes, scalar_bytes, "bytes must not depend on depth");
+        assert!(
+            deep.as_nanos() * 2 < scalar.as_nanos(),
+            "qd=32 ({deep}) should be far cheaper than qd=1 ({scalar})"
+        );
+    }
+
+    #[test]
+    fn vectored_errors_are_isolated_per_request() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, MR, RFileConfig::custom(), &mut clock);
+        f.write(&mut clock, 0, &vec![9u8; 1024]).unwrap();
+        let mut good = vec![0u8; 512];
+        let mut oob = vec![0u8; 512];
+        let mut good2 = vec![0u8; 512];
+        let mut reqs: Vec<(u64, &mut [u8])> = vec![
+            (0, good.as_mut_slice()),
+            (MR - 100, oob.as_mut_slice()), // runs past the file end
+            (512, good2.as_mut_slice()),
+        ];
+        let results = f.read_vectored(&mut clock, &mut reqs);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(StorageError::OutOfBounds { .. })));
+        assert!(results[2].is_ok());
+        assert!(good.iter().all(|&b| b == 9));
+        assert!(good2.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn vectored_reads_retry_through_transient_faults() {
+        let c = cluster(1, 4, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            max_retries: 10,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 4 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(4 * MR) as usize).map(|i| (i % 239) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        c.fabric
+            .set_fault_injector(Some(Arc::new(FaultInjector::new(77).flaky_window(
+                c.donors[0],
+                SimTime::ZERO,
+                SimTime(1 << 40),
+                0.3,
+            ))));
+        let mut bufs: Vec<Vec<u8>> = (0..32).map(|_| vec![0u8; 8192]).collect();
+        let mut reqs: Vec<(u64, &mut [u8])> = bufs
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (i as u64 * 8192, b.as_mut_slice()))
+            .collect();
+        let results = f.read_vectored(&mut clock, &mut reqs);
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(b[..], data[i * 8192..(i + 1) * 8192], "page {i}");
+        }
+        assert!(f.retries() > 0, "p=0.3 over 32 pages must hit retries");
+    }
+
+    #[test]
+    fn submit_complete_round_trip() {
+        let c = cluster(1, 4, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, 2 * MR, RFileConfig::custom(), &mut clock);
+        let batch = f.submit(vec![
+            IoOp::write(0, vec![5u8; 4096]),
+            IoOp::write(4096, vec![6u8; 4096]),
+            IoOp::read(0, 8192),
+        ]);
+        assert_eq!(batch.len(), 3);
+        let done = f.complete(&mut clock, batch);
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|(_, r)| r.is_ok()));
+        let IoOp::Read { buf, .. } = &done[2].0 else {
+            panic!("third op is a read");
+        };
+        assert!(buf[..4096].iter().all(|&b| b == 5));
+        assert!(buf[4096..].iter().all(|&b| b == 6));
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub use clock::Clock;
 pub use driver::ClosedLoopDriver;
 pub use fault::{FaultEvent, FaultLog, FaultOrigin};
 pub use metrics::{Counter, Histogram, TimeSeries};
-pub use registry::{Gauge, MetricsRegistry, MetricsSnapshot, SpanStats, SpanToken};
+pub use registry::{intern_name, Gauge, MetricsRegistry, MetricsSnapshot, SpanStats, SpanToken};
 pub use resource::{CpuPool, FifoResource, LinkResource, PoolResource};
 pub use time::{SimDuration, SimTime};

@@ -51,6 +51,24 @@ impl Gauge {
     }
 }
 
+/// Intern a runtime-built span name, returning the `'static` string
+/// [`MetricsRegistry::span_enter`] requires. Repeated calls with the same
+/// name return the same leaked allocation, so the cost is bounded by the
+/// number of *distinct* names (metric names are finite and small); call it
+/// once at construction time, never per operation.
+pub fn intern_name(name: &str) -> &'static str {
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock();
+    match pool.binary_search(&name) {
+        Ok(i) => pool[i],
+        Err(i) => {
+            let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            pool.insert(i, leaked);
+            leaked
+        }
+    }
+}
+
 /// Aggregate statistics for one named span.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStats {
@@ -69,7 +87,9 @@ pub struct SpanToken {
 }
 
 struct OpenSpan {
-    name: String,
+    // `&'static str`, not `String`: span_enter sits on the per-verb hot
+    // path and must not heap-allocate. All span names are literals.
+    name: &'static str,
     start: SimTime,
     child_time: SimDuration,
 }
@@ -177,11 +197,20 @@ impl MetricsRegistry {
 
     /// Open the span `name` at instant `at`. Spans nest; close with
     /// [`MetricsRegistry::span_exit`] in LIFO order.
-    pub fn span_enter(&self, name: &str, at: SimTime) -> SpanToken {
-        self.claim(name, "span");
+    ///
+    /// Takes `&'static str` so the per-verb hot path never allocates: the
+    /// name is stored by reference and only copied into the stats map the
+    /// first time a given span is closed.
+    pub fn span_enter(&self, name: &'static str, at: SimTime) -> SpanToken {
         let mut s = self.spans.lock();
+        // claim() only on the first sighting of this span name; after that
+        // the stats map itself witnesses the binding and we skip the extra
+        // kinds-map lock on every verb.
+        if !s.stats.contains_key(name) {
+            self.claim(name, "span");
+        }
         s.stack.push(OpenSpan {
-            name: name.to_string(),
+            name,
             start: at,
             child_time: SimDuration::ZERO,
         });
@@ -208,7 +237,11 @@ impl MetricsRegistry {
         if let Some(parent) = s.stack.last_mut() {
             parent.child_time += total;
         }
-        let st = s.stats.entry(open.name).or_default();
+        // Allocate the owned key only for a span's first-ever exit.
+        let st = match s.stats.get_mut(open.name) {
+            Some(st) => st,
+            None => s.stats.entry(open.name.to_string()).or_default(),
+        };
         st.count += 1;
         st.total += total;
         st.self_time += self_time;

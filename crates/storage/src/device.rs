@@ -19,6 +19,38 @@ pub trait Device: Send + Sync {
     /// Write `data` at `offset`, charging the device time to `clock`.
     fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError>;
 
+    /// Read a batch of `(offset, buf)` requests, returning one result per
+    /// request in order.
+    ///
+    /// The default runs the scalar path serially — local devices (disk
+    /// arms, an SSD channel) gain nothing from request fan-out, so their
+    /// timing is unchanged. Devices with internal parallelism (the
+    /// remote-memory file) override this with a pipelined implementation;
+    /// either way the bytes delivered are identical to the equivalent
+    /// scalar sequence. A failed request leaves its buffer unspecified and
+    /// does not stop later requests.
+    fn read_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &mut [(u64, &mut [u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        reqs.iter_mut()
+            .map(|(offset, buf)| self.read(clock, *offset, buf))
+            .collect()
+    }
+
+    /// Write a batch of `(offset, data)` requests, returning one result per
+    /// request in order. Same contract as [`Device::read_vectored`].
+    fn write_vectored(
+        &self,
+        clock: &mut Clock,
+        reqs: &[(u64, &[u8])],
+    ) -> Vec<Result<(), StorageError>> {
+        reqs.iter()
+            .map(|(offset, data)| self.write(clock, *offset, data))
+            .collect()
+    }
+
     /// Device capacity in bytes.
     fn capacity(&self) -> u64;
 

@@ -16,7 +16,8 @@ pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 impl<T> Mutex<T> {
-    pub fn new(value: T) -> Mutex<T> {
+    // const like the real parking_lot, so shim mutexes work in statics
+    pub const fn new(value: T) -> Mutex<T> {
         Mutex(sync::Mutex::new(value))
     }
 

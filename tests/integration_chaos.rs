@@ -227,9 +227,104 @@ fn chaos_run_with(seed: u64, auditor: Option<Arc<Auditor>>) -> Outcome {
     }
 }
 
+/// The pipelined vectored path under the same randomized fault schedule:
+/// batched reads/writes stay byte-correct against an in-test model while
+/// flaky/slow windows force mid-wave retries, and the whole run — data,
+/// virtual time, and fault log — replays identically from the seed.
+fn vectored_chaos_run(seed: u64) -> Outcome {
+    let c = Cluster::builder()
+        .memory_servers(3)
+        .memory_per_server(64 << 20)
+        .placement(PlacementPolicy::Spread)
+        .build();
+    let mut clock = Clock::new();
+    let log = Arc::new(FaultLog::new());
+    let cfg = remem::RFileConfig {
+        max_retries: 16,
+        fault_log: Some(Arc::clone(&log)),
+        ..remem::RFileConfig::custom()
+    };
+    let size: u64 = 8 << 20;
+    let file = c.remote_file(&mut clock, c.db_server, size, cfg).unwrap();
+    c.fabric
+        .set_fault_injector(Some(Arc::new(FaultInjector::randomized_with_log(
+            seed,
+            &c.memory_servers,
+            FAULT_HORIZON,
+            Arc::clone(&log),
+        ))));
+
+    const CHUNK: usize = 64 << 10;
+    let mut model = vec![0u8; size as usize];
+    let mut rng = SimRng::seeded(seed ^ 0xd1b54a32d192ed03);
+    let mut checksum = 0xcbf29ce484222325u64;
+    for round in 0..6 {
+        // a disjoint write batch over ~40% of the chunk grid
+        let mut datas: Vec<(u64, Vec<u8>)> = Vec::new();
+        for slot in 0..(size as usize / CHUNK) {
+            if rng.uniform(0, 100) < 40 {
+                let fill = rng.uniform(0, 256) as u8;
+                datas.push(((slot * CHUNK) as u64, vec![fill; CHUNK]));
+            }
+        }
+        let reqs: Vec<(u64, &[u8])> = datas.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        for r in file.write_vectored(&mut clock, &reqs) {
+            r.expect("vectored write must retry through transient chaos");
+        }
+        for (o, d) in &datas {
+            model[*o as usize..*o as usize + d.len()].copy_from_slice(d);
+        }
+        // an overlapping, unsorted read batch verified against the model
+        let shapes: Vec<(u64, usize)> = (0..24)
+            .map(|_| {
+                let off = rng.uniform(0, size - 40_000);
+                (off, 1 + rng.uniform(0, 32_768) as usize)
+            })
+            .collect();
+        let mut bufs: Vec<Vec<u8>> = shapes.iter().map(|(_, l)| vec![0u8; *l]).collect();
+        let mut rreqs: Vec<(u64, &mut [u8])> = shapes
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(&(o, _), b)| (o, b.as_mut_slice()))
+            .collect();
+        for r in file.read_vectored(&mut clock, &mut rreqs) {
+            r.expect("vectored read must retry through transient chaos");
+        }
+        for ((o, l), b) in shapes.iter().zip(&bufs) {
+            assert_eq!(
+                b.as_slice(),
+                &model[*o as usize..*o as usize + l],
+                "round {round}: read at {o} x {l} corrupted"
+            );
+            for &x in b.iter().step_by(509) {
+                fnv(&mut checksum, x as u64);
+            }
+        }
+        clock.advance(SimDuration::from_millis(2));
+    }
+    fnv(&mut checksum, clock.now().0);
+    Outcome {
+        checksum,
+        fingerprint: log.fingerprint(),
+    }
+}
+
 #[test]
 fn chaos_schedule_never_corrupts_and_recovers() {
     chaos_run(0xC0FFEE);
+}
+
+#[test]
+fn vectored_chaos_replays_byte_identically() {
+    let a = vectored_chaos_run(21);
+    let b = vectored_chaos_run(21);
+    assert_eq!(a.checksum, b.checksum, "data + timing must replay");
+    assert_eq!(a.fingerprint, b.fingerprint, "fault log must replay");
+    let c = vectored_chaos_run(22);
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "different seeds, different schedules"
+    );
 }
 
 #[test]
