@@ -20,6 +20,12 @@
 //!   `crates/bench/src/bin/`: repro binaries must route output through
 //!   `remem_bench::Report` so every figure lands in the machine-readable
 //!   JSON pipeline, not just on stdout.
+//! * `nondet-parallel` — no thread-identity or host-topology APIs
+//!   (`thread::current`, `ThreadId`, `available_parallelism`, `thread_rng`,
+//!   `park_timeout`) in non-test `crates/sim` code: the parallel driver's
+//!   results must be a pure function of (seed, thread count), so nothing may
+//!   branch on which OS thread ran an op or how many cores the host has.
+//!   Structured concurrency (`thread::scope`, `Barrier`, channels) is fine.
 //!
 //! Any rule can be waived per line with `// audit: allow(<rule>, <reason>)`
 //! on the offending line or the line directly above. Unused or unknown
@@ -37,6 +43,7 @@ pub const RULES: &[&str] = &[
     "seeded-rng",
     "clock-charge",
     "bench-report",
+    "nondet-parallel",
 ];
 
 /// Crates whose data structures feed the replay fingerprint.
@@ -249,6 +256,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     rule_seeded_rng(&mut ctx);
     rule_clock_charge(&mut ctx);
     rule_bench_report(&mut ctx);
+    rule_nondet_parallel(&mut ctx);
 
     // pragma hygiene: unknown rule names and unused waivers are violations
     for k in 0..ctx.pragmas.len() {
@@ -556,6 +564,46 @@ fn rule_bench_report(ctx: &mut Ctx) {
     }
 }
 
+/// For `nondet-parallel`: the parallel driver promises identical results
+/// for every `--threads` value, which holds only if nothing in `crates/sim`
+/// observes its own thread identity or the host's topology. Structured
+/// concurrency primitives (`thread::scope`, `Barrier`, mutexes, channels)
+/// are the intended tools and are not flagged.
+fn rule_nondet_parallel(ctx: &mut Ctx) {
+    if ctx.krate != Some("sim") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "ThreadId" => Some("`ThreadId`"),
+            "available_parallelism" => Some("`available_parallelism`"),
+            "thread_rng" => Some("`thread_rng`"),
+            "park_timeout" => Some("`park_timeout`"),
+            "current" if i >= 2 && ctx.toks[i - 1].is("::") && ctx.toks[i - 2].is("thread") => {
+                Some("`thread::current`")
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            hits.push((t.line, what));
+        }
+    }
+    for (line, what) in hits {
+        ctx.push(
+            "nondet-parallel",
+            line,
+            format!(
+                "{what} in crates/sim: parallel results must not depend on thread \
+                 identity or host topology — key effects by (round, worker) instead"
+            ),
+        );
+    }
+}
+
 // ─── tree walker ─────────────────────────────────────────────────────────
 
 /// Recursively collect `*.rs` files under `root/crates`, skipping `target`.
@@ -748,6 +796,36 @@ mod tests {
             "fn main() { println(); }\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn nondet_parallel_flags_thread_identity_in_sim() {
+        let src = "fn f() { let id = thread::current().id(); }\n";
+        assert_eq!(
+            rules_of("crates/sim/src/a.rs", src),
+            vec!["nondet-parallel"]
+        );
+        let topo = "fn f() -> usize { std::thread::available_parallelism().unwrap().get() }\n";
+        assert_eq!(
+            rules_of("crates/sim/src/a.rs", topo),
+            vec!["nondet-parallel"]
+        );
+        assert_eq!(
+            rules_of("crates/sim/src/a.rs", "fn f(x: ThreadId) {}\n"),
+            vec!["nondet-parallel"]
+        );
+        // structured concurrency is the intended tool, never flagged
+        let scoped =
+            "fn f() { thread::scope(|s| { s.spawn(|| {}); }); let b = Barrier::new(2); }\n";
+        assert!(rules_of("crates/sim/src/a.rs", scoped).is_empty());
+        // other crates and sim tests are out of scope
+        assert!(rules_of("crates/net/src/a.rs", src).is_empty());
+        let test_src = "#[test]\nfn t() { thread::current(); }\n";
+        assert!(rules_of("crates/sim/src/a.rs", test_src).is_empty());
+        // waivable like every other rule
+        let waived = "// audit: allow(nondet-parallel, diagnostics only)\n\
+                      fn f() { let id = thread::current(); }\n";
+        assert!(rules_of("crates/sim/src/a.rs", waived).is_empty());
     }
 
     #[test]

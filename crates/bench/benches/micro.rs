@@ -44,6 +44,23 @@ fn bench_sim_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_histogram_percentiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    let h = remem_sim::Histogram::new();
+    let mut rng = SimRng::seeded(6);
+    for _ in 0..100_000 {
+        h.record(SimDuration::from_nanos(rng.uniform(100, 1_000_000)));
+    }
+    // the batch API sorts the samples once; three scalar calls sort thrice
+    g.bench_function("percentile_x3_scalar", |b| {
+        b.iter(|| (h.percentile(50.0), h.percentile(99.0), h.percentile(99.9)));
+    });
+    g.bench_function("percentiles_x3_batch", |b| {
+        b.iter(|| h.percentiles(&[50.0, 99.0, 99.9]));
+    });
+    g.finish();
+}
+
 fn bench_row_page(c: &mut Criterion) {
     let mut g = c.benchmark_group("row_page");
     let row = Row::new(vec![
@@ -315,6 +332,7 @@ fn bench_database(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sim_kernel,
+    bench_histogram_percentiles,
     bench_row_page,
     bench_btree,
     bench_operators,

@@ -1,0 +1,152 @@
+//! Parallel-driver determinism and speedup check.
+//!
+//! Runs one contended substrate workload (FIFO + pooled resources + a CPU
+//! pool, with histogram/counter/time-series/fault-log side effects) under
+//! [`ParallelDriver::run`] at 1, 2 and 8 OS threads, then asserts that all
+//! observable outputs are byte-identical. The cross-thread equality is the
+//! hard check; wall-clock speedup depends on the host's core count, so it
+//! is reported only as volatile notes outside the report fingerprint.
+
+use remem_bench::Report;
+use remem_sim::rng::SimRng;
+use remem_sim::{
+    Counter, CpuPool, FaultLog, FaultOrigin, FifoResource, Histogram, ParallelDriver, PoolResource,
+    SimDuration, SimTime, Stopwatch, TimeSeries,
+};
+
+const WORKERS: usize = 16;
+const HORIZON: SimTime = SimTime(2_000_000); // 2 ms of virtual time
+const LOOKAHEAD: SimDuration = SimDuration::from_micros(20);
+/// Host-CPU work per op: makes wall-clock speedup observable on
+/// multi-core machines without touching any simulated state.
+const BURN_ROUNDS: u64 = 4_000;
+
+/// Everything a run produces that must not depend on the thread count.
+#[derive(Debug, PartialEq)]
+struct Outputs {
+    started: u64,
+    completed: u64,
+    makespan_ns: u64,
+    latencies: Vec<u64>,
+    ops: u64,
+    burn_check: u64,
+    fault_fp: u64,
+    series: Vec<f64>,
+}
+
+fn burn(seed: u64) -> u64 {
+    // deterministic busy work (splitmix64 chain)
+    let mut x = seed;
+    for _ in 0..BURN_ROUNDS {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x = z ^ (z >> 31);
+    }
+    x
+}
+
+fn run(threads: usize) -> (Outputs, f64) {
+    let fifo = FifoResource::new();
+    let pool = PoolResource::new(3);
+    let cpu = CpuPool::new(4);
+    let ops = Counter::new();
+    let burn_check = Counter::new();
+    let faults = FaultLog::new();
+    let series = TimeSeries::new(SimDuration::from_micros(100));
+    let lat = Histogram::new();
+    let wall = Stopwatch::start();
+    let out = {
+        let mut d = ParallelDriver::new(WORKERS, HORIZON)
+            .threads(threads)
+            .lookahead(LOOKAHEAD);
+        d.run(
+            &lat,
+            |w| SimRng::for_worker(2024, w as u64),
+            |_, clock, rng: &mut SimRng| {
+                let service = SimDuration::from_nanos(rng.uniform(400, 6_000));
+                let g = match rng.uniform(0, 3) {
+                    0 => fifo.acquire(clock.now(), service),
+                    1 => pool.acquire(clock.now(), service),
+                    _ => cpu.execute(clock.now(), service),
+                };
+                clock.advance_to(g.end);
+                burn_check.add(burn(service.0) & 0xffff);
+                ops.add(1);
+                series.record(clock.now(), service.0 as f64);
+                if rng.chance(0.02) {
+                    faults.record(
+                        clock.now(),
+                        FaultOrigin::Observed,
+                        "speedup.blip",
+                        format!("svc={}", service.0),
+                    );
+                }
+            },
+        )
+    };
+    let elapsed = wall.elapsed_ms();
+    (
+        Outputs {
+            started: out.started,
+            completed: out.completed_in_horizon,
+            makespan_ns: out.makespan.as_nanos(),
+            latencies: lat.raw_samples(),
+            ops: ops.get(),
+            burn_check: burn_check.get(),
+            fault_fp: faults.fingerprint(),
+            series: series.means(),
+        },
+        elapsed,
+    )
+}
+
+fn main() {
+    let mut report = Report::new(
+        "repro_parallel_speedup",
+        "Parallel driver",
+        "cross-thread determinism and wall-clock speedup of ParallelDriver",
+    );
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let (outputs, ms) = run(threads);
+        rows.push(vec![
+            threads.to_string(),
+            outputs.started.to_string(),
+            outputs.ops.to_string(),
+            format!("{:#018x}", outputs.fault_fp),
+        ]);
+        report.volatile_note(format!("threads={threads}: wall-clock {ms:.1} ms"));
+        runs.push((threads, outputs, ms));
+    }
+    report.table(
+        "one substrate workload, three thread counts:",
+        &["threads", "ops started", "counter", "fault fingerprint"],
+        rows,
+    );
+    let (_, base, base_ms) = &runs[0];
+    for (threads, outputs, _) in &runs[1..] {
+        report.check_assert(
+            &format!("identical_at_{threads}_threads"),
+            &format!("--threads {threads} output is byte-identical to --threads 1"),
+            outputs == base,
+        );
+    }
+    report.check_assert(
+        "workload_is_contended",
+        "the workload is big enough to exercise every deferral path",
+        base.started > 500 && base.fault_fp != 0 && !base.series.is_empty(),
+    );
+    // Speedup depends on host cores (CI may pin us to one), so it is
+    // volatile context, never a gated check.
+    for (threads, _, ms) in &runs[1..] {
+        report.volatile_note(format!(
+            "speedup at {threads} threads: {:.2}x",
+            base_ms / ms.max(1e-6)
+        ));
+    }
+    report.gauge("ops_started", base.started as f64, 10.0);
+    report.finish();
+}

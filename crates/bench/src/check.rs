@@ -63,6 +63,73 @@ pub fn check_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<Vec<Finding
     Ok(findings)
 }
 
+/// `remem-bench --identical`: assert that two results directories carry the
+/// same determinism fingerprints. Used by CI to prove that `--threads N`
+/// does not change any report: same-seed runs at different thread counts
+/// must agree on every semantic byte (volatile lines are already outside
+/// the fingerprint). Unlike [`check_dirs`], files missing from *either*
+/// side fail — an absent report would make the equality vacuous.
+pub fn identical_dirs(dir_a: &Path, dir_b: &Path) -> Result<Vec<Finding>, String> {
+    let list = |dir: &Path| -> Result<Vec<String>, String> {
+        let mut names = Vec::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let name = entry
+                .map_err(|e| format!("read dir: {e}"))?
+                .file_name()
+                .to_string_lossy()
+                .into_owned();
+            if name.ends_with(".json") {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    };
+    let (names_a, names_b) = (list(dir_a)?, list(dir_b)?);
+    if names_a.is_empty() {
+        return Err(format!("no *.json reports in {}", dir_a.display()));
+    }
+    let mut findings = Vec::new();
+    for name in names_b.iter().filter(|n| !names_a.contains(n)) {
+        findings.push(Finding {
+            report: name.trim_end_matches(".json").to_string(),
+            what: format!("present only in {}", dir_b.display()),
+            ok: false,
+        });
+    }
+    for name in &names_a {
+        let report = name.trim_end_matches(".json").to_string();
+        if !names_b.contains(name) {
+            findings.push(Finding {
+                report,
+                what: format!("present only in {}", dir_a.display()),
+                ok: false,
+            });
+            continue;
+        }
+        let fp = |dir: &Path| -> Result<String, String> {
+            load(&dir.join(name))?
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{} has no fingerprint", dir.join(name).display()))
+        };
+        let (fa, fb) = (fp(dir_a)?, fp(dir_b)?);
+        findings.push(Finding {
+            report,
+            what: if fa == fb {
+                format!("fingerprints agree ({fa})")
+            } else {
+                format!("fingerprints differ: {fa} vs {fb}")
+            },
+            ok: fa == fb,
+        });
+    }
+    Ok(findings)
+}
+
 fn load(path: &Path) -> Result<Json, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -232,6 +299,30 @@ mod tests {
         let mut findings = Vec::new();
         compare("cmp_unit", &base, &bogus, &mut findings);
         assert!(findings.iter().any(|f| !f.ok && f.what.contains("schema")));
+    }
+
+    #[test]
+    fn identical_dirs_compares_fingerprints() {
+        let tmp = std::env::temp_dir().join(format!("remem-bench-ident-{}", std::process::id()));
+        let (a, b) = (tmp.join("a"), tmp.join("b"));
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::create_dir_all(&b).unwrap();
+        let same = report_doc(&[("SMB", 272.0), ("Custom", 13.0)], 13.0).to_pretty();
+        std::fs::write(a.join("fig.json"), &same).unwrap();
+        std::fs::write(b.join("fig.json"), &same).unwrap();
+        let findings = identical_dirs(&a, &b).unwrap();
+        assert!(findings.iter().all(|f| f.ok), "same doc must agree");
+        // a semantic difference flips the fingerprint and fails
+        let diff = report_doc(&[("SMB", 272.0), ("Custom", 14.0)], 14.0).to_pretty();
+        std::fs::write(b.join("fig.json"), &diff).unwrap();
+        let findings = identical_dirs(&a, &b).unwrap();
+        assert!(findings.iter().any(|f| !f.ok && f.what.contains("differ")));
+        // a report present on only one side fails in either direction
+        std::fs::write(b.join("fig.json"), &same).unwrap();
+        std::fs::write(b.join("extra.json"), &same).unwrap();
+        let findings = identical_dirs(&a, &b).unwrap();
+        assert!(findings.iter().any(|f| !f.ok && f.report == "extra"));
+        std::fs::remove_dir_all(&tmp).ok();
     }
 
     #[test]

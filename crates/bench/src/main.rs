@@ -2,28 +2,43 @@
 //!
 //! ```text
 //! remem-bench --check <baseline_dir> [--current <dir>]
+//! remem-bench --identical <dir_a> <dir_b>
 //! ```
 //!
-//! Compares the current run's `results/*.json` (or `--current <dir>`)
-//! against committed baselines, re-deriving every figure's qualitative
-//! claims and gauge tolerances (see `src/check.rs`). Exits non-zero on any
-//! failed finding — this is what CI's `bench-regression` job gates on.
+//! `--check` compares the current run's `results/*.json` (or `--current
+//! <dir>`) against committed baselines, re-deriving every figure's
+//! qualitative claims and gauge tolerances (see `src/check.rs`). Exits
+//! non-zero on any failed finding — this is what CI's `bench-regression`
+//! job gates on.
+//!
+//! `--identical` asserts that two results directories carry identical
+//! determinism fingerprints — CI runs the fast subset at `--threads 1` and
+//! `--threads 2` and gates on this to prove the windowed schedule's output
+//! is independent of the thread count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use remem_bench::check::check_dirs;
+use remem_bench::check::{check_dirs, identical_dirs};
 use remem_bench::report::results_dir;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
+    let mut identical: Option<(PathBuf, PathBuf)> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => baseline = it.next().map(PathBuf::from),
             "--current" => current = it.next().map(PathBuf::from),
+            "--identical" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => identical = Some((PathBuf::from(a), PathBuf::from(b))),
+                _ => {
+                    eprintln!("--identical needs two directories");
+                    return usage(ExitCode::FAILURE);
+                }
+            },
             "--help" | "-h" => return usage(ExitCode::SUCCESS),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -31,17 +46,31 @@ fn main() -> ExitCode {
             }
         }
     }
-    let Some(baseline) = baseline else {
-        eprintln!("missing --check <baseline_dir>");
-        return usage(ExitCode::FAILURE);
+    let findings = if let Some((a, b)) = identical {
+        if baseline.is_some() || current.is_some() {
+            eprintln!("--identical cannot be combined with --check/--current");
+            return usage(ExitCode::FAILURE);
+        }
+        println!(
+            "remem-bench: comparing fingerprints of {} and {}",
+            a.display(),
+            b.display()
+        );
+        identical_dirs(&a, &b)
+    } else {
+        let Some(baseline) = baseline else {
+            eprintln!("missing --check <baseline_dir> (or --identical <a> <b>)");
+            return usage(ExitCode::FAILURE);
+        };
+        let current = current.unwrap_or_else(results_dir);
+        println!(
+            "remem-bench: checking {} against baselines in {}",
+            current.display(),
+            baseline.display()
+        );
+        check_dirs(&baseline, &current)
     };
-    let current = current.unwrap_or_else(results_dir);
-    println!(
-        "remem-bench: checking {} against baselines in {}",
-        current.display(),
-        baseline.display()
-    );
-    let findings = match check_dirs(&baseline, &current) {
+    let findings = match findings {
         Ok(f) => f,
         Err(e) => {
             eprintln!("remem-bench: {e}");
@@ -71,5 +100,6 @@ fn main() -> ExitCode {
 
 fn usage(code: ExitCode) -> ExitCode {
     eprintln!("usage: remem-bench --check <baseline_dir> [--current <results_dir>]");
+    eprintln!("       remem-bench --identical <results_dir_a> <results_dir_b>");
     code
 }

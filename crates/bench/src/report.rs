@@ -93,6 +93,7 @@ pub struct Report {
     title: String,
     registry: Arc<MetricsRegistry>,
     notes: Vec<String>,
+    volatile: Vec<String>,
     tables: Vec<Table>,
     series: Vec<Series>,
     gauges: Vec<GaugeRec>,
@@ -111,6 +112,7 @@ impl Report {
             title: title.to_string(),
             registry: MetricsRegistry::shared(),
             notes: Vec::new(),
+            volatile: Vec::new(),
             tables: Vec::new(),
             series: Vec::new(),
             gauges: Vec::new(),
@@ -130,6 +132,18 @@ impl Report {
         let text = text.into();
         println!("{text}");
         self.notes.push(text);
+    }
+
+    /// Print and record a line of *volatile* commentary: wall-clock
+    /// timings, host thread counts — anything that legitimately differs
+    /// between two otherwise identical runs. Volatile lines land in the
+    /// JSON under `"volatile"` but are **excluded from the determinism
+    /// fingerprint**, so `--identical` and baseline comparisons ignore
+    /// them. Never route virtual-time results through here.
+    pub fn volatile_note(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.volatile.push(text);
     }
 
     /// Print a blank separator line (not recorded — purely visual).
@@ -283,6 +297,13 @@ impl Report {
                     Json::str(format!("fnv1a:{fp:016x}")),
                 ),
             );
+            // Volatile lines join the document only after the fingerprint
+            // is computed: run-dependent values (wall clock, host threads)
+            // must never influence determinism comparisons.
+            fields.push((
+                "volatile".to_string(),
+                Json::Arr(self.volatile.iter().map(Json::str).collect()),
+            ));
         }
         doc
     }
@@ -607,6 +628,29 @@ mod tests {
                 .unwrap(),
             7.0
         );
+    }
+
+    #[test]
+    fn volatile_notes_do_not_affect_the_fingerprint() {
+        let fp_of = |doc: &Json| {
+            doc.get("fingerprint")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        let plain = sample_report().to_json();
+        let mut with_volatile = sample_report();
+        with_volatile.volatile_note("host wall clock: 123.4 ms");
+        let noisy = with_volatile.to_json();
+        assert_eq!(fp_of(&plain), fp_of(&noisy));
+        // ...but the line is still recorded in the document
+        let vols = noisy.get("volatile").unwrap().as_arr().unwrap();
+        assert_eq!(vols.len(), 1);
+        // a *regular* note must shift the fingerprint
+        let mut semantic = sample_report();
+        semantic.note("an extra semantic note");
+        assert_ne!(fp_of(&plain), fp_of(&semantic.to_json()));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property test for the cross-thread determinism contract: the same
+//! seeded workload driven through [`ParallelDriver`] at `--threads 1`, `2`
+//! and `8` must produce identical results all the way up the stack — run
+//! accounting, raw latency samples, the metrics-registry snapshot, the
+//! fault-log fingerprint, and finally the bench [`Report`]'s own
+//! determinism fingerprint (the thing `remem-bench --identical` gates on).
+
+use proptest::prelude::*;
+use remem_bench::Report;
+use remem_sim::rng::SimRng;
+use remem_sim::{
+    FaultLog, FaultOrigin, FifoResource, Histogram, MetricsRegistry, MetricsSnapshot,
+    ParallelDriver, PoolResource, RunOutcome, SimDuration, SimTime,
+};
+
+/// Everything one run produces that the contract says must not depend on
+/// the thread count.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    outcome: RunOutcome,
+    latencies: Vec<u64>,
+    registry: MetricsSnapshot,
+    fault_fp: u64,
+    report_fp: String,
+}
+
+fn run_once(seed: u64, workers: usize, fault_pct: f64, threads: usize) -> Artifacts {
+    let registry = MetricsRegistry::shared();
+    let fifo = FifoResource::new();
+    let pool = PoolResource::new(2);
+    let ops = registry.counter("prop.ops");
+    let svc = registry.histogram("prop.service_ns");
+    let series = registry.time_series("prop.load", SimDuration::from_micros(50));
+    let faults = FaultLog::new();
+    let lat = Histogram::new();
+    let outcome = {
+        let mut d = ParallelDriver::new(workers, SimTime(300_000))
+            .threads(threads)
+            .lookahead(SimDuration::from_micros(25));
+        d.run(
+            &lat,
+            |w| SimRng::for_worker(seed, w as u64),
+            |_, clock, rng: &mut SimRng| {
+                let span = registry.span_enter("prop.op", clock.now());
+                let service = SimDuration::from_nanos(rng.uniform(300, 5_000));
+                let g = if rng.chance(0.4) {
+                    fifo.acquire(clock.now(), service)
+                } else {
+                    pool.acquire(clock.now(), service)
+                };
+                clock.advance_to(g.end);
+                ops.add(1);
+                svc.record(service);
+                series.record(clock.now(), service.0 as f64);
+                if rng.chance(fault_pct) {
+                    faults.record(clock.now(), FaultOrigin::Observed, "prop.blip", "b");
+                }
+                registry.span_exit(span, clock.now());
+            },
+        )
+    };
+    // A report built from the run must fingerprint identically too; never
+    // finish() it (that writes files and exits the process).
+    let mut report = Report::new("prop_parallel_threads", "Prop", "cross-thread determinism");
+    report.series(
+        "p50_p99_ns",
+        &lat.percentiles(&[50.0, 99.0])
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (format!("p{i}"), d.0 as f64))
+            .collect::<Vec<_>>(),
+    );
+    report.gauge("ops", ops.get() as f64, 0.0);
+    report.volatile_note(format!("threads={threads}")); // must NOT shift the fingerprint
+    let report_fp = report
+        .to_json()
+        .get("fingerprint")
+        .and_then(|f| f.as_str())
+        .expect("report fingerprint")
+        .to_string();
+    Artifacts {
+        outcome,
+        latencies: lat.raw_samples(),
+        registry: registry.snapshot(),
+        fault_fp: faults.fingerprint(),
+        report_fp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn same_seed_is_identical_at_1_2_and_8_threads(
+        seed in any::<u64>(),
+        workers in 2usize..10,
+        fault_bips in 0u64..1500,
+    ) {
+        let fault_pct = fault_bips as f64 / 10_000.0;
+        let base = run_once(seed, workers, fault_pct, 1);
+        prop_assert!(base.outcome.started > 0, "degenerate workload");
+        for threads in [2usize, 8] {
+            let got = run_once(seed, workers, fault_pct, threads);
+            prop_assert_eq!(
+                &got,
+                &base,
+                "threads={} diverged from the sequential oracle (seed={}, workers={})",
+                threads,
+                seed,
+                workers
+            );
+        }
+    }
+}

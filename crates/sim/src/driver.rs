@@ -12,6 +12,35 @@ use crate::clock::Clock;
 use crate::metrics::Histogram;
 use crate::time::SimTime;
 
+/// Exact closed-loop accounting for one driver run.
+///
+/// The closed-loop contract: an operation **starts** iff its worker's clock
+/// is strictly below the horizon, and every started operation runs to
+/// completion (its latency is recorded) even if it finishes past the
+/// horizon. `started` is therefore the historical `run()` return value;
+/// `completed_in_horizon` excludes the boundary-straddling ops, which is
+/// the right numerator for a fixed-window throughput; `makespan` is the
+/// largest clock after the run (≥ horizon whenever any op straddled it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Ops whose start time was strictly before the horizon.
+    pub started: u64,
+    /// Of those, ops that also finished at or before the horizon.
+    pub completed_in_horizon: u64,
+    /// Largest worker clock when the run ended.
+    pub makespan: SimTime,
+}
+
+impl RunOutcome {
+    /// `completed_in_horizon` per virtual second of `horizon`.
+    pub fn clamped_throughput_per_sec(&self, horizon: SimTime) -> f64 {
+        if horizon.0 == 0 {
+            return 0.0;
+        }
+        self.completed_in_horizon as f64 / horizon.as_secs_f64()
+    }
+}
+
 /// Drives `workers` closed-loop operations until every worker's clock passes
 /// `horizon`.
 pub struct ClosedLoopDriver {
@@ -48,14 +77,28 @@ impl ClosedLoopDriver {
     /// and must advance the clock by the operation's virtual duration.
     /// Per-operation latency is recorded into `latencies`.
     ///
-    /// Returns the number of completed operations.
-    pub fn run<F>(&mut self, latencies: &Histogram, mut op: F) -> u64
+    /// Returns the number of *started* operations (see [`RunOutcome`] for
+    /// the exact horizon semantics); use [`ClosedLoopDriver::run_outcome`]
+    /// when the completed-within-horizon count matters.
+    pub fn run<F>(&mut self, latencies: &Histogram, op: F) -> u64
     where
         F: FnMut(usize, &mut Clock),
     {
-        let mut ops = 0u64;
+        self.run_outcome(latencies, op).started
+    }
+
+    /// Like [`ClosedLoopDriver::run`], but returns full accounting: started
+    /// ops, ops completed within the horizon, and the virtual makespan.
+    pub fn run_outcome<F>(&mut self, latencies: &Histogram, mut op: F) -> RunOutcome
+    where
+        F: FnMut(usize, &mut Clock),
+    {
+        let mut started = 0u64;
+        let mut completed = 0u64;
         loop {
             // Pick the worker with the smallest clock (ties → lowest id).
+            // The (time, worker-id) tie-break is a pinned contract — the
+            // parallel driver's canonical round order relies on it.
             let (idx, now) = self
                 .clocks
                 .iter()
@@ -71,9 +114,16 @@ impl ClosedLoopDriver {
             let after = self.clocks[idx].now();
             assert!(after > before, "operation must advance virtual time");
             latencies.record(after.since(before));
-            ops += 1;
+            started += 1;
+            if after <= self.horizon {
+                completed += 1;
+            }
         }
-        ops
+        RunOutcome {
+            started,
+            completed_in_horizon: completed,
+            makespan: self.makespan(),
+        }
     }
 
     /// Largest clock across workers — the virtual makespan of the run.
@@ -144,6 +194,56 @@ mod tests {
         let mut d = ClosedLoopDriver::new(1, SimTime(1000));
         let h = Histogram::new();
         d.run(&h, |_, _| {});
+    }
+
+    #[test]
+    fn outcome_separates_started_from_completed() {
+        // 1 worker, 1 ms horizon, 300 us ops: starts at 0/300/600/900 us
+        // (4 started), but the 900 us op finishes at 1.2 ms — outside the
+        // horizon — so only 3 complete in-window and makespan overshoots.
+        let mut d = ClosedLoopDriver::new(1, SimTime(1_000_000));
+        let h = Histogram::new();
+        let out = d.run_outcome(&h, |_, c| c.advance(SimDuration::from_micros(300)));
+        assert_eq!(out.started, 4);
+        assert_eq!(out.completed_in_horizon, 3);
+        assert_eq!(out.makespan, SimTime(1_200_000));
+        assert_eq!(h.len(), 4, "straddling op latency is still recorded");
+        assert!((out.clamped_throughput_per_sec(SimTime(1_000_000)) - 3000.0).abs() < 1e-9);
+        // run() keeps the historical started-count contract
+        let mut d2 = ClosedLoopDriver::new(1, SimTime(1_000_000));
+        assert_eq!(
+            d2.run(&Histogram::new(), |_, c| c
+                .advance(SimDuration::from_micros(300))),
+            4
+        );
+    }
+
+    #[test]
+    fn op_completing_exactly_at_horizon_counts_as_completed() {
+        let mut d = ClosedLoopDriver::new(2, SimTime(1_000_000));
+        let h = Histogram::new();
+        let out = d.run_outcome(&h, |_, c| c.advance(SimDuration::from_micros(100)));
+        // 100 us ops tile the window exactly: nothing straddles
+        assert_eq!(out.started, 20);
+        assert_eq!(out.completed_in_horizon, 20);
+        assert_eq!(out.makespan, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn equal_clocks_tie_break_by_lowest_worker_id() {
+        // All three workers advance by the same amount every op, so every
+        // scheduling decision is a three-way clock collision. The pinned
+        // contract: ties resolve to the lowest worker id, giving the exact
+        // interleaving 0,1,2,0,1,2,… — the sequential oracle for the
+        // parallel driver's (time, worker-id) canonical order.
+        let mut d = ClosedLoopDriver::new(3, SimTime(1_000));
+        let h = Histogram::new();
+        let mut order = Vec::new();
+        d.run(&h, |w, c| {
+            order.push(w);
+            c.advance(SimDuration::from_nanos(250));
+        });
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]);
     }
 
     #[test]

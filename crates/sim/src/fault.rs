@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
+use crate::parallel::{self, take_ready, Entry};
 use crate::time::SimTime;
 
 /// Which side of the chaos loop produced an event.
@@ -53,11 +54,37 @@ pub struct FaultEvent {
 /// Keeps the first [`FaultLog::capacity`] events verbatim plus an unbounded
 /// per-kind count, so hot windows (thousands of flaky verbs) stay cheap
 /// while the determinism fingerprint still covers everything.
+///
+/// The event order (and hence [`FaultLog::fingerprint`]) is
+/// order-sensitive, so events recorded inside a parallel round are buffered
+/// per `(round, worker)` and folded into the journal in canonical worker
+/// order before any read — identical across thread counts.
 #[derive(Debug)]
 pub struct FaultLog {
-    events: Mutex<Vec<FaultEvent>>,
-    counts: Mutex<BTreeMap<(&'static str, FaultOrigin), u64>>,
+    state: Mutex<LogState>,
     capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    events: Vec<FaultEvent>,
+    counts: BTreeMap<(&'static str, FaultOrigin), u64>,
+    pending: Vec<Entry<FaultEvent>>,
+}
+
+impl LogState {
+    fn apply(&mut self, capacity: usize, e: FaultEvent) {
+        *self.counts.entry((e.kind, e.origin)).or_insert(0) += 1;
+        if self.events.len() < capacity {
+            self.events.push(e);
+        }
+    }
+
+    fn fold(&mut self, capacity: usize) {
+        for (_, _, e) in take_ready(&mut self.pending, None) {
+            self.apply(capacity, e);
+        }
+    }
 }
 
 impl Default for FaultLog {
@@ -73,8 +100,7 @@ impl FaultLog {
 
     pub fn with_capacity(capacity: usize) -> FaultLog {
         FaultLog {
-            events: Mutex::new(Vec::new()),
-            counts: Mutex::new(BTreeMap::new()),
+            state: Mutex::new(LogState::default()),
             capacity,
         }
     }
@@ -90,36 +116,41 @@ impl FaultLog {
         kind: &'static str,
         detail: impl Into<String>,
     ) {
-        *self.counts.lock().entry((kind, origin)).or_insert(0) += 1;
-        let mut events = self.events.lock();
-        if events.len() < self.capacity {
-            events.push(FaultEvent {
-                at,
-                origin,
-                kind,
-                detail: detail.into(),
-            });
+        let event = FaultEvent {
+            at,
+            origin,
+            kind,
+            detail: detail.into(),
+        };
+        let mut s = self.state.lock();
+        match parallel::current() {
+            Some(c) => s.pending.push((c.key, c.worker, event)),
+            None => {
+                s.fold(self.capacity);
+                s.apply(self.capacity, event);
+            }
         }
     }
 
     /// Snapshot of the retained events, in record order.
     pub fn events(&self) -> Vec<FaultEvent> {
-        self.events.lock().clone()
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
+        s.events.clone()
     }
 
     /// Total events of `kind` with `origin`, including any past the cap.
     pub fn count(&self, kind: &'static str, origin: FaultOrigin) -> u64 {
-        self.counts
-            .lock()
-            .get(&(kind, origin))
-            .copied()
-            .unwrap_or(0)
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
+        s.counts.get(&(kind, origin)).copied().unwrap_or(0)
     }
 
     /// Total events recorded with `origin`, across all kinds.
     pub fn count_origin(&self, origin: FaultOrigin) -> u64 {
-        self.counts
-            .lock()
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
+        s.counts
             .iter()
             .filter(|((_, o), _)| *o == origin)
             .map(|(_, n)| *n)
@@ -129,6 +160,8 @@ impl FaultLog {
     /// FNV-1a over every retained event plus every count — equal across two
     /// runs iff the runs produced the same faults in the same virtual order.
     pub fn fingerprint(&self) -> u64 {
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -136,13 +169,13 @@ impl FaultLog {
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
         };
-        for e in self.events.lock().iter() {
+        for e in s.events.iter() {
             eat(&e.at.0.to_le_bytes());
             eat(e.origin.label().as_bytes());
             eat(e.kind.as_bytes());
             eat(e.detail.as_bytes());
         }
-        for ((kind, origin), n) in self.counts.lock().iter() {
+        for ((kind, origin), n) in s.counts.iter() {
             eat(kind.as_bytes());
             eat(origin.label().as_bytes());
             eat(&n.to_le_bytes());
@@ -152,9 +185,10 @@ impl FaultLog {
 
     /// Human-readable per-kind totals, one line per `(kind, origin)`.
     pub fn summary(&self) -> String {
-        let counts = self.counts.lock();
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
         let mut out = String::new();
-        for ((kind, origin), n) in counts.iter() {
+        for ((kind, origin), n) in s.counts.iter() {
             out.push_str(&format!("{:<8} {:<24} {n}\n", origin.label(), kind));
         }
         out

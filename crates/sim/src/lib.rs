@@ -20,20 +20,26 @@
 //! * [`driver`] — a deterministic closed-loop multi-worker driver that always
 //!   advances the worker with the smallest clock, so concurrent workloads are
 //!   reproducible down to the nanosecond.
+//! * [`parallel`] — a windowed conservative driver that executes the same
+//!   closed-loop experiments on several OS threads while staying
+//!   byte-identical across thread counts (and, in ordered mode, runs any
+//!   workload under the windowed schedule without concurrency).
 
 pub mod clock;
 pub mod driver;
 pub mod fault;
 pub mod metrics;
+pub mod parallel;
 pub mod registry;
 pub mod resource;
 pub mod rng;
 pub mod time;
 
 pub use clock::Clock;
-pub use driver::ClosedLoopDriver;
+pub use driver::{ClosedLoopDriver, RunOutcome};
 pub use fault::{FaultEvent, FaultLog, FaultOrigin};
 pub use metrics::{Counter, Histogram, TimeSeries};
+pub use parallel::{ParallelDriver, Stopwatch};
 pub use registry::{intern_name, Gauge, MetricsRegistry, MetricsSnapshot, SpanStats, SpanToken};
 pub use resource::{CpuPool, FifoResource, LinkResource, PoolResource};
 pub use time::{SimDuration, SimTime};

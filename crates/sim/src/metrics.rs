@@ -9,15 +9,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use crate::parallel::{self, take_ready, Entry};
 use crate::time::{SimDuration, SimTime};
 
 /// A latency histogram over virtual durations.
 ///
 /// Keeps every sample (simulations are scaled down, so sample counts stay
 /// modest) which makes percentiles exact rather than approximate.
+///
+/// Inside a parallel round (see [`crate::parallel`]) samples are buffered
+/// per `(round, worker)` and folded into the sample vector in canonical
+/// worker order on the next read, so even the raw sample sequence is
+/// byte-identical across thread counts.
 #[derive(Debug, Default)]
 pub struct Histogram {
-    samples: Mutex<Vec<u64>>,
+    state: Mutex<HistState>,
+}
+
+#[derive(Debug, Default)]
+struct HistState {
+    samples: Vec<u64>,
+    pending: Vec<Entry<u64>>,
+}
+
+impl HistState {
+    fn fold(&mut self) {
+        for (_, _, v) in take_ready(&mut self.pending, None) {
+            self.samples.push(v);
+        }
+    }
 }
 
 impl Histogram {
@@ -26,11 +46,20 @@ impl Histogram {
     }
 
     pub fn record(&self, d: SimDuration) {
-        self.samples.lock().push(d.as_nanos());
+        let mut s = self.state.lock();
+        match parallel::current() {
+            Some(c) => s.pending.push((c.key, c.worker, d.as_nanos())),
+            None => {
+                s.fold();
+                s.samples.push(d.as_nanos());
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.samples.lock().len()
+        let mut s = self.state.lock();
+        s.fold();
+        s.samples.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -38,35 +67,71 @@ impl Histogram {
     }
 
     pub fn mean(&self) -> SimDuration {
-        let s = self.samples.lock();
-        if s.is_empty() {
+        let mut s = self.state.lock();
+        s.fold();
+        if s.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        SimDuration((s.iter().map(|&x| x as u128).sum::<u128>() / s.len() as u128) as u64)
+        SimDuration(
+            (s.samples.iter().map(|&x| x as u128).sum::<u128>() / s.samples.len() as u128) as u64,
+        )
     }
 
     /// Exact percentile by nearest-rank; `p` in `[0, 100]`.
+    ///
+    /// Each call clones and sorts the samples; when asking for several
+    /// percentiles, use [`Histogram::percentiles`], which sorts once.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        let mut s = self.samples.lock().clone();
-        if s.is_empty() {
-            return SimDuration::ZERO;
-        }
-        s.sort_unstable();
-        let rank = ((p / 100.0) * s.len() as f64).ceil() as usize;
-        SimDuration(s[rank.clamp(1, s.len()) - 1])
+        self.percentiles(std::slice::from_ref(&p))[0]
+    }
+
+    /// Exact nearest-rank percentiles for every `p` in `ps`, cloning and
+    /// sorting the sample vector once instead of once per percentile.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<SimDuration> {
+        let sorted = {
+            let mut s = self.state.lock();
+            s.fold();
+            let mut v = s.samples.clone();
+            v.sort_unstable();
+            v
+        };
+        ps.iter()
+            .map(|&p| {
+                if sorted.is_empty() {
+                    return SimDuration::ZERO;
+                }
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                SimDuration(sorted[rank.clamp(1, sorted.len()) - 1])
+            })
+            .collect()
     }
 
     pub fn max(&self) -> SimDuration {
-        SimDuration(self.samples.lock().iter().copied().max().unwrap_or(0))
+        let mut s = self.state.lock();
+        s.fold();
+        SimDuration(s.samples.iter().copied().max().unwrap_or(0))
     }
 
     pub fn min(&self) -> SimDuration {
-        SimDuration(self.samples.lock().iter().copied().min().unwrap_or(0))
+        let mut s = self.state.lock();
+        s.fold();
+        SimDuration(s.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// The raw sample sequence in record (canonical-fold) order, in ns.
+    /// Primarily for determinism checks: two runs are byte-identical iff
+    /// their raw sequences match.
+    pub fn raw_samples(&self) -> Vec<u64> {
+        let mut s = self.state.lock();
+        s.fold();
+        s.samples.clone()
     }
 
     /// Drain all samples, resetting the histogram.
     pub fn reset(&self) {
-        self.samples.lock().clear();
+        let mut s = self.state.lock();
+        s.pending.clear();
+        s.samples.clear();
     }
 }
 
@@ -108,10 +173,36 @@ impl Counter {
 
 /// Values bucketed by virtual time — one bucket per `bucket_width` of
 /// simulation time, each bucket accumulating a sum and a sample count.
+/// Bucket sums are `f64` additions, whose rounding depends on order — so
+/// parallel-round records are buffered and folded canonically, exactly like
+/// [`Histogram`] samples.
 #[derive(Debug)]
 pub struct TimeSeries {
     bucket_width: SimDuration,
-    buckets: Mutex<Vec<(f64, u64)>>, // (sum, count)
+    state: Mutex<SeriesState>,
+}
+
+#[derive(Debug, Default)]
+struct SeriesState {
+    buckets: Vec<(f64, u64)>, // (sum, count)
+    pending: Vec<Entry<(u64, f64)>>,
+}
+
+impl SeriesState {
+    fn apply(&mut self, width_ns: u64, at_ns: u64, value: f64) {
+        let idx = (at_ns / width_ns) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, (0.0, 0));
+        }
+        self.buckets[idx].0 += value;
+        self.buckets[idx].1 += 1;
+    }
+
+    fn fold(&mut self, width_ns: u64) {
+        for (_, _, (at, v)) in take_ready(&mut self.pending, None) {
+            self.apply(width_ns, at, v);
+        }
+    }
 }
 
 impl TimeSeries {
@@ -119,7 +210,7 @@ impl TimeSeries {
         assert!(!bucket_width.is_zero());
         TimeSeries {
             bucket_width,
-            buckets: Mutex::new(Vec::new()),
+            state: Mutex::new(SeriesState::default()),
         }
     }
 
@@ -128,19 +219,21 @@ impl TimeSeries {
     }
 
     pub fn record(&self, at: SimTime, value: f64) {
-        let idx = (at.as_nanos() / self.bucket_width.as_nanos()) as usize;
-        let mut b = self.buckets.lock();
-        if b.len() <= idx {
-            b.resize(idx + 1, (0.0, 0));
+        let mut s = self.state.lock();
+        match parallel::current() {
+            Some(c) => s.pending.push((c.key, c.worker, (at.as_nanos(), value))),
+            None => {
+                s.fold(self.bucket_width.as_nanos());
+                s.apply(self.bucket_width.as_nanos(), at.as_nanos(), value);
+            }
         }
-        b[idx].0 += value;
-        b[idx].1 += 1;
     }
 
     /// Per-bucket mean values (empty buckets report 0.0).
     pub fn means(&self) -> Vec<f64> {
-        self.buckets
-            .lock()
+        let mut s = self.state.lock();
+        s.fold(self.bucket_width.as_nanos());
+        s.buckets
             .iter()
             .map(|&(sum, n)| if n == 0 { 0.0 } else { sum / n as f64 })
             .collect()
@@ -148,7 +241,9 @@ impl TimeSeries {
 
     /// Per-bucket sums (e.g. bytes per interval → divide by width for MB/s).
     pub fn sums(&self) -> Vec<f64> {
-        self.buckets.lock().iter().map(|&(sum, _)| sum).collect()
+        let mut s = self.state.lock();
+        s.fold(self.bucket_width.as_nanos());
+        s.buckets.iter().map(|&(sum, _)| sum).collect()
     }
 
     /// Per-bucket sums normalized to a per-second rate.
@@ -159,6 +254,13 @@ impl TimeSeries {
 }
 
 /// Aggregate outcome of a benchmark run, ready for table printing.
+///
+/// Closed-loop accounting: `ops` counts operations that *started* strictly
+/// before the horizon (the driver contract), so ops straddling the horizon
+/// boundary are included and `throughput_per_sec` slightly overshoots at
+/// small horizons. `completed_in_horizon` / `clamped_throughput_per_sec`
+/// exclude the straddlers; builders without completion information set them
+/// equal to the started-based figures.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     pub label: String,
@@ -168,21 +270,50 @@ pub struct RunSummary {
     pub mean_latency_us: f64,
     pub p95_latency_us: f64,
     pub p99_latency_us: f64,
+    /// Ops that also *finished* by the horizon.
+    pub completed_in_horizon: u64,
+    /// `completed_in_horizon` per virtual second — throughput with
+    /// horizon-straddling ops excluded.
+    pub clamped_throughput_per_sec: f64,
 }
 
 impl RunSummary {
     pub fn from_histogram(label: impl Into<String>, h: &Histogram, horizon: SimTime) -> RunSummary {
         let ops = h.len() as u64;
         let secs = horizon.as_secs_f64();
+        let pcts = h.percentiles(&[95.0, 99.0]);
+        let tput = if secs > 0.0 { ops as f64 / secs } else { 0.0 };
         RunSummary {
             label: label.into(),
             ops,
             virtual_secs: secs,
-            throughput_per_sec: if secs > 0.0 { ops as f64 / secs } else { 0.0 },
+            throughput_per_sec: tput,
             mean_latency_us: h.mean().as_micros_f64(),
-            p95_latency_us: h.percentile(95.0).as_micros_f64(),
-            p99_latency_us: h.percentile(99.0).as_micros_f64(),
+            p95_latency_us: pcts[0].as_micros_f64(),
+            p99_latency_us: pcts[1].as_micros_f64(),
+            completed_in_horizon: ops,
+            clamped_throughput_per_sec: tput,
         }
+    }
+
+    /// Like [`RunSummary::from_histogram`], but with the driver's
+    /// [`crate::driver::RunOutcome`] supplying exact completion counts.
+    pub fn from_outcome(
+        label: impl Into<String>,
+        h: &Histogram,
+        horizon: SimTime,
+        outcome: &crate::driver::RunOutcome,
+    ) -> RunSummary {
+        let secs = horizon.as_secs_f64();
+        let mut s = RunSummary::from_histogram(label, h, horizon);
+        s.ops = outcome.started;
+        s.completed_in_horizon = outcome.completed_in_horizon;
+        s.clamped_throughput_per_sec = if secs > 0.0 {
+            outcome.completed_in_horizon as f64 / secs
+        } else {
+            0.0
+        };
+        s
     }
 }
 

@@ -1,0 +1,668 @@
+//! Windowed conservative parallel execution for the deterministic simulator.
+//!
+//! [`ParallelDriver`] runs the same closed-loop experiments as
+//! [`crate::ClosedLoopDriver`], but in **rounds**: each round it collects
+//! every worker whose clock is below `min_clock + lookahead` (the
+//! conservative window of classic PDES), orders them canonically by
+//! `(clock, worker_id)`, and executes each exactly one operation. Two
+//! execution modes share that schedule:
+//!
+//! * [`ParallelDriver::run`] — *parallel mode*. The round's workers execute
+//!   concurrently on a fixed pool of OS threads. Determinism across thread
+//!   counts comes from two rules enforced by the substrate in this crate:
+//!   (1) every shared resource serves round requests from a **frozen**
+//!   round-start state plus the worker's *own* same-round history, so a
+//!   grant never depends on how OS threads interleave; (2) every
+//!   order-sensitive side effect (histogram samples, time-series sums,
+//!   fault events, span enters/exits, gauge writes) is buffered per
+//!   `(round, worker)` and folded in canonical order before anything reads
+//!   it. Counters use commutative atomic adds and need no buffering.
+//!   Only `remem-sim` substrate types are parallel-aware; operations that
+//!   touch higher layers (the database engine, the RDMA fabric) must use
+//!   ordered mode instead.
+//! * [`ParallelDriver::run_ordered`] — *ordered mode*. The windowed
+//!   schedule is executed inline, one operation at a time, in canonical
+//!   order. Results are trivially identical for every `--threads` value
+//!   (the thread count only sizes the parallel-mode pool), which is what
+//!   lets engine-backed workloads honour the cross-thread determinism
+//!   contract without making the whole engine deterministic under true
+//!   concurrency.
+//!
+//! The sequential oracle for all equality checks is the same driver at
+//! `threads = 1`: parallel mode with one thread runs the identical frozen
+//! round semantics on the calling thread, so `--threads 1/2/8` must agree
+//! byte-for-byte or the substrate has a determinism bug.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex as StdMutex};
+use std::time::Instant;
+
+use crate::clock::Clock;
+use crate::driver::RunOutcome;
+use crate::metrics::Histogram;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one conservative window: the `round`-th barrier interval of
+/// driver run `run`. Ordered lexicographically — run ids are allocated from
+/// a global counter, so later runs sort after earlier ones and lazily
+/// buffered effects from a finished run always fold before a new run's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct RoundKey {
+    pub run: u64,
+    pub round: u64,
+}
+
+/// The executing worker's identity within a parallel round. Substrate types
+/// consult this (via [`current`]) to decide between direct mutation and
+/// deferred, canonically-ordered mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Ctx {
+    pub key: RoundKey,
+    pub worker: u32,
+}
+
+thread_local! {
+    static CTX: Cell<Option<Ctx>> = const { Cell::new(None) };
+    /// Open-span depth of the current worker's in-flight operation; gives
+    /// `SpanToken`s a LIFO check even while span effects are deferred.
+    static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The parallel-round context of the calling thread, if inside
+/// [`ParallelDriver::run`].
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(Cell::get)
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| c.set(ctx));
+    SPAN_DEPTH.with(|d| d.set(0));
+}
+
+pub(crate) fn span_depth_push() -> usize {
+    SPAN_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    })
+}
+
+pub(crate) fn span_depth_pop(expected: usize) {
+    SPAN_DEPTH.with(|d| {
+        assert_eq!(
+            d.get(),
+            expected + 1,
+            "span_exit out of order: spans must close LIFO"
+        );
+        d.set(expected);
+    });
+}
+
+static RUN_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A deferred side effect: produced by `worker` during window `key`, payload
+/// `T`. Kept in each substrate object's own mutex-guarded pending list.
+pub(crate) type Entry<T> = (RoundKey, u32, T);
+
+/// Remove and return, in canonical order, the buffered entries that are
+/// ready to fold: all of them (`before == None`, used by sequential
+/// accessors) or only those from windows strictly before `before` (used by
+/// in-round resource acquires, which must not observe other workers'
+/// same-round effects). The sort is stable, so each worker's program order
+/// is preserved inside its `(round, worker)` slot.
+pub(crate) fn take_ready<T>(
+    pending: &mut Vec<Entry<T>>,
+    before: Option<RoundKey>,
+) -> Vec<Entry<T>> {
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let mut ready: Vec<Entry<T>> = match before {
+        None => std::mem::take(pending),
+        Some(k) => {
+            if !pending.iter().any(|e| e.0 < k) {
+                return Vec::new();
+            }
+            let (ready, keep): (Vec<_>, Vec<_>) =
+                std::mem::take(pending).into_iter().partition(|e| e.0 < k);
+            *pending = keep;
+            ready
+        }
+    };
+    ready.sort_by_key(|e| (e.0, e.1));
+    ready
+}
+
+/// Closed-loop driver executing conservative virtual-time windows, possibly
+/// on several OS threads. See the module docs for the execution model and
+/// the determinism contract.
+pub struct ParallelDriver {
+    clocks: Vec<Clock>,
+    horizon: SimTime,
+    lookahead: SimDuration,
+    threads: usize,
+}
+
+/// One scheduled round: workers in canonical `(clock, worker_id)` order.
+fn plan_round(clocks: &[Clock], horizon: SimTime, lookahead: SimDuration) -> Vec<usize> {
+    let mut eligible: Vec<(SimTime, usize)> = clocks
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let t = c.now();
+            (t < horizon).then_some((t, i))
+        })
+        .collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    // (time, worker-id) is the tie-break contract shared with
+    // ClosedLoopDriver: equal clocks run in ascending worker order.
+    eligible.sort();
+    let window_end = SimTime(eligible[0].0 .0.saturating_add(lookahead.0));
+    eligible.retain(|&(t, _)| t < window_end);
+    eligible.into_iter().map(|(_, i)| i).collect()
+}
+
+impl ParallelDriver {
+    /// Defaults: one thread, 200 µs lookahead, all clocks at zero.
+    pub fn new(workers: usize, horizon: SimTime) -> ParallelDriver {
+        assert!(workers > 0);
+        ParallelDriver {
+            clocks: vec![Clock::new(); workers],
+            horizon,
+            lookahead: SimDuration::from_micros(200),
+            threads: 1,
+        }
+    }
+
+    /// Start all workers at `t` instead of zero.
+    pub fn starting_at(mut self, t: SimTime) -> ParallelDriver {
+        for c in &mut self.clocks {
+            *c = Clock::starting_at(t);
+        }
+        self
+    }
+
+    /// Size of the OS thread pool used by [`ParallelDriver::run`].
+    /// `threads` only changes wall-clock speed, never results.
+    pub fn threads(mut self, n: usize) -> ParallelDriver {
+        assert!(n > 0, "need at least one thread");
+        self.threads = n;
+        self
+    }
+
+    /// Conservative window width: each round runs every worker whose clock
+    /// is within `lookahead` of the minimum clock. Larger windows expose
+    /// more parallelism but coarsen same-round contention (see DESIGN.md).
+    pub fn lookahead(mut self, d: SimDuration) -> ParallelDriver {
+        assert!(!d.is_zero(), "lookahead must be positive");
+        self.lookahead = d;
+        self
+    }
+
+    pub fn workers(&self) -> usize {
+        self.clocks.len()
+    }
+
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Largest clock across workers — the virtual makespan of the run.
+    pub fn makespan(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .map(Clock::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Ordered mode: execute the windowed schedule inline, one operation at
+    /// a time in canonical order. Safe for any workload (engine, fabric);
+    /// byte-identical for every `threads` setting by construction.
+    ///
+    /// Counting follows the [`crate::ClosedLoopDriver`] contract: an
+    /// operation runs iff its worker's clock is strictly below the horizon
+    /// when it starts.
+    pub fn run_ordered<F>(&mut self, latencies: &Histogram, mut op: F) -> RunOutcome
+    where
+        F: FnMut(usize, &mut Clock),
+    {
+        let mut started = 0u64;
+        let mut completed = 0u64;
+        loop {
+            let order = plan_round(&self.clocks, self.horizon, self.lookahead);
+            if order.is_empty() {
+                break;
+            }
+            for w in order {
+                let before = self.clocks[w].now();
+                op(w, &mut self.clocks[w]);
+                let after = self.clocks[w].now();
+                assert!(after > before, "operation must advance virtual time");
+                latencies.record(after.since(before));
+                started += 1;
+                if after <= self.horizon {
+                    completed += 1;
+                }
+            }
+        }
+        RunOutcome {
+            started,
+            completed_in_horizon: completed,
+            makespan: self.makespan(),
+        }
+    }
+
+    /// Parallel mode: execute each round's workers concurrently on the
+    /// thread pool. `init` builds one private state per worker (its RNG
+    /// stream, scratch buffers, tallies); `op` may only touch `remem-sim`
+    /// substrate types plus that private state — see the module docs.
+    pub fn run<W, I, F>(&mut self, latencies: &Histogram, mut init: I, op: F) -> RunOutcome
+    where
+        W: Send,
+        I: FnMut(usize) -> W,
+        F: Fn(usize, &mut Clock, &mut W) + Sync,
+    {
+        let n = self.clocks.len();
+        let run = RUN_IDS.fetch_add(1, Ordering::Relaxed);
+        let nthreads = self.threads.min(n);
+        let horizon = self.horizon;
+
+        if nthreads == 1 {
+            // Same frozen-round semantics as the pool path (the ctx is what
+            // engages them), just on the calling thread. This is the
+            // sequential oracle every other thread count must match.
+            let mut states: Vec<W> = (0..n).map(&mut init).collect();
+            let mut started = 0u64;
+            let mut completed = 0u64;
+            let mut round = 0u64;
+            loop {
+                let order = plan_round(&self.clocks, horizon, self.lookahead);
+                if order.is_empty() {
+                    break;
+                }
+                let key = RoundKey { run, round };
+                for w in order {
+                    set_ctx(Some(Ctx {
+                        key,
+                        worker: w as u32,
+                    }));
+                    let before = self.clocks[w].now();
+                    // The latency sample must be recorded while the round
+                    // ctx is live, so it folds at the same canonical
+                    // (round, worker) slot as under the thread pool.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        op(w, &mut self.clocks[w], &mut states[w]);
+                        let after = self.clocks[w].now();
+                        assert!(after > before, "operation must advance virtual time");
+                        latencies.record(after.since(before));
+                        after
+                    }));
+                    set_ctx(None);
+                    let after = match result {
+                        Ok(after) => after,
+                        Err(p) => resume_unwind(p),
+                    };
+                    started += 1;
+                    if after <= horizon {
+                        completed += 1;
+                    }
+                }
+                round += 1;
+            }
+            return RunOutcome {
+                started,
+                completed_in_horizon: completed,
+                makespan: self.makespan(),
+            };
+        }
+
+        struct Slot<W> {
+            clock: Clock,
+            state: W,
+            started: u64,
+            completed: u64,
+        }
+        let slots: Vec<StdMutex<Slot<W>>> = self
+            .clocks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                StdMutex::new(Slot {
+                    clock: c.clone(),
+                    state: init(i),
+                    started: 0,
+                    completed: 0,
+                })
+            })
+            .collect();
+
+        struct Plan {
+            done: bool,
+            round: u64,
+            chunks: Vec<Vec<usize>>,
+        }
+        let plan = StdMutex::new(Plan {
+            done: false,
+            round: 0,
+            chunks: vec![Vec::new(); nthreads],
+        });
+        // T workers + the planning thread meet at both barriers each round.
+        let round_start = Barrier::new(nthreads + 1);
+        let round_end = Barrier::new(nthreads + 1);
+        let panicked = AtomicBool::new(false);
+        let panic_payload: StdMutex<Option<Box<dyn Any + Send>>> = StdMutex::new(None);
+
+        std::thread::scope(|s| {
+            for tid in 0..nthreads {
+                let slots = &slots;
+                let plan = &plan;
+                let round_start = &round_start;
+                let round_end = &round_end;
+                let panicked = &panicked;
+                let panic_payload = &panic_payload;
+                let op = &op;
+                s.spawn(move || loop {
+                    round_start.wait();
+                    let (done, round, mine) = {
+                        let p = plan.lock().expect("plan lock");
+                        (p.done, p.round, p.chunks[tid].clone())
+                    };
+                    if done {
+                        break;
+                    }
+                    let key = RoundKey { run, round };
+                    for w in mine {
+                        if panicked.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        set_ctx(Some(Ctx {
+                            key,
+                            worker: w as u32,
+                        }));
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut guard = slots[w].lock().expect("slot lock");
+                            let slot = &mut *guard;
+                            let before = slot.clock.now();
+                            op(w, &mut slot.clock, &mut slot.state);
+                            let after = slot.clock.now();
+                            assert!(after > before, "operation must advance virtual time");
+                            latencies.record(after.since(before));
+                            slot.started += 1;
+                            if after <= horizon {
+                                slot.completed += 1;
+                            }
+                        }));
+                        set_ctx(None);
+                        if let Err(p) = result {
+                            panicked.store(true, Ordering::SeqCst);
+                            panic_payload.lock().expect("payload lock").get_or_insert(p);
+                            break;
+                        }
+                    }
+                    round_end.wait();
+                });
+            }
+
+            let mut round = 0u64;
+            loop {
+                let bail = panicked.load(Ordering::SeqCst);
+                let order = if bail {
+                    Vec::new()
+                } else {
+                    let clocks: Vec<Clock> = slots
+                        .iter()
+                        .map(|s| s.lock().expect("slot lock").clock.clone())
+                        .collect();
+                    plan_round(&clocks, horizon, self.lookahead)
+                };
+                if order.is_empty() {
+                    plan.lock().expect("plan lock").done = true;
+                    round_start.wait();
+                    break;
+                }
+                {
+                    let mut p = plan.lock().expect("plan lock");
+                    p.round = round;
+                    // Contiguous canonical chunks; assignment only affects
+                    // load balance, never results.
+                    let per = order.len().div_ceil(nthreads);
+                    for (t, chunk) in p.chunks.iter_mut().enumerate() {
+                        chunk.clear();
+                        chunk.extend(order.iter().skip(t * per).take(per).copied());
+                    }
+                }
+                round_start.wait();
+                round_end.wait();
+                round += 1;
+            }
+        });
+
+        if let Some(p) = panic_payload.into_inner().expect("payload lock") {
+            resume_unwind(p);
+        }
+
+        let mut started = 0u64;
+        let mut completed = 0u64;
+        for (i, s) in slots.into_iter().enumerate() {
+            let s = s.into_inner().expect("slot lock");
+            self.clocks[i] = s.clock;
+            started += s.started;
+            completed += s.completed;
+        }
+        RunOutcome {
+            started,
+            completed_in_horizon: completed,
+            makespan: self.makespan(),
+        }
+    }
+}
+
+/// A wall-clock stopwatch for speedup reporting. Lives in `remem-sim` (the
+/// one crate exempt from the wall-clock audit rule) so benchmark binaries
+/// can measure host time without touching `std::time` themselves. Wall
+/// times must never enter fingerprinted report data — route them through
+/// `Report::volatile_note`.
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed host milliseconds since `start`.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultLog, FaultOrigin};
+    use crate::metrics::{Counter, TimeSeries};
+    use crate::resource::{FifoResource, PoolResource};
+    use crate::rng::SimRng;
+    use crate::ClosedLoopDriver;
+
+    /// A contended substrate workload exercising every deferral path, run
+    /// at `threads`; returns everything that must be byte-identical.
+    fn substrate_run(threads: usize) -> (RunOutcome, Vec<u64>, u64, Vec<f64>, u64) {
+        let fifo = FifoResource::new();
+        let pool = PoolResource::new(2);
+        let ops = Counter::new();
+        let faults = FaultLog::new();
+        let series = TimeSeries::new(SimDuration::from_micros(50));
+        let h = Histogram::new();
+        let mut d = ParallelDriver::new(6, SimTime(400_000))
+            .threads(threads)
+            .lookahead(SimDuration::from_micros(20));
+        let out = d.run(
+            &h,
+            |w| SimRng::for_worker(99, w as u64),
+            |w, clock, rng: &mut SimRng| {
+                let service = SimDuration::from_nanos(rng.uniform(500, 4_000));
+                let g = if rng.chance(0.5) {
+                    fifo.acquire(clock.now(), service)
+                } else {
+                    pool.acquire(clock.now(), service)
+                };
+                clock.advance_to(g.end);
+                ops.add(1);
+                series.record(clock.now(), service.0 as f64);
+                if rng.chance(0.1) {
+                    faults.record(
+                        clock.now(),
+                        FaultOrigin::Observed,
+                        "test.blip",
+                        format!("w{w}"),
+                    );
+                }
+            },
+        );
+        (
+            out,
+            h.raw_samples(),
+            faults.fingerprint(),
+            series.means(),
+            ops.get(),
+        )
+    }
+
+    #[test]
+    fn parallel_results_identical_across_thread_counts() {
+        let base = substrate_run(1);
+        for threads in [2, 3, 6] {
+            assert_eq!(substrate_run(threads), base, "threads={threads} diverged");
+        }
+        assert!(base.0.started > 100, "workload too small to be meaningful");
+    }
+
+    #[test]
+    fn run_ordered_matches_parallel_mode_without_contention() {
+        // With no shared resources the windowed schedule is the only thing
+        // the two modes share — fixed-cost ops must agree exactly, and must
+        // match the legacy sequential driver too.
+        let run_par = |threads: usize| {
+            let h = Histogram::new();
+            let out = ParallelDriver::new(4, SimTime(1_000_000))
+                .threads(threads)
+                .run(
+                    &h,
+                    |_| (),
+                    |_, c, _| c.advance(SimDuration::from_micros(100)),
+                );
+            (out, h.len(), h.mean())
+        };
+        let h = Histogram::new();
+        let out = ParallelDriver::new(4, SimTime(1_000_000))
+            .run_ordered(&h, |_, c| c.advance(SimDuration::from_micros(100)));
+        assert_eq!((out, h.len(), h.mean()), run_par(1));
+        assert_eq!(run_par(1), run_par(4));
+        let mut legacy = ClosedLoopDriver::new(4, SimTime(1_000_000));
+        let lh = Histogram::new();
+        let lout = legacy.run_outcome(&lh, |_, c| c.advance(SimDuration::from_micros(100)));
+        assert_eq!(out, lout);
+    }
+
+    #[test]
+    fn run_ordered_executes_canonical_window_order() {
+        // Worker w advances by (w+1)*100ns per op; horizon 400ns. Round 1:
+        // all clocks 0 → canonical order 0,1,2. Then clocks {100,200,300};
+        // every worker stays inside the 1µs lookahead window, so each round
+        // runs all still-eligible workers in (clock, id) order.
+        let mut d = ParallelDriver::new(3, SimTime(400)).lookahead(SimDuration::from_micros(1));
+        let h = Histogram::new();
+        let mut order = Vec::new();
+        d.run_ordered(&h, |w, c| {
+            order.push((c.now().0, w));
+            c.advance(SimDuration::from_nanos(100 * (w as u64 + 1)));
+        });
+        // Each entry must be (clock, id)-sorted within its round, and every
+        // op must start strictly below the horizon.
+        assert!(order.iter().all(|&(t, _)| t < 400));
+        assert_eq!(order[..3], [(0, 0), (0, 1), (0, 2)], "round 1 canonical");
+        let w0_ops = order.iter().filter(|&&(_, w)| w == 0).count();
+        assert_eq!(w0_ops, 4, "worker 0 runs at 0,100,200,300");
+    }
+
+    #[test]
+    fn narrow_lookahead_limits_round_membership() {
+        // Clocks staggered by starting offsets would need a first op to
+        // diverge; instead verify via plan_round directly.
+        let clocks = vec![
+            Clock::starting_at(SimTime(0)),
+            Clock::starting_at(SimTime(50)),
+            Clock::starting_at(SimTime(500)),
+        ];
+        let order = plan_round(&clocks, SimTime(10_000), SimDuration::from_nanos(100));
+        assert_eq!(order, vec![0, 1], "worker 2 is past the window");
+        let order = plan_round(&clocks, SimTime(10_000), SimDuration::from_nanos(10));
+        assert_eq!(order, vec![0], "tight window runs only the min clock");
+        let order = plan_round(&clocks, SimTime(40), SimDuration::from_nanos(100));
+        assert_eq!(order, vec![0], "horizon excludes workers past it");
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance virtual time")]
+    fn zero_time_op_panics_at_one_thread() {
+        let mut d = ParallelDriver::new(1, SimTime(1000));
+        d.run(&Histogram::new(), |_| (), |_, _, _| {});
+    }
+
+    #[test]
+    fn pool_mode_propagates_op_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut d = ParallelDriver::new(4, SimTime(1_000_000)).threads(2);
+            d.run(
+                &Histogram::new(),
+                |_| (),
+                |w, c, _| {
+                    c.advance(SimDuration::from_micros(10));
+                    if w == 3 && c.now() >= SimTime(50_000) {
+                        panic!("boom in worker");
+                    }
+                },
+            );
+        }));
+        let p = result.expect_err("panic must cross the pool");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom in worker");
+    }
+
+    #[test]
+    fn take_ready_orders_canonically_and_respects_cutoff() {
+        let k = |run, round| RoundKey { run, round };
+        let mut pending = vec![
+            (k(1, 2), 1u32, "r2w1a"),
+            (k(1, 1), 2, "r1w2"),
+            (k(1, 2), 0, "r2w0"),
+            (k(1, 1), 0, "r1w0"),
+            (k(1, 2), 1, "r2w1b"),
+        ];
+        // Cutoff at round 2: only round-1 entries fold, worker order.
+        let ready = take_ready(&mut pending, Some(k(1, 2)));
+        let vals: Vec<_> = ready.iter().map(|e| e.2).collect();
+        assert_eq!(vals, ["r1w0", "r1w2"]);
+        assert_eq!(pending.len(), 3);
+        // No cutoff: everything folds; same-worker program order survives.
+        let ready = take_ready(&mut pending, None);
+        let vals: Vec<_> = ready.iter().map(|e| e.2).collect();
+        assert_eq!(vals, ["r2w0", "r2w1a", "r2w1b"]);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn stopwatch_measures_host_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(sw.elapsed_ms() >= 4.0);
+    }
+}

@@ -29,12 +29,18 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::metrics::{Counter, Histogram, TimeSeries};
+use crate::parallel::{self, take_ready, Entry};
 use crate::time::{SimDuration, SimTime};
 
 /// A settable scalar metric (stored as `f64` bits).
+///
+/// `set` is last-writer-wins, which is order-sensitive — parallel-round
+/// writes are buffered per `(round, worker)` and replayed canonically, so
+/// the surviving value never depends on thread interleaving.
 #[derive(Debug, Default)]
 pub struct Gauge {
     bits: AtomicU64,
+    pending: Mutex<Vec<Entry<u64>>>,
 }
 
 impl Gauge {
@@ -42,11 +48,24 @@ impl Gauge {
         Gauge::default()
     }
 
+    fn fold(&self) {
+        for (_, _, bits) in take_ready(&mut self.pending.lock(), None) {
+            self.bits.store(bits, Ordering::Relaxed);
+        }
+    }
+
     pub fn set(&self, v: f64) {
-        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        match parallel::current() {
+            Some(c) => self.pending.lock().push((c.key, c.worker, v.to_bits())),
+            None => {
+                self.fold();
+                self.bits.store(v.to_bits(), Ordering::Relaxed);
+            }
+        }
     }
 
     pub fn get(&self) -> f64 {
+        self.fold();
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -94,10 +113,57 @@ struct OpenSpan {
     child_time: SimDuration,
 }
 
+/// A deferred span event from a parallel round. Replayed per worker in
+/// canonical order; each worker's operation must open and close its spans
+/// in balanced LIFO pairs, so replaying a round worker-by-worker feeds the
+/// shared stack exactly as a sequential run would.
+#[derive(Debug, Clone, Copy)]
+enum SpanOp {
+    Enter(&'static str, SimTime),
+    Exit(SimTime),
+}
+
 #[derive(Default)]
 struct SpanState {
     stats: BTreeMap<String, SpanStats>,
     stack: Vec<OpenSpan>,
+    pending: Vec<Entry<SpanOp>>,
+}
+
+impl SpanState {
+    fn open(&mut self, name: &'static str, at: SimTime) {
+        self.stack.push(OpenSpan {
+            name,
+            start: at,
+            child_time: SimDuration::ZERO,
+        });
+    }
+
+    fn close(&mut self, at: SimTime) {
+        let open = self.stack.pop().expect("span_exit with no open span");
+        let total = at.since(open.start);
+        let self_time = SimDuration(total.as_nanos().saturating_sub(open.child_time.as_nanos()));
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_time += total;
+        }
+        // Allocate the owned key only for a span's first-ever exit.
+        let st = match self.stats.get_mut(open.name) {
+            Some(st) => st,
+            None => self.stats.entry(open.name.to_string()).or_default(),
+        };
+        st.count += 1;
+        st.total += total;
+        st.self_time += self_time;
+    }
+
+    fn fold(&mut self) {
+        for (_, _, op) in take_ready(&mut self.pending, None) {
+            match op {
+                SpanOp::Enter(name, at) => self.open(name, at),
+                SpanOp::Exit(at) => self.close(at),
+            }
+        }
+    }
 }
 
 /// The central metric registry: named counters, gauges, histograms, time
@@ -209,11 +275,16 @@ impl MetricsRegistry {
         if !s.stats.contains_key(name) {
             self.claim(name, "span");
         }
-        s.stack.push(OpenSpan {
-            name,
-            start: at,
-            child_time: SimDuration::ZERO,
-        });
+        if let Some(c) = parallel::current() {
+            // Defer the stack mutation; the token's LIFO check runs against
+            // the worker-local depth counter instead of the shared stack.
+            s.pending.push((c.key, c.worker, SpanOp::Enter(name, at)));
+            return SpanToken {
+                depth: parallel::span_depth_push(),
+            };
+        }
+        s.fold();
+        s.open(name, at);
         SpanToken {
             depth: s.stack.len() - 1,
         }
@@ -223,38 +294,25 @@ impl MetricsRegistry {
     /// from, charging `at - enter_time` to its stats.
     pub fn span_exit(&self, token: SpanToken, at: SimTime) {
         let mut s = self.spans.lock();
+        if let Some(c) = parallel::current() {
+            parallel::span_depth_pop(token.depth);
+            s.pending.push((c.key, c.worker, SpanOp::Exit(at)));
+            return;
+        }
+        s.fold();
         assert_eq!(
             s.stack.len(),
             token.depth + 1,
             "span_exit out of order: spans must close LIFO"
         );
-        let open = s
-            .stack
-            .pop()
-            .unwrap_or_else(|| unreachable!("asserted non-empty"));
-        let total = at.since(open.start);
-        let self_time = SimDuration(total.as_nanos().saturating_sub(open.child_time.as_nanos()));
-        if let Some(parent) = s.stack.last_mut() {
-            parent.child_time += total;
-        }
-        // Allocate the owned key only for a span's first-ever exit.
-        let st = match s.stats.get_mut(open.name) {
-            Some(st) => st,
-            None => s.stats.entry(open.name.to_string()).or_default(),
-        };
-        st.count += 1;
-        st.total += total;
-        st.self_time += self_time;
+        s.close(at);
     }
 
     /// Per-name span statistics accumulated so far.
     pub fn span_stats(&self, name: &str) -> SpanStats {
-        self.spans
-            .lock()
-            .stats
-            .get(name)
-            .copied()
-            .unwrap_or_default()
+        let mut s = self.spans.lock();
+        s.fold();
+        s.stats.get(name).copied().unwrap_or_default()
     }
 
     /// A deterministic, name-ordered snapshot of every metric.
@@ -276,14 +334,16 @@ impl MetricsRegistry {
             .lock()
             .iter()
             .map(|(k, h)| {
+                // one clone+sort per histogram instead of one per percentile
+                let pcts = h.percentiles(&[50.0, 95.0, 99.0]);
                 (
                     k.clone(),
                     HistogramSummary {
                         count: h.len() as u64,
                         mean_ns: h.mean().as_nanos(),
-                        p50_ns: h.percentile(50.0).as_nanos(),
-                        p95_ns: h.percentile(95.0).as_nanos(),
-                        p99_ns: h.percentile(99.0).as_nanos(),
+                        p50_ns: pcts[0].as_nanos(),
+                        p95_ns: pcts[1].as_nanos(),
+                        p99_ns: pcts[2].as_nanos(),
                         max_ns: h.max().as_nanos(),
                     },
                 )
@@ -303,22 +363,24 @@ impl MetricsRegistry {
                 )
             })
             .collect();
-        let spans = self
-            .spans
-            .lock()
-            .stats
-            .iter()
-            .map(|(k, st)| {
-                (
-                    k.clone(),
-                    SpanSummary {
-                        count: st.count,
-                        total_ns: st.total.as_nanos(),
-                        self_ns: st.self_time.as_nanos(),
-                    },
-                )
-            })
-            .collect();
+        let spans = {
+            let mut s = self.spans.lock();
+            s.fold();
+            s
+        }
+        .stats
+        .iter()
+        .map(|(k, st)| {
+            (
+                k.clone(),
+                SpanSummary {
+                    count: st.count,
+                    total_ns: st.total.as_nanos(),
+                    self_ns: st.self_time.as_nanos(),
+                },
+            )
+        })
+        .collect();
         MetricsSnapshot {
             counters,
             gauges,
