@@ -26,6 +26,12 @@
 //!   results must be a pure function of (seed, thread count), so nothing may
 //!   branch on which OS thread ran an op or how many cores the host has.
 //!   Structured concurrency (`thread::scope`, `Barrier`, channels) is fine.
+//! * `quorum-write` — no direct `fabric.write(…)` / `fab.write(…)` in
+//!   non-test `crates/rfile` code: a replicated MR written through the
+//!   scalar path updates one copy and silently diverges the replica set.
+//!   All data-path writes go through `Fabric::write_quorum`; the few
+//!   legitimate single-copy writes (zeroing a fresh stripe, unreplicated
+//!   files, replica seeding) carry a waiver pragma naming why.
 //!
 //! Any rule can be waived per line with `// audit: allow(<rule>, <reason>)`
 //! on the offending line or the line directly above. Unused or unknown
@@ -44,6 +50,7 @@ pub const RULES: &[&str] = &[
     "clock-charge",
     "bench-report",
     "nondet-parallel",
+    "quorum-write",
 ];
 
 /// Crates whose data structures feed the replay fingerprint.
@@ -257,6 +264,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     rule_clock_charge(&mut ctx);
     rule_bench_report(&mut ctx);
     rule_nondet_parallel(&mut ctx);
+    rule_quorum_write(&mut ctx);
 
     // pragma hygiene: unknown rule names and unused waivers are violations
     for k in 0..ctx.pragmas.len() {
@@ -604,6 +612,41 @@ fn rule_nondet_parallel(ctx: &mut Ctx) {
     }
 }
 
+/// For `quorum-write`: the remote file is the only layer that knows whether
+/// an MR is replicated, so it must never bypass its own quorum routing. A
+/// direct `fabric.write(…)` against a replicated MR updates exactly one
+/// copy — reads that later fail over to a peer see stale bytes, and no
+/// audit of the broker's ledger can catch it. Flags `.write(` whose
+/// receiver ident is `fabric` or `fab` in non-test `crates/rfile` code;
+/// intentional single-copy writes carry a waiver pragma.
+fn rule_quorum_write(ctx: &mut Ctx) {
+    if ctx.krate != Some("rfile") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.is("write")
+            && i >= 2
+            && ctx.toks[i - 1].is(".")
+            && (ctx.toks[i - 2].is("fabric") || ctx.toks[i - 2].is("fab"))
+            && ctx.toks.get(i + 1).map(|n| n.is("(")) == Some(true)
+            && !ctx.in_test(i)
+        {
+            hits.push(t.line);
+        }
+    }
+    for line in hits {
+        ctx.push(
+            "quorum-write",
+            line,
+            "direct `fabric.write` in rfile library code: replicated MRs must go \
+             through the quorum path (`write_quorum`); waive only intentional \
+             single-copy writes"
+                .to_string(),
+        );
+    }
+}
+
 // ─── tree walker ─────────────────────────────────────────────────────────
 
 /// Recursively collect `*.rs` files under `root/crates`, skipping `target`.
@@ -826,6 +869,32 @@ mod tests {
         let waived = "// audit: allow(nondet-parallel, diagnostics only)\n\
                       fn f() { let id = thread::current(); }\n";
         assert!(rules_of("crates/sim/src/a.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn quorum_write_flags_direct_fabric_writes_in_rfile() {
+        let src = "fn f() { self.fabric.write(clock, proto, local, mr, off, data); }\n";
+        assert_eq!(rules_of("crates/rfile/src/a.rs", src), vec!["quorum-write"]);
+        // the short binding used inside closures is caught too
+        let short = "fn f() { fab.write(clock, proto, local, mr, off, data); }\n";
+        assert_eq!(
+            rules_of("crates/rfile/src/a.rs", short),
+            vec!["quorum-write"]
+        );
+        // the quorum path itself and reads are fine
+        let ok = "fn f() { fabric.write_quorum(clock, proto, local, &t, d); \
+                  fabric.read(clock, proto, local, mr, off, buf); }\n";
+        assert!(rules_of("crates/rfile/src/a.rs", ok).is_empty());
+        // other writers (net itself, the broker's migration copies) are out
+        // of scope — only rfile knows replication
+        assert!(rules_of("crates/net/src/a.rs", src).is_empty());
+        // tests may poke single copies to set up divergence scenarios
+        let test_src = "#[test]\nfn t() { fabric.write(c, p, l, m, 0, d); }\n";
+        assert!(rules_of("crates/rfile/src/a.rs", test_src).is_empty());
+        // waivable like every other rule
+        let waived = "fn f() {\n// audit: allow(quorum-write, zeroing a fresh stripe)\n\
+                      fabric.write(c, p, l, m, 0, d);\n}\n";
+        assert!(rules_of("crates/rfile/src/a.rs", waived).is_empty());
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn run(ext_mb: u64, spread: bool, windowed: bool) -> (f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

@@ -38,6 +38,7 @@ fn run_config(proto: Option<Protocol>, windowed: bool) -> (f64, f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

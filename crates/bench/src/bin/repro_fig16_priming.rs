@@ -32,6 +32,7 @@ fn opts(pool_mb: u64) -> DbOptions {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     }

@@ -24,6 +24,7 @@ fn run(design: Design, pool_mb: u64, windowed: bool) -> (f64, f64) {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

@@ -229,6 +229,7 @@ pub fn rangescan_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     }
@@ -245,6 +246,7 @@ pub fn hashsort_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: false,
         workspace_bytes: Some(1 << 20),
+        replicas: 1,
         fault_log: None,
         metrics: None,
     }
@@ -260,6 +262,7 @@ pub fn dss_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: false,
         workspace_bytes: Some(2 << 20),
+        replicas: 1,
         fault_log: None,
         metrics: None,
     }
@@ -275,6 +278,7 @@ pub fn tpcc_opts(spindles: usize) -> DbOptions {
         spindles,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     }

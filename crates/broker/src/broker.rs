@@ -1,5 +1,6 @@
 //! The broker front-end: lease grant / renew / release / revoke.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -7,8 +8,32 @@ use remem_audit::Auditor;
 use remem_net::{Fabric, MrHandle, ServerId};
 use remem_sim::{Clock, MetricsRegistry, SimDuration, SimTime};
 
-use crate::lease::{Lease, LeaseId, LeaseState};
+use crate::lease::{Lease, LeaseId, LeaseState, ReplicaSet};
 use crate::meta::{MetaState, MetaStore};
+
+/// Upper bound on leases simultaneously parked in the two-phase reclaim
+/// queue. A holder that never re-attaches would otherwise grow
+/// `pending_revocations` without bound; past the cap the broker
+/// force-finalizes the oldest notices early and counts them in
+/// `broker.revocations_expired`.
+const MAX_PENDING_REVOCATIONS: usize = 64;
+
+/// One slot's re-replication work order from [`MemoryBroker::re_replicate`].
+///
+/// The broker has already committed the new group membership; the holder
+/// must connect to and seed every `added` MR (copy from `source`, or
+/// zero-fill and report the range lost when every replica died) before
+/// serving reads from it.
+#[derive(Debug, Clone)]
+pub struct ReplicaRepair {
+    /// Logical slot index within the lease's replica set.
+    pub slot: usize,
+    /// Surviving replica to copy the slot's bytes from; `None` when the
+    /// whole group died and the slot's content is gone.
+    pub source: Option<MrHandle>,
+    /// Fresh members appended to the group.
+    pub added: Vec<MrHandle>,
+}
 
 /// How the broker places a multi-MR lease across donor servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +124,7 @@ struct BrokerMetrics {
     leased_bytes: Arc<remem_sim::Counter>,
     donated_bytes: Arc<remem_sim::Counter>,
     reclaimed_bytes: Arc<remem_sim::Counter>,
+    revocations_expired: Arc<remem_sim::Counter>,
 }
 
 impl BrokerMetrics {
@@ -114,6 +140,7 @@ impl BrokerMetrics {
             leased_bytes: registry.counter("broker.leased.bytes"),
             donated_bytes: registry.counter("broker.donated.bytes"),
             reclaimed_bytes: registry.counter("broker.reclaimed.bytes"),
+            revocations_expired: registry.counter("broker.revocations_expired"),
             registry,
         }
     }
@@ -221,12 +248,71 @@ impl MemoryBroker {
                 stale.push(format!("pending_revocations holds non-active {id:?}"));
             }
         }
+        for id in st.replicas.keys() {
+            if !active(id) {
+                stale.push(format!("replicas holds non-active {id:?}"));
+            }
+        }
         a.check_that(
             when,
             "broker",
             "aux-state-active-only",
             stale.is_empty(),
             || stale.join("; "),
+        );
+        // replica-set conservation: every logical slot of a replicated lease
+        // has between 1 and k live physicals on distinct donors (0 only when
+        // the loss is recorded in lost_slots), and the groups partition
+        // exactly the lease's physical MRs
+        let mut bad: Vec<String> = Vec::new();
+        for (id, rs) in &st.replicas {
+            let Some((lease, LeaseState::Active)) = st.leases.get(id) else {
+                continue; // already reported as stale above
+            };
+            if rs.k < 2 {
+                bad.push(format!("{id:?} replicated with k={}", rs.k));
+            }
+            let mut group_mrs: Vec<(ServerId, u64)> = Vec::new();
+            for (slot, group) in rs.groups.iter().enumerate() {
+                if group.len() > rs.k {
+                    bad.push(format!(
+                        "{id:?} slot {slot} has {} > k members",
+                        group.len()
+                    ));
+                }
+                if group.is_empty() && !rs.lost_slots.contains_key(&slot) {
+                    bad.push(format!("{id:?} slot {slot} empty but not recorded lost"));
+                }
+                let mut servers: Vec<ServerId> = group.iter().map(|m| m.server).collect();
+                servers.sort_unstable();
+                servers.dedup();
+                if servers.len() != group.len() {
+                    bad.push(format!("{id:?} slot {slot} violates anti-affinity"));
+                }
+                group_mrs.extend(group.iter().map(|m| (m.server, m.mr)));
+            }
+            let mut lease_mrs: Vec<(ServerId, u64)> =
+                lease.mrs.iter().map(|m| (m.server, m.mr)).collect();
+            group_mrs.sort_unstable();
+            lease_mrs.sort_unstable();
+            if group_mrs != lease_mrs {
+                bad.push(format!("{id:?} groups and lease MRs diverge"));
+            }
+            for (slot, dead) in &rs.lost_slots {
+                let parked = st.lost_mrs.get(id).is_some_and(|v| {
+                    v.iter().any(|m| m.server == dead.server && m.mr == dead.mr)
+                });
+                if !parked {
+                    bad.push(format!("{id:?} lost slot {slot} not parked in lost_mrs"));
+                }
+            }
+        }
+        a.check_that(
+            when,
+            "broker",
+            "replica-conservation",
+            bad.is_empty(),
+            || bad.join("; "),
         );
         a.check_that(
             when,
@@ -362,6 +448,270 @@ impl MemoryBroker {
         });
         self.verify(&st, Some(clock.now()));
         Ok(lease)
+    }
+
+    /// Grant a k-way replicated lease of at least `bytes` *logical*
+    /// capacity. Placement is capacity-aware and anti-affine: each logical
+    /// slot takes one equal-sized MR from each of the `k` donors with the
+    /// most spare memory (stable id tie-break), so no two replicas of a
+    /// slot share a server. All-or-nothing; the clock pays one broker RPC.
+    ///
+    /// The returned lease's `mrs` hold all `k` physicals per slot; the
+    /// group structure and fencing epoch are read via
+    /// [`Self::replica_view`].
+    pub fn request_replicated_lease(
+        &self,
+        clock: &mut Clock,
+        holder: ServerId,
+        bytes: u64,
+        k: usize,
+    ) -> Result<Lease, BrokerError> {
+        assert!(k >= 2, "a replicated lease needs k >= 2; use request_lease");
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let mut groups: Vec<Vec<MrHandle>> = Vec::new();
+        let mut logical = 0u64;
+        let mut short = false;
+        while logical < bytes {
+            let ranked = Self::ranked_donors(&st, &[holder]);
+            if ranked.len() < k {
+                short = true;
+                break;
+            }
+            let Some(primary) = st.available.get_mut(&ranked[0]).and_then(|p| p.pop()) else {
+                short = true;
+                break;
+            };
+            let len = primary.len;
+            let mut group = vec![primary];
+            for donor in &ranked[1..] {
+                if group.len() == k {
+                    break;
+                }
+                if let Some(mr) = Self::pop_mr_of_len(&mut st, *donor, len) {
+                    group.push(mr);
+                }
+            }
+            let full = group.len() == k;
+            groups.push(group);
+            if !full {
+                short = true;
+                break;
+            }
+            logical += len;
+        }
+        if short {
+            for mr in groups.into_iter().flatten() {
+                st.available.entry(mr.server).or_default().push(mr);
+            }
+            let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
+            return Err(BrokerError::InsufficientMemory {
+                requested: bytes.saturating_mul(k as u64),
+                available,
+            });
+        }
+        let id = LeaseId(st.next_lease);
+        st.next_lease += 1;
+        let mrs: Vec<MrHandle> = groups.iter().flatten().copied().collect();
+        let lease = Lease {
+            id,
+            holder,
+            mrs,
+            expires_at: clock.now() + self.cfg.lease_duration,
+        };
+        let granted = lease.bytes();
+        st.leases.insert(id, (lease.clone(), LeaseState::Active));
+        st.replicas.insert(
+            id,
+            ReplicaSet {
+                k,
+                epoch: 0,
+                groups,
+                lost_slots: BTreeMap::new(),
+            },
+        );
+        self.meter(&st, |m| {
+            m.granted.incr();
+            m.leased_bytes.add(granted);
+        });
+        self.verify(&st, Some(clock.now()));
+        Ok(lease)
+    }
+
+    /// The current fencing epoch and group membership of a replicated
+    /// lease. Holders re-pull this after a failed one-sided verb to promote
+    /// a surviving replica without touching the backing device.
+    pub fn replica_view(&self, id: LeaseId) -> Option<(u64, Vec<Vec<MrHandle>>)> {
+        self.store
+            .state
+            .lock()
+            .replicas
+            .get(&id)
+            .map(|rs| (rs.epoch, rs.groups.clone()))
+    }
+
+    /// The current fencing epoch of a replicated lease.
+    pub fn replica_epoch(&self, id: LeaseId) -> Option<u64> {
+        self.store.state.lock().replicas.get(&id).map(|rs| rs.epoch)
+    }
+
+    /// Bytes of physical memory a replicated lease is missing to get every
+    /// group back to `k` live members; zero for healthy or unreplicated
+    /// leases. Cheap enough to poll per I/O.
+    pub fn replication_deficit(&self, id: LeaseId) -> u64 {
+        self.store
+            .state
+            .lock()
+            .replicas
+            .get(&id)
+            .map(|rs| rs.deficit_bytes())
+            .unwrap_or(0)
+    }
+
+    /// Restore every degraded group of a replicated lease to `k` members,
+    /// drawing donors that do not already host the group (anti-affinity,
+    /// capacity-aware). All-or-nothing: on insufficient memory nothing
+    /// changes. On success the epoch is bumped and the holder receives one
+    /// work order per repaired slot — it must seed each `added` MR (copy
+    /// from `source`, or zero-fill when the whole group died) before
+    /// serving from it. Returns an empty vec when nothing needs healing.
+    pub fn re_replicate(
+        &self,
+        clock: &mut Clock,
+        id: LeaseId,
+    ) -> Result<Vec<ReplicaRepair>, BrokerError> {
+        clock.advance(self.cfg.rpc_time);
+        let mut st = self.store.state.lock();
+        let (lease, state) = st.leases.get(&id).ok_or(BrokerError::UnknownLease(id))?;
+        if *state != LeaseState::Active {
+            return Err(BrokerError::LeaseNotActive(id, *state));
+        }
+        let holder = lease.holder;
+        let Some(rs) = st.replicas.get(&id).cloned() else {
+            return Err(BrokerError::Internal(
+                "re_replicate called on an unreplicated lease",
+            ));
+        };
+        let mut repairs: Vec<ReplicaRepair> = Vec::new();
+        let mut picked_all: Vec<MrHandle> = Vec::new();
+        let mut new_groups = rs.groups.clone();
+        for (slot, group) in rs.groups.iter().enumerate() {
+            if group.len() >= rs.k {
+                continue;
+            }
+            let (len, source) = match group.first() {
+                Some(first) => (first.len, Some(*first)),
+                None => match rs.lost_slots.get(&slot) {
+                    Some(dead) => (dead.len, None),
+                    // an empty group with no lost record cannot be sized;
+                    // the conservation check flags it, skip here
+                    None => continue,
+                },
+            };
+            let mut exclude: Vec<ServerId> = vec![holder];
+            exclude.extend(group.iter().map(|m| m.server));
+            let mut added: Vec<MrHandle> = Vec::new();
+            for _ in group.len()..rs.k {
+                let ranked = Self::ranked_donors(&st, &exclude);
+                let mut got = None;
+                for donor in ranked {
+                    if let Some(mr) = Self::pop_mr_of_len(&mut st, donor, len) {
+                        got = Some(mr);
+                        break;
+                    }
+                }
+                match got {
+                    Some(mr) => {
+                        exclude.push(mr.server);
+                        added.push(mr);
+                    }
+                    None => {
+                        for mr in added.into_iter().chain(picked_all) {
+                            st.available.entry(mr.server).or_default().push(mr);
+                        }
+                        let available: u64 = st.available.values().flatten().map(|m| m.len).sum();
+                        return Err(BrokerError::InsufficientMemory {
+                            requested: rs.deficit_bytes(),
+                            available,
+                        });
+                    }
+                }
+            }
+            picked_all.extend(added.iter().copied());
+            new_groups[slot].extend(added.iter().copied());
+            repairs.push(ReplicaRepair {
+                slot,
+                source,
+                added,
+            });
+        }
+        if repairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // commit: groups grow, lost slots are healed (their dead handles'
+        // bytes leave the `lost` bucket for `wiped`), epoch fences stale
+        // extent maps
+        let healed: Vec<usize> = repairs
+            .iter()
+            .filter(|r| r.source.is_none())
+            .map(|r| r.slot)
+            .collect();
+        let Some(rs_mut) = st.replicas.get_mut(&id) else {
+            return Err(BrokerError::Internal("replica set vanished mid-repair"));
+        };
+        rs_mut.groups = new_groups;
+        rs_mut.epoch += 1;
+        let mut dead_handles: Vec<MrHandle> = Vec::new();
+        for slot in healed {
+            if let Some(dead) = rs_mut.lost_slots.remove(&slot) {
+                dead_handles.push(dead);
+            }
+        }
+        for dead in dead_handles {
+            let mut unpark = 0u64;
+            if let Some(list) = st.lost_mrs.get_mut(&id) {
+                if let Some(pos) = list
+                    .iter()
+                    .position(|m| m.server == dead.server && m.mr == dead.mr)
+                {
+                    unpark = list.remove(pos).len;
+                }
+                if list.is_empty() {
+                    st.lost_mrs.remove(&id);
+                }
+            }
+            st.wiped_bytes += unpark;
+        }
+        let Some((lease, _)) = st.leases.get_mut(&id) else {
+            return Err(BrokerError::Internal("lease vanished during re_replicate"));
+        };
+        lease.mrs.extend(picked_all.iter().copied());
+        self.meter(&st, |m| m.repaired.incr());
+        self.verify(&st, Some(clock.now()));
+        Ok(repairs)
+    }
+
+    /// Donors with spare capacity ranked most-free-bytes first (stable id
+    /// tie-break), excluding `exclude` and failed servers.
+    fn ranked_donors(st: &MetaState, exclude: &[ServerId]) -> Vec<ServerId> {
+        let mut donors: Vec<(u64, ServerId)> = st
+            .available
+            .iter()
+            .filter(|(s, v)| {
+                !exclude.contains(s) && !v.is_empty() && !st.failed_servers.contains(s)
+            })
+            .map(|(s, v)| (v.iter().map(|m| m.len).sum::<u64>(), *s))
+            .collect();
+        donors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        donors.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Pop one MR of exactly `len` bytes from `donor`'s pool, preferring
+    /// the most recently donated (pool tail) for stable replay order.
+    fn pop_mr_of_len(st: &mut MetaState, donor: ServerId, len: u64) -> Option<MrHandle> {
+        let pool = st.available.get_mut(&donor)?;
+        let idx = pool.iter().rposition(|m| m.len == len)?;
+        Some(pool.remove(idx))
     }
 
     /// Renew an active lease for another full duration from `clock.now()`.
@@ -551,10 +901,42 @@ impl MemoryBroker {
         let (mut degraded, mut revoked) = (0u64, 0u64);
         for id in victims {
             let auto = st.auto_renewed.contains(&id);
+            let replicated = st.replicas.contains_key(&id);
             let Some((lease, state)) = st.leases.get_mut(&id) else {
                 continue;
             };
-            if auto {
+            if auto && replicated {
+                // replicated degrade: drop the dead members from their
+                // groups. A member with surviving peers lost no data — its
+                // bytes are simply destroyed with the donor (wiped). Only a
+                // group's *last* member parks in lost_mrs/lost_slots: that
+                // slot's content is genuinely gone.
+                lease.mrs.retain(|m| m.server != server);
+                let mut rs = match st.replicas.remove(&id) {
+                    Some(rs) => rs,
+                    None => continue,
+                };
+                let mut lost_now: Vec<MrHandle> = Vec::new();
+                let mut wiped_now = 0u64;
+                for (slot, group) in rs.groups.iter_mut().enumerate() {
+                    if let Some(pos) = group.iter().position(|m| m.server == server) {
+                        let dead = group.remove(pos);
+                        if group.is_empty() {
+                            rs.lost_slots.insert(slot, dead);
+                            lost_now.push(dead);
+                        } else {
+                            wiped_now += dead.len;
+                        }
+                    }
+                }
+                rs.epoch += 1;
+                st.replicas.insert(id, rs);
+                if !lost_now.is_empty() {
+                    st.lost_mrs.entry(id).or_default().extend(lost_now);
+                }
+                st.wiped_bytes += wiped_now;
+                degraded += 1;
+            } else if auto {
                 let lost: Vec<MrHandle> = lease
                     .mrs
                     .iter()
@@ -638,7 +1020,47 @@ impl MemoryBroker {
                 notified.push(id);
             }
         }
-        self.meter(&st, |m| m.reclaimed_bytes.add(reclaimed));
+        // bound the grace-window queue: a holder that never re-attaches
+        // would grow it without limit. Past the cap, force-finalize the
+        // oldest notices (earliest deadline, stable id tie-break) early.
+        let mut expired = 0u64;
+        while st.pending_revocations.len() > MAX_PENDING_REVOCATIONS {
+            let Some((id, srv)) = st
+                .pending_revocations
+                .iter()
+                .min_by_key(|(id, (_, deadline))| (*deadline, **id))
+                .map(|(id, (srv, _))| (*id, *srv))
+            else {
+                break;
+            };
+            st.pending_revocations.remove(&id);
+            expired += 1;
+            let Some((lease, state)) = st.leases.get_mut(&id) else {
+                continue;
+            };
+            if *state != LeaseState::Active {
+                continue;
+            }
+            let mrs = lease.mrs.clone();
+            *state = LeaseState::Revoked;
+            for mr in mrs {
+                if mr.server == srv {
+                    reclaimed += mr.len;
+                    st.wiped_bytes += mr.len;
+                    let _ = fabric.deregister_mr(mr);
+                } else {
+                    st.available.entry(mr.server).or_default().push(mr);
+                }
+            }
+            st.lease_terminal(id);
+        }
+        self.meter(&st, |m| {
+            m.reclaimed_bytes.add(reclaimed);
+            if expired > 0 {
+                m.revocations_expired.add(expired);
+                m.revoked.add(expired);
+            }
+        });
         self.verify(&st, Some(now));
         (reclaimed, notified)
     }
@@ -760,6 +1182,19 @@ impl MemoryBroker {
             .collect();
         lease.mrs.retain(|m| m.server != server);
         st.pending_revocations.remove(&id);
+        if let Some(rs) = st.replicas.get_mut(&id) {
+            // shed the surrendered members from their groups; anti-affinity
+            // means each group loses at most one, so survivors keep serving
+            let mut changed = false;
+            for group in rs.groups.iter_mut() {
+                let before = group.len();
+                group.retain(|m| m.server != server);
+                changed |= group.len() != before;
+            }
+            if changed {
+                rs.epoch += 1;
+            }
+        }
         let mut freed = 0;
         for mr in gone {
             freed += mr.len;
@@ -789,6 +1224,13 @@ impl MemoryBroker {
             return Err(BrokerError::LeaseNotActive(id, *state));
         }
         let holder = lease.holder;
+        if st.replicas.contains_key(&id) {
+            // replacements here would bypass the group bookkeeping and
+            // break replica conservation
+            return Err(BrokerError::Internal(
+                "replicated leases heal via re_replicate",
+            ));
+        }
         let lost = st.lost_mrs.remove(&id).unwrap_or_default();
         if lost.is_empty() {
             return Ok((Vec::new(), Vec::new()));
@@ -1208,6 +1650,168 @@ mod tests {
         assert_eq!(broker.lease_state(lease2.id), Some(LeaseState::Revoked));
         assert_eq!(registry.counter("broker.leases.revoked").get(), 1);
         assert_eq!(registry.counter("broker.reclaimed.bytes").get(), 4 * MR);
+    }
+
+    #[test]
+    fn replicated_lease_is_anti_affine_and_capacity_aware() {
+        let (_fabric, broker, db) = cluster(3, 4);
+        let mut clock = Clock::new();
+        let lease = broker
+            .request_replicated_lease(&mut clock, db, 2 * MR, 2)
+            .unwrap();
+        // 2 logical MRs, each replicated twice
+        assert_eq!(lease.bytes(), 4 * MR);
+        let (epoch, groups) = broker.replica_view(lease.id).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            assert_ne!(g[0].server, g[1].server, "replicas must not share a donor");
+        }
+        assert_eq!(broker.replication_deficit(lease.id), 0);
+    }
+
+    #[test]
+    fn replicated_lease_needs_k_donors() {
+        let (_fabric, broker, db) = cluster(1, 8);
+        let mut clock = Clock::new();
+        let err = broker
+            .request_replicated_lease(&mut clock, db, MR, 2)
+            .unwrap_err();
+        assert!(matches!(err, BrokerError::InsufficientMemory { .. }));
+        // all-or-nothing: nothing consumed
+        assert_eq!(broker.store().available_bytes(), 8 * MR);
+    }
+
+    #[test]
+    fn replica_failover_prunes_group_and_re_replicate_heals() {
+        let (_fabric, broker, db) = cluster(3, 4);
+        let mut clock = Clock::new();
+        let lease = broker
+            .request_replicated_lease(&mut clock, db, 2 * MR, 2)
+            .unwrap();
+        broker.enable_auto_renew(lease.id);
+        let (_, groups) = broker.replica_view(lease.id).unwrap();
+        let dead = groups[0][0].server;
+        broker.server_failed(dead);
+        // still Active, epoch bumped, dead members pruned
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+        let (epoch, groups) = broker.replica_view(lease.id).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(groups.iter().all(|g| !g.is_empty()));
+        assert!(groups.iter().flatten().all(|m| m.server != dead));
+        assert!(broker.replication_deficit(lease.id) > 0);
+        // the holder was not degraded into lost_mrs: surviving replicas
+        // still hold every byte
+        assert!(broker.store().state.lock().lost_mrs.is_empty());
+        let repairs = broker.re_replicate(&mut clock, lease.id).unwrap();
+        assert!(!repairs.is_empty());
+        for r in &repairs {
+            assert!(r.source.is_some(), "survivor must seed the new member");
+            assert_eq!(r.added.len(), 1);
+            assert_ne!(r.added[0].server, r.source.unwrap().server);
+            assert_ne!(r.added[0].server, dead);
+        }
+        assert_eq!(broker.replication_deficit(lease.id), 0);
+        let (epoch, _) = broker.replica_view(lease.id).unwrap();
+        assert_eq!(epoch, 2);
+        // nothing further to heal
+        assert!(broker
+            .re_replicate(&mut clock, lease.id)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn losing_every_replica_parks_the_slot_and_heals_by_zero_fill() {
+        let (_fabric, broker, db) = cluster(4, 2);
+        let mut clock = Clock::new();
+        let lease = broker
+            .request_replicated_lease(&mut clock, db, MR, 2)
+            .unwrap();
+        broker.enable_auto_renew(lease.id);
+        let (_, groups) = broker.replica_view(lease.id).unwrap();
+        let (a, b) = (groups[0][0].server, groups[0][1].server);
+        broker.server_failed(a);
+        broker.server_failed(b);
+        assert_eq!(broker.lease_state(lease.id), Some(LeaseState::Active));
+        let (_, groups) = broker.replica_view(lease.id).unwrap();
+        assert!(groups[0].is_empty());
+        let repairs = broker.re_replicate(&mut clock, lease.id).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].source.is_none(), "content is gone: zero-fill");
+        assert_eq!(repairs[0].added.len(), 2);
+        assert_eq!(broker.replication_deficit(lease.id), 0);
+        assert!(broker.store().state.lock().lost_mrs.is_empty());
+    }
+
+    #[test]
+    fn surrender_prunes_replica_groups_and_bumps_epoch() {
+        let (fabric, broker, db) = cluster(3, 2);
+        let mut clock = Clock::new();
+        let lease = broker
+            .request_replicated_lease(&mut clock, db, MR, 2)
+            .unwrap();
+        let (_, groups) = broker.replica_view(lease.id).unwrap();
+        let shed = groups[0][1].server;
+        let freed = broker
+            .surrender_mrs(&mut clock, lease.id, shed, &fabric)
+            .unwrap();
+        assert_eq!(freed, MR);
+        let (epoch, groups) = broker.replica_view(lease.id).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(groups[0].len(), 1);
+        assert!(broker.replication_deficit(lease.id) > 0);
+    }
+
+    #[test]
+    fn repair_lease_refuses_replicated_leases() {
+        let (_fabric, broker, db) = cluster(2, 2);
+        let mut clock = Clock::new();
+        let lease = broker
+            .request_replicated_lease(&mut clock, db, MR, 2)
+            .unwrap();
+        assert!(matches!(
+            broker.repair_lease(&mut clock, lease.id),
+            Err(BrokerError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn pending_revocations_are_bounded_with_expiry_counter() {
+        let registry = MetricsRegistry::shared();
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let broker = MemoryBroker::new(BrokerConfig::default(), MetaStore::new());
+        broker.set_metrics(Some(Arc::clone(&registry)));
+        const SMALL: u64 = 4096;
+        let m = fabric.add_server("M0", 20);
+        let mut pc = Clock::new();
+        let n = MAX_PENDING_REVOCATIONS + 16;
+        MemoryProxy::new(m, SMALL)
+            .donate(&mut pc, &fabric, &broker, n as u64 * SMALL)
+            .unwrap();
+        let mut clock = Clock::new();
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            ids.push(broker.request_lease(&mut clock, db, SMALL).unwrap().id);
+        }
+        // pressure the donor for everything: every lease goes on notice,
+        // but the queue stays capped and the overflow is force-revoked
+        let (_, notified) = broker.request_reclaim(clock.now(), &fabric, m, n as u64 * SMALL);
+        assert_eq!(notified.len(), n);
+        let queued = broker.store().state.lock().pending_revocations.len();
+        assert_eq!(queued, MAX_PENDING_REVOCATIONS);
+        assert_eq!(
+            registry.counter("broker.revocations_expired").get(),
+            16,
+            "overflow notices are force-finalized and counted"
+        );
+        let revoked = ids
+            .iter()
+            .filter(|id| broker.lease_state(**id) == Some(LeaseState::Revoked))
+            .count();
+        assert_eq!(revoked, 16);
     }
 
     #[test]

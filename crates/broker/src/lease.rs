@@ -1,5 +1,7 @@
 //! Lease types: exclusive, timed grants of remote MRs.
 
+use std::collections::BTreeMap;
+
 use remem_net::{MrHandle, ServerId};
 use remem_sim::SimTime;
 
@@ -47,6 +49,64 @@ impl Lease {
     }
 }
 
+/// Replica metadata for a k-way replicated lease.
+///
+/// Each *logical* MR slot of the lease is backed by a group of physical MRs
+/// on `k` distinct donors (anti-affinity). `groups[slot][0]` is the
+/// preferred replica that one-sided reads target; writes fan out to the
+/// whole group through the quorum path. The epoch increments on every
+/// membership change (prune, promotion, re-replication, surrender) so
+/// holders can fence extent maps built against a stale view.
+#[derive(Debug, Clone)]
+pub struct ReplicaSet {
+    /// Target replication factor (>= 2).
+    pub k: usize,
+    /// Fencing epoch: bumped on every membership change.
+    pub epoch: u64,
+    /// `groups[slot]` lists the physical MRs backing logical slot `slot`,
+    /// in preference order. A group shorter than `k` is healing; an empty
+    /// group lost every replica (its last dead handle is parked in
+    /// `lost_slots`).
+    pub groups: Vec<Vec<MrHandle>>,
+    /// Slots whose every replica died, keyed to the last dead handle so
+    /// re-replication can size the replacement and the `lost` byte bucket
+    /// stays balanced.
+    pub lost_slots: BTreeMap<usize, MrHandle>,
+}
+
+impl ReplicaSet {
+    /// Logical bytes covered (one replica per slot).
+    pub fn logical_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(slot, g)| {
+                g.first()
+                    .map(|m| m.len)
+                    .or_else(|| self.lost_slots.get(&slot).map(|m| m.len))
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Bytes of physical memory missing to restore every group to `k`
+    /// live members (zero when the set is fully replicated).
+    pub fn deficit_bytes(&self) -> u64 {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(slot, g)| {
+                let len = g
+                    .first()
+                    .map(|m| m.len)
+                    .or_else(|| self.lost_slots.get(&slot).map(|m| m.len))
+                    .unwrap_or(0);
+                len * (self.k.saturating_sub(g.len())) as u64
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +137,29 @@ mod tests {
         };
         assert_eq!(lease.bytes(), 175);
         assert_eq!(lease.servers(), vec![ServerId(1), ServerId(2)]);
+    }
+
+    #[test]
+    fn replica_set_counts_logical_and_deficit_bytes() {
+        let mr = |s: usize, id: u64| MrHandle {
+            server: ServerId(s),
+            mr: id,
+            len: 100,
+        };
+        let mut lost = BTreeMap::new();
+        lost.insert(2usize, mr(3, 9));
+        let rs = ReplicaSet {
+            k: 2,
+            epoch: 3,
+            groups: vec![
+                vec![mr(1, 1), mr(2, 2)], // healthy
+                vec![mr(1, 3)],           // healing: one member short
+                vec![],                   // lost outright
+            ],
+            lost_slots: lost,
+        };
+        assert_eq!(rs.logical_bytes(), 300);
+        // one missing member for slot 1, two for the lost slot 2
+        assert_eq!(rs.deficit_bytes(), 300);
     }
 }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use remem_net::{MrHandle, ServerId};
 use remem_sim::SimTime;
 
-use crate::lease::{Lease, LeaseId, LeaseState};
+use crate::lease::{Lease, LeaseId, LeaseState, ReplicaSet};
 
 #[derive(Debug, Default)]
 pub(crate) struct MetaState {
@@ -37,6 +37,10 @@ pub(crate) struct MetaState {
     /// Two-phase reclaim: leases notified of memory pressure on a donor,
     /// with the deadline after which the broker revokes unilaterally.
     pub pending_revocations: BTreeMap<LeaseId, (ServerId, SimTime)>,
+    /// Replica metadata for k-way replicated leases. The physical MRs in
+    /// every group also appear in the lease's `mrs`, so the MR conservation
+    /// equation is unchanged; replica-set conservation is checked on top.
+    pub replicas: BTreeMap<LeaseId, ReplicaSet>,
     pub next_lease: u64,
     /// Running total of bytes proxies have ever donated. Together with
     /// `wiped_bytes` this closes the MR conservation equation the runtime
@@ -55,6 +59,7 @@ impl MetaState {
     pub(crate) fn lease_terminal(&mut self, id: LeaseId) {
         self.auto_renewed.remove(&id);
         self.pending_revocations.remove(&id);
+        self.replicas.remove(&id);
         if let Some(lost) = self.lost_mrs.remove(&id) {
             self.wiped_bytes += lost.iter().map(|m| m.len).sum::<u64>();
         }

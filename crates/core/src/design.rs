@@ -84,6 +84,12 @@ pub struct DbOptions {
     pub oltp: bool,
     /// Query workspace (None → the engine default of 60 % of the pool).
     pub workspace_bytes: Option<u64>,
+    /// Replication factor of the remote-memory devices. `1` (default) is
+    /// the paper's single-copy design. `k ≥ 2` places every stripe on `k`
+    /// distinct donors with quorum writes and read failover — which makes
+    /// TempDB spill remote-durable (a donor crash no longer aborts the
+    /// query) at the cost of `k×` remote memory and the quorum-ack wait.
+    pub replicas: usize,
     /// Chaos-audit log the remote files record retries, repairs and
     /// migrations into (shared with the fault injector by the harnesses).
     pub fault_log: Option<Arc<remem_sim::FaultLog>>,
@@ -105,6 +111,7 @@ impl DbOptions {
             data_bytes: 256 << 20,
             oltp: true,
             workspace_bytes: None,
+            replicas: 1,
             fault_log: None,
             metrics: None,
         }
@@ -121,6 +128,7 @@ impl DbOptions {
             data_bytes: 512 << 20,
             oltp: true,
             workspace_bytes: None,
+            replicas: 1,
             fault_log: None,
             metrics: None,
         }
@@ -174,11 +182,16 @@ impl Design {
             Design::SmbRamDrive | Design::SmbDirectRamDrive | Design::Custom => {
                 let mut cfg = self.rfile_config();
                 cfg.fault_log = opts.fault_log.clone();
+                cfg.replicas = opts.replicas;
                 // TempDB holds spill data that exists nowhere else, so it
                 // must NOT self-heal: a zero-filled replacement stripe would
-                // silently corrupt results. The BPExt is a cache of pages
-                // whose truth lives in the data file, so it re-leases lost
-                // stripes and migrates off pressured donors freely.
+                // silently corrupt results. At `replicas ≥ 2` the spill
+                // becomes remote-durable anyway — a donor crash fails over to
+                // the surviving copy instead of aborting the query — while
+                // self_heal stays off so a slot that loses *every* copy still
+                // fails loudly. The BPExt is a cache of pages whose truth
+                // lives in the data file, so it re-leases lost stripes and
+                // migrates off pressured donors freely.
                 let tempdb = cluster.remote_file(clock, server, opts.tempdb_bytes, cfg.clone())?;
                 let bpext = cluster.remote_file(
                     clock,
@@ -336,6 +349,39 @@ mod tests {
             "rfile time must nest as child time"
         );
         assert!(!registry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn replicated_custom_design_survives_a_donor_crash() {
+        let c = Cluster::builder()
+            .memory_servers(3)
+            .memory_per_server(96 << 20)
+            .build();
+        let mut clock = Clock::new();
+        let mut opts = DbOptions::small();
+        opts.replicas = 2;
+        opts.pool_bytes = 8 * 8192; // tiny pool so the BPExt sees traffic
+        let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+        let t = db
+            .create_table(&mut clock, "t", Schema::new(vec![("k", ColType::Int)]), 0)
+            .unwrap();
+        for k in 0..5_000 {
+            db.insert(&mut clock, t, int_row(&[k])).unwrap();
+        }
+        // Kill one donor mid-workload. Every stripe has a surviving copy on
+        // a distinct server (broker anti-affinity), so both the BPExt cache
+        // and the unhealable TempDB keep serving without data loss.
+        c.crash_memory_server(c.memory_servers[0]);
+        for k in 5_000..10_000 {
+            db.insert(&mut clock, t, int_row(&[k])).unwrap();
+        }
+        for k in 0..10_000 {
+            assert_eq!(
+                db.get(&mut clock, t, k).unwrap().unwrap().int(0),
+                k,
+                "row {k} must survive the donor crash"
+            );
+        }
     }
 
     #[test]

@@ -61,6 +61,11 @@ struct FabricMetrics {
     /// Work requests per doorbell. Histograms are duration-typed; batch
     /// sizes are recorded as unitless nanoseconds (1 WR = 1 ns).
     batch_size: Arc<remem_sim::Histogram>,
+    quorum_writes: Arc<remem_sim::Counter>,
+    /// Gap between the quorum ack (when the client unblocks) and the
+    /// slowest replica's completion; that tail stays on the straggler's
+    /// NIC pipe and is paid by whoever touches it next.
+    quorum_straggler_lag: Arc<remem_sim::Histogram>,
 }
 
 impl FabricMetrics {
@@ -79,6 +84,8 @@ impl FabricMetrics {
             connects: registry.counter("fabric.connects"),
             batch_doorbells: registry.counter("fabric.batch.doorbells"),
             batch_size: registry.histogram("fabric.batch.size"),
+            quorum_writes: registry.counter("fabric.quorum.writes"),
+            quorum_straggler_lag: registry.histogram("fabric.quorum.straggler_lag"),
             registry,
         }
     }
@@ -103,6 +110,23 @@ pub struct BatchCompletion {
     pub bytes: u64,
     /// Per-WR outcome; failed WRs move no bytes and are not charged.
     pub result: Result<(), NetError>,
+}
+
+/// Outcome of a replicated fan-out write ([`Fabric::write_quorum`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumWrite {
+    /// Replicas targeted (the group size `n`).
+    pub replicas: usize,
+    /// Replicas that received the bytes and will complete (live ones).
+    pub acks: usize,
+    /// Acks the client waited for: `⌈(n+1)/2⌉`.
+    pub quorum: usize,
+    /// Virtual instant the quorum-th ack landed (the client unblocked).
+    pub completed_at: remem_sim::SimTime,
+    /// Lag between the quorum ack and the slowest replica's completion.
+    /// That tail is clock-charged to the straggler's NIC pipe, not the
+    /// caller: the next verb touching that NIC pays the catch-up.
+    pub straggler_lag: SimDuration,
 }
 
 /// Per-protocol cost parameters resolved from [`NetConfig`].
@@ -550,6 +574,165 @@ impl Fabric {
         Ok(())
     }
 
+    /// Fan `data` out to every replica in `targets` behind one doorbell,
+    /// completing at the **quorum-th** ack (`⌈(n+1)/2⌉` of `n` targets).
+    ///
+    /// Semantics:
+    /// * the bytes land on **every live** replica — only the caller's wait
+    ///   is quorum-gated, so an acked write is readable from any survivor;
+    /// * a dead replica (`ServerDown`, or its MR deregistered by the crash)
+    ///   moves no bytes and never acks; if the live count drops below the
+    ///   quorum the whole write fails after one detection latency and the
+    ///   caller must refresh its replica view;
+    /// * a replica inside a transient fault window still gets the bytes —
+    ///   the reliable transport retransmits — but its ack is delayed, which
+    ///   can push the quorum instant out (straggler);
+    /// * replicas slower than the quorum ack keep their NIC pipes busy past
+    ///   the caller's unblock: the catch-up is charged to whoever touches
+    ///   that NIC next, not to this write;
+    /// * malformed requests (`OutOfBounds`, `NotConnected`, unknown server)
+    ///   fail the write as a unit without moving bytes or charging time.
+    pub fn write_quorum(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        targets: &[(MrHandle, u64)],
+        data: &[u8],
+    ) -> Result<QuorumWrite, NetError> {
+        assert!(
+            !targets.is_empty(),
+            "quorum write needs at least one replica"
+        );
+        let m = self.metrics.read().clone();
+        let t0 = clock.now();
+        let span = m
+            .as_ref()
+            .map(|fm| fm.registry.span_enter("net.quorum_write", t0));
+        for (h, _) in targets {
+            self.note_posted(local, h.server, 1);
+        }
+        let res = self.write_quorum_inner(clock, proto, local, targets, data);
+        for (h, _) in targets {
+            self.note_completed(local, h.server, 1);
+        }
+        if let Some(fm) = &m {
+            if let Some(span) = span {
+                fm.registry.span_exit(span, clock.now());
+            }
+            match &res {
+                Ok(q) => {
+                    fm.write_ops.add(q.acks as u64);
+                    fm.write_bytes.add(data.len() as u64 * q.acks as u64);
+                    fm.write_lat.record(clock.now().since(t0));
+                    fm.quorum_writes.incr();
+                    fm.quorum_straggler_lag.record(q.straggler_lag);
+                }
+                Err(_) => fm.write_errors.incr(),
+            }
+        }
+        res
+    }
+
+    fn write_quorum_inner(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        targets: &[(MrHandle, u64)],
+        data: &[u8],
+    ) -> Result<QuorumWrite, NetError> {
+        let costs = self.costs(proto);
+        let n = targets.len();
+        let quorum = (n + 2) / 2; // ⌈(n+1)/2⌉: 1→1, 2→2, 3→2, 5→3
+        let local_srv = self.live_server(local)?;
+        let bytes = data.len() as u64;
+        // resolve replicas: a dead one just can't ack; anything structurally
+        // wrong fails the WR as a unit
+        let mut live: Vec<(usize, Arc<Server>, crate::mr::MemoryRegion, u64)> = Vec::new();
+        let mut down: Option<NetError> = None;
+        for (i, (handle, offset)) in targets.iter().enumerate() {
+            match self.validate(local, *handle, *offset, bytes) {
+                Ok((remote, mr)) => live.push((i, remote, mr, *offset)),
+                Err(e @ (NetError::ServerDown(_) | NetError::NoSuchMr { .. })) => {
+                    down.get_or_insert(e);
+                }
+                Err(structural) => return Err(structural),
+            }
+        }
+        // fault schedule: a transient window delays that replica's ack (the
+        // transport retransmits, bytes still land); a blackout kills it
+        let inj = self.injector.read().clone();
+        let mut delayed: Vec<(
+            usize,
+            Arc<Server>,
+            crate::mr::MemoryRegion,
+            u64,
+            SimDuration,
+        )> = Vec::new();
+        for (i, remote, mr, offset) in live {
+            let server = remote.id();
+            let outcome = match &inj {
+                Some(inj) => inj.inject(clock.now(), local, server, offset),
+                None => Ok(SimDuration::ZERO),
+            };
+            match outcome {
+                Ok(extra) => delayed.push((i, remote, mr, offset, extra)),
+                Err(NetError::Transient { .. }) => {
+                    // retransmit penalty: the ack arrives, late
+                    delayed.push((i, remote, mr, offset, costs.fixed_latency * 4));
+                }
+                Err(e) => {
+                    down.get_or_insert(e);
+                }
+            }
+        }
+        if delayed.len() < quorum {
+            // not enough acks can ever arrive: one detection latency, no
+            // bytes move anywhere (the client must re-issue against a
+            // refreshed replica view, so partial delivery never counts)
+            clock.advance(costs.fixed_latency);
+            return Err(down.unwrap_or(NetError::ServerDown(targets[0].0.server)));
+        }
+        // one doorbell posts the whole fan-out chain: the local NIC pays a
+        // single op overhead and serializes every replica's copy of the
+        // payload; each remote pays its own op + serialization
+        let now = clock.now();
+        let fan_bytes = bytes * delayed.len() as u64;
+        let g_local = local_srv
+            .nic()
+            .reserve(now, fan_bytes, costs.bandwidth, costs.op_overhead);
+        let mut completions: Vec<(remem_sim::SimTime, usize)> = Vec::new();
+        for (i, remote, _, _, extra) in &delayed {
+            let g = remote
+                .nic()
+                .reserve(g_local.start, bytes, costs.bandwidth, costs.op_overhead);
+            let mut end = g.end;
+            let cpu = costs.remote_cpu_per_op
+                + SimDuration::from_nanos(
+                    costs.remote_cpu_per_kib.as_nanos() * bytes.div_ceil(1024),
+                );
+            if !cpu.is_zero() {
+                end = remote.cpu().execute(end, cpu).end;
+            }
+            completions.push((end + costs.fixed_latency + *extra, *i));
+        }
+        completions.sort_unstable();
+        let ack_at = completions[quorum - 1].0;
+        let slowest = completions.last().map(|(t, _)| *t).unwrap_or(ack_at);
+        clock.advance_to(ack_at);
+        for (_, _, mr, offset, _) in &delayed {
+            mr.write_from(*offset, data);
+        }
+        Ok(QuorumWrite {
+            replicas: n,
+            acks: delayed.len(),
+            quorum,
+            completed_at: ack_at,
+            straggler_lag: slowest.since(ack_at),
+        })
+    }
+
     /// Execute a chain of vectored work requests behind **one doorbell**.
     ///
     /// Cost model (Appendix A + "The End of Slow Networks"): posting a
@@ -820,6 +1003,136 @@ mod tests {
         let mut out = vec![0u8; 8192];
         fabric
             .read(&mut clock, Protocol::Custom, db, handle, 4096, &mut out)
+            .unwrap();
+        assert_eq!(out, data);
+    }
+
+    fn replica_fabric(k: usize) -> (Fabric, ServerId, Vec<ServerId>, Vec<MrHandle>) {
+        let fabric = Fabric::new(NetConfig::default());
+        let db = fabric.add_server("DB1", 20);
+        let mut donors = Vec::new();
+        let mut handles = Vec::new();
+        let mut clock = Clock::new();
+        for i in 0..k {
+            let m = fabric.add_server(format!("M{i}"), 20);
+            let h = fabric.register_mr(&mut clock, m, 1 << 20).unwrap();
+            fabric.connect(&mut clock, db, m).unwrap();
+            donors.push(m);
+            handles.push(h);
+        }
+        (fabric, db, donors, handles)
+    }
+
+    #[test]
+    fn quorum_write_lands_on_every_live_replica() {
+        let (fabric, db, _donors, handles) = replica_fabric(3);
+        let mut clock = Clock::new();
+        let data: Vec<u8> = (0..8192u32).map(|i| (i % 241) as u8).collect();
+        let targets: Vec<(MrHandle, u64)> = handles.iter().map(|h| (*h, 0)).collect();
+        let q = fabric
+            .write_quorum(&mut clock, Protocol::Custom, db, &targets, &data)
+            .unwrap();
+        assert_eq!((q.replicas, q.acks, q.quorum), (3, 3, 2));
+        for h in &handles {
+            let mut out = vec![0u8; 8192];
+            fabric
+                .read(&mut clock, Protocol::Custom, db, *h, 0, &mut out)
+                .unwrap();
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn quorum_survives_minority_crash_and_fails_below_quorum() {
+        let (fabric, db, donors, handles) = replica_fabric(3);
+        let mut clock = Clock::new();
+        let data = vec![7u8; 4096];
+        let targets: Vec<(MrHandle, u64)> = handles.iter().map(|h| (*h, 0)).collect();
+        fabric.server(donors[2]).unwrap().fail();
+        let q = fabric
+            .write_quorum(&mut clock, Protocol::Custom, db, &targets, &data)
+            .unwrap();
+        assert_eq!((q.replicas, q.acks, q.quorum), (3, 2, 2));
+        for h in &handles[..2] {
+            let mut out = vec![0u8; 4096];
+            fabric
+                .read(&mut clock, Protocol::Custom, db, *h, 0, &mut out)
+                .unwrap();
+            assert_eq!(out, data);
+        }
+        // a second crash drops the live count below the quorum: the write
+        // fails as a unit and must not leave partial bytes anywhere
+        fabric.server(donors[1]).unwrap().fail();
+        let fresh = vec![9u8; 4096];
+        let err = fabric
+            .write_quorum(&mut clock, Protocol::Custom, db, &targets, &fresh)
+            .unwrap_err();
+        assert!(matches!(err, NetError::ServerDown(_)));
+        let mut out = vec![0u8; 4096];
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handles[0], 0, &mut out)
+            .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn straggler_ack_does_not_gate_the_quorum() {
+        let run = |slow: bool| {
+            let (fabric, db, donors, handles) = replica_fabric(3);
+            if slow {
+                let inj = FaultInjector::new(1).slow_window(
+                    donors[2],
+                    SimTime::ZERO,
+                    SimTime(1_000_000_000),
+                    SimDuration::from_millis(2),
+                );
+                fabric.set_fault_injector(Some(Arc::new(inj)));
+            }
+            let targets: Vec<(MrHandle, u64)> = handles.iter().map(|h| (*h, 0)).collect();
+            let mut clock = Clock::new();
+            let q = fabric
+                .write_quorum(
+                    &mut clock,
+                    Protocol::Custom,
+                    db,
+                    &targets,
+                    &vec![3u8; 65536],
+                )
+                .unwrap();
+            (clock.now(), q.straggler_lag)
+        };
+        let (t_base, lag_base) = run(false);
+        let (t_slow, lag_slow) = run(true);
+        assert!(lag_base.is_zero(), "symmetric replicas complete together");
+        assert_eq!(
+            t_base, t_slow,
+            "the quorum ack gates the client, not the straggler"
+        );
+        assert!(lag_slow >= SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn transient_replica_still_receives_the_bytes() {
+        let (fabric, db, donors, handles) = replica_fabric(3);
+        let inj = FaultInjector::new(2).flaky_window(
+            donors[1],
+            SimTime::ZERO,
+            SimTime(1_000_000_000),
+            1.0,
+        );
+        fabric.set_fault_injector(Some(Arc::new(inj)));
+        let mut clock = Clock::new();
+        let data = vec![5u8; 8192];
+        let targets: Vec<(MrHandle, u64)> = handles.iter().map(|h| (*h, 0)).collect();
+        let q = fabric
+            .write_quorum(&mut clock, Protocol::Custom, db, &targets, &data)
+            .unwrap();
+        assert_eq!(q.acks, 3, "a flaky replica acks late, it does not drop out");
+        assert!(!q.straggler_lag.is_zero());
+        fabric.set_fault_injector(None);
+        let mut out = vec![0u8; 8192];
+        fabric
+            .read(&mut clock, Protocol::Custom, db, handles[1], 0, &mut out)
             .unwrap();
         assert_eq!(out, data);
     }

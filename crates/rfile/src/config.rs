@@ -74,6 +74,18 @@ pub struct RFileConfig {
     /// whose contents can be re-fetched elsewhere — keep it off for spill
     /// files, where a silently zeroed stripe would corrupt results.
     pub self_heal: bool,
+    /// Replication factor `k` of the backing remote memory. `1` (the
+    /// default) is the paper's design: one copy, lost with its donor. `k ≥
+    /// 2` leases every stripe from `k` distinct donor servers (broker
+    /// anti-affinity), fans writes out as quorum writes that complete at
+    /// `⌈(k+1)/2⌉` acks, serves reads one-sided from a preferred replica
+    /// with automatic failover, and survives a donor crash without losing
+    /// bytes — which makes even spill files (`self_heal: false`) safe in
+    /// remote memory. With `k ≥ 2`, `self_heal` only governs whether a slot
+    /// that loses *every* copy may be zero-filled and reported through
+    /// `Device::drain_lost_ranges` (cache semantics) or must fail loudly
+    /// (spill semantics).
+    pub replicas: usize,
     /// Queue depth of the pipelined vectored path: how many chunk work
     /// requests are fanned out per doorbell in `read_vectored` /
     /// `write_vectored`. 1 degenerates to the scalar path; the paper's
@@ -100,6 +112,7 @@ impl Default for RFileConfig {
             max_retries: 4,
             retry_backoff: SimDuration::from_micros(50),
             self_heal: false,
+            replicas: 1,
             queue_depth: 32,
             fault_log: None,
             metrics: None,

@@ -1,6 +1,6 @@
 //! The remote file: Table 2's five operations over leased MRs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -38,6 +38,7 @@ struct RfMetrics {
     retries: Arc<Counter>,
     repairs: Arc<Counter>,
     migrations: Arc<Counter>,
+    failovers: Arc<Counter>,
 }
 
 impl RfMetrics {
@@ -52,6 +53,7 @@ impl RfMetrics {
             retries: registry.counter("rfile.retries"),
             repairs: registry.counter("rfile.repairs"),
             migrations: registry.counter("rfile.migrations"),
+            failovers: registry.counter("rfile.failovers"),
             registry,
         }
     }
@@ -78,12 +80,34 @@ struct Extent {
 struct FileState {
     extents: Vec<Extent>,
     lease: Lease,
+    /// Replica groups of a `k ≥ 2` file, one per extent slot in file order:
+    /// `groups[i][0]` is the preferred (read) replica backing `extents[i]`.
+    /// Empty for unreplicated files.
+    groups: Vec<Vec<MrHandle>>,
+    /// Fencing epoch of `groups`, mirrored from the broker. A mismatch
+    /// against the broker's epoch means membership changed and the extent
+    /// map must be re-pointed before trusting any cached handle.
+    epoch: u64,
     /// Byte ranges whose contents were lost and replaced with zeroed
     /// storage, awaiting collection via `Device::drain_lost_ranges`.
     lost_ranges: Vec<(u64, u64)>,
+    /// Ranges already in `lost_ranges` and not yet drained: a stripe lost
+    /// *again* while its heal is still awaiting collection must not be
+    /// reported twice, or the cache above double-counts the invalidation.
+    pending_heal: BTreeSet<(u64, u64)>,
     /// Earliest virtual time the next self-heal attempt is allowed.
     next_repair: SimTime,
     repair_backoff: SimDuration,
+}
+
+impl FileState {
+    /// Record a lost byte range for `Device::drain_lost_ranges`, suppressing
+    /// duplicate reports of a range whose previous loss is still undrained.
+    fn report_lost(&mut self, start: u64, len: u64) {
+        if self.pending_heal.insert((start, len)) {
+            self.lost_ranges.push((start, len));
+        }
+    }
 }
 
 /// One operation of the asynchronous submit/complete API
@@ -195,6 +219,7 @@ pub struct RemoteFile {
     retries: Counter,
     repairs: Counter,
     migrations: Counter,
+    failovers: Counter,
     metrics: Option<Arc<RfMetrics>>,
 }
 
@@ -210,15 +235,29 @@ impl RemoteFile {
         cfg: RFileConfig,
     ) -> Result<RemoteFile, StorageError> {
         assert!(size > 0, "cannot create an empty remote file");
-        let lease = broker
-            .request_lease(clock, local, size)
-            .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        let lease = if cfg.replicas > 1 {
+            broker.request_replicated_lease(clock, local, size, cfg.replicas)
+        } else {
+            broker.request_lease(clock, local, size)
+        }
+        .map_err(|e| StorageError::Unavailable(e.to_string()))?;
         if cfg.auto_renew {
             // the holder's renewal daemon keeps the lease alive between
             // accesses (idle files must not lapse mid-workload)
             broker.enable_auto_renew(lease.id);
         }
-        let extents = Self::extents_from(&lease.mrs);
+        let (epoch, groups) = if cfg.replicas > 1 {
+            broker
+                .replica_view(lease.id)
+                .ok_or_else(|| StorageError::Unavailable("replica set missing".into()))?
+        } else {
+            (0, Vec::new())
+        };
+        let extents = if cfg.replicas > 1 {
+            Self::extents_from_groups(&groups)
+        } else {
+            Self::extents_from(&lease.mrs)
+        };
         let staging = StagingBuffers::new(cfg.schedulers, cfg.staging_bytes, 8192);
         Ok(RemoteFile {
             fabric,
@@ -228,7 +267,10 @@ impl RemoteFile {
             state: Mutex::new(FileState {
                 extents,
                 lease,
+                groups,
+                epoch,
                 lost_ranges: Vec::new(),
+                pending_heal: BTreeSet::new(),
                 next_repair: SimTime::ZERO,
                 repair_backoff: REPAIR_BACKOFF_BASE,
             }),
@@ -239,6 +281,7 @@ impl RemoteFile {
             retries: Counter::new(),
             repairs: Counter::new(),
             migrations: Counter::new(),
+            failovers: Counter::new(),
             metrics: cfg.metrics.clone().map(|r| Arc::new(RfMetrics::new(r))),
             cfg,
         })
@@ -257,6 +300,32 @@ impl RemoteFile {
             off += mr.len;
         }
         extents
+    }
+
+    /// Replicated extent map: strictly one extent per replica group, in
+    /// slot order, backed by the group's preferred (first) member at
+    /// `mr_off = 0`. All members of a group have equal length, so a file
+    /// offset maps to the same MR offset on every replica — failover is a
+    /// handle swap, never a re-carve.
+    fn extents_from_groups(groups: &[Vec<MrHandle>]) -> Vec<Extent> {
+        let mut extents = Vec::with_capacity(groups.len());
+        let mut off = 0u64;
+        for g in groups {
+            let Some(&mr) = g.first() else { continue };
+            extents.push(Extent {
+                start: off,
+                len: mr.len,
+                mr,
+                mr_off: 0,
+            });
+            off += mr.len;
+        }
+        extents
+    }
+
+    /// Whether this file's stripes are k-way replicated (`cfg.replicas ≥ 2`).
+    fn replicated(&self) -> bool {
+        self.cfg.replicas > 1
     }
 
     /// **Open**: connect a queue pair to every donor server and register the
@@ -342,6 +411,18 @@ impl RemoteFile {
         self.migrations.get()
     }
 
+    /// Preferred-replica failovers performed: reads (or quorum writes) that
+    /// hit a dead replica and were re-pointed at a survivor after an epoch
+    /// fence, without any repair or data loss.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// The current replica-fencing epoch (0 for unreplicated files).
+    pub fn replica_epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
     /// Donor servers currently backing this file.
     pub fn donors(&self) -> Vec<ServerId> {
         self.state.lock().lease.servers()
@@ -361,6 +442,29 @@ impl RemoteFile {
     /// re-acquire a lost lease from scratch.
     fn ensure_lease(&self, clock: &mut Clock) -> Result<(), StorageError> {
         let id = self.state.lock().lease.id;
+        if self.replicated() {
+            if let Some((server, deadline)) = self.broker.revocation_notice(id) {
+                if clock.now() < deadline {
+                    // replicated files answer memory pressure by *shedding*
+                    // the copies on the pressured donor — redundancy absorbs
+                    // the loss, no bulk migration copy is needed
+                    let _ = self.shed_replicas(clock, server);
+                }
+            }
+            self.refresh_replicas();
+            if !self.broker.is_valid(id, clock.now()) {
+                if self.cfg.self_heal {
+                    return self.try_repair(clock);
+                }
+                return Err(StorageError::Unavailable("remote memory lease lost".into()));
+            }
+            if self.broker.replication_deficit(id) > 0 {
+                // best effort: reads still serve from the survivors, so a
+                // heal that can't find donors yet must not fail the access
+                let _ = self.try_repair(clock);
+            }
+            return Ok(());
+        }
         if self.cfg.self_heal {
             if let Some((server, deadline)) = self.broker.revocation_notice(id) {
                 if clock.now() < deadline {
@@ -434,6 +538,7 @@ impl RemoteFile {
                 let lo = (part.start - old.start) as usize;
                 let hi = lo + part.len as usize;
                 self.fabric
+                    // audit: allow(quorum-write, unreplicated grace-window migration copies one stripe)
                     .write(
                         clock,
                         self.cfg.protocol,
@@ -467,6 +572,268 @@ impl RemoteFile {
             format!("{bytes} B migrated off {server:?}"),
         );
         Ok(())
+    }
+
+    // ─── replication (cfg.replicas ≥ 2) ──────────────────────────────────
+
+    /// Epoch fence: pull the broker's view of this lease's replica groups
+    /// and, if membership changed since we last looked, re-point every
+    /// extent at its group's current preferred member and adopt the new
+    /// epoch. Returns whether anything changed. Free of virtual-time cost:
+    /// the fence piggybacks on lease-validity traffic the holder already
+    /// pays for.
+    fn refresh_replicas(&self) -> bool {
+        let id = self.state.lock().lease.id;
+        let Some((epoch, groups)) = self.broker.replica_view(id) else {
+            return false;
+        };
+        let mut st = self.state.lock();
+        if epoch == st.epoch {
+            return false;
+        }
+        for (e, g) in st.extents.iter_mut().zip(&groups) {
+            // an empty group is a wholly lost slot; its extent keeps the
+            // stale handle until heal_replicas re-seeds it
+            if let Some(&first) = g.first() {
+                e.mr = first;
+                e.mr_off = 0;
+            }
+        }
+        st.lease.mrs = groups.iter().flatten().copied().collect();
+        st.groups = groups;
+        st.epoch = epoch;
+        true
+    }
+
+    /// Local read failover without broker traffic: the failed member moves
+    /// to the back of its group and the extent re-points at the next
+    /// candidate. Used when a replica stops answering *before* the broker
+    /// has fenced a new epoch (e.g. a network blackout the broker never
+    /// sees). Returns whether the preferred member actually changed — a
+    /// rotation that leaves the head in place would just retry the same
+    /// failing target.
+    fn rotate_preferred(&self, failed: MrHandle) -> bool {
+        let mut st = self.state.lock();
+        let Some(gi) = st.groups.iter().position(|g| {
+            g.iter()
+                .any(|m| m.server == failed.server && m.mr == failed.mr)
+        }) else {
+            return false;
+        };
+        if st.groups[gi].len() < 2 {
+            return false;
+        }
+        let before = st.groups[gi][0];
+        let Some(pos) = st.groups[gi]
+            .iter()
+            .position(|m| m.server == failed.server && m.mr == failed.mr)
+        else {
+            return false;
+        };
+        let mr = st.groups[gi].remove(pos);
+        st.groups[gi].push(mr);
+        let after = st.groups[gi][0];
+        if after.server == before.server && after.mr == before.mr {
+            return false;
+        }
+        if let Some(e) = st.extents.get_mut(gi) {
+            e.mr = after;
+            e.mr_off = 0;
+        }
+        true
+    }
+
+    /// All live replicas backing the stripe served by `preferred`, each
+    /// paired with the (shared) intra-MR offset — the target list of a
+    /// quorum write. Replica groups are carved 1:1 from equal-length MRs at
+    /// `mr_off = 0`, so one offset addresses the same bytes on every member.
+    fn replica_targets(&self, preferred: MrHandle, within: u64) -> Vec<(MrHandle, u64)> {
+        let st = self.state.lock();
+        for g in &st.groups {
+            if g.iter()
+                .any(|m| m.server == preferred.server && m.mr == preferred.mr)
+            {
+                return g.iter().map(|&m| (m, within)).collect();
+            }
+        }
+        vec![(preferred, within)]
+    }
+
+    /// Memory pressure on `server` (two-phase reclaim grace window): drop
+    /// this file's replicas hosted there instead of migrating bytes — the
+    /// surviving copies keep every stripe readable, and the next heal
+    /// restores full redundancy from unpressured donors. If any group's
+    /// *sole* member sits on the pressured server, redundancy is restored
+    /// first so shedding never drops the last copy.
+    fn shed_replicas(&self, clock: &mut Clock, server: ServerId) -> Result<(), StorageError> {
+        let id = self.state.lock().lease.id;
+        let sole_on = |st: &FileState| {
+            st.groups
+                .iter()
+                .any(|g| g.len() == 1 && g[0].server == server)
+        };
+        let holds = {
+            let st = self.state.lock();
+            if !st
+                .groups
+                .iter()
+                .any(|g| g.iter().any(|m| m.server == server))
+            {
+                return Ok(());
+            }
+            sole_on(&st)
+        };
+        if holds {
+            self.heal_replicas(clock)?;
+            self.refresh_replicas();
+            if sole_on(&self.state.lock()) {
+                // can't re-replicate elsewhere: leave the grace window to
+                // run out; the broker's forced revocation takes over
+                return Err(StorageError::Unavailable(
+                    "cannot shed the sole surviving replica".into(),
+                ));
+            }
+        }
+        self.broker
+            .surrender_mrs(clock, id, server, &self.fabric)
+            .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        self.refresh_replicas();
+        self.migrations.add(1);
+        if let Some(m) = &self.metrics {
+            m.migrations.incr();
+        }
+        self.note(
+            clock.now(),
+            FaultOrigin::Recovery,
+            "rfile.shed",
+            format!("replicas shed from {server:?} under memory pressure"),
+        );
+        Ok(())
+    }
+
+    /// Restore every degraded replica group to `k` members: ask the broker
+    /// for replacement MRs on donors that don't already host the group,
+    /// connect, seed each new member (copy from a surviving replica, or —
+    /// when the whole group died — zero-fill and report the range lost),
+    /// then adopt the bumped epoch. All-or-nothing on the broker side, so a
+    /// failed heal leaves the file serving from the survivors it had.
+    fn heal_replicas(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        let id = self.state.lock().lease.id;
+        if !self.cfg.self_heal {
+            // spill semantics: a slot with every copy dead is unrecoverable
+            // data, and must fail loudly *before* the broker hands out
+            // fresh MRs that would silently read as garbage
+            let lost_slot = self
+                .broker
+                .replica_view(id)
+                .is_some_and(|(_, gs)| gs.iter().any(|g| g.is_empty()));
+            if lost_slot {
+                return Err(StorageError::Unavailable(
+                    "replica group lost every copy; spill contents unrecoverable".into(),
+                ));
+            }
+        }
+        let repairs = self.broker.re_replicate(clock, id).map_err(|e| match e {
+            BrokerError::InsufficientMemory { .. } => {
+                StorageError::Unavailable(format!("re-replication short of memory: {e}"))
+            }
+            other => StorageError::Unavailable(other.to_string()),
+        })?;
+        if repairs.is_empty() {
+            self.refresh_replicas();
+            return Ok(());
+        }
+        for r in &repairs {
+            for mr in &r.added {
+                self.fabric
+                    .connect(clock, self.local, mr.server)
+                    .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+            }
+        }
+        // (file range, scratch) per repaired slot, from the fixed extent map
+        let slots: Vec<(u64, u64)> = {
+            let st = self.state.lock();
+            repairs
+                .iter()
+                .map(|r| {
+                    let e = &st.extents[r.slot.min(st.extents.len() - 1)];
+                    (e.start, e.len)
+                })
+                .collect()
+        };
+        let mut healed_bytes = 0u64;
+        for (r, &(start, len)) in repairs.iter().zip(&slots) {
+            match r.source {
+                Some(src) => {
+                    // survivor → new member copy; the source stays live and
+                    // readable, so only transient faults are retried here
+                    let mut buf = vec![0u8; src.len as usize];
+                    self.seed_io(clock, |clock, fab| {
+                        fab.read(clock, self.cfg.protocol, self.local, src, 0, &mut buf)
+                    })?;
+                    for mr in &r.added {
+                        self.seed_io(clock, |clock, fab| {
+                            // audit: allow(quorum-write, replica seeding writes one member by design)
+                            fab.write(clock, self.cfg.protocol, self.local, *mr, 0, &buf)
+                        })?;
+                    }
+                }
+                None => {
+                    // the whole group died: contents are gone. self_heal was
+                    // checked up front, so zero-fill and report the range.
+                    let zeros = vec![0u8; len as usize];
+                    for mr in &r.added {
+                        self.seed_io(clock, |clock, fab| {
+                            // audit: allow(quorum-write, zero-seeding a lost slot precedes quorum service)
+                            fab.write(clock, self.cfg.protocol, self.local, *mr, 0, &zeros)
+                        })?;
+                    }
+                    let end = (start + len).min(self.size);
+                    if start < end {
+                        self.state.lock().report_lost(start, end - start);
+                    }
+                }
+            }
+            healed_bytes += len * r.added.len() as u64;
+        }
+        self.refresh_replicas();
+        self.repairs.add(1);
+        if let Some(m) = &self.metrics {
+            m.repairs.incr();
+        }
+        self.note(
+            clock.now(),
+            FaultOrigin::Recovery,
+            "rfile.re_replicate",
+            format!(
+                "{healed_bytes} B re-replicated across {} slots",
+                repairs.len()
+            ),
+        );
+        Ok(())
+    }
+
+    /// One replica-seeding transfer with transient-fault retries (same
+    /// budget as stripe zeroing). A fatal fault aborts the heal — the
+    /// backoff machinery of `try_repair` schedules the next attempt.
+    fn seed_io<F>(&self, clock: &mut Clock, mut op: F) -> Result<(), StorageError>
+    where
+        F: FnMut(&mut Clock, &Fabric) -> Result<(), NetError>,
+    {
+        for attempt in 0..ZERO_ATTEMPTS {
+            match op(clock, &self.fabric) {
+                Ok(()) => return Ok(()),
+                Err(NetError::Transient { .. }) if attempt + 1 < ZERO_ATTEMPTS => {
+                    clock.advance(self.cfg.retry_backoff * (1 << attempt.min(6)));
+                }
+                Err(e) => {
+                    return Err(StorageError::Unavailable(format!("replica seed: {e}")));
+                }
+            }
+        }
+        Err(StorageError::Unavailable(
+            "replica seed retries exhausted".into(),
+        ))
     }
 
     /// Re-back the file ranges in `needs` with the `replacements` MRs,
@@ -527,7 +894,11 @@ impl RemoteFile {
         }
         let id = self.state.lock().lease.id;
         let outcome = if self.broker.is_valid(id, clock.now()) {
-            self.repair_stripes(clock, id)
+            if self.replicated() {
+                self.heal_replicas(clock)
+            } else {
+                self.repair_stripes(clock, id)
+            }
         } else {
             self.relearn_lease(clock)
         };
@@ -584,7 +955,7 @@ impl RemoteFile {
             for need in &needs {
                 let end = (need.start + need.len).min(self.size);
                 if need.start < end {
-                    st.lost_ranges.push((need.start, end - need.start));
+                    st.report_lost(need.start, end - need.start);
                 }
             }
             (needs, fresh)
@@ -609,10 +980,13 @@ impl RemoteFile {
     /// The lease itself is gone (revoked or expired): acquire a fresh one
     /// covering the whole file. All contents are lost.
     fn relearn_lease(&self, clock: &mut Clock) -> Result<(), StorageError> {
-        let lease = self
-            .broker
-            .request_lease(clock, self.local, self.size)
-            .map_err(|e| StorageError::Unavailable(format!("re-lease failed: {e}")))?;
+        let lease = if self.replicated() {
+            self.broker
+                .request_replicated_lease(clock, self.local, self.size, self.cfg.replicas)
+        } else {
+            self.broker.request_lease(clock, self.local, self.size)
+        }
+        .map_err(|e| StorageError::Unavailable(format!("re-lease failed: {e}")))?;
         if self.cfg.auto_renew {
             self.broker.enable_auto_renew(lease.id);
         }
@@ -621,15 +995,44 @@ impl RemoteFile {
                 .connect(clock, self.local, server)
                 .map_err(|e| StorageError::Unavailable(e.to_string()))?;
         }
-        let extents = Self::extents_from(&lease.mrs);
+        let (epoch, groups) = if self.replicated() {
+            self.broker
+                .replica_view(lease.id)
+                .ok_or_else(|| StorageError::Unavailable("replica set missing".into()))?
+        } else {
+            (0, Vec::new())
+        };
+        let extents = if self.replicated() {
+            Self::extents_from_groups(&groups)
+        } else {
+            Self::extents_from(&lease.mrs)
+        };
+        // every member of every group starts with pool garbage: zero the
+        // preferred extents below, plus the non-preferred members here
+        let spares: Vec<Extent> = groups
+            .iter()
+            .zip(&extents)
+            .flat_map(|(g, e)| {
+                g.iter().skip(1).map(|&mr| Extent {
+                    start: e.start,
+                    len: e.len,
+                    mr,
+                    mr_off: 0,
+                })
+            })
+            .collect();
         {
             let mut st = self.state.lock();
             st.extents = extents.clone();
             st.lease = lease;
+            st.groups = groups;
+            st.epoch = epoch;
             st.lost_ranges.clear();
-            st.lost_ranges.push((0, self.size));
+            st.pending_heal.clear();
+            st.report_lost(0, self.size);
         }
         self.zero_extents(clock, &extents);
+        self.zero_extents(clock, &spares);
         self.repairs.add(1);
         if let Some(m) = &self.metrics {
             m.repairs.incr();
@@ -657,6 +1060,7 @@ impl RemoteFile {
             for attempt in 0..ZERO_ATTEMPTS {
                 match self
                     .fabric
+                    // audit: allow(quorum-write, zeroing one freshly leased stripe before it serves I/O)
                     .write(clock, self.cfg.protocol, self.local, e.mr, e.mr_off, zeros)
                 {
                     Ok(()) => {
@@ -804,7 +1208,23 @@ impl RemoteFile {
                     clock.advance(self.cfg.retry_backoff * (1 << (transient_tries - 1)));
                 }
                 Err(fatal) => {
-                    if !self.cfg.self_heal {
+                    // failover before repair: if the broker already fenced a
+                    // new replica epoch, re-pointing at a survivor is enough
+                    // — no re-lease, no data loss, retry immediately
+                    if self.replicated() && self.refresh_replicas() {
+                        self.failovers.add(1);
+                        if let Some(m) = &self.metrics {
+                            m.failovers.incr();
+                        }
+                        self.note(
+                            clock.now(),
+                            FaultOrigin::Recovery,
+                            "rfile.failover",
+                            format!("re-pointed at surviving replica after: {fatal}"),
+                        );
+                        continue;
+                    }
+                    if !self.cfg.self_heal && !self.replicated() {
                         return Err(StorageError::Unavailable(fatal.to_string()));
                     }
                     heals += 1;
@@ -812,6 +1232,21 @@ impl RemoteFile {
                         return Err(StorageError::Unavailable(format!(
                             "giving up after {MAX_HEALS_PER_IO} repair attempts: {fatal}"
                         )));
+                    }
+                    // blind rotation (broker epoch unchanged, e.g. blackout):
+                    // costs heal budget so an all-dead group can't spin
+                    if self.replicated() && self.rotate_preferred(mr) {
+                        self.failovers.add(1);
+                        if let Some(m) = &self.metrics {
+                            m.failovers.incr();
+                        }
+                        self.note(
+                            clock.now(),
+                            FaultOrigin::Recovery,
+                            "rfile.failover",
+                            format!("rotated to peer replica after: {fatal}"),
+                        );
+                        continue;
                     }
                     self.note(
                         clock.now(),
@@ -869,9 +1304,20 @@ impl RemoteFile {
             .metrics
             .as_ref()
             .map(|m| m.registry.span_enter("rfile.write", t0));
+        let replicated = self.replicated();
         let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
             let src = &data[done as usize..(done + chunk) as usize];
-            fabric.write(clock, proto, local, handle, within, src)
+            if replicated {
+                // fan out to every live replica; the op completes at the
+                // quorum ack, stragglers catch up in the background
+                let targets = self.replica_targets(handle, within);
+                fabric
+                    .write_quorum(clock, proto, local, &targets, src)
+                    .map(|_| ())
+            } else {
+                // audit: allow(quorum-write, unreplicated file: the single copy is the quorum)
+                fabric.write(clock, proto, local, handle, within, src)
+            }
         });
         if let Some(m) = &self.metrics {
             if let Some(span) = span {
@@ -932,12 +1378,45 @@ impl RemoteFile {
         clock: &mut Clock,
         heals: &mut u32,
         fatal: &NetError,
+        failed: Option<MrHandle>,
     ) -> Result<(), StorageError> {
+        // failover first, as in the scalar path: an epoch fence that
+        // re-points the extents costs no heal budget
+        if self.replicated() && self.refresh_replicas() {
+            self.failovers.add(1);
+            if let Some(m) = &self.metrics {
+                m.failovers.incr();
+            }
+            self.note(
+                clock.now(),
+                FaultOrigin::Recovery,
+                "rfile.failover",
+                format!("re-pointed at surviving replica after: {fatal}"),
+            );
+            return Ok(());
+        }
         *heals += 1;
         if *heals > MAX_HEALS_PER_IO {
             return Err(StorageError::Unavailable(format!(
                 "giving up after {MAX_HEALS_PER_IO} repair attempts: {fatal}"
             )));
+        }
+        // blind rotation (broker epoch unchanged): costs heal budget so an
+        // all-dead group can't spin
+        if let Some(mr) = failed {
+            if self.replicated() && self.rotate_preferred(mr) {
+                self.failovers.add(1);
+                if let Some(m) = &self.metrics {
+                    m.failovers.incr();
+                }
+                self.note(
+                    clock.now(),
+                    FaultOrigin::Recovery,
+                    "rfile.failover",
+                    format!("rotated to peer replica after: {fatal}"),
+                );
+                return Ok(());
+            }
         }
         self.note(
             clock.now(),
@@ -1158,7 +1637,7 @@ impl RemoteFile {
                         }
                     }
                     Err(fatal) => {
-                        if !self.cfg.self_heal {
+                        if !self.cfg.self_heal && !self.replicated() {
                             for (req, _, _) in meta {
                                 results[req] = Err(StorageError::Unavailable(fatal.to_string()));
                             }
@@ -1169,7 +1648,8 @@ impl RemoteFile {
                         let heal = if healed_this_wave {
                             Ok(())
                         } else {
-                            self.heal_once(clock, &mut heals, &fatal)
+                            let failed = sges.first().map(|s| s.mr);
+                            self.heal_once(clock, &mut heals, &fatal, failed)
                         };
                         match heal {
                             Ok(()) => {
@@ -1204,6 +1684,15 @@ impl RemoteFile {
         clock: &mut Clock,
         reqs: &[(u64, &[u8])],
     ) -> Vec<Result<(), StorageError>> {
+        if self.replicated() {
+            // every chunk of a replicated file must reach a write quorum of
+            // its replica group; route through the scalar quorum path per
+            // request (quorum-aware vectored doorbells are future work)
+            return reqs
+                .iter()
+                .map(|(off, data)| self.write(clock, *off, data))
+                .collect();
+        }
         let t0 = clock.now();
         let span = self
             .metrics
@@ -1391,7 +1880,7 @@ impl RemoteFile {
                         }
                     }
                     Err(fatal) => {
-                        if !self.cfg.self_heal {
+                        if !self.cfg.self_heal && !self.replicated() {
                             for (req, _, _) in meta {
                                 results[req] = Err(StorageError::Unavailable(fatal.to_string()));
                             }
@@ -1400,7 +1889,8 @@ impl RemoteFile {
                         let heal = if healed_this_wave {
                             Ok(())
                         } else {
-                            self.heal_once(clock, &mut heals, &fatal)
+                            let failed = sges.first().map(|s| s.mr);
+                            self.heal_once(clock, &mut heals, &fatal, failed)
                         };
                         match heal {
                             Ok(()) => {
@@ -1512,7 +2002,9 @@ impl Device for RemoteFile {
     }
 
     fn drain_lost_ranges(&self) -> Vec<(u64, u64)> {
-        std::mem::take(&mut self.state.lock().lost_ranges)
+        let mut st = self.state.lock();
+        st.pending_heal.clear();
+        std::mem::take(&mut st.lost_ranges)
     }
 }
 
@@ -2164,5 +2656,227 @@ mod tests {
         f.read(&mut clock, 0, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
         assert!(f.repairs() >= 1);
+    }
+
+    // ─── replication ─────────────────────────────────────────────────────
+
+    fn crash(c: &Cluster, s: ServerId) {
+        c.fabric.server(s).unwrap().fail();
+        c.fabric.server(s).unwrap().nic().deregister_all();
+        c.broker.server_failed(s);
+        c.fabric.server(s).unwrap().restart();
+    }
+
+    #[test]
+    fn replicated_write_lands_on_every_group_member() {
+        let c = cluster(3, 2, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 239) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+        // verify the bytes on every member of every group directly
+        assert_eq!(c.broker.store().active_leases(), 1);
+        let (_, groups) = c.broker.replica_view(remem_broker::LeaseId(0)).unwrap();
+        assert_eq!(groups.len(), 2);
+        let mut off = 0usize;
+        for g in &groups {
+            assert_eq!(g.len(), 2, "every slot holds k=2 members");
+            assert_ne!(g[0].server, g[1].server, "anti-affinity");
+            for m in g {
+                let mut got = vec![0u8; m.len as usize];
+                c.fabric
+                    .read(&mut clock, Protocol::Custom, c.db, *m, 0, &mut got)
+                    .unwrap();
+                assert_eq!(
+                    got,
+                    &data[off..off + m.len as usize],
+                    "replica on {:?} diverged",
+                    m.server
+                );
+            }
+            off += g[0].len as usize;
+        }
+    }
+
+    #[test]
+    fn replicated_file_survives_donor_crash_without_data_loss() {
+        let c = cluster(3, 3, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 233) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        let epoch0 = f.replica_epoch();
+        let dead = f.donors()[0];
+        crash(&c, dead);
+        // the next read fails over to the survivors and heals: no zeroed
+        // ranges, no wrong bytes, full redundancy restored
+        let mut out = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data, "crash must not lose replicated bytes");
+        assert!(f.drain_lost_ranges().is_empty(), "no range was lost");
+        assert!(f.replica_epoch() > epoch0, "membership change fences epoch");
+        let id = remem_broker::LeaseId(0);
+        assert_eq!(c.broker.replication_deficit(id), 0, "healed back to k");
+        assert!(f.repairs() >= 1, "re-replication counts as a repair");
+        // and writes keep reaching a quorum afterwards
+        f.write(&mut clock, 0, &data).unwrap();
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn replicated_spill_survives_crash_with_self_heal_off() {
+        // the tentpole claim: k >= 2 lifts the must-not-zero-fill
+        // restriction — a spill file (self_heal: false) survives a donor
+        // crash with its bytes intact
+        let c = cluster(3, 3, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            self_heal: false,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 229) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        crash(&c, f.donors()[0]);
+        let mut out = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data, "spill bytes must survive the crash");
+        assert!(f.drain_lost_ranges().is_empty(), "nothing zero-filled");
+    }
+
+    #[test]
+    fn losing_every_copy_of_a_slot_fails_a_spill_loudly() {
+        let c = cluster(3, 3, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            self_heal: false,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        f.write(&mut clock, 0, &vec![7u8; MR as usize]).unwrap();
+        // kill both members of the (single) slot's group
+        let (_, groups) = c.broker.replica_view(remem_broker::LeaseId(0)).unwrap();
+        for m in &groups[0] {
+            crash(&c, m.server);
+        }
+        let mut out = vec![0u8; MR as usize];
+        assert!(
+            matches!(
+                f.read(&mut clock, 0, &mut out),
+                Err(StorageError::Unavailable(_))
+            ),
+            "a spill slot with every copy dead must fail, not read zeros"
+        );
+        assert!(
+            f.drain_lost_ranges().is_empty(),
+            "no silent zero-fill for spill semantics"
+        );
+    }
+
+    #[test]
+    fn replicated_read_rotates_through_a_blackout() {
+        // the broker never learns of the fault here: one-sided reads fail
+        // over locally to the peer replica
+        let log = Arc::new(remem_sim::FaultLog::new());
+        let c = cluster(2, 2, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            fault_log: Some(Arc::clone(&log)),
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..MR as usize).map(|i| (i % 227) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        let preferred = f.donors()[0];
+        let inj = remem_net::FaultInjector::new(11).blackout(
+            preferred,
+            clock.now(),
+            clock.now() + SimDuration::from_secs(3600),
+        );
+        c.fabric.set_fault_injector(Some(Arc::new(inj)));
+        let mut out = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data, "blackout failover must serve correct bytes");
+        assert!(f.failovers() >= 1, "rotation counts as a failover");
+        assert!(log.count("rfile.failover", FaultOrigin::Recovery) >= 1);
+        c.fabric.set_fault_injector(None);
+    }
+
+    #[test]
+    fn replicated_file_sheds_pressured_replicas_without_data_loss() {
+        let c = cluster(3, 3, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let data: Vec<u8> = (0..(2 * MR) as usize).map(|i| (i % 223) as u8).collect();
+        f.write(&mut clock, 0, &data).unwrap();
+        let pressured = f.donors()[0];
+        let (_, notified) = c
+            .broker
+            .request_reclaim(clock.now(), &c.fabric, pressured, 3 * MR);
+        assert_eq!(notified.len(), 1);
+        let mut out = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data, "shedding must not lose bytes");
+        assert!(f.migrations() >= 1, "shed counts as a migration");
+        assert!(f.drain_lost_ranges().is_empty());
+        // after the grace window the broker finds nothing left to revoke
+        clock.advance(c.broker.config().grace_period * 2);
+        assert_eq!(c.broker.finalize_revocations(&c.fabric, clock.now()), 0);
+        f.read(&mut clock, 0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn repeated_stripe_loss_reports_each_range_once_per_drain() {
+        // satellite: a stripe lost again while the previous loss is still
+        // awaiting collection must not be double-reported
+        let c = cluster(3, 1, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            self_heal: true,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        f.write(&mut clock, 0, &vec![9u8; MR as usize]).unwrap();
+        let mut buf = vec![0u8; 64];
+        // first donor dies; repair re-leases and reports (0, MR) lost
+        crash(&c, f.donors()[0]);
+        f.read(&mut clock, 0, &mut buf).unwrap();
+        // the replacement donor dies too, before anyone drained the report
+        crash(&c, f.donors()[0]);
+        f.read(&mut clock, 0, &mut buf).unwrap();
+        assert!(f.repairs() >= 2, "two distinct repairs ran");
+        let lost = f.drain_lost_ranges();
+        assert_eq!(lost, vec![(0, MR)], "one report per undrained range");
+        // after a drain the same range may be reported again — but the
+        // repair needs fresh capacity: the first casualty re-donates
+        let m0 = c.donors[0];
+        c.broker.server_recovered(m0);
+        let mut pc = Clock::new();
+        remem_broker::MemoryProxy::new(m0, MR)
+            .donate(&mut pc, &c.fabric, &c.broker, MR)
+            .unwrap();
+        crash(&c, f.donors()[0]);
+        f.read(&mut clock, 0, &mut buf).unwrap();
+        assert_eq!(f.drain_lost_ranges(), vec![(0, MR)]);
     }
 }

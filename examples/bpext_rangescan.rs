@@ -19,6 +19,7 @@ fn main() {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

@@ -26,6 +26,7 @@ fn main() {
         spindles: 20,
         oltp: false,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

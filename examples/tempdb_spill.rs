@@ -16,6 +16,7 @@ fn main() {
         spindles: 20,
         oltp: false,                    // analytics: HDD+SSD keeps BPExt off (Table 5)
         workspace_bytes: Some(2 << 20), // small grants force the spill
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };

@@ -401,9 +401,126 @@ fn windowed_chaos_run(seed: u64, threads: usize) -> Outcome {
     }
 }
 
+/// The replicated chaos round: the same RangeScan-with-updates workload on a
+/// `k`-way replicated Custom design loses one donor mid-run. The contract is
+/// strictly stronger than the single-copy rounds above: not only are all
+/// results correct, but **no cached page is ever discarded** — every stripe
+/// has a surviving copy, so the crash costs a failover, not a re-read from
+/// the backing device.
+fn replicated_chaos_run(seed: u64, k: usize) -> Outcome {
+    let c = Cluster::builder()
+        .memory_servers(k + 1)
+        .memory_per_server(128 << 20)
+        .placement(PlacementPolicy::Spread)
+        .build();
+    // a panicking auditor rides along: replica-set conservation (group
+    // partitioning, anti-affinity, lost-slot parking) is cross-checked
+    // after every broker mutation of the run
+    let aud = Arc::new(Auditor::new());
+    c.broker.set_auditor(Some(Arc::clone(&aud)));
+    c.fabric.set_auditor(Some(Arc::clone(&aud)));
+    let mut clock = Clock::new();
+    let log = Arc::new(FaultLog::new());
+    let opts = DbOptions {
+        pool_bytes: 1 << 20,
+        replicas: k,
+        fault_log: Some(Arc::clone(&log)),
+        metrics: None,
+        ..DbOptions::small()
+    };
+    let db = Design::Custom.build(&c, &mut clock, &opts).unwrap();
+    let t = db
+        .create_table(
+            &mut clock,
+            "t",
+            Schema::new(vec![
+                ("k", ColType::Int),
+                ("v", ColType::Int),
+                ("pad", ColType::Str),
+            ]),
+            0,
+        )
+        .unwrap();
+    let mut model = vec![0i64; ROWS as usize];
+    for key in 0..ROWS {
+        model[key as usize] = key * 3;
+        db.insert(
+            &mut clock,
+            t,
+            remem::Row::new(vec![
+                Value::Int(key),
+                Value::Int(key * 3),
+                Value::Str("p".repeat(180)),
+            ]),
+        )
+        .unwrap();
+    }
+    let mut rng = SimRng::seeded(seed ^ 0x2545f4914f6cdd1d);
+    let mut checksum = 0xcbf29ce484222325u64;
+
+    // warm the BPExt, then kill a donor mid-workload
+    for _ in 0..2 {
+        sweep(&db, &mut clock, t, &mut model, &mut rng, &mut checksum);
+    }
+    c.crash_memory_server(c.memory_servers[0]);
+    for _ in 0..3 {
+        sweep(&db, &mut clock, t, &mut model, &mut rng, &mut checksum);
+    }
+
+    assert!(
+        !db.buffer_pool().extension_failed(),
+        "k={k}: the surviving replicas must absorb the crash"
+    );
+    let s = db.bp_stats();
+    assert_eq!(
+        s.ext_lost_pages, 0,
+        "k={k}: replicated stripes must never lose cached pages: {s:?}"
+    );
+    assert_eq!(s.ext_suspends, 0, "k={k}: no suspension either: {s:?}");
+    assert!(
+        log.count("rfile.re_replicate", FaultOrigin::Recovery) >= 1,
+        "k={k}: the files should have re-replicated onto the spare donor: {}",
+        log.summary()
+    );
+
+    // final full verification pass
+    let rows = db.range(&mut clock, t, 0, ROWS).unwrap();
+    assert_eq!(rows.len(), ROWS as usize);
+    for r in &rows {
+        assert_eq!(r.int(1), model[r.int(0) as usize]);
+        fnv(&mut checksum, r.int(1) as u64);
+    }
+    fnv(&mut checksum, clock.now().0);
+    assert!(
+        aud.checks() >= 10,
+        "k={k}: the auditor must actually be exercised: {}",
+        aud.checks()
+    );
+    Outcome {
+        checksum,
+        fingerprint: log.fingerprint(),
+    }
+}
+
 #[test]
 fn chaos_schedule_never_corrupts_and_recovers() {
     chaos_run(0xC0FFEE);
+}
+
+#[test]
+fn replicated_chaos_absorbs_donor_kill_without_rereads() {
+    for k in [2usize, 3] {
+        let a = replicated_chaos_run(0xABBA, k);
+        let b = replicated_chaos_run(0xABBA, k);
+        assert_eq!(
+            a.checksum, b.checksum,
+            "k={k}: query results must replay identically"
+        );
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "k={k}: fault logs must replay identically"
+        );
+    }
 }
 
 #[test]

@@ -26,6 +26,7 @@ fn rangescan_design_ordering() {
         spindles: 20,
         oltp: true,
         workspace_bytes: None,
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };
@@ -80,6 +81,7 @@ fn hashsort_design_ordering() {
         spindles: 20,
         oltp: false,
         workspace_bytes: Some(1 << 20),
+        replicas: 1,
         fault_log: None,
         metrics: None,
     };
