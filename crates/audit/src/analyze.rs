@@ -1,0 +1,77 @@
+//! Workspace-level analysis driver: runs the per-line rules and the four
+//! interprocedural passes over one `crates/` tree, shares the waiver table
+//! between them, and applies pragma hygiene exactly once at the end.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::callgraph::{self, Workspace};
+use crate::passes::{self, Advisory, Waivers};
+use crate::rules::{self, LintStats, Violation};
+use crate::symbols;
+
+/// Everything one full-workspace run produces.
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    pub stats: LintStats,
+    pub advisory: Advisory,
+    /// The resolved model, for the `graph` / `paths` subcommands.
+    pub workspace: Workspace,
+}
+
+/// Analyze every `crates/**/*.rs` under `root`.
+pub fn analyze_tree(root: &Path) -> std::io::Result<Analysis> {
+    let mut paths = Vec::new();
+    rules::collect_rs(&root.join("crates"), &mut paths)?;
+
+    let mut stats = LintStats::default();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut files: Vec<symbols::FileSyms> = Vec::new();
+    let mut used: Vec<Vec<bool>> = Vec::new();
+
+    for f in &paths {
+        let src = std::fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .into_owned();
+        stats.files += 1;
+        stats.pragmas_used += rules::count_pragmas(&src);
+        let fl = rules::lint_file(&rel, &src);
+        violations.extend(fl.violations);
+        used.push(fl.used);
+        files.push(symbols::extract(&rel, &src));
+    }
+
+    let workspace = callgraph::build(files);
+    let mut waivers = Waivers { used };
+
+    // fn-decl lines the per-line clock-charge rule already flagged — the
+    // interprocedural pass skips those to avoid double-reporting dead ends
+    let local_clock: BTreeSet<(String, usize)> = violations
+        .iter()
+        .filter(|v| v.rule == "clock-charge")
+        .map(|v| (v.file.clone(), v.line))
+        .collect();
+
+    let (pass_violations, advisory) = passes::run_passes(&workspace, &mut waivers, &local_clock);
+    violations.extend(pass_violations);
+
+    // workspace-level pragma hygiene, after every consumer has run
+    for (fi, file) in workspace.files.iter().enumerate() {
+        violations.extend(rules::pragma_hygiene(
+            &file.path,
+            &file.pragmas,
+            &waivers.used[fi],
+        ));
+    }
+
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(Analysis {
+        violations,
+        stats,
+        advisory,
+        workspace,
+    })
+}

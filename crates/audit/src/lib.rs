@@ -7,15 +7,26 @@
 //! memory results trustworthy. Neither survives on discipline alone, so
 //! this crate enforces both:
 //!
-//! * [`rules`] + [`lexer`] — a dependency-free static-analysis pass over
+//! * [`rules`] + [`lexer`] — dependency-free per-line rules over
 //!   `crates/**/*.rs`, run as `cargo run -p remem-audit -- lint`. See the
 //!   module docs and DESIGN.md "Determinism rules" for the rule list.
+//! * [`symbols`] + [`callgraph`] + [`passes`] — the whole-workspace
+//!   interprocedural layer: a symbol-table / call-graph extractor on the
+//!   same lexer, and four graph passes (clock-charge soundness, panic
+//!   reachability from the sim kernel, lock-order deadlock detection,
+//!   determinism taint). [`analyze::analyze_tree`] runs everything with a
+//!   shared waiver table; `graph` / `paths` subcommands expose the model.
 //! * [`invariants`] — the [`Auditor`] that broker, NIC, and buffer pool
 //!   feed after every mutation to cross-check conservation invariants.
 
+pub mod analyze;
+pub mod callgraph;
 pub mod invariants;
 pub mod lexer;
+pub mod passes;
 pub mod rules;
+pub mod symbols;
 
+pub use analyze::{analyze_tree, Analysis};
 pub use invariants::{AuditViolation, Auditor, Field};
 pub use rules::{lint_source, lint_tree, LintStats, Violation};

@@ -51,6 +51,10 @@ pub const RULES: &[&str] = &[
     "bench-report",
     "nondet-parallel",
     "quorum-write",
+    // interprocedural passes (crate::passes)
+    "panic-path",
+    "lock-order",
+    "det-taint",
 ];
 
 /// Crates whose data structures feed the replay fingerprint.
@@ -224,9 +228,18 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// Lint a single source file. `path` is used for crate scoping and display;
-/// pass a repo-relative path like `crates/broker/src/broker.rs`.
-pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+/// Result of the per-file rules alone (no pragma hygiene): the graph
+/// passes get a chance to consume pragmas before unused-pragma detection
+/// runs once at the workspace level.
+pub struct FileLint {
+    pub violations: Vec<Violation>,
+    pub pragmas: Vec<Pragma>,
+    pub used: Vec<bool>,
+}
+
+/// Run the per-line rules on one file, returning the pragma table and its
+/// used flags alongside the findings. Hygiene is deferred to the caller.
+pub fn lint_file(path: &str, src: &str) -> FileLint {
     let stripped = strip(src);
     let toks = tokenize(&stripped.code);
     let spans = test_spans(&toks);
@@ -266,25 +279,35 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
     rule_nondet_parallel(&mut ctx);
     rule_quorum_write(&mut ctx);
 
-    // pragma hygiene: unknown rule names and unused waivers are violations
-    for k in 0..ctx.pragmas.len() {
-        let p = ctx.pragmas[k].clone();
+    FileLint {
+        violations: ctx.out,
+        pragmas: ctx.pragmas,
+        used: ctx.pragma_used,
+    }
+}
+
+/// Pragma hygiene: unknown rule names, unused waivers, and missing reasons
+/// are violations. `used` must reflect every consumer (per-line rules and
+/// graph passes).
+pub fn pragma_hygiene(path: &str, pragmas: &[Pragma], used: &[bool]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (k, p) in pragmas.iter().enumerate() {
         if !RULES.contains(&p.rule.as_str()) {
-            ctx.out.push(Violation {
+            out.push(Violation {
                 file: path.to_string(),
                 line: p.line,
                 rule: "pragma",
                 msg: format!("pragma names unknown rule `{}`", p.rule),
             });
-        } else if !ctx.pragma_used[k] {
-            ctx.out.push(Violation {
+        } else if !used[k] {
+            out.push(Violation {
                 file: path.to_string(),
                 line: p.line,
                 rule: "pragma",
                 msg: format!("unused pragma for `{}`: nothing to waive here", p.rule),
             });
         } else if p.reason.is_empty() {
-            ctx.out.push(Violation {
+            out.push(Violation {
                 file: path.to_string(),
                 line: p.line,
                 rule: "pragma",
@@ -292,8 +315,18 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
             });
         }
     }
+    out
+}
 
-    let mut out = ctx.out;
+/// Lint a single source file (per-line rules + pragma hygiene). `path` is
+/// used for crate scoping and display; pass a repo-relative path like
+/// `crates/broker/src/broker.rs`. Note this sees only one file: waivers
+/// consumed by the interprocedural passes are visible to
+/// [`crate::analyze::analyze_tree`], not here.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let fl = lint_file(path, src);
+    let mut out = fl.violations;
+    out.extend(pragma_hygiene(path, &fl.pragmas, &fl.used));
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -649,8 +682,10 @@ fn rule_quorum_write(ctx: &mut Ctx) {
 
 // ─── tree walker ─────────────────────────────────────────────────────────
 
-/// Recursively collect `*.rs` files under `root/crates`, skipping `target`.
-fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+/// Recursively collect `*.rs` files under `root/crates`, skipping `target`
+/// and `fixtures` (the audit crate's own analysis test trees must not be
+/// linted as workspace code).
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -659,7 +694,7 @@ fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<
     for e in entries {
         let p = e.path();
         if p.is_dir() {
-            if p.file_name().map(|n| n == "target") == Some(true) {
+            if p.file_name().map(|n| n == "target" || n == "fixtures") == Some(true) {
                 continue;
             }
             collect_rs(&p, out)?;
@@ -670,25 +705,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<
     Ok(())
 }
 
-/// Lint every `crates/**/*.rs` under `root`. Returns the violations plus
-/// stats for the summary (file and justified-pragma counts).
+/// Lint every `crates/**/*.rs` under `root`: per-line rules, the four
+/// interprocedural passes, and workspace-level pragma hygiene. Returns the
+/// violations plus stats for the summary.
 pub fn lint_tree(root: &Path) -> std::io::Result<(Vec<Violation>, LintStats)> {
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files)?;
-    let mut all = Vec::new();
-    let mut stats = LintStats::default();
-    for f in &files {
-        let src = std::fs::read_to_string(f)?;
-        let rel = f
-            .strip_prefix(root)
-            .unwrap_or(f)
-            .to_string_lossy()
-            .into_owned();
-        stats.files += 1;
-        stats.pragmas_used += count_pragmas(&src);
-        all.extend(lint_source(&rel, &src));
-    }
-    Ok((all, stats))
+    let a = crate::analyze::analyze_tree(root)?;
+    Ok((a.violations, a.stats))
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+//! Fixture crate `bench`: a non-sim crate calling into the wall-clock
+//! tainted `sim::timer` — one unwaived det-taint frontier, one waived.
+
+pub fn bench_run() -> u64 {
+    timer()
+}
+
+pub fn bench_waived() -> u64 {
+    // audit: allow(det-taint, fixture: volatile reporting only)
+    timer()
+}

@@ -1,0 +1,21 @@
+//! Fixture sim kernel: every non-test fn here is a panic-path root.
+//! The closure inside `run` must attribute its calls to `run`.
+
+pub fn run() {
+    let each = |n: u32| step_n(n);
+    each(3);
+}
+
+fn step_n(n: u32) {
+    let _ = n;
+    crate::step_all();
+}
+
+pub fn halt() {
+    core_dump();
+}
+
+fn core_dump() {
+    // audit: allow(panic-path, fixture: intentional abort is waived)
+    panic!("fixture abort");
+}

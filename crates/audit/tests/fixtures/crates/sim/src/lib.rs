@@ -1,0 +1,15 @@
+//! Fixture crate `sim` root: a kernel-reachable panic and a wall-clock
+//! taint source. Never compiled — only fed to the remem-audit extractor.
+
+pub fn step_all() {
+    let v: Vec<u32> = Vec::new();
+    v.first().unwrap();
+}
+
+// directly wall-clock tainted; sim itself is allowed to hold wall time,
+// but non-sim callers become det-taint frontier findings
+pub fn timer() -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    7
+}

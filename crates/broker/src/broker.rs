@@ -299,9 +299,10 @@ impl MemoryBroker {
                 bad.push(format!("{id:?} groups and lease MRs diverge"));
             }
             for (slot, dead) in &rs.lost_slots {
-                let parked = st.lost_mrs.get(id).is_some_and(|v| {
-                    v.iter().any(|m| m.server == dead.server && m.mr == dead.mr)
-                });
+                let parked = st
+                    .lost_mrs
+                    .get(id)
+                    .is_some_and(|v| v.iter().any(|m| m.server == dead.server && m.mr == dead.mr));
                 if !parked {
                     bad.push(format!("{id:?} lost slot {slot} not parked in lost_mrs"));
                 }

@@ -98,14 +98,18 @@ impl ClosedLoopDriver {
         loop {
             // Pick the worker with the smallest clock (ties → lowest id).
             // The (time, worker-id) tie-break is a pinned contract — the
-            // parallel driver's canonical round order relies on it.
-            let (idx, now) = self
-                .clocks
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (i, c.now()))
-                .min_by_key(|&(i, t)| (t, i))
-                .expect("at least one worker");
+            // parallel driver's canonical round order relies on it. Manual
+            // scan (first strict minimum wins) keeps the kernel panic-free;
+            // `new` guarantees at least one worker.
+            let mut idx = 0usize;
+            let mut now = self.clocks[0].now();
+            for (i, c) in self.clocks.iter().enumerate().skip(1) {
+                let t = c.now();
+                if t < now {
+                    idx = i;
+                    now = t;
+                }
+            }
             if now >= self.horizon {
                 break;
             }

@@ -37,8 +37,10 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex as StdMutex};
+use std::sync::Barrier;
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use crate::clock::Clock;
 use crate::driver::RunOutcome;
@@ -328,12 +330,12 @@ impl ParallelDriver {
             started: u64,
             completed: u64,
         }
-        let slots: Vec<StdMutex<Slot<W>>> = self
+        let slots: Vec<Mutex<Slot<W>>> = self
             .clocks
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                StdMutex::new(Slot {
+                Mutex::new(Slot {
                     clock: c.clone(),
                     state: init(i),
                     started: 0,
@@ -347,7 +349,7 @@ impl ParallelDriver {
             round: u64,
             chunks: Vec<Vec<usize>>,
         }
-        let plan = StdMutex::new(Plan {
+        let plan = Mutex::new(Plan {
             done: false,
             round: 0,
             chunks: vec![Vec::new(); nthreads],
@@ -356,7 +358,7 @@ impl ParallelDriver {
         let round_start = Barrier::new(nthreads + 1);
         let round_end = Barrier::new(nthreads + 1);
         let panicked = AtomicBool::new(false);
-        let panic_payload: StdMutex<Option<Box<dyn Any + Send>>> = StdMutex::new(None);
+        let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
         std::thread::scope(|s| {
             for tid in 0..nthreads {
@@ -370,7 +372,7 @@ impl ParallelDriver {
                 s.spawn(move || loop {
                     round_start.wait();
                     let (done, round, mine) = {
-                        let p = plan.lock().expect("plan lock");
+                        let p = plan.lock();
                         (p.done, p.round, p.chunks[tid].clone())
                     };
                     if done {
@@ -386,7 +388,7 @@ impl ParallelDriver {
                             worker: w as u32,
                         }));
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            let mut guard = slots[w].lock().expect("slot lock");
+                            let mut guard = slots[w].lock();
                             let slot = &mut *guard;
                             let before = slot.clock.now();
                             op(w, &mut slot.clock, &mut slot.state);
@@ -401,7 +403,7 @@ impl ParallelDriver {
                         set_ctx(None);
                         if let Err(p) = result {
                             panicked.store(true, Ordering::SeqCst);
-                            panic_payload.lock().expect("payload lock").get_or_insert(p);
+                            panic_payload.lock().get_or_insert(p);
                             break;
                         }
                     }
@@ -415,19 +417,16 @@ impl ParallelDriver {
                 let order = if bail {
                     Vec::new()
                 } else {
-                    let clocks: Vec<Clock> = slots
-                        .iter()
-                        .map(|s| s.lock().expect("slot lock").clock.clone())
-                        .collect();
+                    let clocks: Vec<Clock> = slots.iter().map(|s| s.lock().clock.clone()).collect();
                     plan_round(&clocks, horizon, self.lookahead)
                 };
                 if order.is_empty() {
-                    plan.lock().expect("plan lock").done = true;
+                    plan.lock().done = true;
                     round_start.wait();
                     break;
                 }
                 {
-                    let mut p = plan.lock().expect("plan lock");
+                    let mut p = plan.lock();
                     p.round = round;
                     // Contiguous canonical chunks; assignment only affects
                     // load balance, never results.
@@ -443,14 +442,14 @@ impl ParallelDriver {
             }
         });
 
-        if let Some(p) = panic_payload.into_inner().expect("payload lock") {
+        if let Some(p) = panic_payload.into_inner() {
             resume_unwind(p);
         }
 
         let mut started = 0u64;
         let mut completed = 0u64;
         for (i, s) in slots.into_iter().enumerate() {
-            let s = s.into_inner().expect("slot lock");
+            let s = s.into_inner();
             self.clocks[i] = s.clock;
             started += s.started;
             completed += s.completed;
@@ -473,6 +472,7 @@ pub struct Stopwatch(Instant);
 
 impl Stopwatch {
     #[allow(clippy::new_without_default)]
+    // audit: allow(det-taint, sanctioned wall-clock boundary: stopwatch output is volatile reporting only and never enters fingerprints)
     pub fn start() -> Stopwatch {
         Stopwatch(Instant::now())
     }
