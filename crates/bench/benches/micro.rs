@@ -20,7 +20,10 @@ use remem_engine::row::{Row, Value};
 use remem_engine::tempdb::TempDb;
 use remem_engine::{CpuCosts, DbConfig};
 use remem_sim::rng::SimRng;
-use remem_sim::{Clock, CpuPool, FifoResource, SimDuration, SimTime};
+use remem_sim::{
+    Clock, ClosedLoopDriver, CpuPool, EventQueue, FifoResource, MetricsRegistry, SimDuration,
+    SimTime,
+};
 use remem_storage::RamDisk;
 
 fn bench_sim_kernel(c: &mut Criterion) {
@@ -39,6 +42,122 @@ fn bench_sim_kernel(c: &mut Criterion) {
         b.iter(|| {
             t += 1000;
             p.execute(SimTime(t), SimDuration::from_micros(50))
+        });
+    });
+    g.finish();
+}
+
+fn bench_arena_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arena");
+    // steady-state schedule churn: pop the minimum event, reschedule it
+    // later — the exact pattern the closed-loop driver hot path performs
+    g.bench_function("event_queue_pop_push_1024", |b| {
+        let mut q = EventQueue::with_capacity(1024);
+        let mut rng = SimRng::seeded(9);
+        for w in 0..1024u32 {
+            q.push(SimTime(rng.uniform(0, 1 << 20)), w);
+        }
+        b.iter(|| {
+            let (t, w) = q.pop().unwrap();
+            q.push(SimTime(t + 1000), w);
+            (t, w)
+        });
+    });
+    g.bench_function("std_binary_heap_pop_push_1024", |b| {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(1024);
+        let mut rng = SimRng::seeded(9);
+        for w in 0..1024u32 {
+            q.push(Reverse((rng.uniform(0, 1 << 20), w)));
+        }
+        b.iter(|| {
+            let Reverse((t, w)) = q.pop().unwrap();
+            q.push(Reverse((t + 1000, w)));
+            (t, w)
+        });
+    });
+    g.finish();
+}
+
+fn bench_closed_loop_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(20);
+    // one full 200us closed loop over 1024 workers: arena driver vs the
+    // pre-arena linear min-scan (the repro_sim_throughput oracle)
+    const WORKERS: usize = 1024;
+    const HORIZON: SimTime = SimTime(200_000);
+    g.bench_function("closed_loop_1024w", |b| {
+        b.iter_batched(
+            || {
+                let rngs: Vec<SimRng> = (0..WORKERS)
+                    .map(|w| SimRng::for_worker(11, w as u64))
+                    .collect();
+                (ClosedLoopDriver::new(WORKERS, HORIZON), rngs)
+            },
+            |(mut d, mut rngs)| {
+                let h = remem_sim::Histogram::new();
+                d.run(&h, |w, clock| {
+                    clock.advance(SimDuration::from_nanos(rngs[w].uniform(200, 2_000)))
+                })
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("min_scan_1024w", |b| {
+        b.iter_batched(
+            || {
+                let rngs: Vec<SimRng> = (0..WORKERS)
+                    .map(|w| SimRng::for_worker(11, w as u64))
+                    .collect();
+                (vec![Clock::new(); WORKERS], rngs)
+            },
+            |(mut clocks, mut rngs)| {
+                let h = remem_sim::Histogram::new();
+                let mut started = 0u64;
+                loop {
+                    let mut idx = 0usize;
+                    let mut now = clocks[0].now();
+                    for (i, cl) in clocks.iter().enumerate().skip(1) {
+                        let t = cl.now();
+                        if t < now {
+                            idx = i;
+                            now = t;
+                        }
+                    }
+                    if now >= HORIZON {
+                        break;
+                    }
+                    clocks[idx].advance(SimDuration::from_nanos(rngs[idx].uniform(200, 2_000)));
+                    h.record(clocks[idx].now().since(now));
+                    started += 1;
+                }
+                started
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_interned_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interned");
+    let r = MetricsRegistry::new();
+    let id = r.span("bench.span");
+    g.bench_function("span_enter_by_name", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2;
+            let tok = r.span_enter("bench.span", SimTime(t));
+            r.span_exit(tok, SimTime(t + 1));
+        });
+    });
+    g.bench_function("span_enter_by_id", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2;
+            let tok = r.span_enter_id(id, SimTime(t));
+            r.span_exit(tok, SimTime(t + 1));
         });
     });
     g.finish();
@@ -332,6 +451,9 @@ fn bench_database(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_sim_kernel,
+    bench_arena_queue,
+    bench_closed_loop_kernel,
+    bench_interned_metrics,
     bench_histogram_percentiles,
     bench_row_page,
     bench_btree,

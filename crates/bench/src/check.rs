@@ -29,6 +29,10 @@ pub struct Finding {
 
 /// Compare every `*.json` baseline under `baseline_dir` with its same-named
 /// counterpart under `current_dir`. Returns all findings (pass and fail).
+/// Baseline files carrying a different schema (e.g. the throughput floor,
+/// `remem-bench/throughput-floor/v1`, which lives beside the report
+/// baselines but is consumed by `--throughput`) are not reports and are
+/// skipped.
 pub fn check_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<Vec<Finding>, String> {
     let mut names: Vec<String> = Vec::new();
     let entries = std::fs::read_dir(baseline_dir)
@@ -47,6 +51,9 @@ pub fn check_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<Vec<Finding
     let mut findings = Vec::new();
     for name in names {
         let base = load(&baseline_dir.join(&name))?;
+        if base.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            continue;
+        }
         let report = name.trim_end_matches(".json").to_string();
         let cur_path = current_dir.join(&name);
         if !cur_path.exists() {
@@ -128,6 +135,75 @@ pub fn identical_dirs(dir_a: &Path, dir_b: &Path) -> Result<Vec<Finding>, String
         });
     }
     Ok(findings)
+}
+
+/// `remem-bench --throughput`: compare a report's measured wall-clock
+/// events/sec against a committed floor file.
+///
+/// The rate lives in the report's *volatile* section (it is host-dependent
+/// and must never enter the determinism fingerprint) as a line of the form
+/// `throughput events_per_sec=<n>`. The floor file pins the minimum
+/// acceptable rate and the tolerated drop:
+///
+/// ```json
+/// { "schema": "remem-bench/throughput-floor/v1",
+///   "report": "repro_sim_throughput",
+///   "events_per_sec_floor": 1000000,
+///   "max_drop_pct": 25 }
+/// ```
+///
+/// The gate fails when `current < floor * (1 - max_drop_pct/100)`. Refresh
+/// procedure: see EXPERIMENTS.md (`repro_sim_throughput`).
+pub fn throughput_gate(report_path: &Path, floor_path: &Path) -> Result<Vec<Finding>, String> {
+    let doc = load(report_path)?;
+    let floor = load(floor_path)?;
+    if floor.get("schema").and_then(Json::as_str) != Some("remem-bench/throughput-floor/v1") {
+        return Err(format!(
+            "{} is not a remem-bench/throughput-floor/v1 file",
+            floor_path.display()
+        ));
+    }
+    let report = floor
+        .get("report")
+        .and_then(Json::as_str)
+        .unwrap_or("throughput")
+        .to_string();
+    let floor_eps = floor
+        .get("events_per_sec_floor")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{} has no events_per_sec_floor", floor_path.display()))?;
+    let max_drop_pct = floor
+        .get("max_drop_pct")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{} has no max_drop_pct", floor_path.display()))?;
+    let mut current = None;
+    for line in doc.get("volatile").and_then(Json::as_arr).unwrap_or(&[]) {
+        if let Some(rest) = line
+            .as_str()
+            .and_then(|s| s.strip_prefix("throughput events_per_sec="))
+        {
+            current = rest.trim().parse::<f64>().ok();
+        }
+    }
+    let Some(current) = current else {
+        return Ok(vec![Finding {
+            report,
+            what: format!(
+                "{} has no `throughput events_per_sec=` volatile line",
+                report_path.display()
+            ),
+            ok: false,
+        }]);
+    };
+    let min_allowed = floor_eps * (1.0 - max_drop_pct / 100.0);
+    Ok(vec![Finding {
+        report,
+        what: format!(
+            "{current:.0} events/sec vs floor {floor_eps:.0} (min allowed {min_allowed:.0}, \
+             -{max_drop_pct}%)"
+        ),
+        ok: current >= min_allowed,
+    }])
 }
 
 fn load(path: &Path) -> Result<Json, String> {
@@ -326,6 +402,44 @@ mod tests {
     }
 
     #[test]
+    fn throughput_gate_compares_volatile_rate_to_floor() {
+        let tmp = std::env::temp_dir().join(format!("remem-bench-tp-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let report_with = |eps: Option<f64>| {
+            let mut r = crate::report::Report::new("tp_unit", "Test", "throughput unit");
+            if let Some(eps) = eps {
+                r.volatile_note(format!("throughput events_per_sec={eps:.0}"));
+            }
+            r.to_json().to_pretty()
+        };
+        let floor = r#"{
+  "schema": "remem-bench/throughput-floor/v1",
+  "report": "tp_unit",
+  "events_per_sec_floor": 1000000,
+  "max_drop_pct": 25
+}"#;
+        let fp = tmp.join("floor.json");
+        std::fs::write(&fp, floor).unwrap();
+        let rp = tmp.join("report.json");
+        // above the floor passes
+        std::fs::write(&rp, report_with(Some(1_200_000.0))).unwrap();
+        assert!(throughput_gate(&rp, &fp).unwrap().iter().all(|f| f.ok));
+        // within the tolerated drop passes (>= floor * 0.75)
+        std::fs::write(&rp, report_with(Some(800_000.0))).unwrap();
+        assert!(throughput_gate(&rp, &fp).unwrap().iter().all(|f| f.ok));
+        // below the tolerated drop fails
+        std::fs::write(&rp, report_with(Some(700_000.0))).unwrap();
+        assert!(throughput_gate(&rp, &fp).unwrap().iter().any(|f| !f.ok));
+        // a report without the volatile line fails rather than passing vacuously
+        std::fs::write(&rp, report_with(None)).unwrap();
+        assert!(throughput_gate(&rp, &fp).unwrap().iter().any(|f| !f.ok));
+        // a malformed floor file is an error
+        std::fs::write(&fp, "{\"schema\": \"other\"}").unwrap();
+        assert!(throughput_gate(&rp, &fp).is_err());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
     fn check_dirs_round_trip() {
         let tmp = std::env::temp_dir().join(format!("remem-bench-check-{}", std::process::id()));
         let (b, c) = (tmp.join("base"), tmp.join("cur"));
@@ -336,6 +450,16 @@ mod tests {
         std::fs::write(c.join("fig.json"), &doc).unwrap();
         let findings = check_dirs(&b, &c).unwrap();
         assert!(findings.iter().all(|f| f.ok));
+        // a non-report baseline (e.g. the throughput floor) is skipped, not
+        // demanded from the current run
+        std::fs::write(
+            b.join("sim_throughput_floor.json"),
+            "{\"schema\": \"remem-bench/throughput-floor/v1\"}",
+        )
+        .unwrap();
+        let findings = check_dirs(&b, &c).unwrap();
+        assert!(findings.iter().all(|f| f.ok));
+        assert!(!findings.iter().any(|f| f.report.contains("floor")));
         // a baseline with no current counterpart fails
         std::fs::write(b.join("gone.json"), &doc).unwrap();
         let findings = check_dirs(&b, &c).unwrap();

@@ -3,6 +3,7 @@
 //! ```text
 //! remem-bench --check <baseline_dir> [--current <dir>]
 //! remem-bench --identical <dir_a> <dir_b>
+//! remem-bench --throughput <report.json> --floor <floor.json>
 //! ```
 //!
 //! `--check` compares the current run's `results/*.json` (or `--current
@@ -15,11 +16,15 @@
 //! determinism fingerprints — CI runs the fast subset at `--threads 1` and
 //! `--threads 2` and gates on this to prove the windowed schedule's output
 //! is independent of the thread count.
+//!
+//! `--throughput` compares the wall-clock events/sec a report recorded in
+//! its volatile section against a committed floor file — the CI gate that
+//! catches a simulator slowdown (see `check::throughput_gate`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use remem_bench::check::{check_dirs, identical_dirs};
+use remem_bench::check::{check_dirs, identical_dirs, throughput_gate};
 use remem_bench::report::results_dir;
 
 fn main() -> ExitCode {
@@ -27,11 +32,15 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut identical: Option<(PathBuf, PathBuf)> = None;
+    let mut throughput: Option<PathBuf> = None;
+    let mut floor: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--check" => baseline = it.next().map(PathBuf::from),
             "--current" => current = it.next().map(PathBuf::from),
+            "--throughput" => throughput = it.next().map(PathBuf::from),
+            "--floor" => floor = it.next().map(PathBuf::from),
             "--identical" => match (it.next(), it.next()) {
                 (Some(a), Some(b)) => identical = Some((PathBuf::from(a), PathBuf::from(b))),
                 _ => {
@@ -46,7 +55,22 @@ fn main() -> ExitCode {
             }
         }
     }
-    let findings = if let Some((a, b)) = identical {
+    let findings = if let Some(report) = throughput {
+        let Some(floor) = floor else {
+            eprintln!("--throughput needs --floor <floor.json>");
+            return usage(ExitCode::FAILURE);
+        };
+        if baseline.is_some() || current.is_some() || identical.is_some() {
+            eprintln!("--throughput cannot be combined with --check/--identical");
+            return usage(ExitCode::FAILURE);
+        }
+        println!(
+            "remem-bench: gating {} against floor {}",
+            report.display(),
+            floor.display()
+        );
+        throughput_gate(&report, &floor)
+    } else if let Some((a, b)) = identical {
         if baseline.is_some() || current.is_some() {
             eprintln!("--identical cannot be combined with --check/--current");
             return usage(ExitCode::FAILURE);
@@ -101,5 +125,6 @@ fn main() -> ExitCode {
 fn usage(code: ExitCode) -> ExitCode {
     eprintln!("usage: remem-bench --check <baseline_dir> [--current <results_dir>]");
     eprintln!("       remem-bench --identical <results_dir_a> <results_dir_b>");
+    eprintln!("       remem-bench --throughput <report.json> --floor <floor.json>");
     code
 }

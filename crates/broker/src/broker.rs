@@ -113,7 +113,6 @@ impl std::error::Error for BrokerError {}
 /// lifecycle (§4.2): grants, renewals, terminal transitions, repairs, and
 /// the byte flows behind them.
 struct BrokerMetrics {
-    registry: Arc<MetricsRegistry>,
     granted: Arc<remem_sim::Counter>,
     renewed: Arc<remem_sim::Counter>,
     released: Arc<remem_sim::Counter>,
@@ -125,6 +124,7 @@ struct BrokerMetrics {
     donated_bytes: Arc<remem_sim::Counter>,
     reclaimed_bytes: Arc<remem_sim::Counter>,
     revocations_expired: Arc<remem_sim::Counter>,
+    leases_active: Arc<remem_sim::Gauge>,
 }
 
 impl BrokerMetrics {
@@ -141,7 +141,7 @@ impl BrokerMetrics {
             donated_bytes: registry.counter("broker.donated.bytes"),
             reclaimed_bytes: registry.counter("broker.reclaimed.bytes"),
             revocations_expired: registry.counter("broker.revocations_expired"),
-            registry,
+            leases_active: registry.gauge("broker.leases.active"),
         }
     }
 }
@@ -199,7 +199,7 @@ impl MemoryBroker {
             .values()
             .filter(|(_, s)| *s == LeaseState::Active)
             .count();
-        m.registry.gauge("broker.leases.active").set(active as f64);
+        m.leases_active.set(active as f64);
     }
 
     /// Cross-check broker accounting against the conservation laws.

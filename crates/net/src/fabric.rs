@@ -66,6 +66,10 @@ struct FabricMetrics {
     /// slowest replica's completion; that tail stays on the straggler's
     /// NIC pipe and is paid by whoever touches it next.
     quorum_straggler_lag: Arc<remem_sim::Histogram>,
+    read_span: remem_sim::SpanId,
+    write_span: remem_sim::SpanId,
+    quorum_write_span: remem_sim::SpanId,
+    batch_span: remem_sim::SpanId,
 }
 
 impl FabricMetrics {
@@ -86,6 +90,10 @@ impl FabricMetrics {
             batch_size: registry.histogram("fabric.batch.size"),
             quorum_writes: registry.counter("fabric.quorum.writes"),
             quorum_straggler_lag: registry.histogram("fabric.quorum.straggler_lag"),
+            read_span: registry.span("net.read"),
+            write_span: registry.span("net.write"),
+            quorum_write_span: registry.span("net.quorum_write"),
+            batch_span: registry.span("net.batch"),
             registry,
         }
     }
@@ -490,7 +498,9 @@ impl Fabric {
     ) -> Result<(), NetError> {
         let m = self.metrics.read().clone();
         let t0 = clock.now();
-        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.read", t0));
+        let span = m
+            .as_ref()
+            .map(|fm| fm.registry.span_enter_id(fm.read_span, t0));
         self.note_posted(local, handle.server, 1);
         let res = self.read_inner(clock, proto, local, handle, offset, buf);
         self.note_completed(local, handle.server, 1);
@@ -538,7 +548,9 @@ impl Fabric {
     ) -> Result<(), NetError> {
         let m = self.metrics.read().clone();
         let t0 = clock.now();
-        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.write", t0));
+        let span = m
+            .as_ref()
+            .map(|fm| fm.registry.span_enter_id(fm.write_span, t0));
         self.note_posted(local, handle.server, 1);
         let res = self.write_inner(clock, proto, local, handle, offset, data);
         self.note_completed(local, handle.server, 1);
@@ -608,7 +620,7 @@ impl Fabric {
         let t0 = clock.now();
         let span = m
             .as_ref()
-            .map(|fm| fm.registry.span_enter("net.quorum_write", t0));
+            .map(|fm| fm.registry.span_enter_id(fm.quorum_write_span, t0));
         for (h, _) in targets {
             self.note_posted(local, h.server, 1);
         }
@@ -761,7 +773,9 @@ impl Fabric {
         }
         let m = self.metrics.read().clone();
         let t0 = clock.now();
-        let span = m.as_ref().map(|fm| fm.registry.span_enter("net.batch", t0));
+        let span = m
+            .as_ref()
+            .map(|fm| fm.registry.span_enter_id(fm.batch_span, t0));
         let costs = self.costs(proto);
         for wr in wrs.iter() {
             if let Some((server, _)) = wr.target() {

@@ -39,6 +39,10 @@ struct RfMetrics {
     repairs: Arc<Counter>,
     migrations: Arc<Counter>,
     failovers: Arc<Counter>,
+    read_span: remem_sim::SpanId,
+    write_span: remem_sim::SpanId,
+    read_vectored_span: remem_sim::SpanId,
+    write_vectored_span: remem_sim::SpanId,
 }
 
 impl RfMetrics {
@@ -54,6 +58,10 @@ impl RfMetrics {
             repairs: registry.counter("rfile.repairs"),
             migrations: registry.counter("rfile.migrations"),
             failovers: registry.counter("rfile.failovers"),
+            read_span: registry.span("rfile.read"),
+            write_span: registry.span("rfile.write"),
+            read_vectored_span: registry.span("rfile.read_vectored"),
+            write_vectored_span: registry.span("rfile.write_vectored"),
             registry,
         }
     }
@@ -1272,7 +1280,7 @@ impl RemoteFile {
         let span = self
             .metrics
             .as_ref()
-            .map(|m| m.registry.span_enter("rfile.read", t0));
+            .map(|m| m.registry.span_enter_id(m.read_span, t0));
         let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
             let dst = &mut buf[done as usize..(done + chunk) as usize];
             fabric.read(clock, proto, local, handle, within, dst)
@@ -1303,7 +1311,7 @@ impl RemoteFile {
         let span = self
             .metrics
             .as_ref()
-            .map(|m| m.registry.span_enter("rfile.write", t0));
+            .map(|m| m.registry.span_enter_id(m.write_span, t0));
         let replicated = self.replicated();
         let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
             let src = &data[done as usize..(done + chunk) as usize];
@@ -1445,7 +1453,7 @@ impl RemoteFile {
         let span = self
             .metrics
             .as_ref()
-            .map(|m| m.registry.span_enter("rfile.read_vectored", t0));
+            .map(|m| m.registry.span_enter_id(m.read_vectored_span, t0));
         let shape: Vec<(u64, u64)> = reqs.iter().map(|(o, b)| (*o, b.len() as u64)).collect();
         let mut results: Vec<Result<(), StorageError>> = vec![Ok(()); reqs.len()];
         if self.vectored_preflight(clock, &shape, &mut results) {
@@ -1697,7 +1705,7 @@ impl RemoteFile {
         let span = self
             .metrics
             .as_ref()
-            .map(|m| m.registry.span_enter("rfile.write_vectored", t0));
+            .map(|m| m.registry.span_enter_id(m.write_vectored_span, t0));
         let shape: Vec<(u64, u64)> = reqs.iter().map(|(o, d)| (*o, d.len() as u64)).collect();
         let mut results: Vec<Result<(), StorageError>> = vec![Ok(()); reqs.len()];
         if self.vectored_preflight(clock, &shape, &mut results) {

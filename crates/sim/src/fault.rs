@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
-use crate::parallel::{self, take_ready, Entry};
+use crate::parallel::{self, fold_ready, Entry};
 use crate::time::SimTime;
 
 /// Which side of the chaos loop produced an event.
@@ -81,9 +81,17 @@ impl LogState {
     }
 
     fn fold(&mut self, capacity: usize) {
-        for (_, _, e) in take_ready(&mut self.pending, None) {
-            self.apply(capacity, e);
-        }
+        let LogState {
+            events,
+            counts,
+            pending,
+        } = self;
+        fold_ready(pending, None, |e| {
+            *counts.entry((e.kind, e.origin)).or_insert(0) += 1;
+            if events.len() < capacity {
+                events.push(e);
+            }
+        });
     }
 }
 

@@ -25,6 +25,7 @@
 //!   byte-identical across thread counts (and, in ordered mode, runs any
 //!   workload under the windowed schedule without concurrency).
 
+pub mod arena;
 pub mod clock;
 pub mod driver;
 pub mod fault;
@@ -35,11 +36,14 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
+pub use arena::EventQueue;
 pub use clock::Clock;
 pub use driver::{ClosedLoopDriver, RunOutcome};
 pub use fault::{FaultEvent, FaultLog, FaultOrigin};
 pub use metrics::{Counter, Histogram, TimeSeries};
 pub use parallel::{ParallelDriver, Stopwatch};
-pub use registry::{intern_name, Gauge, MetricsRegistry, MetricsSnapshot, SpanStats, SpanToken};
+pub use registry::{
+    intern_name, Gauge, MetricsRegistry, MetricsSnapshot, SpanId, SpanStats, SpanToken,
+};
 pub use resource::{CpuPool, FifoResource, LinkResource, PoolResource};
 pub use time::{SimDuration, SimTime};

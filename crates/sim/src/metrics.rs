@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::parallel::{self, take_ready, Entry};
+use crate::parallel::{self, fold_ready, Entry};
 use crate::time::{SimDuration, SimTime};
 
 /// A latency histogram over virtual durations.
@@ -34,9 +34,8 @@ struct HistState {
 
 impl HistState {
     fn fold(&mut self) {
-        for (_, _, v) in take_ready(&mut self.pending, None) {
-            self.samples.push(v);
-        }
+        let HistState { samples, pending } = self;
+        fold_ready(pending, None, |v| samples.push(v));
     }
 }
 
@@ -190,19 +189,24 @@ struct SeriesState {
 
 impl SeriesState {
     fn apply(&mut self, width_ns: u64, at_ns: u64, value: f64) {
-        let idx = (at_ns / width_ns) as usize;
-        if self.buckets.len() <= idx {
-            self.buckets.resize(idx + 1, (0.0, 0));
-        }
-        self.buckets[idx].0 += value;
-        self.buckets[idx].1 += 1;
+        apply_bucket(&mut self.buckets, width_ns, at_ns, value);
     }
 
     fn fold(&mut self, width_ns: u64) {
-        for (_, _, (at, v)) in take_ready(&mut self.pending, None) {
-            self.apply(width_ns, at, v);
-        }
+        let SeriesState { buckets, pending } = self;
+        fold_ready(pending, None, |(at, v)| {
+            apply_bucket(buckets, width_ns, at, v);
+        });
     }
+}
+
+fn apply_bucket(buckets: &mut Vec<(f64, u64)>, width_ns: u64, at_ns: u64, value: f64) {
+    let idx = (at_ns / width_ns) as usize;
+    if buckets.len() <= idx {
+        buckets.resize(idx + 1, (0.0, 0));
+    }
+    buckets[idx].0 += value;
+    buckets[idx].1 += 1;
 }
 
 impl TimeSeries {

@@ -109,33 +109,42 @@ static RUN_IDS: AtomicU64 = AtomicU64::new(1);
 /// `T`. Kept in each substrate object's own mutex-guarded pending list.
 pub(crate) type Entry<T> = (RoundKey, u32, T);
 
-/// Remove and return, in canonical order, the buffered entries that are
-/// ready to fold: all of them (`before == None`, used by sequential
-/// accessors) or only those from windows strictly before `before` (used by
-/// in-round resource acquires, which must not observe other workers'
-/// same-round effects). The sort is stable, so each worker's program order
-/// is preserved inside its `(round, worker)` slot.
-pub(crate) fn take_ready<T>(
+/// Fold, in canonical order, the buffered entries that are ready: all of
+/// them (`before == None`, used by sequential accessors) or only those from
+/// windows strictly before `before` (used by in-round resource acquires,
+/// which must not observe other workers' same-round effects).
+///
+/// Works **in place** on the pending list — sort, drain the ready prefix
+/// through `f`, keep the rest — so the steady-state fold cycle performs no
+/// heap allocation and the list's capacity is reused across rounds (the old
+/// take-and-partition version reallocated on every fold). The sort is
+/// stable, so each worker's program order is preserved inside its
+/// `(round, worker)` slot; entries surviving a cutoff fold are left sorted,
+/// which later folds are insensitive to for the same reason.
+pub(crate) fn fold_ready<T>(
     pending: &mut Vec<Entry<T>>,
     before: Option<RoundKey>,
-) -> Vec<Entry<T>> {
+    mut f: impl FnMut(T),
+) {
     if pending.is_empty() {
-        return Vec::new();
+        return;
     }
-    let mut ready: Vec<Entry<T>> = match before {
-        None => std::mem::take(pending),
+    let cut = match before {
+        None => {
+            pending.sort_by_key(|e| (e.0, e.1));
+            pending.len()
+        }
         Some(k) => {
             if !pending.iter().any(|e| e.0 < k) {
-                return Vec::new();
+                return;
             }
-            let (ready, keep): (Vec<_>, Vec<_>) =
-                std::mem::take(pending).into_iter().partition(|e| e.0 < k);
-            *pending = keep;
-            ready
+            pending.sort_by_key(|e| (e.0, e.1));
+            pending.partition_point(|e| e.0 < k)
         }
     };
-    ready.sort_by_key(|e| (e.0, e.1));
-    ready
+    for (_, _, v) in pending.drain(..cut) {
+        f(v);
+    }
 }
 
 /// Closed-loop driver executing conservative virtual-time windows, possibly
@@ -148,25 +157,45 @@ pub struct ParallelDriver {
     threads: usize,
 }
 
-/// One scheduled round: workers in canonical `(clock, worker_id)` order.
-fn plan_round(clocks: &[Clock], horizon: SimTime, lookahead: SimDuration) -> Vec<usize> {
-    let mut eligible: Vec<(SimTime, usize)> = clocks
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| {
-            let t = c.now();
-            (t < horizon).then_some((t, i))
-        })
-        .collect();
+/// Plan one round into `order`: workers in canonical `(clock, worker_id)`
+/// order. `eligible` and `order` are caller-owned scratch buffers reused
+/// across rounds, so the per-round planning cost is sort-only — the profile
+/// flagged the old per-round `Vec` collects as the dominant allocation in
+/// long windowed runs.
+fn plan_round_into(
+    clocks: &[Clock],
+    horizon: SimTime,
+    lookahead: SimDuration,
+    eligible: &mut Vec<(SimTime, usize)>,
+    order: &mut Vec<usize>,
+) {
+    eligible.clear();
+    order.clear();
+    eligible.extend(clocks.iter().enumerate().filter_map(|(i, c)| {
+        let t = c.now();
+        (t < horizon).then_some((t, i))
+    }));
     if eligible.is_empty() {
-        return Vec::new();
+        return;
     }
     // (time, worker-id) is the tie-break contract shared with
     // ClosedLoopDriver: equal clocks run in ascending worker order.
-    eligible.sort();
+    eligible.sort_unstable();
     let window_end = SimTime(eligible[0].0 .0.saturating_add(lookahead.0));
-    eligible.retain(|&(t, _)| t < window_end);
-    eligible.into_iter().map(|(_, i)| i).collect()
+    order.extend(
+        eligible
+            .iter()
+            .take_while(|&&(t, _)| t < window_end)
+            .map(|&(_, i)| i),
+    );
+}
+
+/// One scheduled round as a fresh `Vec` (test and one-shot convenience).
+#[cfg(test)]
+fn plan_round(clocks: &[Clock], horizon: SimTime, lookahead: SimDuration) -> Vec<usize> {
+    let (mut eligible, mut order) = (Vec::new(), Vec::new());
+    plan_round_into(clocks, horizon, lookahead, &mut eligible, &mut order);
+    order
 }
 
 impl ParallelDriver {
@@ -236,12 +265,20 @@ impl ParallelDriver {
     {
         let mut started = 0u64;
         let mut completed = 0u64;
+        let mut eligible = Vec::with_capacity(self.clocks.len());
+        let mut order = Vec::with_capacity(self.clocks.len());
         loop {
-            let order = plan_round(&self.clocks, self.horizon, self.lookahead);
+            plan_round_into(
+                &self.clocks,
+                self.horizon,
+                self.lookahead,
+                &mut eligible,
+                &mut order,
+            );
             if order.is_empty() {
                 break;
             }
-            for w in order {
+            for &w in &order {
                 let before = self.clocks[w].now();
                 op(w, &mut self.clocks[w]);
                 let after = self.clocks[w].now();
@@ -283,13 +320,21 @@ impl ParallelDriver {
             let mut started = 0u64;
             let mut completed = 0u64;
             let mut round = 0u64;
+            let mut eligible = Vec::with_capacity(n);
+            let mut order = Vec::with_capacity(n);
             loop {
-                let order = plan_round(&self.clocks, horizon, self.lookahead);
+                plan_round_into(
+                    &self.clocks,
+                    horizon,
+                    self.lookahead,
+                    &mut eligible,
+                    &mut order,
+                );
                 if order.is_empty() {
                     break;
                 }
                 let key = RoundKey { run, round };
-                for w in order {
+                for &w in &order {
                     set_ctx(Some(Ctx {
                         key,
                         worker: w as u32,
@@ -369,57 +414,77 @@ impl ParallelDriver {
                 let panicked = &panicked;
                 let panic_payload = &panic_payload;
                 let op = &op;
-                s.spawn(move || loop {
-                    round_start.wait();
-                    let (done, round, mine) = {
-                        let p = plan.lock();
-                        (p.done, p.round, p.chunks[tid].clone())
-                    };
-                    if done {
-                        break;
-                    }
-                    let key = RoundKey { run, round };
-                    for w in mine {
-                        if panicked.load(Ordering::SeqCst) {
+                s.spawn(move || {
+                    // Reused across rounds: refilled from the plan under the
+                    // lock, so the per-round cost is a memcpy, not a clone.
+                    let mut mine: Vec<usize> = Vec::new();
+                    loop {
+                        round_start.wait();
+                        let (done, round) = {
+                            let p = plan.lock();
+                            mine.clear();
+                            mine.extend_from_slice(&p.chunks[tid]);
+                            (p.done, p.round)
+                        };
+                        if done {
                             break;
                         }
-                        set_ctx(Some(Ctx {
-                            key,
-                            worker: w as u32,
-                        }));
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            let mut guard = slots[w].lock();
-                            let slot = &mut *guard;
-                            let before = slot.clock.now();
-                            op(w, &mut slot.clock, &mut slot.state);
-                            let after = slot.clock.now();
-                            assert!(after > before, "operation must advance virtual time");
-                            latencies.record(after.since(before));
-                            slot.started += 1;
-                            if after <= horizon {
-                                slot.completed += 1;
+                        let key = RoundKey { run, round };
+                        for &w in &mine {
+                            if panicked.load(Ordering::SeqCst) {
+                                break;
                             }
-                        }));
-                        set_ctx(None);
-                        if let Err(p) = result {
-                            panicked.store(true, Ordering::SeqCst);
-                            panic_payload.lock().get_or_insert(p);
-                            break;
+                            set_ctx(Some(Ctx {
+                                key,
+                                worker: w as u32,
+                            }));
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let mut guard = slots[w].lock();
+                                let slot = &mut *guard;
+                                let before = slot.clock.now();
+                                op(w, &mut slot.clock, &mut slot.state);
+                                let after = slot.clock.now();
+                                assert!(after > before, "operation must advance virtual time");
+                                latencies.record(after.since(before));
+                                slot.started += 1;
+                                if after <= horizon {
+                                    slot.completed += 1;
+                                }
+                            }));
+                            set_ctx(None);
+                            if let Err(p) = result {
+                                panicked.store(true, Ordering::SeqCst);
+                                panic_payload.lock().get_or_insert(p);
+                                break;
+                            }
                         }
+                        round_end.wait();
                     }
-                    round_end.wait();
                 });
             }
 
             let mut round = 0u64;
+            // Planner scratch, reused every round: the clock snapshot and
+            // the schedule buffers were the remaining per-round heap
+            // allocations the profile flagged in pool mode.
+            let mut clock_scratch: Vec<Clock> = Vec::with_capacity(slots.len());
+            let mut eligible = Vec::with_capacity(slots.len());
+            let mut order = Vec::with_capacity(slots.len());
             loop {
                 let bail = panicked.load(Ordering::SeqCst);
-                let order = if bail {
-                    Vec::new()
+                if bail {
+                    order.clear();
                 } else {
-                    let clocks: Vec<Clock> = slots.iter().map(|s| s.lock().clock.clone()).collect();
-                    plan_round(&clocks, horizon, self.lookahead)
-                };
+                    clock_scratch.clear();
+                    clock_scratch.extend(slots.iter().map(|s| s.lock().clock.clone()));
+                    plan_round_into(
+                        &clock_scratch,
+                        horizon,
+                        self.lookahead,
+                        &mut eligible,
+                        &mut order,
+                    );
+                }
                 if order.is_empty() {
                     plan.lock().done = true;
                     round_start.wait();
@@ -638,7 +703,7 @@ mod tests {
     }
 
     #[test]
-    fn take_ready_orders_canonically_and_respects_cutoff() {
+    fn fold_ready_orders_canonically_and_respects_cutoff() {
         let k = |run, round| RoundKey { run, round };
         let mut pending = vec![
             (k(1, 2), 1u32, "r2w1a"),
@@ -647,16 +712,23 @@ mod tests {
             (k(1, 1), 0, "r1w0"),
             (k(1, 2), 1, "r2w1b"),
         ];
+        let capacity = pending.capacity();
         // Cutoff at round 2: only round-1 entries fold, worker order.
-        let ready = take_ready(&mut pending, Some(k(1, 2)));
-        let vals: Vec<_> = ready.iter().map(|e| e.2).collect();
+        let mut vals = Vec::new();
+        fold_ready(&mut pending, Some(k(1, 2)), |v| vals.push(v));
         assert_eq!(vals, ["r1w0", "r1w2"]);
         assert_eq!(pending.len(), 3);
         // No cutoff: everything folds; same-worker program order survives.
-        let ready = take_ready(&mut pending, None);
-        let vals: Vec<_> = ready.iter().map(|e| e.2).collect();
+        vals.clear();
+        fold_ready(&mut pending, None, |v| vals.push(v));
         assert_eq!(vals, ["r2w0", "r2w1a", "r2w1b"]);
         assert!(pending.is_empty());
+        // In-place contract: the pending list's allocation is retained.
+        assert_eq!(pending.capacity(), capacity);
+        // A cutoff with nothing ready folds nothing.
+        pending.push((k(1, 5), 0, "r5w0"));
+        fold_ready(&mut pending, Some(k(1, 3)), |_| panic!("nothing is ready"));
+        assert_eq!(pending.len(), 1);
     }
 
     #[test]

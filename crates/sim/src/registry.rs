@@ -29,7 +29,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::metrics::{Counter, Histogram, TimeSeries};
-use crate::parallel::{self, take_ready, Entry};
+use crate::parallel::{self, fold_ready, Entry};
 use crate::time::{SimDuration, SimTime};
 
 /// A settable scalar metric (stored as `f64` bits).
@@ -49,9 +49,9 @@ impl Gauge {
     }
 
     fn fold(&self) {
-        for (_, _, bits) in take_ready(&mut self.pending.lock(), None) {
+        fold_ready(&mut self.pending.lock(), None, |bits| {
             self.bits.store(bits, Ordering::Relaxed);
-        }
+        });
     }
 
     pub fn set(&self, v: f64) {
@@ -105,10 +105,15 @@ pub struct SpanToken {
     depth: usize,
 }
 
+/// Pre-resolved handle to a named span, returned by
+/// [`MetricsRegistry::span`]. Resolve once at construction time; entering
+/// by id ([`MetricsRegistry::span_enter_id`]) is a plain index, with no
+/// string comparison on the per-verb hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(u32);
+
 struct OpenSpan {
-    // `&'static str`, not `String`: span_enter sits on the per-verb hot
-    // path and must not heap-allocate. All span names are literals.
-    name: &'static str,
+    id: SpanId,
     start: SimTime,
     child_time: SimDuration,
 }
@@ -119,21 +124,23 @@ struct OpenSpan {
 /// shared stack exactly as a sequential run would.
 #[derive(Debug, Clone, Copy)]
 enum SpanOp {
-    Enter(&'static str, SimTime),
+    Enter(SpanId, SimTime),
     Exit(SimTime),
 }
 
 #[derive(Default)]
 struct SpanState {
-    stats: BTreeMap<String, SpanStats>,
+    ids: BTreeMap<&'static str, SpanId>,
+    names: Vec<&'static str>,
+    stats: Vec<SpanStats>,
     stack: Vec<OpenSpan>,
     pending: Vec<Entry<SpanOp>>,
 }
 
 impl SpanState {
-    fn open(&mut self, name: &'static str, at: SimTime) {
+    fn open(&mut self, id: SpanId, at: SimTime) {
         self.stack.push(OpenSpan {
-            name,
+            id,
             start: at,
             child_time: SimDuration::ZERO,
         });
@@ -146,23 +153,27 @@ impl SpanState {
         if let Some(parent) = self.stack.last_mut() {
             parent.child_time += total;
         }
-        // Allocate the owned key only for a span's first-ever exit.
-        let st = match self.stats.get_mut(open.name) {
-            Some(st) => st,
-            None => self.stats.entry(open.name.to_string()).or_default(),
-        };
+        let st = &mut self.stats[open.id.0 as usize];
         st.count += 1;
         st.total += total;
         st.self_time += self_time;
     }
 
     fn fold(&mut self) {
-        for (_, _, op) in take_ready(&mut self.pending, None) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // open/close need `&mut self` while pending is drained, so swap the
+        // buffer out for the duration and put it back to keep its capacity.
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(|e| (e.0, e.1));
+        for (_, _, op) in pending.drain(..) {
             match op {
-                SpanOp::Enter(name, at) => self.open(name, at),
+                SpanOp::Enter(id, at) => self.open(id, at),
                 SpanOp::Exit(at) => self.close(at),
             }
         }
+        self.pending = pending;
     }
 }
 
@@ -261,30 +272,49 @@ impl MetricsRegistry {
         )
     }
 
+    /// Resolve (registering on first use) the span `name` to a [`SpanId`].
+    /// Call once at construction time; the id makes every subsequent
+    /// [`MetricsRegistry::span_enter_id`] a string-free array index.
+    pub fn span(&self, name: &str) -> SpanId {
+        let mut s = self.spans.lock();
+        if let Some(&id) = s.ids.get(name) {
+            return id;
+        }
+        self.claim(name, "span");
+        let interned = intern_name(name);
+        let id = SpanId(s.names.len() as u32);
+        s.ids.insert(interned, id);
+        s.names.push(interned);
+        s.stats.push(SpanStats::default());
+        id
+    }
+
     /// Open the span `name` at instant `at`. Spans nest; close with
     /// [`MetricsRegistry::span_exit`] in LIFO order.
     ///
-    /// Takes `&'static str` so the per-verb hot path never allocates: the
-    /// name is stored by reference and only copied into the stats map the
-    /// first time a given span is closed.
+    /// Convenience wrapper that resolves `name` on every call; hot paths
+    /// should resolve a [`SpanId`] once via [`MetricsRegistry::span`] and
+    /// use [`MetricsRegistry::span_enter_id`] instead.
     pub fn span_enter(&self, name: &'static str, at: SimTime) -> SpanToken {
+        let id = self.span(name);
+        self.span_enter_id(id, at)
+    }
+
+    /// Open the pre-resolved span `id` at instant `at`. Close with
+    /// [`MetricsRegistry::span_exit`] in LIFO order. Never hashes or
+    /// compares a string.
+    pub fn span_enter_id(&self, id: SpanId, at: SimTime) -> SpanToken {
         let mut s = self.spans.lock();
-        // claim() only on the first sighting of this span name; after that
-        // the stats map itself witnesses the binding and we skip the extra
-        // kinds-map lock on every verb.
-        if !s.stats.contains_key(name) {
-            self.claim(name, "span");
-        }
         if let Some(c) = parallel::current() {
             // Defer the stack mutation; the token's LIFO check runs against
             // the worker-local depth counter instead of the shared stack.
-            s.pending.push((c.key, c.worker, SpanOp::Enter(name, at)));
+            s.pending.push((c.key, c.worker, SpanOp::Enter(id, at)));
             return SpanToken {
                 depth: parallel::span_depth_push(),
             };
         }
         s.fold();
-        s.open(name, at);
+        s.open(id, at);
         SpanToken {
             depth: s.stack.len() - 1,
         }
@@ -312,7 +342,10 @@ impl MetricsRegistry {
     pub fn span_stats(&self, name: &str) -> SpanStats {
         let mut s = self.spans.lock();
         s.fold();
-        s.stats.get(name).copied().unwrap_or_default()
+        match s.ids.get(name) {
+            Some(&id) => s.stats[id.0 as usize],
+            None => SpanStats::default(),
+        }
     }
 
     /// A deterministic, name-ordered snapshot of every metric.
@@ -366,21 +399,27 @@ impl MetricsRegistry {
         let spans = {
             let mut s = self.spans.lock();
             s.fold();
-            s
-        }
-        .stats
-        .iter()
-        .map(|(k, st)| {
-            (
-                k.clone(),
-                SpanSummary {
-                    count: st.count,
-                    total_ns: st.total.as_nanos(),
-                    self_ns: st.self_time.as_nanos(),
-                },
-            )
-        })
-        .collect();
+            // Only spans that have closed at least once appear, matching the
+            // registry's historical "stats exist after first exit" contract.
+            let mut pairs: Vec<(String, SpanSummary)> = s
+                .names
+                .iter()
+                .zip(s.stats.iter())
+                .filter(|(_, st)| st.count > 0)
+                .map(|(n, st)| {
+                    (
+                        n.to_string(),
+                        SpanSummary {
+                            count: st.count,
+                            total_ns: st.total.as_nanos(),
+                            self_ns: st.self_time.as_nanos(),
+                        },
+                    )
+                })
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            pairs
+        };
         MetricsSnapshot {
             counters,
             gauges,

@@ -22,7 +22,7 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::parallel::{self, take_ready, Entry};
+use crate::parallel::{self, fold_ready, Entry};
 use crate::time::{SimDuration, SimTime};
 
 /// Result of acquiring a resource: when service started and when it completed.
@@ -126,10 +126,9 @@ impl FifoResource {
     /// requests when called from inside a parallel round (same-round
     /// requests from other workers must stay invisible).
     fn folded(s: &mut FifoState, ctx: Option<parallel::Ctx>) -> Fluid {
-        for (_, _, r) in take_ready(&mut s.pending, ctx.map(|c| c.key)) {
-            s.fluid.apply(r);
-        }
-        s.fluid
+        let FifoState { fluid, pending } = s;
+        fold_ready(pending, ctx.map(|c| c.key), |r| fluid.apply(r));
+        *fluid
     }
 
     /// Queue `service` of work behind the current backlog.
@@ -250,9 +249,10 @@ impl PoolState {
 
     /// Fold buffered requests in canonical order; see `FifoResource::folded`.
     fn fold(&mut self, ctx: Option<parallel::Ctx>) {
-        for (_, _, r) in take_ready(&mut self.pending, ctx.map(|c| c.key)) {
-            let _ = Self::grant(&mut self.servers, r);
-        }
+        let PoolState { servers, pending } = self;
+        fold_ready(pending, ctx.map(|c| c.key), |r| {
+            let _ = Self::grant(servers, r);
+        });
     }
 
     fn round_grant(&mut self, c: parallel::Ctx, r: PoolReq) -> Grant {

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use remem_sim::{Clock, Counter, Histogram, MetricsRegistry};
+use remem_sim::{Clock, Counter, Histogram, MetricsRegistry, SpanId};
 
 use crate::device::Device;
 use crate::error::StorageError;
@@ -22,9 +22,9 @@ use crate::error::StorageError;
 pub struct MeteredDevice {
     inner: Arc<dyn Device>,
     registry: Arc<MetricsRegistry>,
-    // interned once here so the per-op span_enter stays allocation-free
-    read_span: &'static str,
-    write_span: &'static str,
+    // resolved once here so the per-op span enter is a string-free index
+    read_span: SpanId,
+    write_span: SpanId,
     read_ops: Arc<Counter>,
     write_ops: Arc<Counter>,
     read_bytes: Arc<Counter>,
@@ -43,8 +43,8 @@ impl MeteredDevice {
         prefix: &str,
     ) -> MeteredDevice {
         MeteredDevice {
-            read_span: remem_sim::intern_name(&format!("{prefix}.read")),
-            write_span: remem_sim::intern_name(&format!("{prefix}.write")),
+            read_span: registry.span(&format!("{prefix}.read")),
+            write_span: registry.span(&format!("{prefix}.write")),
             read_ops: registry.counter(&format!("{prefix}.read.ops")),
             write_ops: registry.counter(&format!("{prefix}.write.ops")),
             read_bytes: registry.counter(&format!("{prefix}.read.bytes")),
@@ -62,7 +62,7 @@ impl MeteredDevice {
 impl Device for MeteredDevice {
     fn read(&self, clock: &mut Clock, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
         let t0 = clock.now();
-        let span = self.registry.span_enter(self.read_span, t0);
+        let span = self.registry.span_enter_id(self.read_span, t0);
         let res = self.inner.read(clock, offset, buf);
         self.registry.span_exit(span, clock.now());
         if res.is_ok() {
@@ -77,7 +77,7 @@ impl Device for MeteredDevice {
 
     fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError> {
         let t0 = clock.now();
-        let span = self.registry.span_enter(self.write_span, t0);
+        let span = self.registry.span_enter_id(self.write_span, t0);
         let res = self.inner.write(clock, offset, data);
         self.registry.span_exit(span, clock.now());
         if res.is_ok() {

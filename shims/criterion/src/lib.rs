@@ -64,7 +64,24 @@ fn measuring() -> bool {
     std::env::args().any(|a| a == "--bench")
 }
 
+/// Positional-argument name filter, matching real criterion's CLI: `cargo
+/// bench --bench micro -- <substring>` runs only benchmarks whose full
+/// name contains the substring.
+fn name_filter() -> Option<String> {
+    std::env::args().skip(1).rfind(|a| !a.starts_with('-'))
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Only filter in measuring mode: under `cargo test` the positional
+    // args belong to the test harness, and the smoke pass must cover
+    // every routine anyway.
+    if measuring() {
+        if let Some(filter) = name_filter() {
+            if !name.contains(&filter) {
+                return;
+            }
+        }
+    }
     let mut b = Bencher {
         iters: if measuring() { samples as u64 } else { 1 },
         elapsed_ns: 0,
