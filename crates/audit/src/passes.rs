@@ -675,6 +675,28 @@ mod tests {
         assert!(w.used[0][0], "pragma consumed");
     }
 
+    #[test]
+    fn clock_charge_covers_the_pushdown_verb_path() {
+        // a pushdown RPC that evaluates near memory but never charges the
+        // server's CPU onto the caller's clock is a free-compute bug — the
+        // charged roots (net/storage/rfile) must catch the whole chain
+        let v = run(&[(
+            "crates/net/src/a.rs",
+            "pub fn pushdown(clock: &mut Clock, req: &Req) { serve(clock, req); }\n\
+             fn serve(clock: &mut Clock, req: &Req) { let t = clock.now(); }",
+        )]);
+        let cc: Vec<&Violation> = v.iter().filter(|v| v.rule == "clock-charge").collect();
+        assert_eq!(cc.len(), 2, "{v:?}");
+        assert!(cc[0].msg.contains("pushdown") && cc[0].msg.contains("serve"));
+        // charging the eval cost anywhere down the chain clears it
+        let v = rules_of(&[(
+            "crates/net/src/a.rs",
+            "pub fn pushdown(clock: &mut Clock, req: &Req) { serve(clock, req); }\n\
+             fn serve(clock: &mut Clock, req: &Req) { clock.advance_to(cpu_done); }",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
     // pass 2 ──────────────────────────────────────────────────────────────
 
     #[test]

@@ -32,6 +32,12 @@
 //!   All data-path writes go through `Fabric::write_quorum`; the few
 //!   legitimate single-copy writes (zeroing a fresh stripe, unreplicated
 //!   files, replica seeding) carry a waiver pragma naming why.
+//! * `pushdown-charge` — no direct `fabric.pushdown(…)` / `fab.pushdown(…)`
+//!   in non-test library code outside `net`/`rfile`: the pushdown verb
+//!   charges the memory server's CPU on the caller's clock only when routed
+//!   through `RemoteFile::read_pushdown`, which also owns extent fan-out and
+//!   replica failover. A raw call from the engine or a workload computes on
+//!   the server for free and skips the broker's compute ledger.
 //!
 //! Any rule can be waived per line with `// audit: allow(<rule>, <reason>)`
 //! on the offending line or the line directly above. Unused or unknown
@@ -51,6 +57,7 @@ pub const RULES: &[&str] = &[
     "bench-report",
     "nondet-parallel",
     "quorum-write",
+    "pushdown-charge",
     // interprocedural passes (crate::passes)
     "panic-path",
     "lock-order",
@@ -65,6 +72,9 @@ const NO_UNWRAP: &[&str] = &["broker", "net", "rfile"];
 const RNG_OWNERS: &[&str] = &["sim", "workloads", "bench", "audit"];
 /// Crates whose public clock-taking ops model hardware and must charge time.
 const CLOCK_CHARGED: &[&str] = &["net", "storage", "rfile"];
+/// Crates allowed to drive the fabric's pushdown verb directly: `net` owns
+/// it, `rfile` wraps it in the charged, failover-aware scan path.
+const PUSHDOWN_OWNERS: &[&str] = &["net", "rfile"];
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -278,6 +288,7 @@ pub fn lint_file(path: &str, src: &str) -> FileLint {
     rule_bench_report(&mut ctx);
     rule_nondet_parallel(&mut ctx);
     rule_quorum_write(&mut ctx);
+    rule_pushdown_charge(&mut ctx);
 
     FileLint {
         violations: ctx.out,
@@ -680,6 +691,43 @@ fn rule_quorum_write(ctx: &mut Ctx) {
     }
 }
 
+/// For `pushdown-charge`: the pushdown verb spends a *memory server's* CPU,
+/// and only `RemoteFile::read_pushdown` routes that charge onto the
+/// caller's clock, splits the span on extent boundaries, and retries
+/// replicas on failover. A raw `fabric.pushdown(…)` outside `net`/`rfile`
+/// library code computes near memory for free — the broker's compute ledger
+/// never sees it and the simulated time stays flat. Flags `.pushdown(`
+/// whose receiver ident is `fabric` or `fab` in non-test code of every
+/// other crate; deliberate low-level experiments carry a waiver pragma.
+fn rule_pushdown_charge(ctx: &mut Ctx) {
+    let Some(krate) = ctx.krate else { return };
+    if PUSHDOWN_OWNERS.contains(&krate) || ctx.test_file {
+        return;
+    }
+    let mut hits = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.is("pushdown")
+            && i >= 2
+            && ctx.toks[i - 1].is(".")
+            && (ctx.toks[i - 2].is("fabric") || ctx.toks[i - 2].is("fab"))
+            && ctx.toks.get(i + 1).map(|n| n.is("(")) == Some(true)
+            && !ctx.in_test(i)
+        {
+            hits.push(t.line);
+        }
+    }
+    for line in hits {
+        ctx.push(
+            "pushdown-charge",
+            line,
+            "direct `fabric.pushdown` outside net/rfile: near-memory compute must \
+             go through `RemoteFile::read_pushdown` so the server CPU charge, the \
+             broker's compute ledger and replica failover all apply"
+                .to_string(),
+        );
+    }
+}
+
 // ─── tree walker ─────────────────────────────────────────────────────────
 
 /// Recursively collect `*.rs` files under `root/crates`, skipping `target`
@@ -917,6 +965,36 @@ mod tests {
         let waived = "fn f() {\n// audit: allow(quorum-write, zeroing a fresh stripe)\n\
                       fabric.write(c, p, l, m, 0, d);\n}\n";
         assert!(rules_of("crates/rfile/src/a.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn pushdown_charge_flags_raw_verb_calls_outside_net_and_rfile() {
+        let src = "fn f() { let r = fabric.pushdown(clock, proto, local, &req); }\n";
+        assert_eq!(
+            rules_of("crates/engine/src/a.rs", src),
+            vec!["pushdown-charge"]
+        );
+        let short = "fn f() { fab.pushdown(clock, proto, local, &req); }\n";
+        assert_eq!(
+            rules_of("crates/workloads/src/a.rs", short),
+            vec!["pushdown-charge"]
+        );
+        // the owners are exempt: net implements the verb, rfile is the
+        // sanctioned charged path
+        assert!(rules_of("crates/net/src/a.rs", src).is_empty());
+        assert!(rules_of("crates/rfile/src/a.rs", src).is_empty());
+        // the charged wrapper and other receivers are fine
+        let ok = "fn f() { let s = file.read_pushdown(clock, off, len, &prog); \
+                  planner.pushdown(est); }\n";
+        assert!(rules_of("crates/engine/src/a.rs", ok).is_empty());
+        // tests may drive the verb to pin protocol behavior
+        let test_src = "#[test]\nfn t() { fabric.pushdown(c, p, l, &req); }\n";
+        assert!(rules_of("crates/engine/src/a.rs", test_src).is_empty());
+        assert!(rules_of("crates/engine/tests/a.rs", src).is_empty());
+        // waivable like every other rule
+        let waived = "fn f() {\n// audit: allow(pushdown-charge, protocol probe)\n\
+                      fabric.pushdown(c, p, l, &req);\n}\n";
+        assert!(rules_of("crates/engine/src/a.rs", waived).is_empty());
     }
 
     #[test]

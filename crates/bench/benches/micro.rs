@@ -140,6 +140,121 @@ fn bench_closed_loop_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_defer_fold(c: &mut Criterion) {
+    // the windowed driver's deferred-effect fold: unstable sort on a dense
+    // packed (run, round, worker) u128 key + seq tie-break (DeferQueue)
+    // vs the stable tuple-key sort it replaced
+    let mut g = c.benchmark_group("defer");
+    const N: u64 = 4096;
+    let mut rng = SimRng::seeded(12);
+    let entries: Vec<(u64, u64, u32, u64)> = (0..N)
+        .map(|seq| (1u64, rng.uniform(0, 64), rng.uniform(0, 32) as u32, seq))
+        .collect();
+    g.bench_function("fold_unstable_dense_key", |b| {
+        let mut buf: Vec<(u128, u64, u64)> = Vec::with_capacity(N as usize);
+        b.iter(|| {
+            buf.clear();
+            buf.extend(entries.iter().map(|&(run, round, worker, seq)| {
+                (
+                    ((run as u128) << 64) | ((round as u128) << 32) | worker as u128,
+                    seq,
+                    seq,
+                )
+            }));
+            buf.sort_unstable_by_key(|e| (e.0, e.1));
+            buf.iter().map(|e| e.2).sum::<u64>()
+        });
+    });
+    g.bench_function("fold_stable_tuple_key", |b| {
+        let mut buf: Vec<((u64, u64), u32, u64)> = Vec::with_capacity(N as usize);
+        b.iter(|| {
+            buf.clear();
+            buf.extend(
+                entries
+                    .iter()
+                    .map(|&(run, round, worker, seq)| ((run, round), worker, seq)),
+            );
+            buf.sort_by_key(|e| (e.0, e.1));
+            buf.iter().map(|e| e.2).sum::<u64>()
+        });
+    });
+    g.finish();
+}
+
+/// 64 synthetic slotted pages of 3-column rows `(Int key, Float, Str pad)`,
+/// the layout the pushdown kernels run over on the memory server.
+fn eval_span(npages: usize) -> Vec<u8> {
+    let mut data = Vec::with_capacity(npages * PAGE_SIZE);
+    let mut key = 0i64;
+    for _ in 0..npages {
+        let mut p = Page::new();
+        loop {
+            let row = Row::new(vec![
+                Value::Int(key),
+                Value::Float(key as f64 * 0.5),
+                Value::Str("payload-pad-payload-pad".into()),
+            ]);
+            if p.insert(&row.to_bytes()).is_none() {
+                break;
+            }
+            key += 1;
+        }
+        data.extend_from_slice(p.as_bytes());
+    }
+    data
+}
+
+fn bench_pushdown_eval(c: &mut Criterion) {
+    use remem_storage::{eval_pages, Aggregate, CmpOp, EvalValue, Predicate, PushdownProgram};
+    let mut g = c.benchmark_group("pushdown-eval");
+    let data = eval_span(64);
+    let pred = |v| Predicate {
+        col: 0,
+        op: CmpOp::Lt,
+        value: EvalValue::Int(v),
+    };
+    // predicate evaluation, ~1% selectivity: the kernel's filtering cost
+    g.bench_function("predicate_64p_1pct", |b| {
+        let prog = PushdownProgram {
+            predicates: vec![pred(100)],
+            projection: None,
+            aggregate: None,
+        };
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            eval_pages(&data, &prog, &mut out).unwrap()
+        });
+    });
+    // projection re-encode of every row: the copy cost ceiling
+    g.bench_function("projection_64p_all_rows", |b| {
+        let prog = PushdownProgram {
+            predicates: Vec::new(),
+            projection: Some(vec![0, 1]),
+            aggregate: None,
+        };
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            eval_pages(&data, &prog, &mut out).unwrap()
+        });
+    });
+    // partial-aggregate kernel: scan everything, emit one fixed-width record
+    g.bench_function("sum_agg_64p", |b| {
+        let prog = PushdownProgram {
+            predicates: Vec::new(),
+            projection: None,
+            aggregate: Some(Aggregate::Sum(0)),
+        };
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            eval_pages(&data, &prog, &mut out).unwrap()
+        });
+    });
+    g.finish();
+}
+
 fn bench_interned_metrics(c: &mut Criterion) {
     let mut g = c.benchmark_group("interned");
     let r = MetricsRegistry::new();
@@ -453,6 +568,8 @@ criterion_group!(
     bench_sim_kernel,
     bench_arena_queue,
     bench_closed_loop_kernel,
+    bench_defer_fold,
+    bench_pushdown_eval,
     bench_interned_metrics,
     bench_histogram_percentiles,
     bench_row_page,

@@ -36,6 +36,7 @@ const PINNED: &[(&str, &str)] = &[
     ("repro_fig7_8_rangescan_updates", "fnv1a:d579a29377e06385"),
     ("repro_fig9_10_rangescan_readonly", "fnv1a:b264814b2cac2f6b"),
     ("repro_parallel_speedup", "fnv1a:d96e293442f2dbb3"),
+    ("repro_pushdown_selectivity", "fnv1a:681c63b110d6a8e8"),
     ("repro_qd_sweep", "fnv1a:44040db87062c3f3"),
     ("repro_sim_throughput", "fnv1a:2bd72311adc612dc"),
     ("repro_table1_ablations", "fnv1a:cbdaa88e2443124e"),

@@ -125,6 +125,13 @@ struct BrokerMetrics {
     reclaimed_bytes: Arc<remem_sim::Counter>,
     revocations_expired: Arc<remem_sim::Counter>,
     leases_active: Arc<remem_sim::Gauge>,
+    pushdown_ops: Arc<remem_sim::Counter>,
+    pushdown_rows: Arc<remem_sim::Counter>,
+    /// Server CPU debited to pushdown eval, in nanoseconds.
+    pushdown_cpu_ns: Arc<remem_sim::Counter>,
+    /// Pushdown admissions refused because a server's compute budget was
+    /// exhausted (callers fall back to one-sided reads).
+    pushdown_denied: Arc<remem_sim::Counter>,
 }
 
 impl BrokerMetrics {
@@ -142,8 +149,30 @@ impl BrokerMetrics {
             reclaimed_bytes: registry.counter("broker.reclaimed.bytes"),
             revocations_expired: registry.counter("broker.revocations_expired"),
             leases_active: registry.gauge("broker.leases.active"),
+            pushdown_ops: registry.counter("broker.pushdown.ops"),
+            pushdown_rows: registry.counter("broker.pushdown.rows"),
+            pushdown_cpu_ns: registry.counter("broker.pushdown.cpu_ns"),
+            pushdown_denied: registry.counter("broker.pushdown.denied"),
         }
     }
+}
+
+/// Per-donor pushdown compute account: how much eval CPU tenants have
+/// burned on that memory server, against an optional budget. Donors lend
+/// spare *memory* by design (§4.2); spare *CPU* is a scarcer favor, so the
+/// broker meters it and lets operators cap it per server.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeAccount {
+    /// Cumulative eval CPU debited on this server.
+    pub spent: SimDuration,
+    /// Rows evaluated server-side.
+    pub rows: u64,
+    /// Pushdown RPCs accounted.
+    pub ops: u64,
+    /// Admissions refused because the budget was exhausted.
+    pub denied: u64,
+    /// Optional compute budget; `None` = unmetered (the default).
+    pub budget: Option<SimDuration>,
 }
 
 /// A broker front-end over shared [`MetaStore`] state.
@@ -155,6 +184,9 @@ pub struct MemoryBroker {
     store: MetaStore,
     auditor: Mutex<Option<Arc<Auditor>>>,
     metrics: Mutex<Option<Arc<BrokerMetrics>>>,
+    // ordered map: capacity sweeps and reports iterate it, and hash order
+    // would leak into replay
+    compute: Mutex<std::collections::BTreeMap<ServerId, ComputeAccount>>,
 }
 
 impl MemoryBroker {
@@ -164,6 +196,7 @@ impl MemoryBroker {
             store,
             auditor: Mutex::new(None),
             metrics: Mutex::new(None),
+            compute: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -173,6 +206,57 @@ impl MemoryBroker {
 
     pub fn store(&self) -> &MetaStore {
         &self.store
+    }
+
+    /// Cap (or uncap, with `None`) one donor's pushdown compute budget.
+    /// Usage already accrued is kept — capping below it shuts the server's
+    /// eval engine to new tenant work immediately.
+    pub fn set_compute_budget(&self, server: ServerId, budget: Option<SimDuration>) {
+        self.compute.lock().entry(server).or_default().budget = budget;
+    }
+
+    /// May a tenant push compute to `server` right now? `false` once the
+    /// donor's budget is exhausted; callers are expected to fall back to
+    /// one-sided reads (the memory lease itself stays valid — only the
+    /// *CPU* favor is withdrawn).
+    pub fn pushdown_admit(&self, server: ServerId) -> bool {
+        let mut compute = self.compute.lock();
+        let acct = compute.entry(server).or_default();
+        let ok = match acct.budget {
+            None => true,
+            Some(budget) => acct.spent < budget,
+        };
+        if !ok {
+            acct.denied += 1;
+            if let Some(m) = self.metrics.lock().as_ref() {
+                m.pushdown_denied.incr();
+            }
+        }
+        ok
+    }
+
+    /// Debit one pushdown eval against `server`'s compute account (the
+    /// `server_cpu` the fabric charged plus the rows it visited).
+    pub fn note_pushdown(&self, server: ServerId, cpu: SimDuration, rows: u64) {
+        let mut compute = self.compute.lock();
+        let acct = compute.entry(server).or_default();
+        acct.spent += cpu;
+        acct.rows += rows;
+        acct.ops += 1;
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.pushdown_ops.incr();
+            m.pushdown_rows.add(rows);
+            m.pushdown_cpu_ns.add(cpu.as_nanos());
+        }
+    }
+
+    /// Snapshot one donor's compute account.
+    pub fn compute_account(&self, server: ServerId) -> ComputeAccount {
+        self.compute
+            .lock()
+            .get(&server)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Attach (or detach) a runtime invariant auditor. When attached, every
@@ -1330,6 +1414,28 @@ mod tests {
                 .unwrap();
         }
         (fabric, broker, db)
+    }
+
+    #[test]
+    fn compute_account_meters_and_caps_pushdown() {
+        let (_fabric, broker, _db) = cluster(1, 1);
+        let m = ServerId(1);
+        // unmetered by default
+        assert!(broker.pushdown_admit(m));
+        broker.note_pushdown(m, SimDuration::from_micros(5), 100);
+        broker.note_pushdown(m, SimDuration::from_micros(5), 50);
+        let acct = broker.compute_account(m);
+        assert_eq!((acct.ops, acct.rows), (2, 150));
+        assert_eq!(acct.spent, SimDuration::from_micros(10));
+        // a budget below what's already spent shuts the engine off
+        broker.set_compute_budget(m, Some(SimDuration::from_micros(8)));
+        assert!(!broker.pushdown_admit(m));
+        assert_eq!(broker.compute_account(m).denied, 1);
+        // raising it re-admits
+        broker.set_compute_budget(m, Some(SimDuration::from_micros(20)));
+        assert!(broker.pushdown_admit(m));
+        // other donors are unaffected
+        assert!(broker.pushdown_admit(ServerId(0)));
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod lease;
 pub mod meta;
 pub mod proxy;
 
-pub use broker::{BrokerConfig, BrokerError, MemoryBroker, PlacementPolicy, ReplicaRepair};
+pub use broker::{
+    BrokerConfig, BrokerError, ComputeAccount, MemoryBroker, PlacementPolicy, ReplicaRepair,
+};
 pub use lease::{Lease, LeaseId, LeaseState, ReplicaSet};
 pub use meta::MetaStore;
 pub use proxy::MemoryProxy;

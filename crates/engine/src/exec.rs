@@ -1,8 +1,12 @@
 //! Query-execution context and row-at-a-time operator helpers.
 
+use remem_net::NetConfig;
+use remem_rfile::RemoteFile;
 use remem_sim::{Clock, CpuPool, SimDuration};
+use remem_storage::{eval_pages, PartialAgg, PushdownProgram, StorageError};
 
 use crate::config::CpuCosts;
+use crate::optimizer::{choose_scan, DeviceProfile, ScanChoice, ScanEstimate, ScanPlan};
 use crate::row::{Row, Value};
 
 /// Execution context for one worker running one statement.
@@ -170,6 +174,110 @@ pub fn int_row(vals: &[i64]) -> Row {
     Row::new(vals.iter().map(|&v| Value::Int(v)).collect())
 }
 
+/// Result of a remote scan: either decoded rows (filter/projection programs)
+/// or one merged partial aggregate, plus the plan that ran and — when the
+/// planner picked it — both costed alternatives for EXPLAIN-style
+/// introspection.
+pub struct ScanResult {
+    pub rows: Vec<Row>,
+    pub partial: Option<PartialAgg>,
+    pub plan: ScanPlan,
+    /// `Some` when [`remote_scan`] chose the plan; `None` for the forced
+    /// arms of A/B experiments via [`scan_with_plan`].
+    pub choice: Option<ScanChoice>,
+}
+
+/// Scan a page-aligned span of a remote file through the fetch-vs-pushdown
+/// planner. [`choose_scan`](crate::optimizer::choose_scan) prices both sides
+/// from the estimate; the winner executes:
+///
+/// * **FullFetch** — one-sided reads pull every page, then the same
+///   [`eval_pages`] kernel runs client-side with per-row scan cost charged to
+///   this worker's CPU.
+/// * **Pushdown** — [`RemoteFile::read_pushdown`] ships the program to each
+///   donor; only the compacted reply crosses the wire, and this worker pays
+///   scan cost only for matched rows.
+///
+/// Both paths produce byte-identical reply payloads, so plan choice can never
+/// change query answers — only where the cycles and bytes are spent.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_scan(
+    ctx: &mut ExecCtx<'_>,
+    file: &RemoteFile,
+    offset: u64,
+    len: u64,
+    program: &PushdownProgram,
+    est: ScanEstimate,
+    tier: DeviceProfile,
+    net: &NetConfig,
+) -> Result<ScanResult, StorageError> {
+    let choice = choose_scan(est, tier, net, ctx.costs);
+    let mut result = scan_with_plan(ctx, file, offset, len, program, choice.plan)?;
+    result.choice = Some(choice);
+    Ok(result)
+}
+
+/// Execute a scan with the plan fixed by the caller — the forced arms of
+/// fetch-vs-pushdown experiments. [`remote_scan`] wraps this with the
+/// cost-based choice.
+pub fn scan_with_plan(
+    ctx: &mut ExecCtx<'_>,
+    file: &RemoteFile,
+    offset: u64,
+    len: u64,
+    program: &PushdownProgram,
+    plan: ScanPlan,
+) -> Result<ScanResult, StorageError> {
+    // the file's I/O charges land on the same clock the CPU batcher uses, so
+    // drain pending CPU work before handing the clock to the device
+    ctx.flush_cpu();
+    let payload = match plan {
+        ScanPlan::Pushdown => {
+            let scan = file.read_pushdown(ctx.clock, offset, len, program)?;
+            ctx.charge_n(ctx.costs.row_scan, scan.rows_matched);
+            scan.payload
+        }
+        ScanPlan::FullFetch => {
+            let mut buf = vec![0u8; len as usize];
+            file.read(ctx.clock, offset, &mut buf)?;
+            let mut out = Vec::new();
+            let stats = eval_pages(&buf, program, &mut out)
+                .map_err(|_| StorageError::Unavailable("malformed remote page span".into()))?;
+            ctx.charge_n(ctx.costs.row_scan, stats.rows_scanned);
+            out
+        }
+    };
+    let mut result = ScanResult {
+        rows: Vec::new(),
+        partial: None,
+        plan,
+        choice: None,
+    };
+    if program.aggregate.is_some() {
+        // rfile merges per-chunk partials; the full-fetch eval emits exactly
+        // one for the whole span — either way a single record remains
+        let mut merged = PartialAgg::default();
+        let mut off = 0;
+        while off < payload.len() {
+            let part = PartialAgg::decode(&payload[off..])
+                .ok_or_else(|| StorageError::Unavailable("truncated partial aggregate".into()))?;
+            merged.merge(&part);
+            off += remem_storage::PARTIAL_AGG_BYTES;
+        }
+        ctx.charge(ctx.costs.row_output);
+        result.partial = Some(merged);
+    } else {
+        let mut off = 0;
+        while off < payload.len() {
+            let (row, used) = Row::decode(&payload[off..]);
+            off += used;
+            result.rows.push(row);
+        }
+        ctx.charge_n(ctx.costs.row_output, result.rows.len() as u64);
+    }
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +342,162 @@ mod tests {
         let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
         let rows: Vec<Row> = (1..=4).map(|i| int_row(&[i])).collect();
         assert_eq!(sum_float(&mut ctx, &rows, 0), 10.0);
+    }
+
+    mod remote {
+        use super::*;
+        use crate::optimizer::DeviceProfile;
+        use crate::page::{Page, PAGE_SIZE};
+        use remem_broker::{BrokerConfig, MemoryBroker, MemoryProxy, MetaStore, PlacementPolicy};
+        use remem_net::{Fabric, NetConfig};
+        use remem_rfile::{RFileConfig, RemoteFile};
+        use remem_storage::{Aggregate, CmpOp, EvalValue, Predicate};
+        use std::sync::Arc;
+
+        const NPAGES: usize = 8;
+        const RPP: usize = 20;
+
+        /// One donor, one remote file holding `NPAGES` slotted pages of
+        /// `RPP` rows `(Int key, Float key·0.5, Str pad)`.
+        fn remote_table() -> (RemoteFile, Clock) {
+            let fabric = Arc::new(Fabric::new(NetConfig::default()));
+            let db = fabric.add_server("DB", 8);
+            let m = fabric.add_server("M0", 8);
+            let broker = Arc::new(MemoryBroker::new(
+                BrokerConfig {
+                    placement: PlacementPolicy::Pack,
+                    ..Default::default()
+                },
+                MetaStore::new(),
+            ));
+            let mut pc = Clock::new();
+            MemoryProxy::new(m, 64 * 1024)
+                .donate(&mut pc, &fabric, &broker, 256 * 1024)
+                .unwrap();
+            let mut clock = Clock::new();
+            let file = RemoteFile::create_open(
+                &mut clock,
+                fabric,
+                broker,
+                db,
+                (NPAGES * PAGE_SIZE) as u64,
+                RFileConfig::custom(),
+            )
+            .unwrap();
+            for p in 0..NPAGES {
+                let mut page = Page::new();
+                for r in 0..RPP {
+                    let key = (p * RPP + r) as i64;
+                    let row = Row::new(vec![
+                        Value::Int(key),
+                        Value::Float(key as f64 * 0.5),
+                        Value::Str("pad".into()),
+                    ]);
+                    page.insert(&row.to_bytes()).unwrap();
+                }
+                file.write(&mut clock, (p * PAGE_SIZE) as u64, page.as_bytes())
+                    .unwrap();
+            }
+            (file, clock)
+        }
+
+        fn est(selectivity: f64, aggregate: bool) -> ScanEstimate {
+            ScanEstimate {
+                pages: NPAGES as u64,
+                rows_per_page: RPP as u64,
+                selectivity,
+                reply_row_bytes: 30,
+                program_bytes: 16,
+                chunks: 1,
+                aggregate,
+            }
+        }
+
+        fn key_lt(v: i64) -> PushdownProgram {
+            PushdownProgram {
+                predicates: vec![Predicate {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    value: EvalValue::Int(v),
+                }],
+                projection: None,
+                aggregate: None,
+            }
+        }
+
+        #[test]
+        fn plan_choice_never_changes_the_answer() {
+            let (file, mut clock) = remote_table();
+            let cpu = CpuPool::new(8);
+            let costs = CpuCosts::default();
+            let net = NetConfig::default();
+            let tier = DeviceProfile::remote_memory();
+            let prog = key_lt(7);
+            // mis-estimated one way, then the other: both plans must run and
+            // both must return the same rows
+            let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+            let lo = remote_scan(
+                &mut ctx,
+                &file,
+                0,
+                (NPAGES * PAGE_SIZE) as u64,
+                &prog,
+                est(0.001, false),
+                tier,
+                &net,
+            )
+            .unwrap();
+            let hi = remote_scan(
+                &mut ctx,
+                &file,
+                0,
+                (NPAGES * PAGE_SIZE) as u64,
+                &prog,
+                est(1.0, false),
+                tier,
+                &net,
+            )
+            .unwrap();
+            assert_eq!(lo.plan, ScanPlan::Pushdown);
+            assert_eq!(hi.plan, ScanPlan::FullFetch);
+            assert_eq!(lo.rows, hi.rows);
+            let keys: Vec<i64> = lo.rows.iter().map(|r| r.int(0)).collect();
+            assert_eq!(keys, (0..7).collect::<Vec<i64>>());
+        }
+
+        #[test]
+        fn aggregate_pushdown_matches_exact_sum() {
+            let (file, mut clock) = remote_table();
+            let cpu = CpuPool::new(8);
+            let costs = CpuCosts::default();
+            let net = NetConfig::default();
+            let prog = PushdownProgram {
+                predicates: Vec::new(),
+                projection: None,
+                aggregate: Some(Aggregate::Sum(0)),
+            };
+            let mut ctx = ExecCtx::new(&mut clock, &cpu, &costs);
+            let out = remote_scan(
+                &mut ctx,
+                &file,
+                0,
+                (NPAGES * PAGE_SIZE) as u64,
+                &prog,
+                est(1.0, true),
+                tier_rm(),
+                &net,
+            )
+            .unwrap();
+            assert_eq!(out.plan, ScanPlan::Pushdown);
+            let part = out.partial.unwrap();
+            let n = (NPAGES * RPP) as i64;
+            assert_eq!(part.rows, n as u64);
+            assert_eq!(part.sum_int, n * (n - 1) / 2);
+            assert!(out.rows.is_empty());
+        }
+
+        fn tier_rm() -> DeviceProfile {
+            DeviceProfile::remote_memory()
+        }
     }
 }

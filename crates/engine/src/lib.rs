@@ -49,5 +49,6 @@ pub mod wal;
 
 pub use config::{CpuCosts, DbConfig};
 pub use db::{Database, DbError, DeviceSet, TableId};
-pub use exec::ExecCtx;
+pub use exec::{remote_scan, ExecCtx, ScanResult};
+pub use optimizer::{choose_scan, crossover_selectivity, ScanChoice, ScanEstimate, ScanPlan};
 pub use row::{ColType, Row, Schema, Value};

@@ -8,6 +8,7 @@
 //! which is exactly what §3.3 argues the cost model must be re-calibrated
 //! for.
 
+use remem_net::NetConfig;
 use remem_sim::SimDuration;
 
 use crate::config::CpuCosts;
@@ -149,6 +150,135 @@ pub fn crossover_outer_rows(
     lo
 }
 
+/// The two ways to run a remote scan: ship every page over the fabric and
+/// filter on the engine, or push the program to the memory servers and
+/// fetch only the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanPlan {
+    /// One-sided vectored reads of the whole span, predicate evaluated on
+    /// the engine's cores.
+    FullFetch,
+    /// Pushdown RPC per extent: server-side eval, compacted replies.
+    Pushdown,
+}
+
+/// Inputs to the fetch-vs-pushdown decision.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanEstimate {
+    /// 8 KiB pages in the scanned span.
+    pub pages: u64,
+    /// Average rows per page.
+    pub rows_per_page: u64,
+    /// Expected fraction of rows surviving the predicates (0.0 ..= 1.0).
+    pub selectivity: f64,
+    /// Average encoded bytes of one delivered row (post-projection).
+    pub reply_row_bytes: u64,
+    /// Encoded size of the pushdown program (request bytes per RPC).
+    pub program_bytes: u64,
+    /// Extent chunks the span fans out to (one RPC each).
+    pub chunks: u64,
+    /// Partial-aggregate scan: the reply is one fixed-size partial per
+    /// chunk instead of row payloads.
+    pub aggregate: bool,
+}
+
+impl ScanEstimate {
+    /// Expected delivered rows.
+    pub fn matched_rows(&self) -> u64 {
+        let rows = (self.pages * self.rows_per_page) as f64;
+        (rows * self.selectivity.clamp(0.0, 1.0)).round() as u64
+    }
+}
+
+/// The priced alternatives and the chosen scan plan.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanChoice {
+    pub plan: ScanPlan,
+    pub full_cost: SimDuration,
+    pub pushdown_cost: SimDuration,
+}
+
+/// Price a one-sided full fetch against a pushdown RPC scan.
+///
+/// Full fetch pays wire time for every page plus engine CPU for every row
+/// (`row_scan` covers predicate eval + copy-out); pushdown pays the
+/// server-side eval charge ([`NetConfig::pushdown_eval_cost`]) plus wire
+/// time for the compacted reply, and the engine only touches rows that
+/// matched. Both sides pay `row_output` per delivered row, so the decision
+/// turns on selectivity × row width — the Farview/REMOP crossover.
+pub fn choose_scan(
+    est: ScanEstimate,
+    span_tier: DeviceProfile,
+    net: &NetConfig,
+    costs: &CpuCosts,
+) -> ScanChoice {
+    let rows = est.pages * est.rows_per_page;
+    let matched = est.matched_rows();
+    let span_bytes = est.pages * 8192;
+
+    // Full fetch: every page over the wire, every row through the engine.
+    let wire_full = SimDuration::from_nanos(span_tier.seq_page.as_nanos() * est.pages);
+    let filter_cpu = SimDuration::from_nanos(costs.row_scan.as_nanos() * rows);
+    let out_full = SimDuration::from_nanos(costs.row_output.as_nanos() * matched);
+    let full_cost = wire_full + filter_cpu + out_full;
+
+    // Pushdown: tiny requests out, server eval, compacted replies back.
+    let reply_bytes = if est.aggregate {
+        // one fixed-width partial per chunk
+        est.chunks * remem_storage::PARTIAL_AGG_BYTES as u64
+    } else {
+        matched * est.reply_row_bytes
+    };
+    let wire_push = SimDuration::for_transfer(
+        est.chunks * est.program_bytes + reply_bytes,
+        net.nic_bandwidth,
+    ) + net.rdma_op_overhead * (2 * est.chunks)
+        + (net.propagation + net.sync_completion) * est.chunks;
+    let eval_cpu = net.pushdown_eval_cost(rows, span_bytes)
+        + net.pushdown_cpu_per_op * est.chunks.saturating_sub(1);
+    let consumed = if est.aggregate { est.chunks } else { matched };
+    let consume_cpu = SimDuration::from_nanos(costs.row_scan.as_nanos() * consumed);
+    let out_push = SimDuration::from_nanos(costs.row_output.as_nanos() * matched);
+    let pushdown_cost = wire_push + eval_cpu + consume_cpu + out_push;
+
+    let plan = if pushdown_cost < full_cost {
+        ScanPlan::Pushdown
+    } else {
+        ScanPlan::FullFetch
+    };
+    ScanChoice {
+        plan,
+        full_cost,
+        pushdown_cost,
+    }
+}
+
+/// The selectivity at which full fetch starts beating pushdown, found by
+/// binary search over parts-per-million (the cost difference is monotone in
+/// selectivity, mirroring [`crossover_outer_rows`]). Returns 1.0 when
+/// pushdown wins everywhere (e.g. aggregates, whose reply never grows).
+pub fn crossover_selectivity(
+    template: ScanEstimate,
+    span_tier: DeviceProfile,
+    net: &NetConfig,
+    costs: &CpuCosts,
+) -> f64 {
+    let mut lo = 0u64;
+    let mut hi = 1_000_000u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let est = ScanEstimate {
+            selectivity: mid as f64 / 1e6,
+            ..template
+        };
+        match choose_scan(est, span_tier, net, costs).plan {
+            ScanPlan::Pushdown => lo = mid + 1,
+            ScanPlan::FullFetch => hi = mid,
+        }
+    }
+    lo as f64 / 1e6
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +348,86 @@ mod tests {
         let c = choose_join(est(1000), DeviceProfile::ssd(), &CpuCosts::default());
         assert!(c.inlj_cost > SimDuration::ZERO);
         assert!(c.hash_cost > SimDuration::ZERO);
+    }
+
+    fn scan_est(selectivity: f64) -> ScanEstimate {
+        ScanEstimate {
+            pages: 64,
+            rows_per_page: 26,
+            selectivity,
+            reply_row_bytes: 260,
+            program_bytes: 16,
+            chunks: 4,
+            aggregate: false,
+        }
+    }
+
+    #[test]
+    fn low_selectivity_pushes_down_high_fetches() {
+        let net = NetConfig::default();
+        let costs = CpuCosts::default();
+        let tier = DeviceProfile::remote_memory();
+        let low = choose_scan(scan_est(0.001), tier, &net, &costs);
+        assert_eq!(low.plan, ScanPlan::Pushdown);
+        assert!(low.pushdown_cost < low.full_cost);
+        let high = choose_scan(scan_est(1.0), tier, &net, &costs);
+        assert_eq!(high.plan, ScanPlan::FullFetch);
+        assert!(high.full_cost <= high.pushdown_cost);
+    }
+
+    #[test]
+    fn scan_crossover_is_interior_and_monotone() {
+        let net = NetConfig::default();
+        let costs = CpuCosts::default();
+        let tier = DeviceProfile::remote_memory();
+        let x = crossover_selectivity(scan_est(0.0), tier, &net, &costs);
+        assert!(x > 0.001 && x < 1.0, "crossover {x} should be interior");
+        // plans agree with the crossover on both sides
+        let below = choose_scan(scan_est(x * 0.5), tier, &net, &costs);
+        let above = choose_scan(scan_est((x * 1.5).min(1.0)), tier, &net, &costs);
+        assert_eq!(below.plan, ScanPlan::Pushdown);
+        assert_eq!(above.plan, ScanPlan::FullFetch);
+    }
+
+    #[test]
+    fn aggregates_push_down_everywhere() {
+        let net = NetConfig::default();
+        let costs = CpuCosts::default();
+        let tier = DeviceProfile::remote_memory();
+        let template = ScanEstimate {
+            aggregate: true,
+            ..scan_est(0.0)
+        };
+        let x = crossover_selectivity(template, tier, &net, &costs);
+        assert_eq!(x, 1.0, "aggregate replies never grow with selectivity");
+    }
+
+    #[test]
+    fn wide_projection_lowers_the_crossover() {
+        let net = NetConfig::default();
+        let costs = CpuCosts::default();
+        let tier = DeviceProfile::remote_memory();
+        let narrow = crossover_selectivity(
+            ScanEstimate {
+                reply_row_bytes: 20,
+                ..scan_est(0.0)
+            },
+            tier,
+            &net,
+            &costs,
+        );
+        let wide = crossover_selectivity(
+            ScanEstimate {
+                reply_row_bytes: 2000,
+                ..scan_est(0.0)
+            },
+            tier,
+            &net,
+            &costs,
+        );
+        assert!(
+            wide <= narrow,
+            "fatter replies ({wide}) must flip to fetch no later than thin ones ({narrow})"
+        );
     }
 }

@@ -62,6 +62,16 @@ pub struct NetConfig {
     pub connect_time: SimDuration,
     /// Local DRAM access for one 8 KiB page (0.1 µs, §6 takeaways).
     pub local_memory_8k: SimDuration,
+    /// Fixed server-side CPU cost to dispatch one pushdown RPC (request
+    /// parse + program setup + reply post). Farview-style near-memory
+    /// operators are cheap to start but not free.
+    pub pushdown_cpu_per_op: SimDuration,
+    /// Server CPU per row evaluated by a pushdown program (predicate eval +
+    /// projection/aggregate update on decoded fields).
+    pub pushdown_cpu_per_row: SimDuration,
+    /// Server CPU per KiB of page bytes scanned by a pushdown program
+    /// (sequential DRAM streaming at ~20 GB/s per core).
+    pub pushdown_cpu_per_kib: SimDuration,
 }
 
 impl Default for NetConfig {
@@ -85,6 +95,9 @@ impl Default for NetConfig {
             memcpy_bandwidth: 4_000_000_000,
             connect_time: SimDuration::from_micros(500),
             local_memory_8k: SimDuration::from_nanos(100),
+            pushdown_cpu_per_op: SimDuration::from_micros(1),
+            pushdown_cpu_per_row: SimDuration::from_nanos(30),
+            pushdown_cpu_per_kib: SimDuration::from_nanos(50),
         }
     }
 }
@@ -105,6 +118,15 @@ impl NetConfig {
     pub fn local_memory_access(&self, bytes: u64) -> SimDuration {
         let pages = bytes.div_ceil(8192).max(1);
         SimDuration::from_nanos(self.local_memory_8k.as_nanos() * pages)
+    }
+
+    /// Server CPU consumed by one pushdown eval: fixed dispatch plus per-row
+    /// and per-KiB-scanned charges. Used by the fabric to charge the memory
+    /// server's cores and by the engine's planner to price pushdown.
+    pub fn pushdown_eval_cost(&self, rows_scanned: u64, bytes_scanned: u64) -> SimDuration {
+        self.pushdown_cpu_per_op
+            + self.pushdown_cpu_per_row * rows_scanned
+            + self.pushdown_cpu_per_kib * bytes_scanned.div_ceil(1024)
     }
 }
 
@@ -136,6 +158,21 @@ mod tests {
             big < SimDuration::from_micros(200),
             "big registration {big}"
         );
+    }
+
+    #[test]
+    fn pushdown_eval_cost_scales_with_rows_and_bytes() {
+        let c = NetConfig::default();
+        let base = c.pushdown_eval_cost(0, 0);
+        assert_eq!(base, c.pushdown_cpu_per_op);
+        // one 8 KiB page of ~32 rows ≈ 1 µs dispatch + ~1 µs of eval
+        let page = c.pushdown_eval_cost(32, 8192);
+        assert!(page > base);
+        assert!(page < SimDuration::from_micros(5), "page eval {page}");
+        // eval CPU for a page is the same order as shipping the page over
+        // the wire — pushdown wins on *bytes*, not on raw single-op time.
+        let wire = SimDuration::for_transfer(8192, c.nic_bandwidth);
+        assert!(page.as_nanos() < wire.as_nanos() * 4);
     }
 
     #[test]

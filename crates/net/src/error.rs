@@ -33,6 +33,9 @@ pub enum NetError {
         server: ServerId,
         reason: &'static str,
     },
+    /// A pushdown request the memory server cannot evaluate (span not a
+    /// whole number of pages). Not retryable.
+    BadPushdown { reason: &'static str },
 }
 
 impl fmt::Display for NetError {
@@ -61,6 +64,9 @@ impl fmt::Display for NetError {
             }
             NetError::Transient { server, reason } => {
                 write!(f, "transient failure reaching {server:?}: {reason}")
+            }
+            NetError::BadPushdown { reason } => {
+                write!(f, "malformed pushdown request: {reason}")
             }
         }
     }

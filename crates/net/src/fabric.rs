@@ -13,6 +13,7 @@ use crate::error::NetError;
 use crate::fault::FaultInjector;
 use crate::mr::MrHandle;
 use crate::server::{Server, ServerId};
+use remem_storage::eval::PushdownProgram;
 
 /// The protocol used to reach remote memory (Table 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,10 +67,21 @@ struct FabricMetrics {
     /// slowest replica's completion; that tail stays on the straggler's
     /// NIC pipe and is paid by whoever touches it next.
     quorum_straggler_lag: Arc<remem_sim::Histogram>,
+    pushdown_ops: Arc<remem_sim::Counter>,
+    pushdown_lat: Arc<remem_sim::Histogram>,
+    /// Rows that survived the server-side predicates.
+    pushdown_rows: Arc<remem_sim::Counter>,
+    /// Wire bytes a pushdown actually moved (request program + reply).
+    pushdown_bytes: Arc<remem_sim::Counter>,
+    /// Fabric bytes a full-page fetch of the same span would have moved
+    /// minus what pushdown moved — the verb's whole reason to exist.
+    pushdown_bytes_saved: Arc<remem_sim::Counter>,
+    pushdown_errors: Arc<remem_sim::Counter>,
     read_span: remem_sim::SpanId,
     write_span: remem_sim::SpanId,
     quorum_write_span: remem_sim::SpanId,
     batch_span: remem_sim::SpanId,
+    pushdown_span: remem_sim::SpanId,
 }
 
 impl FabricMetrics {
@@ -90,10 +102,17 @@ impl FabricMetrics {
             batch_size: registry.histogram("fabric.batch.size"),
             quorum_writes: registry.counter("fabric.quorum.writes"),
             quorum_straggler_lag: registry.histogram("fabric.quorum.straggler_lag"),
+            pushdown_ops: registry.counter("nic.pushdown.ops"),
+            pushdown_lat: registry.histogram("nic.pushdown.lat"),
+            pushdown_rows: registry.counter("fabric.pushdown.rows"),
+            pushdown_bytes: registry.counter("fabric.pushdown.bytes"),
+            pushdown_bytes_saved: registry.counter("fabric.pushdown.bytes_saved"),
+            pushdown_errors: registry.counter("fabric.pushdown.errors"),
             read_span: registry.span("net.read"),
             write_span: registry.span("net.write"),
             quorum_write_span: registry.span("net.quorum_write"),
             batch_span: registry.span("net.batch"),
+            pushdown_span: registry.span("net.pushdown"),
             registry,
         }
     }
@@ -135,6 +154,34 @@ pub struct QuorumWrite {
     /// That tail is clock-charged to the straggler's NIC pipe, not the
     /// caller: the next verb touching that NIC pays the catch-up.
     pub straggler_lag: SimDuration,
+}
+
+/// One near-memory eval request ([`Fabric::pushdown`]): run `program` over
+/// the whole-page span `[offset, offset + len)` of `handle` on the memory
+/// server that owns it.
+#[derive(Debug, Clone)]
+pub struct PushdownRequest<'a> {
+    pub handle: MrHandle,
+    pub offset: u64,
+    pub len: u64,
+    pub program: &'a PushdownProgram,
+}
+
+/// Outcome of one pushdown RPC: the compacted payload (filtered/projected
+/// row encodings, or one `PartialAgg` encoding) plus the eval accounting
+/// callers use for compute-capacity bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PushdownReply {
+    pub payload: Vec<u8>,
+    /// Rows the server's eval engine visited (charged per row).
+    pub rows_scanned: u64,
+    /// Rows that survived the predicates (and projection).
+    pub rows_matched: u64,
+    /// Page bytes streamed through the server's eval engine (`len`).
+    pub bytes_scanned: u64,
+    /// CPU charged on the memory server's cores for this eval — what
+    /// brokers debit against a server's compute capacity.
+    pub server_cpu: SimDuration,
 }
 
 /// Per-protocol cost parameters resolved from [`NetConfig`].
@@ -586,6 +633,123 @@ impl Fabric {
         Ok(())
     }
 
+    /// Run a pushdown program over a page span of `handle` *near the
+    /// memory*: a two-sided RPC that ships the tiny program out, evaluates
+    /// predicates/projection/partial-aggregates on the memory server's own
+    /// cores, and returns only the compacted payload.
+    ///
+    /// Cost model (all on virtual time, deterministic):
+    /// * request: `program.encoded_len()` bytes through both NIC pipes;
+    /// * eval: [`NetConfig::pushdown_eval_cost`] executed on the **memory
+    ///   server's CPU pool**, where it contends with every other tenant —
+    ///   plus the protocol's usual remote-CPU charge on the reply bytes
+    ///   (TCP pays the kernel path, RDMA-based protocols don't);
+    /// * reply: `payload.len()` bytes back through both pipes, then the
+    ///   protocol's fixed latency.
+    ///
+    /// Unlike one-sided reads, wire bytes scale with the *result*, not the
+    /// span — the Farview/REMOP trade the planner prices against plain
+    /// [`Fabric::read`].
+    pub fn pushdown(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        req: &PushdownRequest<'_>,
+    ) -> Result<PushdownReply, NetError> {
+        let m = self.metrics.read().clone();
+        let t0 = clock.now();
+        let span = m
+            .as_ref()
+            .map(|fm| fm.registry.span_enter_id(fm.pushdown_span, t0));
+        self.note_posted(local, req.handle.server, 1);
+        let res = self.pushdown_inner(clock, proto, local, req);
+        self.note_completed(local, req.handle.server, 1);
+        if let Some(fm) = &m {
+            if let Some(span) = span {
+                fm.registry.span_exit(span, clock.now());
+            }
+            match &res {
+                Ok(reply) => {
+                    let wire = req.program.encoded_len() as u64 + reply.payload.len() as u64;
+                    fm.pushdown_ops.incr();
+                    fm.pushdown_rows.add(reply.rows_matched);
+                    fm.pushdown_bytes.add(wire);
+                    fm.pushdown_bytes_saved
+                        .add(reply.bytes_scanned.saturating_sub(wire));
+                    fm.pushdown_lat.record(clock.now().since(t0));
+                }
+                Err(_) => fm.pushdown_errors.incr(),
+            }
+        }
+        res
+    }
+
+    fn pushdown_inner(
+        &self,
+        clock: &mut Clock,
+        proto: Protocol,
+        local: ServerId,
+        req: &PushdownRequest<'_>,
+    ) -> Result<PushdownReply, NetError> {
+        let (remote, mr) = self.validate(local, req.handle, req.offset, req.len)?;
+        let extra = self.consult_injector(clock, proto, local, req.handle.server, req.offset)?;
+        let mut span_bytes = vec![0u8; req.len as usize];
+        mr.read_into(req.offset, &mut span_bytes);
+        let mut payload = Vec::new();
+        let stats =
+            remem_storage::eval_pages(&span_bytes, req.program, &mut payload).map_err(|_| {
+                NetError::BadPushdown {
+                    reason: "span is not a whole number of 8 KiB pages",
+                }
+            })?;
+        let costs = self.costs(proto);
+        let local_srv = self.live_server(local)?;
+        let request_bytes = req.program.encoded_len() as u64;
+        let reply_bytes = payload.len() as u64;
+        // Request out: a tiny send carrying the program.
+        let g_req_local = local_srv.nic().reserve(
+            clock.now(),
+            request_bytes,
+            costs.bandwidth,
+            costs.op_overhead,
+        );
+        let g_req_remote = remote.nic().reserve(
+            g_req_local.start,
+            request_bytes,
+            costs.bandwidth,
+            costs.op_overhead,
+        );
+        // Eval on the memory server's cores, contending with other tenants.
+        let eval_cpu = self.cfg.pushdown_eval_cost(stats.rows_scanned, req.len);
+        let proto_cpu = costs.remote_cpu_per_op
+            + SimDuration::from_nanos(
+                costs.remote_cpu_per_kib.as_nanos() * reply_bytes.div_ceil(1024),
+            );
+        let server_cpu = eval_cpu + proto_cpu;
+        let cpu_done = remote.cpu().execute(g_req_remote.end, server_cpu).end;
+        // Reply back: only the compacted payload crosses the fabric.
+        let g_rep_remote =
+            remote
+                .nic()
+                .reserve(cpu_done, reply_bytes, costs.bandwidth, costs.op_overhead);
+        let g_rep_local = local_srv.nic().reserve(
+            g_rep_remote.start,
+            reply_bytes,
+            costs.bandwidth,
+            costs.op_overhead,
+        );
+        clock.advance_to(g_rep_local.end + costs.fixed_latency);
+        clock.advance(extra);
+        Ok(PushdownReply {
+            payload,
+            rows_scanned: stats.rows_scanned,
+            rows_matched: stats.rows_matched,
+            bytes_scanned: req.len,
+            server_cpu,
+        })
+    }
+
     /// Fan `data` out to every replica in `targets` behind one doorbell,
     /// completing at the **quorum-th** ack (`⌈(n+1)/2⌉` of `n` targets).
     ///
@@ -1019,6 +1183,179 @@ mod tests {
             .read(&mut clock, Protocol::Custom, db, handle, 4096, &mut out)
             .unwrap();
         assert_eq!(out, data);
+    }
+
+    /// Build one engine-format slotted page of `(key, key as f64 * 10.0)`
+    /// rows for keys `0..n`.
+    fn rows_page(n: usize) -> Vec<u8> {
+        let mut page = vec![0u8; 8192];
+        let mut free = 8192usize;
+        for i in 0..n {
+            let mut rec = Vec::new();
+            rec.extend_from_slice(&2u16.to_le_bytes());
+            rec.push(0);
+            rec.extend_from_slice(&(i as i64).to_le_bytes());
+            rec.push(1);
+            rec.extend_from_slice(&(i as f64 * 10.0).to_le_bytes());
+            free -= rec.len();
+            page[free..free + rec.len()].copy_from_slice(&rec);
+            let base = 4 + i * 4;
+            page[base..base + 2].copy_from_slice(&(free as u16).to_le_bytes());
+            page[base + 2..base + 4].copy_from_slice(&(rec.len() as u16).to_le_bytes());
+        }
+        page[0..2].copy_from_slice(&(n as u16).to_le_bytes());
+        page[2..4].copy_from_slice(&(free as u16).to_le_bytes());
+        page
+    }
+
+    fn key_lt(v: i64) -> PushdownProgram {
+        PushdownProgram {
+            predicates: vec![remem_storage::Predicate {
+                col: 0,
+                op: remem_storage::CmpOp::Lt,
+                value: remem_storage::EvalValue::Int(v),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pushdown_filters_near_memory_and_shrinks_wire_bytes() {
+        let (fabric, db, _mem, handle) = two_server_fabric();
+        let registry = Arc::new(MetricsRegistry::new());
+        fabric.set_metrics(Some(Arc::clone(&registry)));
+        let mut clock = Clock::new();
+        let page = rows_page(16);
+        fabric
+            .write(&mut clock, Protocol::Custom, db, handle, 0, &page)
+            .unwrap();
+        let prog = key_lt(4);
+        let reply = fabric
+            .pushdown(
+                &mut clock,
+                Protocol::Custom,
+                db,
+                &PushdownRequest {
+                    handle,
+                    offset: 0,
+                    len: 8192,
+                    program: &prog,
+                },
+            )
+            .unwrap();
+        assert_eq!((reply.rows_scanned, reply.rows_matched), (16, 4));
+        // payload is exactly the 4 matching rows, engine row encoding
+        let mut expect = Vec::new();
+        remem_storage::eval_pages(&page, &prog, &mut expect).unwrap();
+        assert_eq!(reply.payload, expect);
+        assert!(reply.server_cpu > SimDuration::ZERO);
+        // far fewer wire bytes than the full page fetch it replaces
+        let wire = registry.counter("fabric.pushdown.bytes").get();
+        assert!(wire < 8192 / 4, "wire bytes {wire}");
+        assert_eq!(registry.counter("nic.pushdown.ops").get(), 1);
+        assert_eq!(
+            registry.counter("fabric.pushdown.bytes_saved").get(),
+            8192 - wire
+        );
+        assert_eq!(registry.span_stats("net.pushdown").count, 1);
+    }
+
+    #[test]
+    fn pushdown_charges_the_memory_servers_cpu() {
+        let (fabric, db, mem, handle) = two_server_fabric();
+        let mut clock = Clock::new();
+        let page = rows_page(32);
+        fabric
+            .write(&mut clock, Protocol::Custom, db, handle, 0, &page)
+            .unwrap();
+        let remote = fabric.server(mem).unwrap();
+        let before = clock.now();
+        let prog = key_lt(1);
+        let reply = fabric
+            .pushdown(
+                &mut clock,
+                Protocol::Custom,
+                db,
+                &PushdownRequest {
+                    handle,
+                    offset: 0,
+                    len: 8192,
+                    program: &prog,
+                },
+            )
+            .unwrap();
+        // the eval cost showed up on the memory server's core pool, not
+        // just as latency — Custom reads never touch that pool
+        assert!(remote.cpu().utilization(clock.now()) > 0.0);
+        assert_eq!(
+            reply.server_cpu,
+            fabric.config().pushdown_eval_cost(32, 8192)
+        );
+        assert!(clock.now() > before);
+    }
+
+    #[test]
+    fn pushdown_rejects_unaligned_spans() {
+        let (fabric, db, _mem, handle) = two_server_fabric();
+        let mut clock = Clock::new();
+        let prog = key_lt(1);
+        let err = fabric
+            .pushdown(
+                &mut clock,
+                Protocol::Custom,
+                db,
+                &PushdownRequest {
+                    handle,
+                    offset: 0,
+                    len: 100,
+                    program: &prog,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadPushdown { .. }));
+    }
+
+    #[test]
+    fn pushdown_respects_fault_windows() {
+        let (fabric, db, mem, handle) = two_server_fabric();
+        let inj = crate::fault::FaultInjector::new(7).flaky_window(
+            mem,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(1),
+            1.0,
+        );
+        fabric.set_fault_injector(Some(Arc::new(inj)));
+        let mut clock = Clock::new();
+        let prog = key_lt(1);
+        let err = fabric
+            .pushdown(
+                &mut clock,
+                Protocol::Custom,
+                db,
+                &PushdownRequest {
+                    handle,
+                    offset: 0,
+                    len: 8192,
+                    program: &prog,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::Transient { .. }), "{err:?}");
+        // after the window clears, the same request succeeds
+        clock.advance(SimDuration::from_secs(2));
+        fabric
+            .pushdown(
+                &mut clock,
+                Protocol::Custom,
+                db,
+                &PushdownRequest {
+                    handle,
+                    offset: 0,
+                    len: 8192,
+                    program: &prog,
+                },
+            )
+            .unwrap();
     }
 
     fn replica_fabric(k: usize) -> (Fabric, ServerId, Vec<ServerId>, Vec<MrHandle>) {

@@ -31,7 +31,7 @@ pub mod verbs;
 
 pub use config::NetConfig;
 pub use error::NetError;
-pub use fabric::{BatchCompletion, Fabric, Protocol, QuorumWrite};
+pub use fabric::{BatchCompletion, Fabric, Protocol, PushdownReply, PushdownRequest, QuorumWrite};
 pub use fault::FaultInjector;
 pub use mr::{MemoryRegion, MrHandle, MrId};
 pub use nic::Nic;

@@ -6,10 +6,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use remem_broker::{BrokerError, Lease, MemoryBroker};
-use remem_net::{Fabric, MrHandle, NetError, Protocol, ReadSge, ServerId, WorkRequest, WriteSge};
+use remem_net::{
+    Fabric, MrHandle, NetError, Protocol, PushdownRequest, ReadSge, ServerId, WorkRequest, WriteSge,
+};
 use remem_sim::metrics::Counter;
 use remem_sim::{Clock, FaultOrigin, MetricsRegistry, SimDuration, SimTime};
-use remem_storage::{Device, StorageError};
+use remem_storage::{Device, PartialAgg, PushdownProgram, StorageError, EVAL_PAGE_SIZE};
 
 use crate::config::{AccessMode, RFileConfig, RegistrationMode};
 use crate::staging::StagingBuffers;
@@ -39,10 +41,18 @@ struct RfMetrics {
     repairs: Arc<Counter>,
     migrations: Arc<Counter>,
     failovers: Arc<Counter>,
+    pushdown_ops: Arc<Counter>,
+    /// Reply payload bytes streamed back by pushdown scans.
+    pushdown_bytes: Arc<Counter>,
+    pushdown_lat: Arc<remem_sim::Histogram>,
+    /// Chunks that fell back to one-sided read + client eval because the
+    /// donor's compute budget was exhausted.
+    pushdown_fallbacks: Arc<Counter>,
     read_span: remem_sim::SpanId,
     write_span: remem_sim::SpanId,
     read_vectored_span: remem_sim::SpanId,
     write_vectored_span: remem_sim::SpanId,
+    pushdown_span: remem_sim::SpanId,
 }
 
 impl RfMetrics {
@@ -58,10 +68,15 @@ impl RfMetrics {
             repairs: registry.counter("rfile.repairs"),
             migrations: registry.counter("rfile.migrations"),
             failovers: registry.counter("rfile.failovers"),
+            pushdown_ops: registry.counter("rfile.pushdown.ops"),
+            pushdown_bytes: registry.counter("rfile.pushdown.bytes"),
+            pushdown_lat: registry.histogram("rfile.pushdown.lat"),
+            pushdown_fallbacks: registry.counter("rfile.pushdown.fallbacks"),
             read_span: registry.span("rfile.read"),
             write_span: registry.span("rfile.write"),
             read_vectored_span: registry.span("rfile.read_vectored"),
             write_vectored_span: registry.span("rfile.write_vectored"),
+            pushdown_span: registry.span("rfile.pushdown"),
             registry,
         }
     }
@@ -116,6 +131,25 @@ impl FileState {
             self.lost_ranges.push((start, len));
         }
     }
+}
+
+/// Outcome of [`RemoteFile::read_pushdown`]: the compacted payload plus the
+/// accounting the planner and broker care about.
+#[derive(Debug, Clone)]
+pub struct PushdownScan {
+    /// Replies streamed in extent order: concatenated row encodings, or —
+    /// when the program carries an aggregate — exactly one merged
+    /// `PartialAgg` encoding covering the whole span.
+    pub payload: Vec<u8>,
+    /// Rows the memory servers' eval engines visited.
+    pub rows_scanned: u64,
+    /// Rows that survived predicates (and projection).
+    pub rows_matched: u64,
+    /// Memory-server CPU charged across all chunks (broker-debited).
+    pub server_cpu: SimDuration,
+    /// Chunks evaluated on the *client* after a one-sided read because the
+    /// donor's compute budget was exhausted.
+    pub fallback_chunks: u64,
 }
 
 /// One operation of the asynchronous submit/complete API
@@ -1147,11 +1181,16 @@ impl RemoteFile {
         }
     }
 
+    /// The scalar chunk loop: locate, charge, issue, and retry/fail-over/
+    /// heal until `[offset, offset+len)` is covered. `staged` charges the
+    /// per-chunk staging-buffer preparation (true for reads/writes that
+    /// move the whole chunk; pushdown charges its own reply-sized copy).
     fn io<F>(
         &self,
         clock: &mut Clock,
         offset: u64,
         len: u64,
+        staged: bool,
         mut chunk_op: F,
     ) -> Result<(), StorageError>
     where
@@ -1175,7 +1214,9 @@ impl RemoteFile {
         while done < len {
             // re-locate every attempt: a repair may have swapped the backing
             let (mr, mr_off, chunk) = self.locate(cur, len - done);
-            self.prepare_transfer(clock, chunk);
+            if staged {
+                self.prepare_transfer(clock, chunk);
+            }
             let issued = clock.now();
             match chunk_op(clock, mr, mr_off, done, chunk) {
                 Ok(()) => {
@@ -1281,10 +1322,16 @@ impl RemoteFile {
             .metrics
             .as_ref()
             .map(|m| m.registry.span_enter_id(m.read_span, t0));
-        let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
-            let dst = &mut buf[done as usize..(done + chunk) as usize];
-            fabric.read(clock, proto, local, handle, within, dst)
-        });
+        let res = self.io(
+            clock,
+            offset,
+            len,
+            true,
+            |clock, handle, within, done, chunk| {
+                let dst = &mut buf[done as usize..(done + chunk) as usize];
+                fabric.read(clock, proto, local, handle, within, dst)
+            },
+        );
         if let Some(m) = &self.metrics {
             if let Some(span) = span {
                 m.registry.span_exit(span, clock.now());
@@ -1301,6 +1348,148 @@ impl RemoteFile {
         res
     }
 
+    /// **Pushdown read**: run `program` over the whole-page span
+    /// `[offset, offset + len)` *near the memory* and stream back only the
+    /// compacted replies, in extent order.
+    ///
+    /// One RPC per extent chunk, routed to the preferred replica member and
+    /// failed over on an epoch bump exactly like [`RemoteFile::read`]
+    /// (transient faults are retried with backoff, fatal ones re-point or
+    /// re-lease). Each successful chunk debits the donor's broker compute
+    /// account; a donor whose budget is exhausted is skipped — that chunk
+    /// falls back to a one-sided read with the same eval run on the
+    /// client's own core, so results are identical either way.
+    pub fn read_pushdown(
+        &self,
+        clock: &mut Clock,
+        offset: u64,
+        len: u64,
+        program: &PushdownProgram,
+    ) -> Result<PushdownScan, StorageError> {
+        let page = EVAL_PAGE_SIZE as u64;
+        if len == 0 || !offset.is_multiple_of(page) || !len.is_multiple_of(page) {
+            return Err(StorageError::Unavailable(format!(
+                "pushdown span [{offset}, {}) is not whole 8 KiB pages",
+                offset + len
+            )));
+        }
+        let fabric = Arc::clone(&self.fabric);
+        let proto = self.cfg.protocol;
+        let local = self.local;
+        let t0 = clock.now();
+        let span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.registry.span_enter_id(m.pushdown_span, t0));
+        #[derive(Default)]
+        struct ChunkOut {
+            payload: Vec<u8>,
+            rows_scanned: u64,
+            rows_matched: u64,
+            server_cpu: SimDuration,
+            fallback: bool,
+        }
+        // keyed by position in the span: a retried chunk overwrites its own
+        // slot instead of duplicating, and the fold below runs in file order
+        let mut chunks: std::collections::BTreeMap<u64, ChunkOut> =
+            std::collections::BTreeMap::new();
+        let res = self.io(
+            clock,
+            offset,
+            len,
+            false,
+            |clock, handle, within, done, chunk| {
+                let cfg = fabric.config();
+                let mut out = ChunkOut::default();
+                if self.broker.pushdown_admit(handle.server) {
+                    let reply = fabric.pushdown(
+                        clock,
+                        proto,
+                        local,
+                        &PushdownRequest {
+                            handle,
+                            offset: within,
+                            len: chunk,
+                            program,
+                        },
+                    )?;
+                    self.broker
+                        .note_pushdown(handle.server, reply.server_cpu, reply.rows_scanned);
+                    // land the (small) reply in the client's result buffer
+                    clock.advance(cfg.memcpy(reply.payload.len() as u64));
+                    out.payload = reply.payload;
+                    out.rows_scanned = reply.rows_scanned;
+                    out.rows_matched = reply.rows_matched;
+                    out.server_cpu = reply.server_cpu;
+                } else {
+                    // compute budget exhausted: ship the pages and eval here —
+                    // same result, full wire bytes, eval burned on our own core
+                    let mut span_bytes = vec![0u8; chunk as usize];
+                    fabric.read(clock, proto, local, handle, within, &mut span_bytes)?;
+                    clock.advance(cfg.memcpy(chunk));
+                    let mut payload = Vec::new();
+                    let stats = remem_storage::eval_pages(&span_bytes, program, &mut payload)
+                        .map_err(|_| NetError::BadPushdown {
+                            reason: "span is not a whole number of 8 KiB pages",
+                        })?;
+                    clock.advance(cfg.pushdown_eval_cost(stats.rows_scanned, chunk));
+                    out.payload = payload;
+                    out.rows_scanned = stats.rows_scanned;
+                    out.rows_matched = stats.rows_matched;
+                    out.fallback = true;
+                }
+                chunks.insert(done, out);
+                Ok(())
+            },
+        );
+        let scan = res.map(|()| {
+            let mut scan = PushdownScan {
+                payload: Vec::new(),
+                rows_scanned: 0,
+                rows_matched: 0,
+                server_cpu: SimDuration::ZERO,
+                fallback_chunks: 0,
+            };
+            let mut agg: Option<PartialAgg> = None;
+            for out in chunks.values() {
+                scan.rows_scanned += out.rows_scanned;
+                scan.rows_matched += out.rows_matched;
+                scan.server_cpu += out.server_cpu;
+                scan.fallback_chunks += out.fallback as u64;
+                if program.aggregate.is_some() {
+                    // merge partials in extent order — deterministic floats
+                    if let Some(part) = PartialAgg::decode(&out.payload) {
+                        match &mut agg {
+                            Some(a) => a.merge(&part),
+                            None => agg = Some(part),
+                        }
+                    }
+                } else {
+                    scan.payload.extend_from_slice(&out.payload);
+                }
+            }
+            if let Some(a) = agg {
+                a.encode(&mut scan.payload);
+            }
+            scan
+        });
+        if let Some(m) = &self.metrics {
+            if let Some(span) = span {
+                m.registry.span_exit(span, clock.now());
+            }
+            if let Ok(scan) = &scan {
+                m.pushdown_ops.incr();
+                m.pushdown_bytes.add(scan.payload.len() as u64);
+                m.pushdown_fallbacks.add(scan.fallback_chunks);
+                m.pushdown_lat.record(clock.now().since(t0));
+            }
+        }
+        if let Ok(scan) = &scan {
+            self.bytes_read.add(scan.payload.len() as u64);
+        }
+        scan
+    }
+
     /// **Write** `data` at `offset` via RDMA.
     pub fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError> {
         let len = data.len() as u64;
@@ -1313,20 +1502,26 @@ impl RemoteFile {
             .as_ref()
             .map(|m| m.registry.span_enter_id(m.write_span, t0));
         let replicated = self.replicated();
-        let res = self.io(clock, offset, len, |clock, handle, within, done, chunk| {
-            let src = &data[done as usize..(done + chunk) as usize];
-            if replicated {
-                // fan out to every live replica; the op completes at the
-                // quorum ack, stragglers catch up in the background
-                let targets = self.replica_targets(handle, within);
-                fabric
-                    .write_quorum(clock, proto, local, &targets, src)
-                    .map(|_| ())
-            } else {
-                // audit: allow(quorum-write, unreplicated file: the single copy is the quorum)
-                fabric.write(clock, proto, local, handle, within, src)
-            }
-        });
+        let res = self.io(
+            clock,
+            offset,
+            len,
+            true,
+            |clock, handle, within, done, chunk| {
+                let src = &data[done as usize..(done + chunk) as usize];
+                if replicated {
+                    // fan out to every live replica; the op completes at the
+                    // quorum ack, stragglers catch up in the background
+                    let targets = self.replica_targets(handle, within);
+                    fabric
+                        .write_quorum(clock, proto, local, &targets, src)
+                        .map(|_| ())
+                } else {
+                    // audit: allow(quorum-write, unreplicated file: the single copy is the quorum)
+                    fabric.write(clock, proto, local, handle, within, src)
+                }
+            },
+        );
         if let Some(m) = &self.metrics {
             if let Some(span) = span {
                 m.registry.span_exit(span, clock.now());
@@ -2886,5 +3081,179 @@ mod tests {
         crash(&c, f.donors()[0]);
         f.read(&mut clock, 0, &mut buf).unwrap();
         assert_eq!(f.drain_lost_ranges(), vec![(0, MR)]);
+    }
+
+    /// Build `npages` engine-format slotted pages of `(key, key*1.5, pad)`
+    /// rows, `rpp` rows per page, keys dense from 0.
+    fn table_pages(npages: usize, rpp: usize) -> Vec<u8> {
+        let mut data = Vec::with_capacity(npages * EVAL_PAGE_SIZE);
+        for p in 0..npages {
+            let mut page = vec![0u8; EVAL_PAGE_SIZE];
+            let mut free = EVAL_PAGE_SIZE;
+            for j in 0..rpp {
+                let k = (p * rpp + j) as i64;
+                let mut rec = Vec::new();
+                rec.extend_from_slice(&3u16.to_le_bytes());
+                rec.push(0);
+                rec.extend_from_slice(&k.to_le_bytes());
+                rec.push(1);
+                rec.extend_from_slice(&(k as f64 * 1.5).to_le_bytes());
+                rec.push(2);
+                rec.extend_from_slice(&4u32.to_le_bytes());
+                rec.extend_from_slice(b"padx");
+                free -= rec.len();
+                page[free..free + rec.len()].copy_from_slice(&rec);
+                let base = 4 + j * 4;
+                page[base..base + 2].copy_from_slice(&(free as u16).to_le_bytes());
+                page[base + 2..base + 4].copy_from_slice(&(rec.len() as u16).to_le_bytes());
+            }
+            page[0..2].copy_from_slice(&(rpp as u16).to_le_bytes());
+            page[2..4].copy_from_slice(&(free as u16).to_le_bytes());
+            data.extend_from_slice(&page);
+        }
+        data
+    }
+
+    fn key_lt(v: i64) -> PushdownProgram {
+        PushdownProgram {
+            predicates: vec![remem_storage::Predicate {
+                col: 0,
+                op: remem_storage::CmpOp::Lt,
+                value: remem_storage::EvalValue::Int(v),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pushdown_scan_matches_client_side_oracle() {
+        let c = cluster(2, 4, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, 4 * MR, RFileConfig::custom(), &mut clock);
+        let npages = (4 * MR) as usize / EVAL_PAGE_SIZE;
+        let data = table_pages(npages, 16);
+        f.write(&mut clock, 0, &data).unwrap();
+        let prog = key_lt(40);
+        let scan = f.read_pushdown(&mut clock, 0, 4 * MR, &prog).unwrap();
+        // oracle: fetch every page, eval on the client
+        let mut full = vec![0u8; data.len()];
+        f.read(&mut clock, 0, &mut full).unwrap();
+        let mut expect = Vec::new();
+        let stats = remem_storage::eval_pages(&full, &prog, &mut expect).unwrap();
+        assert_eq!(scan.payload, expect);
+        assert_eq!(scan.rows_scanned, stats.rows_scanned);
+        assert_eq!(scan.rows_matched, 40);
+        assert_eq!(scan.fallback_chunks, 0);
+        assert!(scan.server_cpu > SimDuration::ZERO);
+        // both donors were debited (Spread stripes across them)
+        for d in &c.donors {
+            assert!(c.broker.compute_account(*d).ops > 0, "{d:?} not debited");
+        }
+    }
+
+    #[test]
+    fn pushdown_aggregate_merges_partials_across_extents() {
+        let c = cluster(2, 2, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, 2 * MR, RFileConfig::custom(), &mut clock);
+        let npages = (2 * MR) as usize / EVAL_PAGE_SIZE;
+        let data = table_pages(npages, 16);
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut prog = key_lt(100);
+        prog.aggregate = Some(remem_storage::Aggregate::Sum(0));
+        let scan = f.read_pushdown(&mut clock, 0, 2 * MR, &prog).unwrap();
+        assert_eq!(scan.payload.len(), remem_storage::PARTIAL_AGG_BYTES);
+        let agg = PartialAgg::decode(&scan.payload).unwrap();
+        assert_eq!(agg.rows, 100);
+        // sum of integer keys 0..100 is exact regardless of chunking
+        assert_eq!(agg.sum_int, (0..100i64).sum::<i64>());
+    }
+
+    #[test]
+    fn pushdown_retries_through_transient_faults() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            max_retries: 8,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, MR, cfg, &mut clock);
+        let npages = MR as usize / EVAL_PAGE_SIZE;
+        let data = table_pages(npages, 8);
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut expect = Vec::new();
+        remem_storage::eval_pages(&data, &key_lt(5), &mut expect).unwrap();
+        c.fabric
+            .set_fault_injector(Some(Arc::new(FaultInjector::new(11).flaky_window(
+                c.donors[0],
+                SimTime::ZERO,
+                SimTime(1 << 40),
+                0.4,
+            ))));
+        for _ in 0..25 {
+            let scan = f.read_pushdown(&mut clock, 0, MR, &key_lt(5)).unwrap();
+            assert_eq!(scan.payload, expect);
+        }
+        assert!(f.retries() > 0, "p=0.4 over 25 scans must trigger retries");
+    }
+
+    #[test]
+    fn pushdown_fails_over_to_surviving_replica() {
+        let c = cluster(3, 3, PlacementPolicy::Spread);
+        let mut clock = Clock::new();
+        let cfg = RFileConfig {
+            replicas: 2,
+            ..RFileConfig::custom()
+        };
+        let f = mk_file(&c, 2 * MR, cfg, &mut clock);
+        let npages = (2 * MR) as usize / EVAL_PAGE_SIZE;
+        let data = table_pages(npages, 8);
+        f.write(&mut clock, 0, &data).unwrap();
+        let mut expect = Vec::new();
+        remem_storage::eval_pages(&data, &key_lt(30), &mut expect).unwrap();
+        let epoch0 = f.replica_epoch();
+        crash(&c, f.donors()[0]);
+        // the scan re-points at survivors via the fenced epoch, like reads
+        let scan = f.read_pushdown(&mut clock, 0, 2 * MR, &key_lt(30)).unwrap();
+        assert_eq!(scan.payload, expect, "failover must not corrupt the scan");
+        assert!(f.replica_epoch() > epoch0, "membership change fences epoch");
+        // and the scan path keeps working at the new epoch
+        let scan = f.read_pushdown(&mut clock, 0, 2 * MR, &key_lt(30)).unwrap();
+        assert_eq!(scan.payload, expect);
+    }
+
+    #[test]
+    fn pushdown_falls_back_when_compute_budget_exhausted() {
+        let c = cluster(1, 2, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, MR, RFileConfig::custom(), &mut clock);
+        let npages = MR as usize / EVAL_PAGE_SIZE;
+        let data = table_pages(npages, 8);
+        f.write(&mut clock, 0, &data).unwrap();
+        let prog = key_lt(10);
+        let mut expect = Vec::new();
+        remem_storage::eval_pages(&data, &prog, &mut expect).unwrap();
+        // no compute for tenants on this donor
+        c.broker
+            .set_compute_budget(c.donors[0], Some(SimDuration::ZERO));
+        let scan = f.read_pushdown(&mut clock, 0, MR, &prog).unwrap();
+        assert_eq!(
+            scan.payload, expect,
+            "fallback must produce identical bytes"
+        );
+        assert!(scan.fallback_chunks > 0);
+        assert_eq!(scan.server_cpu, SimDuration::ZERO, "no server CPU burned");
+        assert_eq!(c.broker.compute_account(c.donors[0]).ops, 0);
+        assert!(c.broker.compute_account(c.donors[0]).denied > 0);
+    }
+
+    #[test]
+    fn pushdown_rejects_partial_page_spans() {
+        let c = cluster(1, 1, PlacementPolicy::Pack);
+        let mut clock = Clock::new();
+        let f = mk_file(&c, MR, RFileConfig::custom(), &mut clock);
+        assert!(f.read_pushdown(&mut clock, 0, 100, &key_lt(1)).is_err());
+        assert!(f.read_pushdown(&mut clock, 17, 8192, &key_lt(1)).is_err());
+        assert!(f.read_pushdown(&mut clock, 0, 0, &key_lt(1)).is_err());
     }
 }

@@ -30,5 +30,5 @@ pub mod file;
 pub mod staging;
 
 pub use config::{AccessMode, RFileConfig, RegistrationMode};
-pub use file::{IoBatch, IoOp, RemoteFile};
+pub use file::{IoBatch, IoOp, PushdownScan, RemoteFile};
 pub use staging::StagingBuffers;

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
-use crate::parallel::{self, fold_ready, Entry};
+use crate::parallel::{self, DeferQueue};
 use crate::time::SimTime;
 
 /// Which side of the chaos loop produced an event.
@@ -69,7 +69,7 @@ pub struct FaultLog {
 struct LogState {
     events: Vec<FaultEvent>,
     counts: BTreeMap<(&'static str, FaultOrigin), u64>,
-    pending: Vec<Entry<FaultEvent>>,
+    pending: DeferQueue<FaultEvent>,
 }
 
 impl LogState {
@@ -86,7 +86,7 @@ impl LogState {
             counts,
             pending,
         } = self;
-        fold_ready(pending, None, |e| {
+        pending.fold_ready(None, |e| {
             *counts.entry((e.kind, e.origin)).or_insert(0) += 1;
             if events.len() < capacity {
                 events.push(e);
@@ -132,7 +132,7 @@ impl FaultLog {
         };
         let mut s = self.state.lock();
         match parallel::current() {
-            Some(c) => s.pending.push((c.key, c.worker, event)),
+            Some(c) => s.pending.push(c.key, c.worker, event),
             None => {
                 s.fold(self.capacity);
                 s.apply(self.capacity, event);

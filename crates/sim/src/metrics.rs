@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::parallel::{self, fold_ready, Entry};
+use crate::parallel::{self, DeferQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// A latency histogram over virtual durations.
@@ -29,13 +29,13 @@ pub struct Histogram {
 #[derive(Debug, Default)]
 struct HistState {
     samples: Vec<u64>,
-    pending: Vec<Entry<u64>>,
+    pending: DeferQueue<u64>,
 }
 
 impl HistState {
     fn fold(&mut self) {
         let HistState { samples, pending } = self;
-        fold_ready(pending, None, |v| samples.push(v));
+        pending.fold_ready(None, |v| samples.push(v));
     }
 }
 
@@ -47,7 +47,7 @@ impl Histogram {
     pub fn record(&self, d: SimDuration) {
         let mut s = self.state.lock();
         match parallel::current() {
-            Some(c) => s.pending.push((c.key, c.worker, d.as_nanos())),
+            Some(c) => s.pending.push(c.key, c.worker, d.as_nanos()),
             None => {
                 s.fold();
                 s.samples.push(d.as_nanos());
@@ -184,7 +184,7 @@ pub struct TimeSeries {
 #[derive(Debug, Default)]
 struct SeriesState {
     buckets: Vec<(f64, u64)>, // (sum, count)
-    pending: Vec<Entry<(u64, f64)>>,
+    pending: DeferQueue<(u64, f64)>,
 }
 
 impl SeriesState {
@@ -194,7 +194,7 @@ impl SeriesState {
 
     fn fold(&mut self, width_ns: u64) {
         let SeriesState { buckets, pending } = self;
-        fold_ready(pending, None, |(at, v)| {
+        pending.fold_ready(None, |(at, v)| {
             apply_bucket(buckets, width_ns, at, v);
         });
     }
@@ -225,7 +225,7 @@ impl TimeSeries {
     pub fn record(&self, at: SimTime, value: f64) {
         let mut s = self.state.lock();
         match parallel::current() {
-            Some(c) => s.pending.push((c.key, c.worker, (at.as_nanos(), value))),
+            Some(c) => s.pending.push(c.key, c.worker, (at.as_nanos(), value)),
             None => {
                 s.fold(self.bucket_width.as_nanos());
                 s.apply(self.bucket_width.as_nanos(), at.as_nanos(), value);

@@ -105,45 +105,106 @@ pub(crate) fn span_depth_pop(expected: usize) {
 
 static RUN_IDS: AtomicU64 = AtomicU64::new(1);
 
-/// A deferred side effect: produced by `worker` during window `key`, payload
-/// `T`. Kept in each substrate object's own mutex-guarded pending list.
-pub(crate) type Entry<T> = (RoundKey, u32, T);
-
-/// Fold, in canonical order, the buffered entries that are ready: all of
-/// them (`before == None`, used by sequential accessors) or only those from
-/// windows strictly before `before` (used by in-round resource acquires,
-/// which must not observe other workers' same-round effects).
+/// Deferred order-sensitive side effects, buffered until their conservative
+/// window closes. One lives (mutex-guarded) inside each substrate object.
 ///
-/// Works **in place** on the pending list — sort, drain the ready prefix
-/// through `f`, keep the rest — so the steady-state fold cycle performs no
-/// heap allocation and the list's capacity is reused across rounds (the old
-/// take-and-partition version reallocated on every fold). The sort is
-/// stable, so each worker's program order is preserved inside its
-/// `(round, worker)` slot; entries surviving a cutoff fold are left sorted,
-/// which later folds are insensitive to for the same reason.
-pub(crate) fn fold_ready<T>(
-    pending: &mut Vec<Entry<T>>,
-    before: Option<RoundKey>,
-    mut f: impl FnMut(T),
-) {
-    if pending.is_empty() {
-        return;
+/// Entries carry a **dense packed key** — `run`, `round` and `worker`
+/// squeezed into one `u128` — plus a monotone per-queue sequence number, so
+/// the per-fold sort is a single-word-key `sort_unstable` (pdqsort, no
+/// allocation, no stability bookkeeping) instead of the old stable sort on a
+/// `(RoundKey, u32)` tuple. The sequence number is what preserves each
+/// worker's program order inside its `(round, worker)` slot; it resets to
+/// zero whenever the queue drains, so it never approaches overflow. The
+/// fold works in place — sort, drain the ready prefix, keep the rest — so
+/// the steady-state cycle performs no heap allocation and the buffer's
+/// capacity is reused across rounds. See `micro.rs` group `defer` for the
+/// measured delta against the stable tuple-key fold this replaced.
+#[derive(Debug)]
+pub(crate) struct DeferQueue<T> {
+    entries: Vec<(u128, u64, T)>,
+    seq: u64,
+}
+
+impl<T> Default for DeferQueue<T> {
+    fn default() -> Self {
+        DeferQueue {
+            entries: Vec::new(),
+            seq: 0,
+        }
     }
-    let cut = match before {
-        None => {
-            pending.sort_by_key(|e| (e.0, e.1));
-            pending.len()
+}
+
+impl<T> DeferQueue<T> {
+    /// `run` in the high 64 bits, `round` next, `worker` low — lexicographic
+    /// `u128` order equals `(RoundKey, worker)` order as long as rounds stay
+    /// below 2³². A run executes one round per barrier interval, so 4
+    /// billion rounds is unreachable; the debug assert guards the invariant.
+    fn pack(key: RoundKey, worker: u32) -> u128 {
+        debug_assert!(key.round < 1 << 32, "round counter overflows packed key");
+        ((key.run as u128) << 64) | ((key.round as u128) << 32) | worker as u128
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discard everything buffered (metric reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.seq = 0;
+    }
+
+    /// Buffer `v`, produced by `worker` during window `key`.
+    pub fn push(&mut self, key: RoundKey, worker: u32, v: T) {
+        self.entries.push((Self::pack(key, worker), self.seq, v));
+        self.seq += 1;
+    }
+
+    /// The calling worker's own buffered entries for window `key`, in
+    /// program order (in-round resource acquires replay these on top of the
+    /// frozen round-start state).
+    pub fn own(&self, key: RoundKey, worker: u32) -> impl Iterator<Item = &T> {
+        let want = Self::pack(key, worker);
+        self.entries
+            .iter()
+            .filter(move |e| e.0 == want)
+            .map(|e| &e.2)
+    }
+
+    /// Fold, in canonical order, the buffered entries that are ready: all of
+    /// them (`before == None`, used by sequential accessors) or only those
+    /// from windows strictly before `before` (used by in-round resource
+    /// acquires, which must not observe other workers' same-round effects).
+    pub fn fold_ready(&mut self, before: Option<RoundKey>, mut f: impl FnMut(T)) {
+        if self.entries.is_empty() {
+            self.seq = 0;
+            return;
         }
-        Some(k) => {
-            if !pending.iter().any(|e| e.0 < k) {
-                return;
+        let cut = match before {
+            None => {
+                self.entries.sort_unstable_by_key(|e| (e.0, e.1));
+                self.entries.len()
             }
-            pending.sort_by_key(|e| (e.0, e.1));
-            pending.partition_point(|e| e.0 < k)
+            Some(k) => {
+                let fence = Self::pack(k, 0);
+                if !self.entries.iter().any(|e| e.0 < fence) {
+                    return;
+                }
+                self.entries.sort_unstable_by_key(|e| (e.0, e.1));
+                self.entries.partition_point(|e| e.0 < fence)
+            }
+        };
+        for (_, _, v) in self.entries.drain(..cut) {
+            f(v);
         }
-    };
-    for (_, _, v) in pending.drain(..cut) {
-        f(v);
+        if self.entries.is_empty() {
+            self.seq = 0;
+        }
+    }
+
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        self.entries.capacity()
     }
 }
 
@@ -703,32 +764,40 @@ mod tests {
     }
 
     #[test]
-    fn fold_ready_orders_canonically_and_respects_cutoff() {
+    fn defer_queue_orders_canonically_and_respects_cutoff() {
         let k = |run, round| RoundKey { run, round };
-        let mut pending = vec![
-            (k(1, 2), 1u32, "r2w1a"),
-            (k(1, 1), 2, "r1w2"),
-            (k(1, 2), 0, "r2w0"),
-            (k(1, 1), 0, "r1w0"),
-            (k(1, 2), 1, "r2w1b"),
-        ];
+        let mut pending: DeferQueue<&str> = DeferQueue::default();
+        pending.push(k(1, 2), 1, "r2w1a");
+        pending.push(k(1, 1), 2, "r1w2");
+        pending.push(k(1, 2), 0, "r2w0");
+        pending.push(k(1, 1), 0, "r1w0");
+        pending.push(k(1, 2), 1, "r2w1b");
         let capacity = pending.capacity();
         // Cutoff at round 2: only round-1 entries fold, worker order.
         let mut vals = Vec::new();
-        fold_ready(&mut pending, Some(k(1, 2)), |v| vals.push(v));
+        pending.fold_ready(Some(k(1, 2)), |v| vals.push(v));
         assert_eq!(vals, ["r1w0", "r1w2"]);
-        assert_eq!(pending.len(), 3);
-        // No cutoff: everything folds; same-worker program order survives.
+        // A worker's own surviving entries read back in program order.
+        let own: Vec<&str> = pending.own(k(1, 2), 1).copied().collect();
+        assert_eq!(own, ["r2w1a", "r2w1b"]);
+        // No cutoff: everything folds; same-worker program order survives
+        // even though the sort is unstable (the seq column tie-breaks).
         vals.clear();
-        fold_ready(&mut pending, None, |v| vals.push(v));
+        pending.fold_ready(None, |v| vals.push(v));
         assert_eq!(vals, ["r2w0", "r2w1a", "r2w1b"]);
         assert!(pending.is_empty());
-        // In-place contract: the pending list's allocation is retained.
+        // In-place contract: the buffer's allocation is retained.
         assert_eq!(pending.capacity(), capacity);
         // A cutoff with nothing ready folds nothing.
-        pending.push((k(1, 5), 0, "r5w0"));
-        fold_ready(&mut pending, Some(k(1, 3)), |_| panic!("nothing is ready"));
-        assert_eq!(pending.len(), 1);
+        pending.push(k(1, 5), 0, "r5w0");
+        pending.fold_ready(Some(k(1, 3)), |_| panic!("nothing is ready"));
+        assert!(!pending.is_empty());
+        // Runs order after rounds: a later run's round 0 folds after an
+        // earlier run's round 5.
+        pending.push(k(2, 0), 0, "run2");
+        vals.clear();
+        pending.fold_ready(None, |v| vals.push(v));
+        assert_eq!(vals, ["r5w0", "run2"]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::metrics::{Counter, Histogram, TimeSeries};
-use crate::parallel::{self, fold_ready, Entry};
+use crate::parallel::{self, DeferQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// A settable scalar metric (stored as `f64` bits).
@@ -40,7 +40,7 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Default)]
 pub struct Gauge {
     bits: AtomicU64,
-    pending: Mutex<Vec<Entry<u64>>>,
+    pending: Mutex<DeferQueue<u64>>,
 }
 
 impl Gauge {
@@ -49,14 +49,14 @@ impl Gauge {
     }
 
     fn fold(&self) {
-        fold_ready(&mut self.pending.lock(), None, |bits| {
+        self.pending.lock().fold_ready(None, |bits| {
             self.bits.store(bits, Ordering::Relaxed);
         });
     }
 
     pub fn set(&self, v: f64) {
         match parallel::current() {
-            Some(c) => self.pending.lock().push((c.key, c.worker, v.to_bits())),
+            Some(c) => self.pending.lock().push(c.key, c.worker, v.to_bits()),
             None => {
                 self.fold();
                 self.bits.store(v.to_bits(), Ordering::Relaxed);
@@ -134,7 +134,7 @@ struct SpanState {
     names: Vec<&'static str>,
     stats: Vec<SpanStats>,
     stack: Vec<OpenSpan>,
-    pending: Vec<Entry<SpanOp>>,
+    pending: DeferQueue<SpanOp>,
 }
 
 impl SpanState {
@@ -166,13 +166,10 @@ impl SpanState {
         // open/close need `&mut self` while pending is drained, so swap the
         // buffer out for the duration and put it back to keep its capacity.
         let mut pending = std::mem::take(&mut self.pending);
-        pending.sort_by_key(|e| (e.0, e.1));
-        for (_, _, op) in pending.drain(..) {
-            match op {
-                SpanOp::Enter(id, at) => self.open(id, at),
-                SpanOp::Exit(at) => self.close(at),
-            }
-        }
+        pending.fold_ready(None, |op| match op {
+            SpanOp::Enter(id, at) => self.open(id, at),
+            SpanOp::Exit(at) => self.close(at),
+        });
         self.pending = pending;
     }
 }
@@ -308,7 +305,7 @@ impl MetricsRegistry {
         if let Some(c) = parallel::current() {
             // Defer the stack mutation; the token's LIFO check runs against
             // the worker-local depth counter instead of the shared stack.
-            s.pending.push((c.key, c.worker, SpanOp::Enter(id, at)));
+            s.pending.push(c.key, c.worker, SpanOp::Enter(id, at));
             return SpanToken {
                 depth: parallel::span_depth_push(),
             };
@@ -326,7 +323,7 @@ impl MetricsRegistry {
         let mut s = self.spans.lock();
         if let Some(c) = parallel::current() {
             parallel::span_depth_pop(token.depth);
-            s.pending.push((c.key, c.worker, SpanOp::Exit(at)));
+            s.pending.push(c.key, c.worker, SpanOp::Exit(at));
             return;
         }
         s.fold();

@@ -22,7 +22,7 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::parallel::{self, fold_ready, Entry};
+use crate::parallel::{self, DeferQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// Result of acquiring a resource: when service started and when it completed.
@@ -66,7 +66,7 @@ pub struct FifoResource {
 struct FifoState {
     fluid: Fluid,
     /// Parallel-round requests not yet folded into `fluid`.
-    pending: Vec<Entry<Req>>,
+    pending: DeferQueue<Req>,
 }
 
 /// One buffered `acquire`, in raw nanoseconds.
@@ -127,7 +127,7 @@ impl FifoResource {
     /// requests from other workers must stay invisible).
     fn folded(s: &mut FifoState, ctx: Option<parallel::Ctx>) -> Fluid {
         let FifoState { fluid, pending } = s;
-        fold_ready(pending, ctx.map(|c| c.key), |r| fluid.apply(r));
+        pending.fold_ready(ctx.map(|c| c.key), |r| fluid.apply(r));
         *fluid
     }
 
@@ -144,20 +144,18 @@ impl FifoResource {
             Some(c) => {
                 // Frozen-round semantics: base state + own history only.
                 let mut frozen = Self::folded(&mut s, Some(c));
-                for &(k, w, r) in s.pending.iter() {
-                    if k == c.key && w == c.worker {
-                        frozen.apply(r);
-                    }
+                for &r in s.pending.own(c.key, c.worker) {
+                    frozen.apply(r);
                 }
                 let g = frozen.grant(now, service);
-                s.pending.push((
+                s.pending.push(
                     c.key,
                     c.worker,
                     Req {
                         now: now.0,
                         service: service.0,
                     },
-                ));
+                );
                 g
             }
         }
@@ -171,10 +169,8 @@ impl FifoResource {
         let mut s = self.state.lock();
         let mut f = Self::folded(&mut s, ctx);
         if let Some(c) = ctx {
-            for &(k, w, r) in s.pending.iter() {
-                if k == c.key && w == c.worker {
-                    f.apply(r);
-                }
+            for &r in s.pending.own(c.key, c.worker) {
+                f.apply(r);
             }
         }
         f.free_at()
@@ -209,7 +205,7 @@ pub struct PoolResource {
 struct PoolState {
     servers: Vec<Fluid>,
     /// Parallel-round requests not yet folded into `servers`.
-    pending: Vec<Entry<PoolReq>>,
+    pending: DeferQueue<PoolReq>,
 }
 
 /// One buffered pool request: `pin` is `Some(server)` for `acquire_on`.
@@ -250,7 +246,7 @@ impl PoolState {
     /// Fold buffered requests in canonical order; see `FifoResource::folded`.
     fn fold(&mut self, ctx: Option<parallel::Ctx>) {
         let PoolState { servers, pending } = self;
-        fold_ready(pending, ctx.map(|c| c.key), |r| {
+        pending.fold_ready(ctx.map(|c| c.key), |r| {
             let _ = Self::grant(servers, r);
         });
     }
@@ -258,13 +254,11 @@ impl PoolState {
     fn round_grant(&mut self, c: parallel::Ctx, r: PoolReq) -> Grant {
         self.fold(Some(c));
         let mut frozen = self.servers.clone();
-        for &(k, w, pr) in self.pending.iter() {
-            if k == c.key && w == c.worker {
-                let _ = Self::grant(&mut frozen, pr);
-            }
+        for &pr in self.pending.own(c.key, c.worker) {
+            let _ = Self::grant(&mut frozen, pr);
         }
         let g = Self::grant(&mut frozen, r);
-        self.pending.push((c.key, c.worker, r));
+        self.pending.push(c.key, c.worker, r);
         g
     }
 }
@@ -275,7 +269,7 @@ impl PoolResource {
         PoolResource {
             state: Mutex::new(PoolState {
                 servers: (0..k).map(|_| Fluid::default()).collect(),
-                pending: Vec::new(),
+                pending: DeferQueue::default(),
             }),
             total_service: AtomicU64::new(0),
         }

@@ -18,6 +18,7 @@
 pub mod config;
 pub mod device;
 pub mod error;
+pub mod eval;
 pub mod hdd;
 pub mod metered;
 pub mod ramdisk;
@@ -26,6 +27,10 @@ pub mod ssd;
 pub use config::{HddConfig, SsdConfig};
 pub use device::Device;
 pub use error::StorageError;
+pub use eval::{
+    eval_pages, Aggregate, CmpOp, EvalError, EvalStats, EvalValue, PartialAgg, Predicate,
+    PushdownProgram, EVAL_PAGE_SIZE, PARTIAL_AGG_BYTES,
+};
 pub use hdd::HddArray;
 pub use metered::MeteredDevice;
 pub use ramdisk::RamDisk;

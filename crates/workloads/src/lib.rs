@@ -19,6 +19,7 @@
 
 pub mod hashsort;
 pub mod loading;
+pub mod pushdown;
 pub mod rangescan;
 pub mod sqlio;
 pub mod tpcc;

@@ -319,6 +319,26 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `prop::option::of(strategy)` — `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            (rng.next_u64() & 1 == 1).then(|| self.inner.generate(rng))
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
@@ -328,6 +348,7 @@ pub mod prelude {
     /// Mirrors proptest's `prelude::prop` module path (`prop::collection::vec`).
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
