@@ -27,11 +27,13 @@
 //!   branch on which OS thread ran an op or how many cores the host has.
 //!   Structured concurrency (`thread::scope`, `Barrier`, channels) is fine.
 //! * `quorum-write` — no direct `fabric.write(…)` / `fab.write(…)` in
-//!   non-test `crates/rfile` code: a replicated MR written through the
-//!   scalar path updates one copy and silently diverges the replica set.
-//!   All data-path writes go through `Fabric::write_quorum`; the few
-//!   legitimate single-copy writes (zeroing a fresh stripe, unreplicated
-//!   files, replica seeding) carry a waiver pragma naming why.
+//!   non-test `crates/rfile` code, nor in engine files whose path mentions
+//!   `wal` (the commit log ships to a replicated remote ring): a replicated
+//!   MR written through the scalar path updates one copy and silently
+//!   diverges the replica set. All data-path writes go through
+//!   `Fabric::write_quorum`; the few legitimate single-copy writes (zeroing
+//!   a fresh stripe, unreplicated files, replica seeding) carry a waiver
+//!   pragma naming why.
 //! * `pushdown-charge` — no direct `fabric.pushdown(…)` / `fab.pushdown(…)`
 //!   in non-test library code outside `net`/`rfile`: the pushdown verb
 //!   charges the memory server's CPU on the caller's clock only when routed
@@ -661,10 +663,15 @@ fn rule_nondet_parallel(ctx: &mut Ctx) {
 /// direct `fabric.write(…)` against a replicated MR updates exactly one
 /// copy — reads that later fail over to a peer see stale bytes, and no
 /// audit of the broker's ledger can catch it. Flags `.write(` whose
-/// receiver ident is `fabric` or `fab` in non-test `crates/rfile` code;
-/// intentional single-copy writes carry a waiver pragma.
+/// receiver ident is `fabric` or `fab` in non-test `crates/rfile` code,
+/// and — since the WAL ships commit groups into a replicated ring — in any
+/// engine file whose path mentions `wal`: a scalar fabric write from the
+/// log path is a committed transaction with one copy, exactly the loss
+/// the ring exists to prevent. Intentional single-copy writes carry a
+/// waiver pragma.
 fn rule_quorum_write(ctx: &mut Ctx) {
-    if ctx.krate != Some("rfile") {
+    let wal_path = ctx.krate == Some("engine") && ctx.path.contains("wal");
+    if ctx.krate != Some("rfile") && !wal_path {
         return;
     }
     let mut hits = Vec::new();
@@ -680,14 +687,16 @@ fn rule_quorum_write(ctx: &mut Ctx) {
         }
     }
     for line in hits {
-        ctx.push(
-            "quorum-write",
-            line,
+        let msg = if wal_path {
+            "direct `fabric.write` on the WAL path: commit groups must reach the \
+             replicated ring through its quorum append, never a scalar write; \
+             waive only intentional single-copy writes"
+        } else {
             "direct `fabric.write` in rfile library code: replicated MRs must go \
              through the quorum path (`write_quorum`); waive only intentional \
              single-copy writes"
-                .to_string(),
-        );
+        };
+        ctx.push("quorum-write", line, msg.to_string());
     }
 }
 
@@ -965,6 +974,25 @@ mod tests {
         let waived = "fn f() {\n// audit: allow(quorum-write, zeroing a fresh stripe)\n\
                       fabric.write(c, p, l, m, 0, d);\n}\n";
         assert!(rules_of("crates/rfile/src/a.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn quorum_write_covers_the_engine_wal_path() {
+        // a scalar fabric write from the WAL library path is a committed
+        // transaction with one copy — flagged
+        let src = "fn f() { self.fabric.write(clock, proto, local, mr, off, data); }\n";
+        assert_eq!(
+            rules_of("crates/engine/src/wal.rs", src),
+            vec!["quorum-write"]
+        );
+        // the rest of the engine stays out of scope (it owns no fabric)
+        assert!(rules_of("crates/engine/src/db.rs", src).is_empty());
+        // WAL-path tests and waivers behave as in rfile
+        let test_src = "#[test]\nfn t() { fabric.write(c, p, l, m, 0, d); }\n";
+        assert!(rules_of("crates/engine/src/wal.rs", test_src).is_empty());
+        let waived = "fn f() {\n// audit: allow(quorum-write, archive seeding is single-copy)\n\
+                      fab.write(c, p, l, m, 0, d);\n}\n";
+        assert!(rules_of("crates/engine/src/wal.rs", waived).is_empty());
     }
 
     #[test]

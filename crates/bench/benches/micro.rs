@@ -295,6 +295,57 @@ fn bench_histogram_percentiles(c: &mut Criterion) {
     g.finish();
 }
 
+/// The group-commit encode path: the naive shape (encode the body into a
+/// fresh `Vec`, then copy it behind a length prefix — the double copy the
+/// WAL used to do) vs `WalRecord::encode_into`'s reserve-and-backfill over
+/// a reused scratch buffer.
+fn bench_wal_encode(c: &mut Criterion) {
+    use remem_engine::wal::{WalOp, WalRecord};
+    let mut g = c.benchmark_group("wal-encode");
+    let recs: Vec<WalRecord> = (0..64)
+        .map(|i| WalRecord {
+            lsn: i,
+            table: 1,
+            op: WalOp::Insert,
+            key: i as i64,
+            row: Some(int_row(&[i as i64, i as i64 * 3, 7])),
+        })
+        .collect();
+    g.bench_function("group64_naive_double_copy", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for r in &recs {
+                let mut body = Vec::with_capacity(64);
+                body.extend_from_slice(&r.lsn.to_le_bytes());
+                body.extend_from_slice(&r.table.to_le_bytes());
+                body.push(0);
+                body.extend_from_slice(&r.key.to_le_bytes());
+                match &r.row {
+                    Some(row) => {
+                        body.push(1);
+                        body.extend_from_slice(&row.to_bytes());
+                    }
+                    None => body.push(0),
+                }
+                out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                out.extend_from_slice(&body);
+            }
+            out.len()
+        });
+    });
+    g.bench_function("group64_encode_into_scratch", |b| {
+        let mut scratch = Vec::with_capacity(8 << 10);
+        b.iter(|| {
+            scratch.clear();
+            for r in &recs {
+                r.encode_into(&mut scratch);
+            }
+            scratch.len()
+        });
+    });
+    g.finish();
+}
+
 fn bench_row_page(c: &mut Criterion) {
     let mut g = c.benchmark_group("row_page");
     let row = Row::new(vec![
@@ -531,6 +582,7 @@ fn bench_database(c: &mut Criterion) {
             log: Arc::new(RamDisk::new(64 << 20)),
             tempdb: Arc::new(RamDisk::new(64 << 20)),
             bpext: None,
+            wal_ring: None,
         },
     );
     let mut clock = Clock::new();
@@ -572,6 +624,7 @@ criterion_group!(
     bench_pushdown_eval,
     bench_interned_metrics,
     bench_histogram_percentiles,
+    bench_wal_encode,
     bench_row_page,
     bench_btree,
     bench_operators,

@@ -72,6 +72,7 @@ fn main() {
                 log: Arc::new(HddArray::new(HddConfig::with_spindles(20, 64 << 20))),
                 tempdb: Arc::new(Ssd::new(SsdConfig::with_capacity(opts.tempdb_bytes))),
                 bpext: Some(Arc::clone(&ext) as Arc<dyn Device>),
+                wal_ring: None,
             },
         );
         let t = load_customer(&db, &mut clock, ROWS);

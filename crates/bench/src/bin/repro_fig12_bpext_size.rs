@@ -39,6 +39,8 @@ fn run(ext_mb: u64, spread: bool, windowed: bool) -> (f64, f64) {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let mut clock = Clock::new();
     let db = Design::Custom

@@ -41,6 +41,8 @@ fn run_config(proto: Option<Protocol>, windowed: bool) -> (f64, f64, f64) {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let sb_db = Design::LocalMemory
         .build_for(&cluster, &mut clock, sb, &sb_opts)

@@ -138,6 +138,7 @@ fn main() {
                 log: Arc::new(HddArray::new(HddConfig::with_spindles(20, 256 << 20))),
                 tempdb: Arc::clone(&tempdb) as Arc<dyn Device>,
                 bpext: None,
+                wal_ring: None,
             },
         );
         let tables = load_tables(&db, &mut clock, &params);

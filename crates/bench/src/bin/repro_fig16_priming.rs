@@ -35,6 +35,8 @@ fn opts(pool_mb: u64) -> DbOptions {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     }
 }
 

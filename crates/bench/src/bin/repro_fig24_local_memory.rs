@@ -27,6 +27,8 @@ fn run(design: Design, pool_mb: u64, windowed: bool) -> (f64, f64) {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let mut clock = Clock::new();
     let db = design.build(&cluster, &mut clock, &opts).expect("build");

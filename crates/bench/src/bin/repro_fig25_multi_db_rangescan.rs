@@ -42,6 +42,8 @@ fn main() {
             replicas: 1,
             fault_log: None,
             metrics: None,
+            remote_wal: false,
+            wal_ring_bytes: 8 << 20,
         };
         let mut clock = Clock::new();
         let mut dbs = Vec::new();

@@ -232,6 +232,8 @@ pub fn rangescan_opts(spindles: usize) -> DbOptions {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     }
 }
 
@@ -249,6 +251,8 @@ pub fn hashsort_opts(spindles: usize) -> DbOptions {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     }
 }
 
@@ -265,6 +269,8 @@ pub fn dss_opts(spindles: usize) -> DbOptions {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     }
 }
 
@@ -281,6 +287,8 @@ pub fn tpcc_opts(spindles: usize) -> DbOptions {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     }
 }
 

@@ -14,30 +14,31 @@ use remem_bench::json::{parse, Json};
 
 /// `(report name, committed fingerprint)` — one row per `repro_*` binary.
 const PINNED: &[(&str, &str)] = &[
-    ("repro_failover_recovery", "fnv1a:50926c02488d1cb7"),
-    ("repro_fault_recovery", "fnv1a:11a240e4b99ad670"),
-    ("repro_fig11_rangescan_drilldown", "fnv1a:f8b23382ac814df4"),
+    ("repro_failover_recovery", "fnv1a:c658c7dbd5c47247"),
+    ("repro_fault_recovery", "fnv1a:291163e2440b839c"),
+    ("repro_fig11_rangescan_drilldown", "fnv1a:6b4cdc4da48d9954"),
     ("repro_fig12_bpext_size", "fnv1a:0040086c23d502b7"),
     ("repro_fig13_remote_impact", "fnv1a:d34ed385457f7e5a"),
     ("repro_fig14_hash_sort", "fnv1a:fed713f9287682bb"),
-    ("repro_fig15a_semantic_mv", "fnv1a:a37e3fce5fbf4a54"),
+    ("repro_fig15a_semantic_mv", "fnv1a:4dec3fcfaea68910"),
     ("repro_fig15b_inlj_hj_crossover", "fnv1a:a3a81a1e3f385a62"),
     ("repro_fig16_priming", "fnv1a:fcb9ed8d0c95cc00"),
     ("repro_fig18_19_tpch", "fnv1a:7daebf6d13f9b61c"),
     ("repro_fig20_21_tpcds", "fnv1a:4aaf26764c8e44ea"),
-    ("repro_fig22_23_tpcc", "fnv1a:bf56673674cb99ba"),
+    ("repro_fig22_23_tpcc", "fnv1a:176528fab67c3037"),
     ("repro_fig24_local_memory", "fnv1a:5f6dcd392cccbf51"),
-    ("repro_fig25_multi_db_rangescan", "fnv1a:5bb18e42dfdd5ecc"),
-    ("repro_fig26_cache_recovery", "fnv1a:a4625c0889ed26d9"),
+    ("repro_fig25_multi_db_rangescan", "fnv1a:01cf4d1a3a4a0c79"),
+    ("repro_fig26_cache_recovery", "fnv1a:7cdec298cc9d1ff7"),
     ("repro_fig27_parallel_load", "fnv1a:3688cc6b3c66a14b"),
-    ("repro_fig3_4_io_micro", "fnv1a:d3745b5b80e082e2"),
-    ("repro_fig5_multi_mem_servers", "fnv1a:ca8de7826eae0a1b"),
-    ("repro_fig6_multi_db_servers", "fnv1a:ad47af3f4aa1bdc3"),
-    ("repro_fig7_8_rangescan_updates", "fnv1a:d579a29377e06385"),
-    ("repro_fig9_10_rangescan_readonly", "fnv1a:b264814b2cac2f6b"),
+    ("repro_fig3_4_io_micro", "fnv1a:57575db364e11d2d"),
+    ("repro_fig5_multi_mem_servers", "fnv1a:5db006d1721d45fc"),
+    ("repro_fig6_multi_db_servers", "fnv1a:84b33e9a1096fd0a"),
+    ("repro_fig7_8_rangescan_updates", "fnv1a:f9f904d8b60655c3"),
+    ("repro_fig9_10_rangescan_readonly", "fnv1a:461e1bb06af3191e"),
     ("repro_parallel_speedup", "fnv1a:d96e293442f2dbb3"),
-    ("repro_pushdown_selectivity", "fnv1a:681c63b110d6a8e8"),
-    ("repro_qd_sweep", "fnv1a:44040db87062c3f3"),
+    ("repro_pushdown_selectivity", "fnv1a:ef1301068cd0fdbe"),
+    ("repro_qd_sweep", "fnv1a:ad4365cd0de325aa"),
+    ("repro_remote_wal", "fnv1a:8b2561d8572e93e6"),
     ("repro_sim_throughput", "fnv1a:2bd72311adc612dc"),
     ("repro_table1_ablations", "fnv1a:cbdaa88e2443124e"),
 ];

@@ -132,6 +132,10 @@ struct BrokerMetrics {
     /// Pushdown admissions refused because a server's compute budget was
     /// exhausted (callers fall back to one-sided reads).
     pushdown_denied: Arc<remem_sim::Counter>,
+    /// Replicated leases marked as WAL ring backing (lifetime count).
+    wal_rings: Arc<remem_sim::Counter>,
+    /// Physical bytes (all replicas) currently pinned under WAL rings.
+    wal_ring_bytes: Arc<remem_sim::Gauge>,
 }
 
 impl BrokerMetrics {
@@ -153,6 +157,8 @@ impl BrokerMetrics {
             pushdown_rows: registry.counter("broker.pushdown.rows"),
             pushdown_cpu_ns: registry.counter("broker.pushdown.cpu_ns"),
             pushdown_denied: registry.counter("broker.pushdown.denied"),
+            wal_rings: registry.counter("broker.wal.rings"),
+            wal_ring_bytes: registry.gauge("broker.wal.ring_bytes"),
         }
     }
 }
@@ -187,6 +193,11 @@ pub struct MemoryBroker {
     // ordered map: capacity sweeps and reports iterate it, and hash order
     // would leak into replay
     compute: Mutex<std::collections::BTreeMap<ServerId, ComputeAccount>>,
+    /// Leases pinned as remote-WAL ring backing: the broker reports their
+    /// physical footprint separately (`broker.wal.ring_bytes`) because ring
+    /// space is durability-critical — pressure shedding must prefer cache
+    /// leases over it. Ordered set: reports iterate it.
+    wal_rings: Mutex<std::collections::BTreeSet<LeaseId>>,
 }
 
 impl MemoryBroker {
@@ -197,6 +208,7 @@ impl MemoryBroker {
             auditor: Mutex::new(None),
             metrics: Mutex::new(None),
             compute: Mutex::new(std::collections::BTreeMap::new()),
+            wal_rings: Mutex::new(std::collections::BTreeSet::new()),
         }
     }
 
@@ -846,9 +858,70 @@ impl MemoryBroker {
             st.available.entry(mr.server).or_default().push(mr);
         }
         st.lease_terminal(id);
-        self.meter(&st, |m| m.released.incr());
+        let was_ring = self.wal_rings.lock().remove(&id);
+        self.meter(&st, |m| {
+            m.released.incr();
+            if was_ring {
+                let bytes = Self::ring_bytes(&st, &self.wal_rings.lock());
+                m.wal_ring_bytes.set(bytes as f64);
+            }
+        });
         self.verify(&st, Some(clock.now()));
         Ok(())
+    }
+
+    /// Physical bytes (every replica copy) pinned under Active leases in
+    /// `rings`.
+    fn ring_bytes(st: &MetaState, rings: &std::collections::BTreeSet<LeaseId>) -> u64 {
+        rings
+            .iter()
+            .filter_map(|id| st.leases.get(id))
+            .filter(|(_, s)| *s == LeaseState::Active)
+            .map(|(l, _)| l.bytes())
+            .sum()
+    }
+
+    /// Mark an Active lease as the backing of a remote WAL ring.
+    ///
+    /// Ring space is durability-critical — a committed transaction exists
+    /// *only* in the ring until the archiver drains it — so the broker
+    /// accounts it separately from cache leases (`broker.wal.rings` /
+    /// `broker.wal.ring_bytes`); operators watching donor pressure can see
+    /// how much of the pool is not safely sheddable. Unmarked automatically
+    /// when the lease is released.
+    pub fn mark_wal_ring(&self, id: LeaseId) -> Result<(), BrokerError> {
+        let st = self.store.state.lock();
+        match st.leases.get(&id) {
+            Some((_, LeaseState::Active)) => {}
+            Some((_, s)) => return Err(BrokerError::LeaseNotActive(id, *s)),
+            None => return Err(BrokerError::UnknownLease(id)),
+        }
+        let fresh = self.wal_rings.lock().insert(id);
+        self.meter(&st, |m| {
+            if fresh {
+                m.wal_rings.incr();
+            }
+            let bytes = Self::ring_bytes(&st, &self.wal_rings.lock());
+            m.wal_ring_bytes.set(bytes as f64);
+        });
+        Ok(())
+    }
+
+    /// Physical bytes (all replica copies) currently pinned under marked,
+    /// still-Active WAL ring leases.
+    pub fn wal_ring_bytes(&self) -> u64 {
+        let st = self.store.state.lock();
+        Self::ring_bytes(&st, &self.wal_rings.lock())
+    }
+
+    /// Marked WAL ring leases that are still Active.
+    pub fn wal_ring_count(&self) -> usize {
+        let st = self.store.state.lock();
+        self.wal_rings
+            .lock()
+            .iter()
+            .filter(|id| matches!(st.leases.get(id), Some((_, LeaseState::Active))))
+            .count()
     }
 
     /// Register a background renewal daemon for the lease (§4.2: the DB

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use remem_broker::{BrokerConfig, MemoryBroker, MemoryProxy, MetaStore, PlacementPolicy};
 use remem_net::{Fabric, NetConfig, ServerId};
-use remem_rfile::{RFileConfig, RemoteFile};
+use remem_rfile::{RFileConfig, RemoteFile, RemoteRing};
 use remem_sim::{Clock, MetricsRegistry};
 use remem_storage::StorageError;
 
@@ -163,6 +163,29 @@ impl Cluster {
             size,
             cfg,
         )?))
+    }
+
+    /// Create a replicated remote **WAL ring** of `size` bytes for `local`:
+    /// a [`RemoteRing`] over a quorum-written remote file, with the backing
+    /// lease marked at the broker as durability-critical ring space
+    /// (`broker.wal.ring_bytes`). `cfg.replicas` is clamped up to 2 — a
+    /// single-copy ring would turn a donor crash into committed-transaction
+    /// loss — and self-heal stays off: ring recovery is failover + archive
+    /// replay, never zero-fill.
+    pub fn remote_wal_ring(
+        &self,
+        clock: &mut Clock,
+        local: ServerId,
+        size: u64,
+        mut cfg: RFileConfig,
+    ) -> Result<Arc<RemoteRing>, StorageError> {
+        cfg.replicas = cfg.replicas.max(2);
+        cfg.self_heal = false;
+        let file = self.remote_file(clock, local, size, cfg)?;
+        self.broker
+            .mark_wal_ring(file.lease_id())
+            .map_err(|e| StorageError::Unavailable(e.to_string()))?;
+        Ok(Arc::new(RemoteRing::new(file)))
     }
 
     /// Unleased memory available across all donors.

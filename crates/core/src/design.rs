@@ -90,6 +90,13 @@ pub struct DbOptions {
     /// TempDB spill remote-durable (a donor crash no longer aborts the
     /// query) at the cost of `k×` remote memory and the quorum-ack wait.
     pub replicas: usize,
+    /// Ship the WAL to a replicated remote ring (remote-memory designs
+    /// only). Commit groups are quorum-written at `max(replicas, 2)`, the
+    /// log device becomes the ring's lazy archive, and recovery replays
+    /// REDO from the surviving ring image instead of the spindles.
+    pub remote_wal: bool,
+    /// Remote WAL ring capacity (only read when `remote_wal` is set).
+    pub wal_ring_bytes: u64,
     /// Chaos-audit log the remote files record retries, repairs and
     /// migrations into (shared with the fault injector by the harnesses).
     pub fault_log: Option<Arc<remem_sim::FaultLog>>,
@@ -112,6 +119,8 @@ impl DbOptions {
             oltp: true,
             workspace_bytes: None,
             replicas: 1,
+            remote_wal: false,
+            wal_ring_bytes: 8 << 20,
             fault_log: None,
             metrics: None,
         }
@@ -129,6 +138,8 @@ impl DbOptions {
             oltp: true,
             workspace_bytes: None,
             replicas: 1,
+            remote_wal: false,
+            wal_ring_bytes: 8 << 20,
             fault_log: None,
             metrics: None,
         }
@@ -168,6 +179,7 @@ impl Design {
         // the log is a dedicated sequential stream on its own array, sized
         // like the data (it is append-only and never reclaimed here)
         let log = hdd(opts.data_bytes.max(256 << 20));
+        let mut wal_ring = None;
         let (tempdb, bpext): (Arc<dyn Device>, Option<Arc<dyn Device>>) = match self {
             Design::Hdd => (hdd(opts.tempdb_bytes), None),
             Design::HddSsd => (
@@ -199,9 +211,16 @@ impl Design {
                     opts.bpext_bytes,
                     RFileConfig {
                         self_heal: true,
-                        ..cfg
+                        ..cfg.clone()
                     },
                 )?;
+                if opts.remote_wal {
+                    // ship the WAL: commit groups quorum-write into a k ≥ 2
+                    // ring (clamped inside remote_wal_ring) and the log
+                    // device demotes to the ring's lazy archive
+                    wal_ring =
+                        Some(cluster.remote_wal_ring(clock, server, opts.wal_ring_bytes, cfg)?);
+                }
                 (tempdb as Arc<dyn Device>, Some(bpext as Arc<dyn Device>))
             }
         };
@@ -228,6 +247,7 @@ impl Design {
                 log,
                 tempdb,
                 bpext,
+                wal_ring,
             },
         ));
         db.set_fault_log(opts.fault_log.clone());

@@ -19,7 +19,7 @@ use crate::row::{Row, Schema};
 use crate::semantic::SemanticCache;
 use crate::sort;
 use crate::tempdb::TempDb;
-use crate::wal::{Wal, WalOp};
+use crate::wal::{Wal, WalEntry, WalOp};
 
 /// Identifier of a table within a database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,6 +63,10 @@ pub struct DeviceSet {
     pub tempdb: Arc<dyn Device>,
     /// Buffer-pool extension: SSD, a remote-memory file, or none.
     pub bpext: Option<Arc<dyn Device>>,
+    /// Replicated remote WAL ring. When present the WAL ships commit
+    /// groups to it with quorum writes and uses `log` as the lazy
+    /// archiver's device; when `None` the WAL forces `log` directly.
+    pub wal_ring: Option<Arc<remem_rfile::RemoteRing>>,
 }
 
 /// A non-clustered (covering) index.
@@ -151,7 +155,13 @@ impl Database {
             wrap(devices.tempdb, "storage.tempdb"),
         )));
         tempdb.set_metrics(metrics.clone());
-        let wal = Wal::new(wrap(devices.log, "storage.log"));
+        // the remote WAL keeps the (metered) log device as its archive, so
+        // "storage.log" telemetry counts exactly the device I/O the ring
+        // did NOT absorb
+        let wal = match devices.wal_ring {
+            Some(ring) => Wal::new_remote(ring, wrap(devices.log, "storage.log")),
+            None => Wal::new(wrap(devices.log, "storage.log")),
+        };
         let grants = GrantManager::new(cfg.workspace_bytes, cfg.max_grant_fraction);
         let semantic = SemanticCache::new();
         semantic.set_metrics(metrics);
@@ -191,7 +201,8 @@ impl Database {
     /// Record buffer-pool-extension suspend/re-attach events into a
     /// chaos-audit log (correlated with injected faults by the harness).
     pub fn set_fault_log(&self, log: Option<std::sync::Arc<remem_sim::FaultLog>>) {
-        self.bp.set_fault_log(log);
+        self.bp.set_fault_log(log.clone());
+        self.wal.set_fault_log(log);
     }
 
     pub fn tempdb(&self) -> &TempDb {
@@ -352,6 +363,52 @@ impl Database {
     /// Insert or overwrite by key.
     pub fn upsert(&self, clock: &mut Clock, tid: TableId, row: Row) -> Result<(), DbError> {
         self.write_row(clock, tid, row, true)
+    }
+
+    /// Upsert a batch of rows as **one commit group**: every row is
+    /// applied to the clustered (and NC) indexes individually, but the
+    /// WAL flushes a single group — one device force, or one quorum
+    /// append on the remote ring — so the log is charged per flushed
+    /// group, not per row (group commit).
+    pub fn upsert_group(
+        &self,
+        clock: &mut Clock,
+        tid: TableId,
+        rows: &[Row],
+    ) -> Result<(), DbError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let tables = self.tables.read();
+        let t = tables
+            .get(tid.0 as usize)
+            .ok_or(DbError::NoSuchTable(tid))?;
+        let mut entries: Vec<WalEntry> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let key = row.int(t.key_col);
+            self.charge_seek(clock, t.tree.height());
+            let replaced = t.tree.insert(clock, &self.bp, key, &row.to_bytes())?;
+            entries.push(WalEntry {
+                table: tid.0,
+                op: if replaced {
+                    WalOp::Update
+                } else {
+                    WalOp::Insert
+                },
+                key,
+                row: Some(row),
+            });
+            for idx in &t.nc {
+                let v = row.int(idx.col);
+                let d = idx.counter.fetch_add(1, Ordering::Relaxed);
+                idx.tree
+                    .insert(clock, &self.bp, NcIndex::nc_key(v, d), &row.to_bytes())?;
+            }
+        }
+        self.wal.append_group(clock, &entries)?;
+        drop(tables);
+        self.semantic.notify_update(tid);
+        Ok(())
     }
 
     fn write_row(
@@ -714,6 +771,7 @@ mod tests {
             log: Arc::new(RamDisk::new(64 << 20)),
             tempdb: Arc::new(RamDisk::new(128 << 20)),
             bpext: None,
+            wal_ring: None,
         }
     }
 

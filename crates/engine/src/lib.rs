@@ -52,3 +52,4 @@ pub use db::{Database, DbError, DeviceSet, TableId};
 pub use exec::{remote_scan, ExecCtx, ScanResult};
 pub use optimizer::{choose_scan, crossover_selectivity, ScanChoice, ScanEstimate, ScanPlan};
 pub use row::{ColType, Row, Schema, Value};
+pub use wal::{Lsn, Wal, WalEntry, WalOp, WalRecord, WalStats};

@@ -11,7 +11,7 @@ use remem_engine::page::{Page, PAGE_SIZE};
 use remem_engine::pagestore::{FileId, PagedFile};
 use remem_engine::row::{Row, Value};
 use remem_engine::tempdb::TempDb;
-use remem_engine::wal::{Wal, WalOp};
+use remem_engine::wal::{Wal, WalOp, WalRecord};
 use remem_engine::CpuCosts;
 use remem_sim::{Clock, CpuPool};
 use remem_storage::RamDisk;
@@ -181,6 +181,48 @@ proptest! {
                 prop_assert_eq!(seen[i].1, key);
             }
         }
+    }
+
+    /// WAL frames round-trip through encode/parse for arbitrary records,
+    /// and every strict truncation of a frame — a torn tail at any byte —
+    /// parses as "no whole record" instead of garbage.
+    #[test]
+    fn wal_frame_round_trips_and_any_torn_tail_is_rejected(
+        lsn in any::<u64>(),
+        table in any::<u32>(),
+        op in 0u8..3,
+        key in any::<i64>(),
+        row in prop::option::of(arb_row()),
+        cut in 0usize..1usize << 12,
+    ) {
+        let op = match op {
+            0 => WalOp::Insert,
+            1 => WalOp::Update,
+            _ => WalOp::Delete,
+        };
+        // Delete carries no after-image; mirror what the WAL writes.
+        let row = if matches!(op, WalOp::Delete) { None } else { row };
+        let rec = WalRecord { lsn, table, op, key, row };
+        let frame = rec.encode();
+        // encode_into over a dirty scratch buffer appends the same bytes
+        let mut scratch = vec![0xAAu8; 7];
+        rec.encode_into(&mut scratch);
+        prop_assert_eq!(&scratch[7..], frame.as_slice());
+        let (back, used) = WalRecord::parse_frame(&frame).unwrap();
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(back.lsn, rec.lsn);
+        prop_assert_eq!(back.table, rec.table);
+        prop_assert_eq!(back.op as u8, rec.op as u8);
+        prop_assert_eq!(back.key, rec.key);
+        prop_assert_eq!(back.row, rec.row);
+        // a second frame after the first doesn't confuse the cut
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        let (_, used2) = WalRecord::parse_frame(&two).unwrap();
+        prop_assert_eq!(used2, frame.len());
+        // torn tail: any strict prefix yields no record
+        let cut = cut % frame.len();
+        prop_assert!(WalRecord::parse_frame(&frame[..cut]).is_none());
     }
 
     /// The buffer pool never loses a committed write, whatever the pool

@@ -67,6 +67,13 @@ struct FabricMetrics {
     /// slowest replica's completion; that tail stays on the straggler's
     /// NIC pipe and is paid by whoever touches it next.
     quorum_straggler_lag: Arc<remem_sim::Histogram>,
+    /// WAL append-path slice of the quorum traffic: group commits the
+    /// engine shipped to the replicated log ring. A subset of
+    /// `fabric.quorum.*`, split out so commit latency diagnostics don't
+    /// have to untangle log appends from page re-replication.
+    wal_appends: Arc<remem_sim::Counter>,
+    wal_bytes: Arc<remem_sim::Counter>,
+    wal_straggler_lag: Arc<remem_sim::Histogram>,
     pushdown_ops: Arc<remem_sim::Counter>,
     pushdown_lat: Arc<remem_sim::Histogram>,
     /// Rows that survived the server-side predicates.
@@ -102,6 +109,9 @@ impl FabricMetrics {
             batch_size: registry.histogram("fabric.batch.size"),
             quorum_writes: registry.counter("fabric.quorum.writes"),
             quorum_straggler_lag: registry.histogram("fabric.quorum.straggler_lag"),
+            wal_appends: registry.counter("wal.quorum.appends"),
+            wal_bytes: registry.counter("wal.quorum.bytes"),
+            wal_straggler_lag: registry.histogram("wal.quorum.straggler_lag"),
             pushdown_ops: registry.counter("nic.pushdown.ops"),
             pushdown_lat: registry.histogram("nic.pushdown.lat"),
             pushdown_rows: registry.counter("fabric.pushdown.rows"),
@@ -364,6 +374,20 @@ impl Fabric {
         let pairs: Vec<(ServerId, ServerId)> = self.wr_stats.lock().keys().copied().collect();
         for (a, b) in pairs {
             self.verify_wr_balance(a, b);
+        }
+    }
+
+    /// Attribute an already-costed quorum write to the WAL append path.
+    ///
+    /// Pure telemetry: the caller (the engine's remote WAL, via the ring)
+    /// has already paid the clock inside [`Fabric::write_quorum`]; this
+    /// just files the group commit under `wal.quorum.*` so log traffic is
+    /// separable from page re-replication in the same registry.
+    pub fn note_wal_append(&self, bytes: u64, straggler_lag: SimDuration) {
+        if let Some(fm) = self.metrics.read().as_ref() {
+            fm.wal_appends.incr();
+            fm.wal_bytes.add(bytes);
+            fm.wal_straggler_lag.record(straggler_lag);
         }
     }
 

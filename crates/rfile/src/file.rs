@@ -152,6 +152,32 @@ pub struct PushdownScan {
     pub fallback_chunks: u64,
 }
 
+/// Folded quorum accounting for one [`RemoteFile::write_tracked`] call:
+/// the per-chunk [`remem_net::QuorumWrite`] outcomes summed/maxed into the
+/// numbers the WAL append path publishes. Retried chunks (failover, heal)
+/// count each quorum write actually issued.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuorumAppend {
+    /// Extent chunks the write was split into (quorum writes issued).
+    pub chunks: u64,
+    /// Total replica acks across all chunks.
+    pub acks: u64,
+    /// Largest quorum gate seen across chunks (0 on an unreplicated file).
+    pub quorum: usize,
+    /// Worst straggler lag across chunks: the longest a slow replica's NIC
+    /// stayed busy past the commit ack.
+    pub straggler_lag: SimDuration,
+}
+
+impl QuorumAppend {
+    fn fold(&mut self, q: &remem_net::QuorumWrite) {
+        self.chunks += 1;
+        self.acks += q.acks as u64;
+        self.quorum = self.quorum.max(q.quorum);
+        self.straggler_lag = self.straggler_lag.max(q.straggler_lag);
+    }
+}
+
 /// One operation of the asynchronous submit/complete API
 /// ([`RemoteFile::submit`] / [`RemoteFile::complete`]). Buffers are owned by
 /// the op so a batch can be held across scheduler activations.
@@ -366,7 +392,7 @@ impl RemoteFile {
     }
 
     /// Whether this file's stripes are k-way replicated (`cfg.replicas ≥ 2`).
-    fn replicated(&self) -> bool {
+    pub fn replicated(&self) -> bool {
         self.cfg.replicas > 1
     }
 
@@ -468,6 +494,17 @@ impl RemoteFile {
     /// Donor servers currently backing this file.
     pub fn donors(&self) -> Vec<ServerId> {
         self.state.lock().lease.servers()
+    }
+
+    /// The broker lease currently backing this file.
+    pub fn lease_id(&self) -> remem_broker::LeaseId {
+        self.state.lock().lease.id
+    }
+
+    /// The fabric this file's verbs run on (for callers that attribute
+    /// extra telemetry to traffic they drive through the file).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
     }
 
     fn note(&self, at: SimTime, origin: FaultOrigin, kind: &'static str, detail: String) {
@@ -1492,6 +1529,35 @@ impl RemoteFile {
 
     /// **Write** `data` at `offset` via RDMA.
     pub fn write(&self, clock: &mut Clock, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        self.write_impl(clock, offset, data, None).map(|_| ())
+    }
+
+    /// **Write** `data` at `offset` and return the folded quorum accounting.
+    ///
+    /// Same data path and cost model as [`RemoteFile::write`]; the extra
+    /// return value carries the per-chunk [`QuorumWrite`] outcomes folded
+    /// into one [`QuorumAppend`], which the WAL append path feeds into its
+    /// `wal.quorum.*` telemetry. On an unreplicated file the accounting is
+    /// all-zero (chunks still count).
+    ///
+    /// [`QuorumWrite`]: remem_net::QuorumWrite
+    pub fn write_tracked(
+        &self,
+        clock: &mut Clock,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<QuorumAppend, StorageError> {
+        self.write_impl(clock, offset, data, Some(QuorumAppend::default()))
+            .map(|acc| acc.unwrap_or_default())
+    }
+
+    fn write_impl(
+        &self,
+        clock: &mut Clock,
+        offset: u64,
+        data: &[u8],
+        mut track: Option<QuorumAppend>,
+    ) -> Result<Option<QuorumAppend>, StorageError> {
         let len = data.len() as u64;
         let fabric = Arc::clone(&self.fabric);
         let proto = self.cfg.protocol;
@@ -1513,10 +1579,15 @@ impl RemoteFile {
                     // fan out to every live replica; the op completes at the
                     // quorum ack, stragglers catch up in the background
                     let targets = self.replica_targets(handle, within);
-                    fabric
-                        .write_quorum(clock, proto, local, &targets, src)
-                        .map(|_| ())
+                    let q = fabric.write_quorum(clock, proto, local, &targets, src)?;
+                    if let Some(acc) = track.as_mut() {
+                        acc.fold(&q);
+                    }
+                    Ok(())
                 } else {
+                    if let Some(acc) = track.as_mut() {
+                        acc.chunks += 1;
+                    }
                     // audit: allow(quorum-write, unreplicated file: the single copy is the quorum)
                     fabric.write(clock, proto, local, handle, within, src)
                 }
@@ -1535,7 +1606,7 @@ impl RemoteFile {
         if res.is_ok() {
             self.bytes_written.add(len);
         }
-        res
+        res.map(|()| track)
     }
 
     /// Validate the batch shape and lease once up front. Requests that fail

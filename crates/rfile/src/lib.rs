@@ -27,8 +27,10 @@
 
 pub mod config;
 pub mod file;
+pub mod ring;
 pub mod staging;
 
 pub use config::{AccessMode, RFileConfig, RegistrationMode};
-pub use file::{IoBatch, IoOp, PushdownScan, RemoteFile};
+pub use file::{IoBatch, IoOp, PushdownScan, QuorumAppend, RemoteFile};
+pub use ring::RemoteRing;
 pub use staging::StagingBuffers;

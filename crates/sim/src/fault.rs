@@ -154,6 +154,20 @@ impl FaultLog {
         s.counts.get(&(kind, origin)).copied().unwrap_or(0)
     }
 
+    /// Total events of `kind` across every origin, including any past the
+    /// cap. Useful for kinds recorded under more than one origin (e.g.
+    /// `wal.failover` is Recovery during an append but Observed during
+    /// replay).
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        let mut s = self.state.lock();
+        s.fold(self.capacity);
+        s.counts
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
     /// Total events recorded with `origin`, across all kinds.
     pub fn count_origin(&self, origin: FaultOrigin) -> u64 {
         let mut s = self.state.lock();

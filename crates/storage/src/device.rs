@@ -51,6 +51,19 @@ pub trait Device: Send + Sync {
             .collect()
     }
 
+    /// Durability barrier: everything previously acknowledged by
+    /// [`Device::write`] must be on stable media before this returns.
+    ///
+    /// Devices whose writes are already durable on acknowledge (RAM disk,
+    /// the replicated remote file — its quorum ack *is* the durability
+    /// point) keep the free default. Devices that acknowledge writes from
+    /// a volatile or battery-backed cache override this and charge the
+    /// flush cost — a commit-group force on the log cannot be absorbed by
+    /// a write-back cache the way ordinary data-page writes can.
+    fn force(&self, _clock: &mut Clock) -> Result<(), StorageError> {
+        Ok(())
+    }
+
     /// Device capacity in bytes.
     fn capacity(&self) -> u64;
 

@@ -126,6 +126,23 @@ impl Device for HddArray {
         Ok(())
     }
 
+    /// A log force is a cache-flush barrier: the controller must destage
+    /// the acknowledged writes before reporting stable. With the BBWC the
+    /// destage is elevator-sorted, so the barrier pays the amortized
+    /// positioning cost (`seek / destage_seek_divisor`, ~750 µs at the
+    /// defaults); without one it pays a full seek. Either way the commit
+    /// path cannot hide behind the write-back cache — this is exactly the
+    /// per-commit cost the remote WAL ring eliminates.
+    fn force(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        let barrier = if self.cfg.write_back_cache {
+            self.cfg.seek / self.cfg.destage_seek_divisor.max(1)
+        } else {
+            self.cfg.seek
+        };
+        clock.advance(barrier);
+        Ok(())
+    }
+
     fn capacity(&self) -> u64 {
         self.cfg.capacity
     }

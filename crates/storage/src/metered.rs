@@ -31,6 +31,7 @@ pub struct MeteredDevice {
     write_bytes: Arc<Counter>,
     read_errors: Arc<Counter>,
     write_errors: Arc<Counter>,
+    force_ops: Arc<Counter>,
     read_lat: Arc<Histogram>,
     write_lat: Arc<Histogram>,
 }
@@ -51,6 +52,7 @@ impl MeteredDevice {
             write_bytes: registry.counter(&format!("{prefix}.write.bytes")),
             read_errors: registry.counter(&format!("{prefix}.read.errors")),
             write_errors: registry.counter(&format!("{prefix}.write.errors")),
+            force_ops: registry.counter(&format!("{prefix}.force.ops")),
             read_lat: registry.histogram(&format!("{prefix}.read.lat")),
             write_lat: registry.histogram(&format!("{prefix}.write.lat")),
             inner,
@@ -86,6 +88,14 @@ impl Device for MeteredDevice {
             self.write_lat.record(clock.now().since(t0));
         } else {
             self.write_errors.incr();
+        }
+        res
+    }
+
+    fn force(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        let res = self.inner.force(clock);
+        if res.is_ok() {
+            self.force_ops.incr();
         }
         res
     }

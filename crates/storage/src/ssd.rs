@@ -60,6 +60,13 @@ impl Device for Ssd {
         Ok(())
     }
 
+    /// Flush barrier: the FTL must program the page it buffered in device
+    /// RAM, so a force costs one write service time on a channel.
+    fn force(&self, clock: &mut Clock) -> Result<(), StorageError> {
+        clock.advance(self.cfg.write_service);
+        Ok(())
+    }
+
     fn capacity(&self) -> u64 {
         self.cfg.capacity
     }

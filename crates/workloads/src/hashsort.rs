@@ -174,6 +174,7 @@ mod tests {
                 log: Arc::new(RamDisk::new(32 << 20)),
                 tempdb,
                 bpext: None,
+                wal_ring: None,
             },
         )
     }

@@ -213,6 +213,7 @@ mod tests {
                 log: Arc::new(RamDisk::new(32 << 20)),
                 tempdb: Arc::new(RamDisk::new(32 << 20)),
                 bpext: None,
+                wal_ring: None,
             },
         )
     }

@@ -268,6 +268,7 @@ mod tests {
                 log: Arc::new(RamDisk::new(64 << 20)),
                 tempdb: Arc::new(RamDisk::new(128 << 20)),
                 bpext: None,
+                wal_ring: None,
             },
         )
     }

@@ -400,6 +400,7 @@ mod tests {
                 log: Arc::new(RamDisk::new(64 << 20)),
                 tempdb: Arc::new(RamDisk::new(128 << 20)),
                 bpext: None,
+                wal_ring: None,
             },
         )
     }
@@ -434,6 +435,7 @@ mod tests {
                 log: Arc::new(RamDisk::new(64 << 20)),
                 tempdb: Arc::new(RamDisk::new(128 << 20)),
                 bpext: None,
+                wal_ring: None,
             },
         );
         let mut clock = Clock::new();

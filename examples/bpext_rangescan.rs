@@ -22,6 +22,8 @@ fn main() {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let rows = 60_000; // ~15 MiB of 245-byte customer rows
     let params = RangeScanParams {

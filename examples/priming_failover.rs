@@ -22,6 +22,8 @@ fn main() {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let rows = 40_000u64;
     let hotspot = KeyDistribution::Hotspot {

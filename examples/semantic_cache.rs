@@ -29,6 +29,8 @@ fn main() {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let db = Design::Custom
         .build(&cluster, &mut clock, &opts)

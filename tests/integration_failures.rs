@@ -243,3 +243,103 @@ fn mv_failure_and_invalidation_are_misses() {
     let sum: f64 = rows.iter().map(|r| r.float(1)).sum();
     assert_eq!(sum, 4950.0 - 0.0 + 100.0);
 }
+
+/// A torn final record in the remote WAL ring — bytes quorum-written but
+/// cut mid-frame, as a crash between the data write and the commit-group
+/// boundary would leave them — ends REDO replay cleanly at the last whole
+/// record, mirroring the device-backend torn-tail regression.
+#[test]
+fn remote_wal_replay_stops_at_torn_tail() {
+    use remem::{Device, RFileConfig, RamDisk};
+    use remem_engine::exec::int_row;
+    use remem_engine::wal::{Wal, WalOp, WalRecord};
+
+    let c = Cluster::builder()
+        .memory_servers(3)
+        .memory_per_server(16 << 20)
+        .build();
+    let mut clock = Clock::new();
+    let ring = c
+        .remote_wal_ring(&mut clock, c.db_server, 256 << 10, RFileConfig::custom())
+        .unwrap();
+    let archive: Arc<dyn Device> = Arc::new(RamDisk::new(1 << 20));
+    let wal = Wal::new_remote(Arc::clone(&ring), archive);
+    for key in 0..20i64 {
+        wal.append(
+            &mut clock,
+            1,
+            WalOp::Insert,
+            key,
+            Some(&int_row(&[key, key * 2])),
+        )
+        .unwrap();
+    }
+    // quorum-commit a frame cut three bytes short of whole
+    let torn = WalRecord {
+        lsn: 999,
+        table: 1,
+        op: WalOp::Insert,
+        key: 777,
+        row: Some(int_row(&[777, 0])),
+    }
+    .encode();
+    ring.append(&mut clock, &torn[..torn.len() - 3]).unwrap();
+    let mut seen = Vec::new();
+    wal.replay(&mut clock, 0, |r| seen.push((r.lsn, r.key)))
+        .unwrap();
+    assert_eq!(seen.len(), 20, "replay must end at the last whole record");
+    assert!(
+        seen.iter().all(|&(_, k)| k != 777),
+        "the torn record must not surface"
+    );
+    assert_eq!(seen.last().unwrap().1, 19);
+}
+
+/// Group commit on the remote backend: one flushed group is ONE quorum
+/// append (one clock charge), however many records it carries — agreeing
+/// with the device backend's one-write-per-group contract.
+#[test]
+fn remote_wal_group_commit_is_one_quorum_append_per_group() {
+    use remem::{Device, RFileConfig, RamDisk};
+    use remem_engine::exec::int_row;
+    use remem_engine::wal::{Wal, WalEntry, WalOp};
+    use remem_sim::MetricsRegistry;
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let c = Cluster::builder()
+        .memory_servers(3)
+        .memory_per_server(16 << 20)
+        .metrics(Arc::clone(&metrics))
+        .build();
+    let mut clock = Clock::new();
+    let ring = c
+        .remote_wal_ring(&mut clock, c.db_server, 256 << 10, RFileConfig::custom())
+        .unwrap();
+    let archive: Arc<dyn Device> = Arc::new(RamDisk::new(1 << 20));
+    let wal = Wal::new_remote(Arc::clone(&ring), archive);
+    let mut key = 0i64;
+    for group in [1usize, 4, 7] {
+        let rows: Vec<remem::Row> = (0..group).map(|i| int_row(&[key + i as i64, 10])).collect();
+        let entries: Vec<WalEntry> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| WalEntry {
+                table: 1,
+                op: WalOp::Insert,
+                key: key + i as i64,
+                row: Some(row),
+            })
+            .collect();
+        key += group as i64;
+        wal.append_group(&mut clock, &entries).unwrap();
+    }
+    assert_eq!(
+        metrics.counter("wal.quorum.appends").get(),
+        3,
+        "one quorum append per flushed group, not per record"
+    );
+    assert!(metrics.counter("wal.quorum.bytes").get() > 0);
+    let mut seen = 0u64;
+    wal.replay(&mut clock, 0, |_| seen += 1).unwrap();
+    assert_eq!(seen, 12, "every record of every group replays");
+}

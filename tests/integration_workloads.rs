@@ -29,6 +29,8 @@ fn rangescan_design_ordering() {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let params = RangeScanParams {
         workers: 20,
@@ -84,6 +86,8 @@ fn hashsort_design_ordering() {
         replicas: 1,
         fault_log: None,
         metrics: None,
+        remote_wal: false,
+        wal_ring_bytes: 8 << 20,
     };
     let params = HashSortParams {
         orders: 8_000,
